@@ -1,0 +1,74 @@
+"""Embedding-depth sweep: prover complexity vs watermark layer.
+
+Section III-B.6: "ZKROWNN still works when the watermark is embedded in
+deeper layers, at the cost of higher prover complexity."  This benchmark
+quantifies that cost: the extraction circuit is built with the watermark
+at each successive layer boundary of an MLP, recording constraint counts
+and public-input sizes (both grow with depth -- more feedforward layers
+inside the circuit, more weight tensors in the instance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import FixedPointFormat
+from repro.nn import Dense, ReLU, Sequential
+from repro.watermark.keys import WatermarkKeys
+from repro.zkrownn import CircuitConfig, build_extraction_circuit
+
+FMT = FixedPointFormat(frac_bits=14, total_bits=40)
+
+
+def _model():
+    rng = np.random.default_rng(0)
+    return Sequential(
+        [
+            Dense(16, 12, rng=rng), ReLU(),
+            Dense(12, 12, rng=rng), ReLU(),
+            Dense(12, 12, rng=rng), ReLU(),
+        ]
+    )
+
+
+def _keys(model, embed_layer):
+    rng = np.random.default_rng(1)
+    triggers = rng.uniform(0, 1, (2, 16))
+    probe = model.forward_to(triggers[:1], embed_layer)
+    feature_dim = int(np.prod(probe.shape[1:]))
+    return WatermarkKeys(
+        embed_layer=embed_layer,
+        target_class=0,
+        trigger_inputs=triggers,
+        projection=rng.standard_normal((feature_dim, 8)),
+        signature=rng.integers(0, 2, 8).astype(np.int64),
+    )
+
+
+def test_embed_depth_sweep(benchmark):
+    model = _model()
+    config = CircuitConfig(theta=1.0, fixed_point=FMT)
+    depths = [1, 3, 5]  # after each ReLU
+
+    def run():
+        rows = {}
+        for depth in depths:
+            circuit = build_extraction_circuit(model, _keys(model, depth), config)
+            circuit.builder.check()
+            rows[depth] = (
+                circuit.constraint_system.num_constraints,
+                circuit.constraint_system.num_public,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nembed layer -> (constraints, public inputs):", rows)
+
+    constraints = [rows[d][0] for d in depths]
+    publics = [rows[d][1] for d in depths]
+    # Strictly increasing prover complexity and instance size with depth.
+    assert constraints == sorted(constraints)
+    assert constraints[0] < constraints[-1]
+    assert publics == sorted(publics)
+    assert publics[0] < publics[-1]

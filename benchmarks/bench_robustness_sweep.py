@@ -1,0 +1,122 @@
+"""Watermark robustness sweeps (the DeepSigns claims the paper inherits).
+
+"This WM methodology is robust to watermark overwriting, model fine-tuning
+and model-pruning" (Section II-A).  These benchmarks sweep each attack's
+strength and record the BER curve, printing a small table per sweep --
+the DeepSigns-style series behind ZKROWNN's premise that the watermark is
+still present in the disputed model.
+
+Pure numpy (no SNARK), so these run at full sweep resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import mnist_like
+from repro.nn import Adam, evaluate_classifier, mnist_mlp_scaled, train_classifier
+from repro.watermark import (
+    EmbedConfig,
+    embed_watermark,
+    extract_watermark,
+    finetune_attack,
+    generate_keys,
+    prune_attack,
+    quantization_attack,
+    weight_noise_attack,
+)
+
+
+@pytest.fixture(scope="module")
+def robust_model():
+    """A comfortably-watermarked model (wider than the protocol fixtures)."""
+    rng = np.random.default_rng(0)
+    data = mnist_like(800, 200, image_size=8, seed=1)
+    model = mnist_mlp_scaled(input_dim=64, hidden=32, rng=rng)
+    train_classifier(model, data.x_train, data.y_train, Adam(0.005),
+                     epochs=6, batch_size=32, rng=rng)
+    keys = generate_keys(model, data.x_train, data.y_train,
+                         embed_layer=1, wm_bits=16, min_triggers=16, rng=rng)
+    report = embed_watermark(
+        model, keys, data.x_train, data.y_train,
+        config=EmbedConfig(epochs=30, seed=3, lambda_projection=5.0),
+    )
+    assert report.ber_after == 0.0
+    return model, keys, data
+
+
+def test_pruning_sweep(robust_model, benchmark):
+    """BER stays 0 through half the weights being removed."""
+    model, keys, _ = robust_model
+    fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+
+    def run():
+        return {
+            f: extract_watermark(prune_attack(model, f), keys).ber
+            for f in fractions
+        }
+
+    bers = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nprune fraction -> BER:", {f: round(b, 3) for f, b in bers.items()})
+    for f in (0.1, 0.2, 0.3, 0.4, 0.5):
+        assert bers[f] == 0.0, f"watermark lost at {f:.0%} pruning"
+    # Monotone-ish degradation: heavier pruning never *improves* matters
+    # below the detection threshold once it starts failing.
+    assert bers[0.7] >= bers[0.5]
+
+
+def test_finetune_sweep(robust_model, benchmark):
+    """BER stays 0 across increasing fine-tuning effort."""
+    model, keys, data = robust_model
+
+    def run():
+        return {
+            epochs: extract_watermark(
+                finetune_attack(model, data.x_train, data.y_train,
+                                epochs=epochs, seed=7),
+                keys,
+            ).ber
+            for epochs in (1, 2, 4)
+        }
+
+    bers = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nfinetune epochs -> BER:", {e: round(b, 3) for e, b in bers.items()})
+    assert all(b <= 0.0625 for b in bers.values())  # at most 1 bit of 16
+
+
+def test_noise_sweep(robust_model, benchmark):
+    """Small perturbations leave the watermark; huge ones break the model
+    before they break the watermark claim (accuracy collapses too)."""
+    model, keys, data = robust_model
+
+    def run():
+        out = {}
+        for scale in (0.01, 0.05, 0.1, 0.3):
+            attacked = weight_noise_attack(model, scale, seed=5)
+            out[scale] = (
+                extract_watermark(attacked, keys).ber,
+                evaluate_classifier(attacked, data.x_test, data.y_test),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nnoise scale -> (BER, accuracy):",
+          {s: (round(b, 3), round(a, 2)) for s, (b, a) in results.items()})
+    assert results[0.01][0] == 0.0
+    assert results[0.05][0] <= 0.0625
+
+
+def test_quantization_sweep(robust_model, benchmark):
+    model, keys, _ = robust_model
+
+    def run():
+        return {
+            bits: extract_watermark(quantization_attack(model, bits), keys).ber
+            for bits in (8, 6, 4, 3, 2)
+        }
+
+    bers = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nquantization bits -> BER:", {b: round(v, 3) for b, v in bers.items()})
+    for bits in (8, 6, 4):
+        assert bers[bits] <= 0.0625

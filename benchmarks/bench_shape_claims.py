@@ -1,0 +1,118 @@
+"""Section IV shape claims: the scale-independent relationships of Table I.
+
+The paper's quantitative story survives any constant-factor slowdown:
+
+1. "proof size stays constant, no matter what the size of the circuit is";
+2. verification cost is independent of circuit size (succinctness);
+3. "the verifier key grows with the public input";
+4. setup and proving are one-time / amortized across proofs.
+
+Each claim gets a sweep at three circuit sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.fixedpoint import FixedPointFormat
+from repro.snark import prove, setup, verify
+
+FMT = FixedPointFormat(frac_bits=12, total_bits=36)
+
+
+def _chain_circuit(length: int, public_outputs: int = 1) -> CircuitBuilder:
+    """A circuit with ~length multiplicative constraints."""
+    b = CircuitBuilder(f"chain{length}")
+    outs = [b.public_output(f"o{i}") for i in range(public_outputs)]
+    x = b.private_input("x", 3)
+    acc = x
+    values = []
+    for _ in range(length):
+        acc = b.mul(acc, x)
+        values.append(acc)
+    for i, out in enumerate(outs):
+        b.bind_output(out, values[min(i, len(values) - 1)])
+    return b
+
+
+@pytest.mark.parametrize("size", [64, 256, 1024])
+def test_proof_size_constant_across_circuit_sizes(size, benchmark):
+    def run():
+        b = _chain_circuit(size)
+        kp = setup(b.cs, seed=1)
+        proof = prove(kp.proving_key, b.cs, b.assignment, seed=2)
+        assert verify(kp.verifying_key, b.public_values(), proof)
+        return proof.size_bytes()
+
+    proof_bytes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert proof_bytes == 128  # claim 1
+
+
+def test_verification_time_independent_of_circuit_size(benchmark):
+    """Verify times for 64x-different circuit sizes stay within noise of
+    each other, while prove times grow."""
+
+    def run():
+        timings = {}
+        for size in (32, 2048):
+            b = _chain_circuit(size)
+            kp = setup(b.cs, seed=1)
+            t0 = time.perf_counter()
+            proof = prove(kp.proving_key, b.cs, b.assignment, seed=2)
+            t_prove = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            assert verify(kp.verifying_key, b.public_values(), proof)
+            t_verify = time.perf_counter() - t0
+            timings[size] = (t_prove, t_verify)
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    prove_growth = timings[2048][0] / timings[32][0]
+    verify_growth = timings[2048][1] / timings[32][1]
+    assert prove_growth > 4.0  # proving clearly scales with circuit size
+    assert verify_growth < 3.0  # verification does not (claim 2)
+
+
+def test_vk_size_linear_in_public_inputs(benchmark):
+    """Claim 3: VK = 224 + 32 * (public inputs + 1) bytes exactly."""
+
+    def run():
+        sizes = {}
+        for n_pub in (1, 8, 64):
+            b = _chain_circuit(32, public_outputs=n_pub)
+            kp = setup(b.cs, seed=1)
+            sizes[n_pub] = kp.verifying_key.size_bytes()
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sizes[8] - sizes[1] == 7 * 32
+    assert sizes[64] - sizes[8] == 56 * 32
+
+
+def test_setup_and_prove_amortize_across_verifiers(benchmark):
+    """Claim 4: setup and proof generation "only happen once per circuit";
+    each additional *verifier* pays only the cheap verification, so the
+    one-time costs amortize over the proof's lifetime."""
+
+    def run():
+        b = _chain_circuit(2048)
+        t0 = time.perf_counter()
+        kp = setup(b.cs, seed=1)
+        t_setup = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        proof = prove(kp.proving_key, b.cs, b.assignment, seed=2)
+        t_prove = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in range(3):
+            assert verify(kp.verifying_key, b.public_values(), proof)
+        t_verify_mean = (time.perf_counter() - t0) / 3
+        return t_setup, t_prove, t_verify_mean
+
+    t_setup, t_prove, t_verify = benchmark.pedantic(run, rounds=1, iterations=1)
+    one_time = t_setup + t_prove
+    assert t_verify < 0.2 * one_time

@@ -1,0 +1,84 @@
+"""Table II: the DNN benchmark architectures.
+
+Builds both paper architectures at their *exact* published dimensions
+(pure numpy -- no SNARK involved, so full scale is cheap), checks the
+layer inventory against Table II, and benchmarks plain inference.  Also
+evaluates the analytic cost model on the full architectures to give the
+paper-scale "# Constraints" column of Table I's last two rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.cost_model import GadgetCosts
+from repro.bench.table1 import BENCH_FORMAT, SCALES
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.architectures import cifar10_cnn, mnist_mlp
+
+
+def test_table2_mlp_inventory(benchmark):
+    """784 - FC(512) - FC(512) - FC(10)."""
+    model = benchmark.pedantic(
+        lambda: mnist_mlp(np.random.default_rng(0)), rounds=1, iterations=1
+    )
+    dense = [l for l in model.layers if isinstance(l, Dense)]
+    assert [(d.in_features, d.out_features) for d in dense] == [
+        (784, 512),
+        (512, 512),
+        (512, 10),
+    ]
+    assert sum(isinstance(l, ReLU) for l in model.layers) == 2
+
+
+def test_table2_cnn_inventory(benchmark):
+    """3x32x32 - C(32,3,2) - C(32,3,1) - MP(2,1) - C(64,3,1) - C(64,3,1)
+    - MP(2,1) - FC(512) - FC(10)."""
+    model = benchmark.pedantic(
+        lambda: cifar10_cnn(np.random.default_rng(0)), rounds=1, iterations=1
+    )
+    convs = [l for l in model.layers if isinstance(l, Conv2D)]
+    assert [(c.in_channels, c.out_channels, c.kernel, c.stride) for c in convs] == [
+        (3, 32, 3, 2),
+        (32, 32, 3, 1),
+        (32, 64, 3, 1),
+        (64, 64, 3, 1),
+    ]
+    pools = [l for l in model.layers if isinstance(l, MaxPool2D)]
+    assert [(p.pool, p.stride) for p in pools] == [(2, 1), (2, 1)]
+    dense = [l for l in model.layers if isinstance(l, Dense)]
+    assert [d.out_features for d in dense] == [512, 10]
+
+
+def test_table2_mlp_inference(benchmark):
+    model = mnist_mlp(np.random.default_rng(0))
+    x = np.random.default_rng(1).uniform(0, 1, (64, 784))
+    out = benchmark.pedantic(lambda: model.forward(x), rounds=3, iterations=1)
+    assert out.shape == (64, 10)
+
+
+def test_table2_cnn_inference(benchmark):
+    model = cifar10_cnn(np.random.default_rng(0))
+    x = np.random.default_rng(1).uniform(0, 1, (8, 3, 32, 32))
+    out = benchmark.pedantic(lambda: model.forward(x), rounds=3, iterations=1)
+    assert out.shape == (8, 10)
+
+
+def test_paper_scale_extraction_costs(benchmark):
+    """Cost-model evaluation of Algorithm 1 on the full Table II shapes."""
+    scale = SCALES["paper"]
+    costs = GadgetCosts(BENCH_FORMAT)
+
+    def evaluate():
+        return (
+            costs.mlp_extraction(784, 512, scale.mlp_triggers, 32),
+            costs.cnn_extraction(3, 32, 32, 3, 2, scale.cnn_triggers, 32),
+        )
+
+    mlp_count, cnn_count = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    # Both land within the paper's order of magnitude (Table I: 2.09M, 591k).
+    assert 1_000_000 < mlp_count < 4_200_000
+    assert 250_000 < cnn_count < 2_400_000
+    # And the MLP is the bigger circuit, as in the paper.
+    assert mlp_count > cnn_count

@@ -1,0 +1,72 @@
+"""Benchmark configuration.
+
+Scale selection: ``ZKROWNN_BENCH_SCALE`` environment variable, default
+``reduced`` (the laptop-runnable dimensions; see repro.bench.table1).
+``tiny`` cuts total runtime to well under a minute for CI-style smoke runs.
+
+Every measured :class:`~repro.bench.metrics.CircuitReport` is collected and
+printed as a Table-I style summary at the end of the session.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.bench.metrics import CircuitReport, format_table
+from repro.bench.table1 import SCALES
+
+_REPORTS: List[CircuitReport] = []
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    name = os.environ.get("ZKROWNN_BENCH_SCALE", "reduced")
+    if name not in ("tiny", "reduced"):
+        raise ValueError(f"ZKROWNN_BENCH_SCALE must be tiny or reduced, got {name}")
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def report_collector():
+    return _REPORTS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _REPORTS:
+        capman = session.config.pluginmanager.getplugin("capturemanager")
+        if capman:
+            capman.suspend_global_capture(in_=True)
+        print("\n\n# ZKROWNN Table I reproduction "
+              f"(scale={os.environ.get('ZKROWNN_BENCH_SCALE', 'reduced')})\n")
+        print(format_table(_REPORTS))
+        print()
+        if capman:
+            capman.resume_global_capture()
+
+
+@pytest.fixture(scope="session")
+def watermarked_small_mlp():
+    """A trained + watermarked model for the Figure-1 protocol benchmark."""
+    import numpy as np
+
+    from repro.datasets import mnist_like
+    from repro.nn import Adam, mnist_mlp_scaled, train_classifier
+    from repro.watermark import EmbedConfig, embed_watermark, generate_keys
+
+    rng = np.random.default_rng(0)
+    data = mnist_like(600, 150, image_size=4, seed=1)
+    model = mnist_mlp_scaled(input_dim=16, hidden=16, rng=rng)
+    train_classifier(model, data.x_train, data.y_train, Adam(0.005),
+                     epochs=5, batch_size=32, rng=rng)
+    keys = generate_keys(model, data.x_train, data.y_train,
+                         embed_layer=1, wm_bits=8, min_triggers=4, rng=rng)
+    keys.trigger_inputs = keys.trigger_inputs[:4]
+    report = embed_watermark(
+        model, keys, data.x_train, data.y_train,
+        config=EmbedConfig(epochs=20, seed=3, lambda_projection=5.0),
+    )
+    assert report.ber_after == 0.0
+    return model, keys

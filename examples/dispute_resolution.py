@@ -1,0 +1,117 @@
+"""Dispute resolution: the scenario that motivates the paper.
+
+A thief copies the owner's watermarked model, fine-tunes and prunes it to
+cover their tracks, and deploys it.  The owner:
+
+1. extracts their watermark from the *stolen, modified* model (DeepSigns
+   robustness), then
+2. proves ownership of it in zero knowledge to several independent
+   verifiers (a court expert, a marketplace, the thief's counsel) --
+   without revealing the trigger keys that would let the thief scrub the
+   watermark afterwards.
+
+Negative controls: the same claim fails against an independent model, and
+an impostor with fresh keys cannot produce a claim at all.
+
+Run:  python examples/dispute_resolution.py
+"""
+
+import numpy as np
+
+from repro.circuit import FixedPointFormat
+from repro.datasets import mnist_like
+from repro.nn import Adam, mnist_mlp_scaled, train_classifier
+from repro.watermark import (
+    EmbedConfig,
+    embed_watermark,
+    extract_watermark,
+    finetune_attack,
+    generate_keys,
+    prune_attack,
+)
+from repro.zkrownn import (
+    CircuitConfig,
+    OwnershipProver,
+    OwnershipVerifier,
+    ProverError,
+    TrustedSetupParty,
+)
+
+
+def main():
+    rng = np.random.default_rng(0)
+    data = mnist_like(800, 200, image_size=4, seed=5)
+
+    # --- Owner: train + watermark ------------------------------------------
+    print("[owner] training and watermarking the original model ...")
+    original = mnist_mlp_scaled(input_dim=16, hidden=32, rng=rng)
+    train_classifier(original, data.x_train, data.y_train, Adam(0.005),
+                     epochs=6, batch_size=32, rng=rng)
+    keys = generate_keys(original, data.x_train, data.y_train,
+                         embed_layer=1, wm_bits=8, min_triggers=4, rng=rng)
+    keys.trigger_inputs = keys.trigger_inputs[:4]
+    embed_watermark(
+        original, keys, data.x_train, data.y_train,
+        config=EmbedConfig(epochs=30, seed=1, lambda_projection=5.0),
+    )
+    assert extract_watermark(original, keys).ber == 0.0
+
+    # --- Thief: copy, fine-tune, prune ---------------------------------------
+    print("[thief] stealing the model, fine-tuning 2 epochs, pruning 30% ...")
+    stolen = finetune_attack(original, data.x_train, data.y_train, epochs=2, seed=9)
+    stolen = prune_attack(stolen, 0.3)
+    ber_after_attack = extract_watermark(stolen, keys).ber
+    print(f"[owner] watermark BER in the stolen+modified model: "
+          f"{ber_after_attack:.3f}")
+
+    # Tolerate up to 1 flipped bit of 8 in the dispute (theta = 0.125).
+    theta = 0.125
+    config = CircuitConfig(
+        theta=theta, fixed_point=FixedPointFormat(frac_bits=14, total_bits=40)
+    )
+
+    # --- Neutral setup + the owner's proof ------------------------------------
+    print("[notary] running the one-time trusted setup ...")
+    party = TrustedSetupParty("notary")
+    party.run_ceremony(stolen, keys, config, seed=21)
+
+    print("[owner] generating the ownership proof against the stolen model ...")
+    prover = OwnershipProver(stolen, keys, config)
+    claim = prover.prove_ownership(party.proving_key, seed=23)
+    print(f"[owner] published claim: {claim.size_bytes()} bytes")
+
+    # --- Three independent verifiers -------------------------------------------
+    for name in ("court-expert", "marketplace", "defense-counsel"):
+        verifier = OwnershipVerifier(party.verifying_key)
+        result = verifier.verify(stolen, claim)
+        print(f"[{name}] accepted={result.accepted}")
+        assert result.accepted
+
+    # --- Negative control 1: unrelated model ------------------------------------
+    print("[control] same claim against an independently trained model ...")
+    unrelated = mnist_mlp_scaled(input_dim=16, hidden=32,
+                                 rng=np.random.default_rng(999))
+    train_classifier(unrelated, data.x_train, data.y_train, Adam(0.005),
+                     epochs=6, batch_size=32, rng=np.random.default_rng(999))
+    result = OwnershipVerifier(party.verifying_key).verify(unrelated, claim)
+    print(f"[control] accepted={result.accepted} ({result.reason[:60]}...)")
+    assert not result.accepted
+
+    # --- Negative control 2: impostor keys ---------------------------------------
+    print("[control] impostor with fresh keys tries to claim the stolen model ...")
+    impostor_keys = generate_keys(stolen, data.x_train, data.y_train,
+                                  embed_layer=1, wm_bits=8, min_triggers=4,
+                                  rng=np.random.default_rng(31337))
+    impostor_keys.trigger_inputs = impostor_keys.trigger_inputs[:4]
+    impostor = OwnershipProver(stolen, impostor_keys, config)
+    try:
+        impostor.prove_ownership(party.proving_key, seed=1)
+        raise AssertionError("impostor should not be able to claim ownership")
+    except ProverError as exc:
+        print(f"[control] impostor blocked: {exc}")
+
+    print("dispute resolved: only the true owner could prove ownership.")
+
+
+if __name__ == "__main__":
+    main()

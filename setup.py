@@ -1,0 +1,13 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+PEP 660 editable installs (``pip install -e .``) require ``wheel``; on
+offline machines without it, this shim enables the legacy path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+    # or equivalently:
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

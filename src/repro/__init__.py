@@ -1,0 +1,27 @@
+"""ZKROWNN reproduction: zero-knowledge right of ownership for neural networks.
+
+A from-scratch Python implementation of the DAC 2023 paper "ZKROWNN: Zero
+Knowledge Right of Ownership for Neural Networks" (Sheybani, Ghodsi,
+Kapila, Koushanfar), including every substrate the paper builds on:
+
+* ``repro.field``     -- BN254 prime fields, Fp12 tower, NTT
+* ``repro.curves``    -- G1/G2, MSM, optimal-Ate pairing
+* ``repro.snark``     -- R1CS, QAP, Groth16 (setup / prove / verify)
+* ``repro.circuit``   -- the circuit-builder DSL (the xJsnark role)
+* ``repro.gadgets``   -- zk matmul / conv3d / relu / sigmoid / threshold / BER
+* ``repro.nn``        -- numpy neural networks with backprop (Table II models)
+* ``repro.datasets``  -- synthetic MNIST/CIFAR stand-ins
+* ``repro.watermark`` -- DeepSigns embedding / extraction / attacks
+* ``repro.zkrownn``   -- Algorithm 1 + the Figure 1 protocol (the paper's core)
+* ``repro.bench``     -- Table I measurement harness and cost model
+
+Quickstart::
+
+    from repro.zkrownn import run_ownership_protocol
+    transcript, claim = run_ownership_protocol(model, keys)
+    assert transcript.all_accepted
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Benchmark harness: Table-I metrics, analytic cost model, runners."""
+
+from .cost_model import GadgetCosts
+from .metrics import CircuitReport, format_table, measure_circuit
+from .table1 import (
+    BENCH_FORMAT,
+    PAPER_TABLE1,
+    SCALES,
+    builders_for_scale,
+    paper_scale_constraints,
+    run_table1,
+)
+
+__all__ = [
+    "GadgetCosts",
+    "CircuitReport",
+    "format_table",
+    "measure_circuit",
+    "BENCH_FORMAT",
+    "PAPER_TABLE1",
+    "SCALES",
+    "builders_for_scale",
+    "paper_scale_constraints",
+    "run_table1",
+]

@@ -1,0 +1,182 @@
+"""Analytic constraint-count model for every gadget.
+
+The pure-Python prover cannot run the paper's full-size circuits (the MLP
+is 2.09 M constraints), but constraint *counts* are pure combinatorics: a
+closed-form function of the gadget dimensions and the fixed-point format.
+This module provides those formulas, which are
+
+* property-tested against the real circuit builder at small sizes
+  (``tests/test_cost_model.py``), then
+* evaluated at the paper's sizes to regenerate the "# Constraints" column
+  of Table I at full scale (see ``benchmarks/`` and EXPERIMENTS.md).
+
+All formulas mirror ``repro.circuit.builder`` exactly: a ``to_bits`` of n
+bits is n booleanity constraints + 1 recomposition, a truncation is
+quotient/remainder range checks + 1 equality, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.fixedpoint import FixedPointFormat
+
+__all__ = ["GadgetCosts"]
+
+
+@dataclass(frozen=True)
+class GadgetCosts:
+    """Constraint-count formulas for a given fixed-point format."""
+
+    fmt: FixedPointFormat
+
+    # -- builder primitives ------------------------------------------------------
+
+    def to_bits(self, bits: int) -> int:
+        return bits + 1
+
+    def is_nonnegative(self, bits: int) -> int:
+        return self.to_bits(bits)
+
+    def greater_equal(self, bits: int) -> int:
+        return self.is_nonnegative(bits + 1)
+
+    def truncate(self, shift: int, range_bits: int) -> int:
+        # equality + remainder range + signed quotient range
+        return 1 + self.to_bits(shift) + self.to_bits(range_bits)
+
+    def div_floor_const(self, divisor: int) -> int:
+        if divisor == 1:
+            return 0
+        if divisor & (divisor - 1) == 0:
+            return self.truncate(divisor.bit_length() - 1, self.fmt.total_bits)
+        rem_bits = divisor.bit_length()
+        return 1 + 2 * self.to_bits(rem_bits) + self.to_bits(self.fmt.total_bits)
+
+    # -- fixed-point ops ------------------------------------------------------------
+
+    def fp_rescale(self) -> int:
+        return self.truncate(self.fmt.frac_bits, self.fmt.total_bits)
+
+    def fp_mul(self) -> int:
+        return 1 + self.fp_rescale()
+
+    def inner_product(self, n: int) -> int:
+        return n + self.fp_rescale()
+
+    # -- gadgets (Table I rows) ---------------------------------------------------------
+
+    def matmul(self, m: int, n: int, l: int) -> int:
+        """A (m x n) @ B (n x l)."""
+        return m * l * self.inner_product(n)
+
+    def matvec(self, m: int, n: int) -> int:
+        return m * self.inner_product(n)
+
+    def dense(self, out_features: int, in_features: int) -> int:
+        """zk_dense: bias folds into the accumulator for free."""
+        return out_features * self.inner_product(in_features)
+
+    def relu(self) -> int:
+        return self.is_nonnegative(self.fmt.total_bits) + 1
+
+    def relu_vector(self, n: int) -> int:
+        return n * self.relu()
+
+    def hard_threshold(self) -> int:
+        return self.is_nonnegative(self.fmt.total_bits)
+
+    def hard_threshold_vector(self, n: int) -> int:
+        return n * self.hard_threshold()
+
+    def sigmoid(self, degree: int = 9) -> int:
+        n_terms = (degree + 1) // 2
+        fp_muls = 1 + (n_terms - 1) + 1  # x^2, Horner steps, final by x
+        # The first Horner step multiplies by a *constant* accumulator,
+        # which the builder folds for free (truncation still paid).
+        return fp_muls * self.fp_mul() - 1
+
+    def sigmoid_vector(self, n: int, degree: int = 9) -> int:
+        return n * self.sigmoid(degree)
+
+    def average_rows(self, rows: int, width: int) -> int:
+        return width * self.div_floor_const(rows)
+
+    def ber(self, num_bits: int) -> int:
+        count_bits = max(num_bits.bit_length() + 1, 2)
+        return num_bits + self.greater_equal(count_bits)
+
+    def conv3d(
+        self,
+        channels: int,
+        height: int,
+        width: int,
+        out_channels: int,
+        kernel: int,
+        stride: int,
+    ) -> int:
+        out_h = (height - kernel) // stride + 1
+        out_w = (width - kernel) // stride + 1
+        macs = channels * kernel * kernel
+        return out_channels * out_h * out_w * (macs + self.fp_rescale())
+
+    def zk_max(self) -> int:
+        return self.greater_equal(self.fmt.total_bits) + 1
+
+    def maxpool2d(
+        self, channels: int, height: int, width: int, pool: int, stride: int
+    ) -> int:
+        out_h = (height - pool) // stride + 1
+        out_w = (width - pool) // stride + 1
+        per_window = (pool * pool - 1) * self.zk_max()
+        return channels * out_h * out_w * per_window
+
+    # -- end-to-end extraction circuits -----------------------------------------------
+
+    def mlp_extraction(
+        self,
+        input_dim: int,
+        hidden: int,
+        num_triggers: int,
+        wm_bits: int,
+        sigmoid_degree: int = 9,
+    ) -> int:
+        """Algorithm 1 on an MLP, watermark after the first hidden ReLU.
+
+        Feedforward = dense(hidden, input) + relu(hidden), per trigger.
+        """
+        per_trigger = self.dense(hidden, input_dim) + self.relu_vector(hidden)
+        total = num_triggers * per_trigger
+        total += self.average_rows(num_triggers, hidden)
+        total += wm_bits * self.inner_product(hidden)  # mu @ A
+        total += self.sigmoid_vector(wm_bits, sigmoid_degree)
+        total += self.hard_threshold_vector(wm_bits)
+        total += wm_bits + 1  # wm booleanity + output binding
+        total += self.ber(wm_bits)
+        return total
+
+    def cnn_extraction(
+        self,
+        in_channels: int,
+        image_size: int,
+        out_channels: int,
+        kernel: int,
+        stride: int,
+        num_triggers: int,
+        wm_bits: int,
+        sigmoid_degree: int = 9,
+    ) -> int:
+        """Algorithm 1 on a CNN, watermark after the first conv + ReLU."""
+        out_h = (image_size - kernel) // stride + 1
+        feature_dim = out_channels * out_h * out_h
+        per_trigger = self.conv3d(
+            in_channels, image_size, image_size, out_channels, kernel, stride
+        ) + self.relu_vector(feature_dim)
+        total = num_triggers * per_trigger
+        total += self.average_rows(num_triggers, feature_dim)
+        total += wm_bits * self.inner_product(feature_dim)
+        total += self.sigmoid_vector(wm_bits, sigmoid_degree)
+        total += self.hard_threshold_vector(wm_bits)
+        total += wm_bits + 1
+        total += self.ber(wm_bits)
+        return total

@@ -1,0 +1,126 @@
+"""Measurement harness for Table-I style circuit reports.
+
+One :class:`CircuitReport` per benchmark row, with exactly the paper's
+columns: constraints, setup runtime, proving-key size, prover runtime,
+proof size, verification-key size, verifier runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..circuit.builder import CircuitBuilder
+from ..snark.groth16 import prove, setup, verify
+
+__all__ = ["CircuitReport", "measure_circuit", "format_table"]
+
+
+@dataclass
+class CircuitReport:
+    """One row of the Table-I reproduction."""
+
+    name: str
+    num_constraints: int
+    num_public_inputs: int
+    setup_seconds: float
+    pk_bytes: int
+    prove_seconds: float
+    proof_bytes: int
+    vk_bytes: int
+    verify_seconds: float
+    verified: bool
+
+    @property
+    def pk_megabytes(self) -> float:
+        return self.pk_bytes / (1024 * 1024)
+
+    @property
+    def vk_kilobytes(self) -> float:
+        return self.vk_bytes / 1024
+
+    @property
+    def verify_milliseconds(self) -> float:
+        return self.verify_seconds * 1000
+
+    def row(self) -> List[str]:
+        return [
+            self.name,
+            f"{self.num_constraints:,}",
+            f"{self.setup_seconds:.3f}",
+            f"{self.pk_megabytes:.3f}",
+            f"{self.prove_seconds:.3f}",
+            f"{self.proof_bytes}",
+            f"{self.vk_kilobytes:.3f}",
+            f"{self.verify_milliseconds:.1f}",
+            "ok" if self.verified else "FAIL",
+        ]
+
+
+TABLE_HEADER = [
+    "Benchmark",
+    "# Constraints",
+    "Setup (s)",
+    "PK (MB)",
+    "Prove (s)",
+    "Proof (B)",
+    "VK (KB)",
+    "Verify (ms)",
+    "Check",
+]
+
+
+def measure_circuit(
+    name: str,
+    build: Callable[[], CircuitBuilder],
+    *,
+    seed: Optional[int] = 1234,
+) -> CircuitReport:
+    """Build, set up, prove, and verify a circuit; collect every metric.
+
+    ``build`` must return a fully synthesized :class:`CircuitBuilder`
+    (witness included).  The same builder is reused for setup and proving
+    -- like the paper, setup and proof generation happen once per circuit.
+    """
+    builder = build()
+    builder.check()
+    cs = builder.cs
+
+    t0 = time.perf_counter()
+    keypair = setup(cs, seed=seed)
+    setup_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    proof = prove(keypair.proving_key, cs, builder.assignment, seed=seed)
+    prove_seconds = time.perf_counter() - t0
+
+    public = builder.public_values()
+    t0 = time.perf_counter()
+    ok = verify(keypair.verifying_key, public, proof)
+    verify_seconds = time.perf_counter() - t0
+
+    return CircuitReport(
+        name=name,
+        num_constraints=cs.num_constraints,
+        num_public_inputs=cs.num_public,
+        setup_seconds=setup_seconds,
+        pk_bytes=keypair.proving_key.size_bytes(),
+        prove_seconds=prove_seconds,
+        proof_bytes=proof.size_bytes(),
+        vk_bytes=keypair.verifying_key.size_bytes(),
+        verify_seconds=verify_seconds,
+        verified=ok,
+    )
+
+
+def format_table(reports: Sequence[CircuitReport]) -> str:
+    """Render reports as an aligned text table (the Table-I layout)."""
+    rows = [TABLE_HEADER] + [r.row() for r in reports]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(TABLE_HEADER))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,373 @@
+"""Table I circuit builders and the benchmark runner.
+
+One builder per row of the paper's Table I, at three scales:
+
+* ``paper``  -- the exact dimensions of the paper (2-D ops 128 x 128, 1-D
+  ops length 128, Conv3D 32x32x3/32ch/3x3/s2, Table II networks).  Only
+  the *constraint counts* are evaluated at this scale (via the validated
+  analytic cost model); proving them in pure Python is infeasible.
+* ``reduced`` -- the dimensions the full Setup/Prove/Verify pipeline runs
+  at on a laptop (16 x 16 matrices, length-32 vectors, 8x8x3 conv).
+* ``tiny``   -- test-suite dimensions.
+
+Following the paper: "all individual ... circuits are run with private
+inputs and public outputs, for sake of consistency"; circuits with large
+output vectors expose them as public outputs, which is what makes their
+VK larger (the effect Section IV discusses for sigmoid/averaging).
+
+Run ``python -m repro.bench.table1`` for the full comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.fixedpoint import FixedPointFormat
+from ..gadgets.activation import zk_relu_vector, zk_sigmoid_vector
+from ..gadgets.ber import zk_ber
+from ..gadgets.conv import wire_tensor3, wire_tensor4, zk_conv3d
+from ..gadgets.linalg import wire_matrix, zk_average2d, zk_matmul
+from ..gadgets.threshold import zk_hard_threshold_vector
+from ..nn.architectures import cifar10_cnn_scaled, mnist_mlp_scaled
+from ..watermark.keys import WatermarkKeys
+from ..zkrownn.circuit import CircuitConfig, build_extraction_circuit
+from .cost_model import GadgetCosts
+from .metrics import CircuitReport, format_table, measure_circuit
+
+__all__ = [
+    "BENCH_FORMAT",
+    "SCALES",
+    "PAPER_TABLE1",
+    "build_matmult",
+    "build_conv3d",
+    "build_relu",
+    "build_average2d",
+    "build_sigmoid",
+    "build_hardthreshold",
+    "build_ber",
+    "build_mlp_extraction",
+    "build_cnn_extraction",
+    "builders_for_scale",
+    "paper_scale_constraints",
+    "run_table1",
+]
+
+#: Fixed-point format used by all Table-I benchmark circuits.
+BENCH_FORMAT = FixedPointFormat(frac_bits=16, total_bits=48)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Dimension set for one benchmark scale."""
+
+    name: str
+    mat_dim: int  # 2-D ops run with (mat_dim x mat_dim)
+    vec_len: int  # 1-D ops run with this length
+    conv_image: int  # Conv3D input spatial size (3 channels)
+    conv_out_channels: int
+    mlp_input: int
+    mlp_hidden: int
+    cnn_image: int
+    cnn_channels: int
+    mlp_triggers: int
+    cnn_triggers: int
+    wm_bits: int
+
+
+SCALES: Dict[str, Scale] = {
+    "paper": Scale(
+        name="paper",
+        mat_dim=128,
+        vec_len=128,
+        conv_image=32,
+        conv_out_channels=32,
+        mlp_input=784,
+        mlp_hidden=512,
+        cnn_image=32,
+        cnn_channels=32,
+        # Trigger-set sizes inferred from the paper's constraint counts:
+        # 2.09M (MLP) ~ 5 trigger feedforwards at 784x512; 591k (CNN) ~ 1.
+        mlp_triggers=5,
+        cnn_triggers=1,
+        wm_bits=32,
+    ),
+    "reduced": Scale(
+        name="reduced",
+        mat_dim=16,
+        vec_len=32,
+        conv_image=8,
+        conv_out_channels=4,
+        mlp_input=64,
+        mlp_hidden=16,
+        cnn_image=12,
+        cnn_channels=4,
+        mlp_triggers=2,
+        cnn_triggers=1,
+        wm_bits=8,
+    ),
+    "tiny": Scale(
+        name="tiny",
+        mat_dim=4,
+        vec_len=8,
+        conv_image=5,
+        conv_out_channels=2,
+        mlp_input=16,
+        mlp_hidden=8,
+        cnn_image=9,
+        cnn_channels=2,
+        mlp_triggers=2,
+        cnn_triggers=1,
+        wm_bits=4,
+    ),
+}
+
+#: The paper's Table I, for side-by-side reporting
+#: (name -> (constraints, setup s, PK MB, prove s, proof B, VK KB, verify ms)).
+PAPER_TABLE1 = {
+    "MatMult": (1_097_344, 57.3976, 215.6518, 18.6805, 127.375, 0.199, 0.6),
+    "Conv3D": (235_899, 13.3621, 46.3793, 4.2081, 127.375, 0.199, 0.6),
+    "ReLU": (8_832, 0.6384, 1.7193, 0.1907, 127.375, 5.303, 0.7),
+    "Average2D": (545_793, 29.6248, 107.3271, 9.5570, 127.375, 5.303, 0.6),
+    "Sigmoid": (454_656, 34.4989, 90.5934, 8.3680, 127.375, 41.031, 0.8),
+    "HardThresholding": (8_704, 0.624, 1.6978, 0.1857, 127.375, 5.303, 0.7),
+    "BER": (8_832, 0.6423, 1.7526715, 0.1826, 127.375, 0.2389, 0.6),
+    "MNIST-MLP": (2_093_648, 68.4456, 280.3859, 45.1208, 127.375, 16_006.343, 29.4),
+    "CIFAR10-CNN": (590_624, 32.35, 117.1699, 11.22, 127.375, 34.651, 1.0),
+}
+
+
+def _rng(seed: int = 7) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------- builders --
+
+
+def build_matmult(scale: Scale, fmt: FixedPointFormat = BENCH_FORMAT) -> CircuitBuilder:
+    """MatMult row: private (n x n) @ (n x n), private output."""
+    n = scale.mat_dim
+    rng = _rng()
+    builder = CircuitBuilder("matmult")
+    a = wire_matrix(builder, "A", rng.uniform(-1, 1, (n, n)), fmt)
+    b = wire_matrix(builder, "B", rng.uniform(-1, 1, (n, n)), fmt)
+    zk_matmul(builder, fmt, a, b)
+    return builder
+
+
+def build_conv3d(scale: Scale, fmt: FixedPointFormat = BENCH_FORMAT) -> CircuitBuilder:
+    """Conv3D row: 3-channel image, 3x3 kernels, stride 2 (paper config)."""
+    size = scale.conv_image
+    out_ch = scale.conv_out_channels
+    rng = _rng()
+    builder = CircuitBuilder("conv3d")
+    x = wire_tensor3(builder, "x", rng.uniform(-1, 1, (3, size, size)), fmt)
+    k = wire_tensor4(builder, "k", rng.uniform(-1, 1, (out_ch, 3, 3, 3)), fmt)
+    bias = [builder.private_input(f"b{i}", fmt.encode(0.0)) for i in range(out_ch)]
+    zk_conv3d(builder, fmt, x, k, bias, stride=2)
+    return builder
+
+
+def build_relu(scale: Scale, fmt: FixedPointFormat = BENCH_FORMAT) -> CircuitBuilder:
+    """ReLU row: element-wise on a private vector, public outputs."""
+    n = scale.vec_len
+    rng = _rng()
+    builder = CircuitBuilder("relu")
+    outputs = [builder.public_output(f"out{i}") for i in range(n)]
+    xs = [
+        builder.private_input(f"x{i}", fmt.encode(v))
+        for i, v in enumerate(rng.uniform(-2, 2, n))
+    ]
+    for out, w in zip(outputs, zk_relu_vector(builder, fmt, xs)):
+        builder.bind_output(out, w)
+    return builder
+
+
+def build_average2d(scale: Scale, fmt: FixedPointFormat = BENCH_FORMAT) -> CircuitBuilder:
+    """Average2D row: column means of a private matrix, public outputs."""
+    n = scale.mat_dim
+    rng = _rng()
+    builder = CircuitBuilder("average2d")
+    outputs = [builder.public_output(f"mean{i}") for i in range(n)]
+    matrix = wire_matrix(builder, "M", rng.uniform(-1, 1, (n, n)), fmt)
+    for out, w in zip(outputs, zk_average2d(builder, fmt, matrix)):
+        builder.bind_output(out, w)
+    return builder
+
+
+def build_sigmoid(scale: Scale, fmt: FixedPointFormat = BENCH_FORMAT) -> CircuitBuilder:
+    """Sigmoid row: degree-9 Chebyshev on a private vector, public outputs."""
+    n = scale.vec_len
+    rng = _rng()
+    builder = CircuitBuilder("sigmoid")
+    outputs = [builder.public_output(f"s{i}") for i in range(n)]
+    xs = [
+        builder.private_input(f"x{i}", fmt.encode(v))
+        for i, v in enumerate(rng.uniform(-4, 4, n))
+    ]
+    for out, w in zip(outputs, zk_sigmoid_vector(builder, fmt, xs)):
+        builder.bind_output(out, w)
+    return builder
+
+
+def build_hardthreshold(
+    scale: Scale, fmt: FixedPointFormat = BENCH_FORMAT
+) -> CircuitBuilder:
+    """HardThresholding row: [x >= 0.5] bits, public outputs."""
+    n = scale.vec_len
+    rng = _rng()
+    builder = CircuitBuilder("hardthreshold")
+    outputs = [builder.public_output(f"t{i}") for i in range(n)]
+    xs = [
+        builder.private_input(f"x{i}", fmt.encode(v))
+        for i, v in enumerate(rng.uniform(0, 1, n))
+    ]
+    for out, w in zip(outputs, zk_hard_threshold_vector(builder, fmt, xs, beta=0.5)):
+        builder.bind_output(out, w)
+    return builder
+
+
+def build_ber(scale: Scale, fmt: FixedPointFormat = BENCH_FORMAT) -> CircuitBuilder:
+    """BER row: compare two private bit vectors, public validity bit."""
+    n = scale.vec_len
+    rng = _rng()
+    builder = CircuitBuilder("ber")
+    out = builder.public_output("valid")
+    bits_a = rng.integers(0, 2, n)
+    bits_b = bits_a.copy()
+    flip = rng.choice(n, size=max(1, n // 16), replace=False)
+    bits_b[flip] ^= 1
+    wm = [builder.allocate_bit(f"a{i}", int(v)) for i, v in enumerate(bits_a)]
+    ext = [builder.allocate_bit(f"b{i}", int(v)) for i, v in enumerate(bits_b)]
+    result = zk_ber(builder, wm, ext, theta=0.125)
+    builder.bind_output(out, result.valid)
+    return builder
+
+
+def _random_keys(model, input_shape, scale: Scale, flat: bool) -> WatermarkKeys:
+    """Random watermark keys of the right shape (benchmarks measure circuit
+    cost, not embedding quality, so theta=1 keeps the output valid)."""
+    rng = _rng(13)
+    count = scale.mlp_triggers if flat else scale.cnn_triggers
+    if flat:
+        triggers = rng.uniform(0, 1, (count, input_shape))
+    else:
+        triggers = rng.uniform(0, 1, (count, *input_shape))
+    probe = model.forward_to(triggers[:1], 1)
+    feature_dim = int(np.prod(probe.shape[1:]))
+    return WatermarkKeys(
+        embed_layer=1,
+        target_class=0,
+        trigger_inputs=triggers,
+        projection=rng.standard_normal((feature_dim, scale.wm_bits)),
+        signature=rng.integers(0, 2, scale.wm_bits).astype(np.int64),
+    )
+
+
+def build_mlp_extraction(
+    scale: Scale, fmt: FixedPointFormat = BENCH_FORMAT
+) -> CircuitBuilder:
+    """MNIST-MLP row: full Algorithm 1 on the Table II MLP shape."""
+    model = mnist_mlp_scaled(
+        input_dim=scale.mlp_input, hidden=scale.mlp_hidden, rng=_rng(5)
+    )
+    keys = _random_keys(model, scale.mlp_input, scale, flat=True)
+    config = CircuitConfig(theta=1.0, fixed_point=fmt)
+    circuit = build_extraction_circuit(model, keys, config)
+    return circuit.builder
+
+
+def build_cnn_extraction(
+    scale: Scale, fmt: FixedPointFormat = BENCH_FORMAT
+) -> CircuitBuilder:
+    """CIFAR10-CNN row: full Algorithm 1 on the Table II CNN shape."""
+    model = cifar10_cnn_scaled(
+        image_size=scale.cnn_image, channels=scale.cnn_channels, rng=_rng(5)
+    )
+    keys = _random_keys(
+        model, (3, scale.cnn_image, scale.cnn_image), scale, flat=False
+    )
+    config = CircuitConfig(theta=1.0, fixed_point=fmt)
+    circuit = build_extraction_circuit(model, keys, config)
+    return circuit.builder
+
+
+def builders_for_scale(
+    scale_name: str = "reduced", fmt: FixedPointFormat = BENCH_FORMAT
+) -> Dict[str, Callable[[], CircuitBuilder]]:
+    """All nine Table-I circuits as zero-argument builder thunks."""
+    scale = SCALES[scale_name]
+    return {
+        "MatMult": lambda: build_matmult(scale, fmt),
+        "Conv3D": lambda: build_conv3d(scale, fmt),
+        "ReLU": lambda: build_relu(scale, fmt),
+        "Average2D": lambda: build_average2d(scale, fmt),
+        "Sigmoid": lambda: build_sigmoid(scale, fmt),
+        "HardThresholding": lambda: build_hardthreshold(scale, fmt),
+        "BER": lambda: build_ber(scale, fmt),
+        "MNIST-MLP": lambda: build_mlp_extraction(scale, fmt),
+        "CIFAR10-CNN": lambda: build_cnn_extraction(scale, fmt),
+    }
+
+
+def paper_scale_constraints(fmt: FixedPointFormat = BENCH_FORMAT) -> Dict[str, int]:
+    """Cost-model constraint counts at the paper's exact dimensions."""
+    scale = SCALES["paper"]
+    costs = GadgetCosts(fmt)
+    return {
+        "MatMult": costs.matmul(scale.mat_dim, scale.mat_dim, scale.mat_dim),
+        "Conv3D": costs.conv3d(3, scale.conv_image, scale.conv_image,
+                               scale.conv_out_channels, 3, 2),
+        "ReLU": costs.relu_vector(scale.vec_len),
+        "Average2D": costs.average_rows(scale.mat_dim, scale.mat_dim),
+        "Sigmoid": costs.sigmoid_vector(scale.vec_len),
+        "HardThresholding": costs.hard_threshold_vector(scale.vec_len),
+        "BER": costs.ber(scale.vec_len),
+        "MNIST-MLP": costs.mlp_extraction(
+            scale.mlp_input, scale.mlp_hidden, scale.mlp_triggers, scale.wm_bits
+        ),
+        "CIFAR10-CNN": costs.cnn_extraction(
+            3, scale.cnn_image, scale.cnn_channels, 3, 2,
+            scale.cnn_triggers, scale.wm_bits,
+        ),
+    }
+
+
+def run_table1(
+    scale_name: str = "reduced",
+    *,
+    only: Optional[List[str]] = None,
+) -> List[CircuitReport]:
+    """Measure every Table-I row at a runnable scale."""
+    reports = []
+    for name, build in builders_for_scale(scale_name).items():
+        if only and name not in only:
+            continue
+        reports.append(measure_circuit(name, build))
+    return reports
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description="Reproduce Table I")
+    parser.add_argument("--scale", default="reduced", choices=["tiny", "reduced"])
+    parser.add_argument("--only", nargs="*", help="subset of row names")
+    args = parser.parse_args(argv)
+
+    print(f"# Table I reproduction at scale {args.scale!r}\n")
+    reports = run_table1(args.scale, only=args.only)
+    print(format_table(reports))
+
+    print("\n# Paper-scale constraint counts (analytic cost model)\n")
+    model_counts = paper_scale_constraints()
+    print(f"{'Benchmark':<18} {'cost model':>14} {'paper':>14} {'ratio':>8}")
+    for name, count in model_counts.items():
+        paper = PAPER_TABLE1[name][0]
+        print(f"{name:<18} {count:>14,} {paper:>14,} {count / paper:>8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""High-level circuit construction (the xJsnark role in the paper's stack).
+
+:class:`CircuitBuilder` turns gadget code written with ordinary Python
+operators into an R1CS constraint system plus witness;
+:class:`FixedPointFormat` maps real-valued neural-network arithmetic onto
+field elements.
+"""
+
+from .builder import CircuitBuilder, PublicOutput
+from .fixedpoint import DEFAULT_FORMAT, FixedPointFormat
+from .wire import Wire
+
+__all__ = [
+    "CircuitBuilder",
+    "PublicOutput",
+    "DEFAULT_FORMAT",
+    "FixedPointFormat",
+    "Wire",
+]

@@ -1,0 +1,140 @@
+"""Fixed-point arithmetic: floats in, field elements out.
+
+zkSNARK circuits are arithmetic over Fr; they "do not natively support
+floating point computation" (paper, Section III-B).  ZKROWNN's answer --
+reproduced here -- is classic fixed point:
+
+* every real number x is encoded as ``round(x * 2**frac_bits)``, negative
+  values wrapping to the top of the field;
+* products carry scale ``2**(2*frac_bits)`` and are *truncated* back down
+  (:meth:`FixedPointFormat.mul`), the paper's "bitwidth scaling between
+  operations" optimization;
+* inner products accumulate at double scale and truncate **once** at the
+  end -- the paper's "combining operations within loops" optimization,
+  benchmarked in the ablation suite.
+
+:class:`FixedPointFormat` carries the encoding parameters; circuit-side
+helpers take the builder + wires, host-side helpers convert numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..field.prime import BN254_R as R
+from .builder import CircuitBuilder
+from .wire import Wire
+
+__all__ = ["FixedPointFormat", "DEFAULT_FORMAT"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Encoding parameters for fixed-point values inside a circuit.
+
+    ``frac_bits``: binary scale f (values carry factor 2**f).
+    ``total_bits``: magnitude bound; all signed values must satisfy
+    ``|x| < 2**(total_bits-1)``.  Comparisons and truncations consume
+    roughly ``total_bits`` constraints each, so smaller formats mean
+    smaller circuits -- Table I's constraint counts are driven by this.
+    """
+
+    frac_bits: int = 16
+    total_bits: int = 48
+
+    def __post_init__(self):
+        if self.frac_bits < 1:
+            raise ValueError("frac_bits must be >= 1")
+        if self.total_bits <= self.frac_bits:
+            raise ValueError("total_bits must exceed frac_bits")
+        if 2 * self.total_bits >= 250:
+            raise ValueError("format too wide for the BN254 scalar field")
+
+    # -- host-side encode / decode ------------------------------------------------
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.frac_bits
+
+    def encode(self, x: float) -> int:
+        """Real -> field representative (negative values wrap mod r)."""
+        fixed = round(float(x) * self.scale)
+        bound = 1 << (self.total_bits - 1)
+        if not -bound < fixed < bound:
+            raise OverflowError(
+                f"{x} does not fit in {self.total_bits}-bit fixed point "
+                f"with {self.frac_bits} fractional bits"
+            )
+        return fixed % R
+
+    def decode(self, value: int) -> float:
+        """Field representative -> real (interpreting the symmetric range)."""
+        signed = value % R
+        if signed > R // 2:
+            signed -= R
+        return signed / self.scale
+
+    def encode_array(self, xs: np.ndarray) -> List[int]:
+        return [self.encode(float(x)) for x in np.asarray(xs, dtype=float).ravel()]
+
+    def decode_array(self, values: Sequence[int], shape=None) -> np.ndarray:
+        out = np.array([self.decode(v) for v in values], dtype=float)
+        return out.reshape(shape) if shape is not None else out
+
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+    # -- circuit-side operations -----------------------------------------------------
+
+    def mul(self, builder: CircuitBuilder, a: Wire, b: Wire) -> Wire:
+        """Fixed-point product: multiply then truncate back to scale f."""
+        raw = builder.mul(a, b)
+        return builder.truncate(raw, self.frac_bits, self.total_bits)
+
+    def inner_product(
+        self, builder: CircuitBuilder, xs: Sequence[Wire], ys: Sequence[Wire]
+    ) -> Wire:
+        """Sum of products with a single final truncation.
+
+        Accumulating at double scale costs one constraint per term; the
+        single truncation at the end replaces ``len(xs)`` separate ones
+        (the paper's in-loop operation combining).
+        """
+        if len(xs) != len(ys):
+            raise ValueError("inner product requires equal-length vectors")
+        acc = builder.zero()
+        for x, y in zip(xs, ys):
+            acc = acc + builder.mul(x, y)
+        return builder.truncate(acc, self.frac_bits, self.total_bits)
+
+    def inner_product_no_rescale(
+        self, builder: CircuitBuilder, xs: Sequence[Wire], ys: Sequence[Wire]
+    ) -> Wire:
+        """Inner product left at double scale (caller truncates).
+
+        Exposed separately so the ablation benchmark can measure the cost
+        of *not* combining operations in loops.
+        """
+        if len(xs) != len(ys):
+            raise ValueError("inner product requires equal-length vectors")
+        acc = builder.zero()
+        for x, y in zip(xs, ys):
+            acc = acc + builder.mul(x, y)
+        return acc
+
+    def rescale(self, builder: CircuitBuilder, w: Wire) -> Wire:
+        """Truncate a double-scale value back to single scale."""
+        return builder.truncate(w, self.frac_bits, self.total_bits)
+
+    def constant(self, builder: CircuitBuilder, x: float) -> Wire:
+        return builder.constant(self.encode(x))
+
+    def wire_to_float(self, w: Wire) -> float:
+        return self.decode(w.value)
+
+
+#: The format used by the end-to-end ZKROWNN circuits.
+DEFAULT_FORMAT = FixedPointFormat(frac_bits=16, total_bits=48)

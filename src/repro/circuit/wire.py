@@ -1,0 +1,106 @@
+"""Wires: the values circuit gadgets compute on.
+
+A :class:`Wire` is an *affine combination* of R1CS variables together with
+its synthesized value.  Additions and multiplications by constants merely
+combine linear combinations -- they cost **zero constraints**, exactly like
+xJsnark's linear-expression optimization the paper relies on.  Only
+wire-times-wire multiplication allocates a new variable and constraint
+(handled by :class:`repro.circuit.builder.CircuitBuilder`).
+
+Wires are immutable; operators return new wires.  ``wire * wire`` routes
+through the owning builder so the constraint is recorded.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from ..field.prime import BN254_R as R
+from ..snark.r1cs import LinearCombination
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .builder import CircuitBuilder
+
+__all__ = ["Wire"]
+
+WireOrInt = Union["Wire", int]
+
+
+class Wire:
+    """An affine combination of circuit variables plus its current value."""
+
+    __slots__ = ("builder", "lc", "value")
+
+    def __init__(self, builder: "CircuitBuilder", lc: LinearCombination, value: int):
+        self.builder = builder
+        self.lc = lc
+        self.value = value % R
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _coerce(self, other: WireOrInt) -> "Wire":
+        if isinstance(other, Wire):
+            if other.builder is not self.builder:
+                raise ValueError("cannot combine wires from different builders")
+            return other
+        if isinstance(other, int):
+            return self.builder.constant(other)
+        raise TypeError(f"cannot combine Wire with {type(other).__name__}")
+
+    def is_constant(self) -> bool:
+        """True if this wire is a constant (an LC over the ONE variable only)."""
+        from ..snark.r1cs import ONE_INDEX
+
+        return all(idx == ONE_INDEX for idx in self.lc.terms)
+
+    def constant_value(self) -> int:
+        if not self.is_constant():
+            raise ValueError("wire is not constant")
+        return self.value
+
+    def signed_value(self) -> int:
+        """Synthesized value lifted to the symmetric range (-r/2, r/2]."""
+        half = R // 2
+        return self.value - R if self.value > half else self.value
+
+    # -- linear operations (free) -------------------------------------------------
+
+    def __add__(self, other: WireOrInt) -> "Wire":
+        o = self._coerce(other)
+        return Wire(self.builder, self.lc + o.lc, self.value + o.value)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: WireOrInt) -> "Wire":
+        o = self._coerce(other)
+        return Wire(self.builder, self.lc - o.lc, self.value - o.value)
+
+    def __rsub__(self, other: WireOrInt) -> "Wire":
+        o = self._coerce(other)
+        return Wire(self.builder, o.lc - self.lc, o.value - self.value)
+
+    def __neg__(self) -> "Wire":
+        return Wire(self.builder, self.lc.scale(R - 1), -self.value)
+
+    def scale(self, k: int) -> "Wire":
+        """Multiplication by a constant: free."""
+        return Wire(self.builder, self.lc.scale(k), self.value * k)
+
+    # -- multiplication (1 constraint unless a side is constant) --------------------
+
+    def __mul__(self, other: WireOrInt) -> "Wire":
+        if isinstance(other, int):
+            return self.scale(other)
+        o = self._coerce(other)
+        return self.builder.mul(self, o)
+
+    def __rmul__(self, other: WireOrInt) -> "Wire":
+        if isinstance(other, int):
+            return self.scale(other)
+        return self.__mul__(other)
+
+    def square(self) -> "Wire":
+        return self.builder.mul(self, self)
+
+    def __repr__(self) -> str:
+        return f"Wire(value={self.value}, lc={self.lc!r})"

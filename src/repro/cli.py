@@ -1,0 +1,137 @@
+"""Command-line interface: ``zkrownn <subcommand>``.
+
+Subcommands:
+
+* ``demo``   -- train, watermark, prove, and verify a small model end to
+  end; prints the Figure-1 transcript.
+* ``table1`` -- run the Table I reproduction (same as
+  ``python -m repro.bench.table1``).
+* ``cost``   -- print analytic paper-scale constraint counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .circuit import FixedPointFormat
+    from .datasets import mnist_like
+    from .nn import Adam, mnist_mlp_scaled, train_classifier
+    from .watermark import EmbedConfig, embed_watermark, generate_keys
+    from .zkrownn import CircuitConfig, run_ownership_protocol
+
+    rng = np.random.default_rng(args.seed)
+    print("[1/4] training a small classifier on synthetic data ...")
+    data = mnist_like(600, 150, image_size=4, seed=args.seed)
+    model = mnist_mlp_scaled(input_dim=16, hidden=16, rng=rng)
+    train_classifier(
+        model, data.x_train, data.y_train, Adam(0.005), epochs=5, rng=rng
+    )
+
+    print("[2/4] generating watermark keys and embedding (DeepSigns) ...")
+    keys = generate_keys(
+        model, data.x_train, data.y_train,
+        embed_layer=1, wm_bits=8, min_triggers=4, rng=rng,
+    )
+    keys.trigger_inputs = keys.trigger_inputs[:4]
+    report = embed_watermark(
+        model, keys, data.x_train, data.y_train,
+        config=EmbedConfig(epochs=20, seed=args.seed, lambda_projection=5.0),
+    )
+    print(f"      BER {report.ber_before:.3f} -> {report.ber_after:.3f}, "
+          f"accuracy {report.accuracy_before:.3f} -> {report.accuracy_after:.3f}")
+
+    print("[3/4] running the ZKROWNN protocol (setup, prove, verify x3) ...")
+    config = CircuitConfig(
+        theta=0.0, fixed_point=FixedPointFormat(frac_bits=14, total_bits=40)
+    )
+    transcript, claim = run_ownership_protocol(
+        model, keys, config=config, num_verifiers=3, seed=args.seed
+    )
+
+    print("[4/4] results")
+    for key, value in transcript.timings.items():
+        print(f"      {key:>22}: {value:8.3f}")
+    print(f"      proof size: {len(claim.proof_bytes)} bytes "
+          f"(claim: {claim.size_bytes()} bytes)")
+    print(f"      all verifiers accepted: {transcript.all_accepted}")
+    return 0 if transcript.all_accepted else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .bench.table1 import main as table1_main
+
+    argv = ["--scale", args.scale]
+    if args.only:
+        argv += ["--only", *args.only]
+    table1_main(argv)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .zkrownn import OwnershipClaim
+
+    claim = OwnershipClaim.load(args.claim)
+    print(f"ownership claim ({claim.size_bytes()} bytes)")
+    print(f"  proof:          {len(claim.proof_bytes)} bytes (Groth16, BN254)")
+    print(f"  model digest:   {claim.model_sha256}")
+    print(f"  BER threshold:  theta = {claim.theta}")
+    print(f"  watermark bits: {claim.wm_bits}")
+    print(f"  embed layer:    {claim.embed_layer}")
+    print(f"  fixed point:    {claim.frac_bits} frac / {claim.total_bits} total bits")
+    print(f"  sigmoid degree: {claim.sigmoid_degree}")
+    try:
+        claim.proof.validate_points()
+        print("  proof points:   on curve, in subgroup")
+    except Exception as exc:  # noqa: BLE001 - report, do not crash
+        print(f"  proof points:   INVALID ({exc})")
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    from .bench.table1 import PAPER_TABLE1, paper_scale_constraints
+
+    counts = paper_scale_constraints()
+    print(f"{'Benchmark':<18} {'cost model':>14} {'paper':>14} {'ratio':>8}")
+    for name, count in counts.items():
+        paper = PAPER_TABLE1[name][0]
+        print(f"{name:<18} {count:>14,} {paper:>14,} {count / paper:>8.2f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="zkrownn",
+        description="ZKROWNN: zero-knowledge neural-network ownership proofs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="end-to-end ownership demo")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    table1 = sub.add_parser("table1", help="reproduce Table I")
+    table1.add_argument("--scale", default="reduced", choices=["tiny", "reduced"])
+    table1.add_argument("--only", nargs="*")
+    table1.set_defaults(func=_cmd_table1)
+
+    cost = sub.add_parser("cost", help="paper-scale constraint counts")
+    cost.set_defaults(func=_cmd_cost)
+
+    inspect = sub.add_parser("inspect", help="inspect an ownership claim file")
+    inspect.add_argument("claim", help="path to a claim .json")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""Multi-scalar multiplication and fixed-base tables.
+
+Groth16 cost structure:
+
+* the trusted setup computes thousands of ``scalar * G`` products for a
+  *fixed* base (the group generator) -- served by the comb-style
+  :class:`FixedBaseTableG1` / :class:`FixedBaseTableG2`;
+* the prover computes a handful of large *variable-base* MSMs
+  ``sum_i  s_i * P_i`` -- served by Pippenger bucketing
+  (:func:`msm_g1` / :func:`msm_g2`).
+
+Both are classic textbook algorithms; the naive double-and-add versions are
+kept (``naive_msm_g1``) as the reference the fast paths are property-tested
+against, and as the baseline for the MSM ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .bn254 import R
+from .g1 import (
+    G1_INFINITY_JAC,
+    JacobianPoint,
+    jac_add,
+    jac_add_mixed,
+    jac_double,
+    jac_scalar_mul,
+    jac_to_affine,
+)
+from .g2 import (
+    G2_INFINITY_JAC,
+    G2Jacobian,
+    G2Point,
+    g2_from_jacobian,
+    g2_jac_add,
+    g2_jac_double,
+    g2_to_jacobian,
+)
+
+__all__ = [
+    "msm_g1",
+    "msm_g2",
+    "naive_msm_g1",
+    "naive_msm_g2",
+    "FixedBaseTableG1",
+    "FixedBaseTableG2",
+    "pippenger_window_size",
+]
+
+AffinePoint = Optional[Tuple[int, int]]
+
+SCALAR_BITS = 254
+
+
+def pippenger_window_size(n: int) -> int:
+    """Bucket-window width heuristic: roughly log2(n) - 2, clamped."""
+    if n < 4:
+        return 1
+    if n < 32:
+        return 3
+    if n < 256:
+        return 5
+    if n < 2048:
+        return 7
+    if n < 16384:
+        return 9
+    return 11
+
+
+def msm_g1(points: Sequence[AffinePoint], scalars: Sequence[int]) -> JacobianPoint:
+    """Pippenger MSM over G1: sum of ``scalars[i] * points[i]``.
+
+    ``points`` are affine ``(x, y)`` tuples (``None`` = infinity, skipped);
+    returns a Jacobian point.
+    """
+    if len(points) != len(scalars):
+        raise ValueError("points and scalars must have equal length")
+    pairs = [
+        (p, s % R)
+        for p, s in zip(points, scalars)
+        if p is not None and s % R != 0
+    ]
+    if not pairs:
+        return G1_INFINITY_JAC
+    c = pippenger_window_size(len(pairs))
+    mask = (1 << c) - 1
+    windows = (SCALAR_BITS + c - 1) // c
+    total = G1_INFINITY_JAC
+    for w in range(windows - 1, -1, -1):
+        if total != G1_INFINITY_JAC:
+            for _ in range(c):
+                total = jac_double(total)
+        shift = w * c
+        buckets: List[JacobianPoint] = [G1_INFINITY_JAC] * (mask + 1)
+        for point, scalar in pairs:
+            digit = (scalar >> shift) & mask
+            if digit:
+                buckets[digit] = jac_add_mixed(buckets[digit], point)
+        # Suffix-sum trick: sum_b b * bucket[b] with 2*(2^c) additions.
+        running = G1_INFINITY_JAC
+        window_sum = G1_INFINITY_JAC
+        for b in range(mask, 0, -1):
+            if buckets[b] != G1_INFINITY_JAC:
+                running = jac_add(running, buckets[b])
+            window_sum = jac_add(window_sum, running)
+        total = jac_add(total, window_sum)
+    return total
+
+
+def msm_g2(points: Sequence[G2Point], scalars: Sequence[int]) -> G2Point:
+    """Pippenger MSM over G2 (same structure as :func:`msm_g1`)."""
+    if len(points) != len(scalars):
+        raise ValueError("points and scalars must have equal length")
+    pairs = [
+        (g2_to_jacobian(p), s % R)
+        for p, s in zip(points, scalars)
+        if not p.is_infinity() and s % R != 0
+    ]
+    if not pairs:
+        return G2Point.infinity()
+    c = pippenger_window_size(len(pairs))
+    mask = (1 << c) - 1
+    windows = (SCALAR_BITS + c - 1) // c
+    total = G2_INFINITY_JAC
+    for w in range(windows - 1, -1, -1):
+        if not total[2].is_zero():
+            for _ in range(c):
+                total = g2_jac_double(total)
+        shift = w * c
+        buckets: List[G2Jacobian] = [G2_INFINITY_JAC] * (mask + 1)
+        for point, scalar in pairs:
+            digit = (scalar >> shift) & mask
+            if digit:
+                buckets[digit] = g2_jac_add(buckets[digit], point)
+        running = G2_INFINITY_JAC
+        window_sum = G2_INFINITY_JAC
+        for b in range(mask, 0, -1):
+            if not buckets[b][2].is_zero():
+                running = g2_jac_add(running, buckets[b])
+            window_sum = g2_jac_add(window_sum, running)
+        total = g2_jac_add(total, window_sum)
+    return g2_from_jacobian(total)
+
+
+def naive_msm_g1(points: Sequence[AffinePoint], scalars: Sequence[int]) -> JacobianPoint:
+    """Reference MSM: independent double-and-add per term."""
+    total = G1_INFINITY_JAC
+    for p, s in zip(points, scalars):
+        if p is None:
+            continue
+        total = jac_add(total, jac_scalar_mul((p[0], p[1], 1), s))
+    return total
+
+
+def naive_msm_g2(points: Sequence[G2Point], scalars: Sequence[int]) -> G2Point:
+    total = G2Point.infinity()
+    for p, s in zip(points, scalars):
+        total = total + p * s
+    return total
+
+
+class FixedBaseTableG1:
+    """Comb-method fixed-base multiplier for G1.
+
+    Precomputes ``digit * 2^(w*i) * base`` for every window ``i`` and digit,
+    so each subsequent scalar multiplication costs only ``ceil(254/w)`` mixed
+    additions.  Used by the trusted setup, which multiplies the generator by
+    thousands of evaluation scalars.
+    """
+
+    def __init__(self, base_affine: Tuple[int, int], window: int = 8):
+        self.window = window
+        self.windows = (SCALAR_BITS + window - 1) // window
+        self.table: List[List[AffinePoint]] = []
+        base_jac: JacobianPoint = (base_affine[0], base_affine[1], 1)
+        for _ in range(self.windows):
+            row_jac: List[JacobianPoint] = [G1_INFINITY_JAC]
+            acc = G1_INFINITY_JAC
+            for _ in range((1 << window) - 1):
+                acc = jac_add(acc, base_jac)
+                row_jac.append(acc)
+            self.table.append([jac_to_affine(pt) for pt in row_jac])
+            for _ in range(window):
+                base_jac = jac_double(base_jac)
+
+    def mul(self, scalar: int) -> JacobianPoint:
+        """Return ``scalar * base`` as a Jacobian point."""
+        s = scalar % R
+        acc = G1_INFINITY_JAC
+        mask = (1 << self.window) - 1
+        for i in range(self.windows):
+            digit = (s >> (i * self.window)) & mask
+            if digit:
+                entry = self.table[i][digit]
+                if entry is not None:
+                    acc = jac_add_mixed(acc, entry)
+        return acc
+
+    def mul_many(self, scalars: Sequence[int]) -> List[JacobianPoint]:
+        return [self.mul(s) for s in scalars]
+
+
+class FixedBaseTableG2:
+    """Comb-method fixed-base multiplier for G2."""
+
+    def __init__(self, base: G2Point, window: int = 6):
+        self.window = window
+        self.windows = (SCALAR_BITS + window - 1) // window
+        self.table: List[List[G2Jacobian]] = []
+        base_jac = g2_to_jacobian(base)
+        for _ in range(self.windows):
+            row: List[G2Jacobian] = [G2_INFINITY_JAC]
+            acc = G2_INFINITY_JAC
+            for _ in range((1 << window) - 1):
+                acc = g2_jac_add(acc, base_jac)
+                row.append(acc)
+            self.table.append(row)
+            for _ in range(window):
+                base_jac = g2_jac_double(base_jac)
+
+    def mul(self, scalar: int) -> G2Point:
+        s = scalar % R
+        acc = G2_INFINITY_JAC
+        mask = (1 << self.window) - 1
+        for i in range(self.windows):
+            digit = (s >> (i * self.window)) & mask
+            if digit:
+                acc = g2_jac_add(acc, self.table[i][digit])
+        return g2_from_jacobian(acc)
+
+    def mul_many(self, scalars: Sequence[int]) -> List[G2Point]:
+        return [self.mul(s) for s in scalars]

@@ -1,0 +1,5 @@
+"""Synthetic dataset generators (offline MNIST / CIFAR-10 stand-ins)."""
+
+from .synthetic import SyntheticDataset, cifar10_like, make_image_classes, mnist_like
+
+__all__ = ["SyntheticDataset", "cifar10_like", "make_image_classes", "mnist_like"]

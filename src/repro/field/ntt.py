@@ -1,0 +1,162 @@
+"""Number-theoretic transform over the BN254 scalar field.
+
+The QAP reduction in Groth16 interpolates/evaluates polynomials over a
+power-of-two multiplicative subgroup of Fr.  BN254's scalar field has
+2-adicity 28, so domains up to 2^28 are available -- far beyond what the
+pure-Python prover ever touches.
+
+All functions work on lists of raw integers modulo ``Fr.modulus`` (the hot
+path for proving); :class:`EvaluationDomain` is the stateful wrapper that
+caches twiddle factors for a fixed domain size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .prime import BN254_R as R
+from .prime import Fr
+
+__all__ = ["EvaluationDomain", "ntt", "intt", "next_power_of_two"]
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= max(n, 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def _bit_reverse_permute(values: List[int]) -> None:
+    n = len(values)
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            values[i], values[j] = values[j], values[i]
+
+
+def ntt(values: Sequence[int], omega: int) -> List[int]:
+    """In-order radix-2 NTT of ``values`` using primitive root ``omega``.
+
+    ``len(values)`` must be a power of two and ``omega`` a primitive root of
+    unity of exactly that order.
+    """
+    n = len(values)
+    if n & (n - 1):
+        raise ValueError("NTT size must be a power of two")
+    out = [v % R for v in values]
+    _bit_reverse_permute(out)
+    length = 2
+    while length <= n:
+        w_len = pow(omega, n // length, R)
+        half = length // 2
+        for start in range(0, n, length):
+            w = 1
+            for k in range(start, start + half):
+                even = out[k]
+                odd = out[k + half] * w % R
+                out[k] = (even + odd) % R
+                out[k + half] = (even - odd) % R
+                w = w * w_len % R
+        length <<= 1
+    return out
+
+
+def intt(values: Sequence[int], omega: int) -> List[int]:
+    """Inverse NTT: recovers coefficients from evaluations."""
+    n = len(values)
+    out = ntt(values, pow(omega, -1, R))
+    n_inv = pow(n, -1, R)
+    return [v * n_inv % R for v in out]
+
+
+class EvaluationDomain:
+    """A multiplicative subgroup of Fr of power-of-two order.
+
+    Provides forward/inverse NTT on the subgroup H = {omega^k} and on the
+    coset gH (needed to divide by the vanishing polynomial, which is zero on
+    H itself).
+    """
+
+    def __init__(self, size: int):
+        size = next_power_of_two(size)
+        self.size = size
+        self.omega = Fr.root_of_unity(size).value if size > 1 else 1
+        self.omega_inv = pow(self.omega, -1, R) if size > 1 else 1
+        # Coset shift: any element outside H works; a quadratic non-residue
+        # can never be a 2-power root of unity.
+        self.coset_shift = Fr.multiplicative_generator().value
+        self.coset_shift_inv = pow(self.coset_shift, -1, R)
+
+    # -- plain domain -----------------------------------------------------------
+
+    def fft(self, coefficients: Sequence[int]) -> List[int]:
+        """Evaluate a polynomial (coefficient form) on every domain point."""
+        coeffs = list(coefficients) + [0] * (self.size - len(coefficients))
+        if len(coeffs) > self.size:
+            raise ValueError("polynomial degree exceeds domain size")
+        if self.size == 1:
+            return [coeffs[0] % R]
+        return ntt(coeffs, self.omega)
+
+    def ifft(self, evaluations: Sequence[int]) -> List[int]:
+        """Interpolate: evaluations on the domain -> coefficient form."""
+        if len(evaluations) != self.size:
+            raise ValueError("need exactly one evaluation per domain point")
+        if self.size == 1:
+            return [evaluations[0] % R]
+        return intt(evaluations, self.omega)
+
+    # -- coset domain -------------------------------------------------------------
+
+    def coset_fft(self, coefficients: Sequence[int]) -> List[int]:
+        """Evaluate on the coset g*H (where the vanishing poly is non-zero)."""
+        coeffs = list(coefficients) + [0] * (self.size - len(coefficients))
+        shifted = []
+        power = 1
+        for c in coeffs:
+            shifted.append(c * power % R)
+            power = power * self.coset_shift % R
+        if self.size == 1:
+            return [shifted[0]]
+        return ntt(shifted, self.omega)
+
+    def coset_ifft(self, evaluations: Sequence[int]) -> List[int]:
+        """Inverse of :meth:`coset_fft`."""
+        if self.size == 1:
+            coeffs = [evaluations[0] % R]
+        else:
+            coeffs = intt(evaluations, self.omega)
+        power = 1
+        out = []
+        for c in coeffs:
+            out.append(c * power % R)
+            power = power * self.coset_shift_inv % R
+        return out
+
+    # -- vanishing polynomial -----------------------------------------------------
+
+    def vanishing_at(self, point: int) -> int:
+        """t(x) = x^|H| - 1 evaluated at ``point``."""
+        return (pow(point, self.size, R) - 1) % R
+
+    def vanishing_on_coset(self) -> int:
+        """t(x) on the coset is the constant g^|H| - 1 (same for all points)."""
+        return (pow(self.coset_shift, self.size, R) - 1) % R
+
+    def elements(self) -> List[int]:
+        """All domain points omega^0 .. omega^(n-1)."""
+        out = []
+        acc = 1
+        for _ in range(self.size):
+            out.append(acc)
+            acc = acc * self.omega % R
+        return out
+
+    def __repr__(self) -> str:
+        return f"EvaluationDomain(size={self.size})"

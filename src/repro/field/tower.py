@@ -1,0 +1,353 @@
+"""BN254 extension-field tower: Fp2 -> Fp6 -> Fp12.
+
+The optimal-Ate pairing used by Groth16 takes values in Fp12, built as the
+standard tower for BN curves:
+
+* ``Fp2  = Fp[u]  / (u^2 + 1)``
+* ``Fp6  = Fp2[v] / (v^3 - xi)`` with the non-residue ``xi = 9 + u``
+* ``Fp12 = Fp6[w] / (w^2 - v)``
+
+Elements store raw Python integers (Fp2) or tuples of lower-tower elements,
+kept immutable.  Frobenius-map coefficients are *computed at import time*
+from first principles (powers of ``xi``) rather than hard-coded, which keeps
+the module self-verifying: a typo in a constant would break the bilinearity
+property tests immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .prime import BN254_P as P
+
+__all__ = ["Fp2Element", "Fp6Element", "Fp12Element", "XI", "FROB_GAMMA"]
+
+
+class Fp2Element:
+    """Element ``c0 + c1*u`` of Fp2 with ``u^2 = -1``."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: int, c1: int):
+        self.c0 = c0 % P
+        self.c1 = c1 % P
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Fp2Element":
+        return Fp2Element(0, 0)
+
+    @staticmethod
+    def one() -> "Fp2Element":
+        return Fp2Element(1, 0)
+
+    @staticmethod
+    def from_int(n: int) -> "Fp2Element":
+        return Fp2Element(n, 0)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "Fp2Element") -> "Fp2Element":
+        return Fp2Element(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Fp2Element") -> "Fp2Element":
+        return Fp2Element(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self) -> "Fp2Element":
+        return Fp2Element(-self.c0, -self.c1)
+
+    def __mul__(self, other: "Fp2Element") -> "Fp2Element":
+        # Karatsuba: 3 base-field multiplications.
+        a0, a1, b0, b1 = self.c0, self.c1, other.c0, other.c1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = (a0 + a1) * (b0 + b1)
+        return Fp2Element(t0 - t1, t2 - t0 - t1)
+
+    def scale(self, k: int) -> "Fp2Element":
+        """Multiply by a base-field integer."""
+        return Fp2Element(self.c0 * k, self.c1 * k)
+
+    def square(self) -> "Fp2Element":
+        # (a0 + a1 u)^2 = (a0+a1)(a0-a1) + 2 a0 a1 u
+        a0, a1 = self.c0, self.c1
+        return Fp2Element((a0 + a1) * (a0 - a1), 2 * a0 * a1)
+
+    def inverse(self) -> "Fp2Element":
+        a0, a1 = self.c0, self.c1
+        norm = a0 * a0 + a1 * a1
+        if norm % P == 0:
+            raise ZeroDivisionError("inverse of zero in Fp2")
+        inv = pow(norm, -1, P)
+        return Fp2Element(a0 * inv, -a1 * inv)
+
+    def conjugate(self) -> "Fp2Element":
+        """Frobenius on Fp2 (p-th power): ``c0 - c1*u``."""
+        return Fp2Element(self.c0, -self.c1)
+
+    def mul_by_xi(self) -> "Fp2Element":
+        """Multiply by the Fp6 non-residue ``xi = 9 + u``."""
+        a0, a1 = self.c0, self.c1
+        return Fp2Element(9 * a0 - a1, 9 * a1 + a0)
+
+    def pow(self, exponent: int) -> "Fp2Element":
+        result = Fp2Element.one()
+        base = self
+        e = exponent
+        while e > 0:
+            if e & 1:
+                result = result * base
+            base = base.square()
+            e >>= 1
+        return result
+
+    # -- plumbing --------------------------------------------------------------
+
+    def is_zero(self) -> bool:
+        return self.c0 == 0 and self.c1 == 0
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Fp2Element)
+            and self.c0 == other.c0
+            and self.c1 == other.c1
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1))
+
+    def __repr__(self) -> str:
+        return f"Fp2({self.c0}, {self.c1})"
+
+
+#: The Fp6/Fp12 tower non-residue.
+XI = Fp2Element(9, 1)
+
+
+class Fp6Element:
+    """Element ``a0 + a1*v + a2*v^2`` of Fp6 with ``v^3 = xi``."""
+
+    __slots__ = ("a0", "a1", "a2")
+
+    def __init__(self, a0: Fp2Element, a1: Fp2Element, a2: Fp2Element):
+        self.a0 = a0
+        self.a1 = a1
+        self.a2 = a2
+
+    @staticmethod
+    def zero() -> "Fp6Element":
+        return Fp6Element(Fp2Element.zero(), Fp2Element.zero(), Fp2Element.zero())
+
+    @staticmethod
+    def one() -> "Fp6Element":
+        return Fp6Element(Fp2Element.one(), Fp2Element.zero(), Fp2Element.zero())
+
+    def __add__(self, other: "Fp6Element") -> "Fp6Element":
+        return Fp6Element(self.a0 + other.a0, self.a1 + other.a1, self.a2 + other.a2)
+
+    def __sub__(self, other: "Fp6Element") -> "Fp6Element":
+        return Fp6Element(self.a0 - other.a0, self.a1 - other.a1, self.a2 - other.a2)
+
+    def __neg__(self) -> "Fp6Element":
+        return Fp6Element(-self.a0, -self.a1, -self.a2)
+
+    def __mul__(self, other: "Fp6Element") -> "Fp6Element":
+        a0, a1, a2 = self.a0, self.a1, self.a2
+        b0, b1, b2 = other.a0, other.a1, other.a2
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = a2 * b2
+        c0 = ((a1 + a2) * (b1 + b2) - t1 - t2).mul_by_xi() + t0
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1 + t2.mul_by_xi()
+        c2 = (a0 + a2) * (b0 + b2) - t0 - t2 + t1
+        return Fp6Element(c0, c1, c2)
+
+    def square(self) -> "Fp6Element":
+        return self * self
+
+    def mul_by_v(self) -> "Fp6Element":
+        """Multiply by ``v`` (shifts coefficients, wrapping through xi)."""
+        return Fp6Element(self.a2.mul_by_xi(), self.a0, self.a1)
+
+    def scale_fp2(self, k: Fp2Element) -> "Fp6Element":
+        return Fp6Element(self.a0 * k, self.a1 * k, self.a2 * k)
+
+    def mul_sparse(self, b0: Fp2Element, b1: Fp2Element) -> "Fp6Element":
+        """Multiply by the sparse element ``b0 + b1*v`` (pairing line values)."""
+        a0, a1, a2 = self.a0, self.a1, self.a2
+        t0 = a0 * b0
+        t1 = a1 * b1
+        c0 = ((a1 + a2) * b1 - t1).mul_by_xi() + t0
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1
+        c2 = a2 * b0 + t1
+        return Fp6Element(c0, c1, c2)
+
+    def inverse(self) -> "Fp6Element":
+        a0, a1, a2 = self.a0, self.a1, self.a2
+        c0 = a0.square() - (a1 * a2).mul_by_xi()
+        c1 = a2.square().mul_by_xi() - a0 * a1
+        c2 = a1.square() - a0 * a2
+        norm = a0 * c0 + (a2 * c1 + a1 * c2).mul_by_xi()
+        inv = norm.inverse()
+        return Fp6Element(c0 * inv, c1 * inv, c2 * inv)
+
+    def frobenius(self) -> "Fp6Element":
+        """The p-power Frobenius map on Fp6.
+
+        ``v^p = xi^((p-1)/3) * v``, so the ``v^i`` coefficient picks up
+        ``xi^(i*(p-1)/3) = FROB_GAMMA[2i]`` after conjugating.
+        """
+        return Fp6Element(
+            self.a0.conjugate(),
+            self.a1.conjugate() * FROB_GAMMA[2],
+            self.a2.conjugate() * FROB_GAMMA[4],
+        )
+
+    def is_zero(self) -> bool:
+        return self.a0.is_zero() and self.a1.is_zero() and self.a2.is_zero()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Fp6Element)
+            and self.a0 == other.a0
+            and self.a1 == other.a1
+            and self.a2 == other.a2
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.a0, self.a1, self.a2))
+
+    def __repr__(self) -> str:
+        return f"Fp6({self.a0!r}, {self.a1!r}, {self.a2!r})"
+
+
+# Frobenius coefficients gamma_i = xi^(i*(p-1)/6), i = 1..5, computed from
+# first principles at import.  gamma_2 = xi^((p-1)/3) and gamma_3 =
+# xi^((p-1)/2) double as the G2 untwist-Frobenius-twist constants.
+FROB_GAMMA: Tuple[Fp2Element, ...] = tuple(
+    XI.pow(i * (P - 1) // 6) for i in range(6)
+)
+
+
+class Fp12Element:
+    """Element ``b0 + b1*w`` of Fp12 with ``w^2 = v``."""
+
+    __slots__ = ("b0", "b1")
+
+    def __init__(self, b0: Fp6Element, b1: Fp6Element):
+        self.b0 = b0
+        self.b1 = b1
+
+    @staticmethod
+    def zero() -> "Fp12Element":
+        return Fp12Element(Fp6Element.zero(), Fp6Element.zero())
+
+    @staticmethod
+    def one() -> "Fp12Element":
+        return Fp12Element(Fp6Element.one(), Fp6Element.zero())
+
+    def __add__(self, other: "Fp12Element") -> "Fp12Element":
+        return Fp12Element(self.b0 + other.b0, self.b1 + other.b1)
+
+    def __sub__(self, other: "Fp12Element") -> "Fp12Element":
+        return Fp12Element(self.b0 - other.b0, self.b1 - other.b1)
+
+    def __neg__(self) -> "Fp12Element":
+        return Fp12Element(-self.b0, -self.b1)
+
+    def __mul__(self, other: "Fp12Element") -> "Fp12Element":
+        # Karatsuba over Fp6: 3 Fp6 multiplications.
+        a0, a1 = self.b0, self.b1
+        c0, c1 = other.b0, other.b1
+        t0 = a0 * c0
+        t1 = a1 * c1
+        mid = (a0 + a1) * (c0 + c1)
+        return Fp12Element(t0 + t1.mul_by_v(), mid - t0 - t1)
+
+    def square(self) -> "Fp12Element":
+        # Complex squaring: (a0 + a1 w)^2 with w^2 = v.
+        a0, a1 = self.b0, self.b1
+        t = a0 * a1
+        c0 = (a0 + a1) * (a0 + a1.mul_by_v()) - t - t.mul_by_v()
+        return Fp12Element(c0, t + t)
+
+    def inverse(self) -> "Fp12Element":
+        a0, a1 = self.b0, self.b1
+        norm = a0.square() - a1.square().mul_by_v()
+        inv = norm.inverse()
+        return Fp12Element(a0 * inv, -(a1 * inv))
+
+    def conjugate(self) -> "Fp12Element":
+        """The map ``b0 - b1*w`` (p^6-power Frobenius).
+
+        For elements in the cyclotomic subgroup -- pairing values after the
+        easy part of the final exponentiation -- this equals the inverse.
+        """
+        return Fp12Element(self.b0, -self.b1)
+
+    def frobenius(self) -> "Fp12Element":
+        """The p-power Frobenius map on Fp12.
+
+        ``w^(p-1) = xi^((p-1)/6) = FROB_GAMMA[1]`` scales the ``w``
+        coefficient after the Fp6 Frobenius is applied to both halves.
+        """
+        return Fp12Element(
+            self.b0.frobenius(),
+            self.b1.frobenius().scale_fp2(FROB_GAMMA[1]),
+        )
+
+    def frobenius_n(self, n: int) -> "Fp12Element":
+        out = self
+        for _ in range(n % 12):
+            out = out.frobenius()
+        return out
+
+    def pow(self, exponent: int) -> "Fp12Element":
+        if exponent < 0:
+            return self.inverse().pow(-exponent)
+        result = Fp12Element.one()
+        base = self
+        e = exponent
+        while e > 0:
+            if e & 1:
+                result = result * base
+            base = base.square()
+            e >>= 1
+        return result
+
+    def mul_by_line(
+        self, c0: Fp2Element, c3: Fp2Element, c4: Fp2Element
+    ) -> "Fp12Element":
+        """Multiply by the sparse line value ``c0 + c3*w + c4*(v*w)``.
+
+        Miller-loop line functions for the D-type BN twist only have these
+        three non-zero Fp2 coefficients (the constant term, the ``w`` term
+        and the ``v*w`` term); exploiting the sparsity roughly halves the
+        cost of a Miller step compared to a general Fp12 multiply.
+        """
+        a0, a1 = self.b0, self.b1
+        # Karatsuba with L0 = (c0, 0, 0) and L1 = (c3, c4, 0).
+        t0 = a0.scale_fp2(c0)
+        t1 = a1.mul_sparse(c3, c4)
+        mid = (a0 + a1).mul_sparse(c0 + c3, c4)
+        return Fp12Element(t0 + t1.mul_by_v(), mid - t0 - t1)
+
+    def is_one(self) -> bool:
+        return self == Fp12Element.one()
+
+    def is_zero(self) -> bool:
+        return self.b0.is_zero() and self.b1.is_zero()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Fp12Element)
+            and self.b0 == other.b0
+            and self.b1 == other.b1
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.b0, self.b1))
+
+    def __repr__(self) -> str:
+        return f"Fp12({self.b0!r}, {self.b1!r})"

@@ -1,0 +1,70 @@
+"""The ZKROWNN gadget library (paper Section III-B).
+
+Each of the paper's individually-benchmarked circuits is a function here:
+matrix multiplication, 3-D convolution, ReLU, 2-D averaging, the Chebyshev
+sigmoid, hard thresholding, and bit-error-rate checking -- "each circuit
+can also be used in a standalone zkSNARK due to our modular design
+approach".  The end-to-end extraction circuit in :mod:`repro.zkrownn`
+composes them.
+"""
+
+from .activation import (
+    CHEBYSHEV_COEFFICIENTS,
+    sigmoid_chebyshev_float,
+    sigmoid_reference,
+    zk_relu,
+    zk_relu_vector,
+    zk_sigmoid,
+    zk_sigmoid_vector,
+)
+from .ber import ZkBerResult, mismatch_budget, zk_ber
+from .conv import (
+    conv_output_shape,
+    flatten_input_patches,
+    wire_tensor3,
+    wire_tensor4,
+    zk_conv1d,
+    zk_conv3d,
+)
+from .linalg import (
+    wire_matrix,
+    wire_vector,
+    zk_average2d,
+    zk_average_rows,
+    zk_dense,
+    zk_matmul,
+    zk_matvec,
+)
+from .pooling import zk_max, zk_max_of, zk_maxpool2d
+from .threshold import zk_hard_threshold, zk_hard_threshold_vector
+
+__all__ = [
+    "CHEBYSHEV_COEFFICIENTS",
+    "sigmoid_chebyshev_float",
+    "sigmoid_reference",
+    "zk_relu",
+    "zk_relu_vector",
+    "zk_sigmoid",
+    "zk_sigmoid_vector",
+    "ZkBerResult",
+    "mismatch_budget",
+    "zk_ber",
+    "conv_output_shape",
+    "flatten_input_patches",
+    "wire_tensor3",
+    "wire_tensor4",
+    "zk_conv1d",
+    "zk_conv3d",
+    "wire_matrix",
+    "wire_vector",
+    "zk_average2d",
+    "zk_average_rows",
+    "zk_dense",
+    "zk_matmul",
+    "zk_matvec",
+    "zk_max",
+    "zk_max_of",
+    "zk_maxpool2d",
+    "zk_hard_threshold",
+    "zk_hard_threshold_vector",
+]

@@ -1,0 +1,120 @@
+"""Zero-knowledge activation functions: ReLU and the Chebyshev sigmoid.
+
+Section III-B.3/4 of the paper:
+
+* ReLU is ``max(0, x)``: one signed-comparison bit plus one multiplication.
+* The sigmoid is "very difficult ... in zero-knowledge", so the paper
+  evaluates the degree-9 Chebyshev approximation from zk-AuthFeed
+  (Wan et al.):
+
+  ``S(x) = 0.5 + 0.2159198015 x - 0.0082176259 x^3 + 0.0001825597 x^5
+           - 0.0000018848 x^7 + 0.0000000072 x^9``
+
+  The polynomial is odd apart from the constant, so it is evaluated in
+  Horner form over ``y = x^2`` -- 5 fixed-point multiplies + 1 final.
+
+The degree is configurable (3/5/7/9) for the accuracy-vs-constraints
+ablation benchmark; :func:`sigmoid_reference` provides the float-side
+ground truth the circuit is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.fixedpoint import FixedPointFormat
+from ..circuit.wire import Wire
+
+__all__ = [
+    "CHEBYSHEV_COEFFICIENTS",
+    "zk_relu",
+    "zk_relu_vector",
+    "zk_sigmoid",
+    "zk_sigmoid_vector",
+    "sigmoid_chebyshev_float",
+    "sigmoid_reference",
+]
+
+#: Odd-power coefficients c1, c3, c5, c7, c9 from the paper (Section III-B.3).
+CHEBYSHEV_COEFFICIENTS = (
+    0.2159198015,
+    -0.0082176259,
+    0.0001825597,
+    -0.0000018848,
+    0.0000000072,
+)
+
+
+def zk_relu(builder: CircuitBuilder, fmt: FixedPointFormat, x: Wire) -> Wire:
+    """``max(0, x)`` on a signed fixed-point wire.
+
+    ``s = [x >= 0]`` from the top bit of the shifted decomposition, then
+    ``relu = s * x`` -- the same structure the hard-thresholding circuit
+    reuses (paper, Section III-B.4).
+    """
+    sign = builder.is_nonnegative(x, fmt.total_bits)
+    return builder.mul(sign, x)
+
+
+def zk_relu_vector(
+    builder: CircuitBuilder, fmt: FixedPointFormat, xs: Sequence[Wire]
+) -> List[Wire]:
+    return [zk_relu(builder, fmt, x) for x in xs]
+
+
+def zk_sigmoid(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    x: Wire,
+    *,
+    degree: int = 9,
+) -> Wire:
+    """Chebyshev-approximated sigmoid on a fixed-point wire.
+
+    Horner evaluation over ``y = x^2`` with a fixed-point truncation after
+    every multiplication (the paper's bitwidth-scaling between operations).
+    ``degree`` must be odd, 1..9.
+    """
+    if degree % 2 == 0 or not 1 <= degree <= 9:
+        raise ValueError("sigmoid approximation degree must be odd, 1..9")
+    n_terms = (degree + 1) // 2
+    coeffs = CHEBYSHEV_COEFFICIENTS[:n_terms]
+    y = fmt.mul(builder, x, x)
+    # Horner over y: acc = c_{2k+1} + y * acc, highest coefficient first.
+    acc = fmt.constant(builder, coeffs[-1])
+    for c in reversed(coeffs[:-1]):
+        acc = fmt.mul(builder, acc, y) + fmt.encode(c)
+    # S(x) = 0.5 + x * acc
+    return fmt.mul(builder, x, acc) + fmt.encode(0.5)
+
+
+def zk_sigmoid_vector(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    xs: Sequence[Wire],
+    *,
+    degree: int = 9,
+) -> List[Wire]:
+    return [zk_sigmoid(builder, fmt, x, degree=degree) for x in xs]
+
+
+def sigmoid_chebyshev_float(x: np.ndarray, degree: int = 9) -> np.ndarray:
+    """Float-side evaluation of the same approximation polynomial."""
+    if degree % 2 == 0 or not 1 <= degree <= 9:
+        raise ValueError("sigmoid approximation degree must be odd, 1..9")
+    x = np.asarray(x, dtype=float)
+    n_terms = (degree + 1) // 2
+    coeffs = CHEBYSHEV_COEFFICIENTS[:n_terms]
+    y = x * x
+    acc = np.full_like(x, coeffs[-1])
+    for c in reversed(coeffs[:-1]):
+        acc = acc * y + c
+    return 0.5 + x * acc
+
+
+def sigmoid_reference(x: np.ndarray) -> np.ndarray:
+    """The exact sigmoid 1 / (1 + exp(-x))."""
+    return 1.0 / (1.0 + np.exp(-np.asarray(x, dtype=float)))

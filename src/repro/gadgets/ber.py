@@ -1,0 +1,67 @@
+"""Zero-knowledge bit error rate (Section III-B.5).
+
+The final step of Algorithm 1: compare the private watermark ``wm`` against
+the circuit-extracted ``wm_hat`` bit by bit, and output 1 iff the fraction
+of differing bits is at most the public threshold ``theta``.
+
+The comparison works on counts to stay in integer arithmetic: with N bits
+and threshold theta, the circuit checks ``mismatches <= floor(theta * N)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.wire import Wire
+
+__all__ = ["ZkBerResult", "zk_ber", "mismatch_budget"]
+
+
+def mismatch_budget(num_bits: int, theta: float) -> int:
+    """Maximum tolerated mismatching bits: floor(theta * N).
+
+    ``theta = 0`` reproduces DeepSigns' exact-match criterion ("if the BER
+    is zero ... the deployed DNN is the IP of the model owner").
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError("theta must be within [0, 1]")
+    return math.floor(theta * num_bits + 1e-9)
+
+
+@dataclass
+class ZkBerResult:
+    """Outputs of the BER circuit."""
+
+    valid: Wire  # boolean: BER <= theta
+    mismatches: Wire  # integer count of differing bits
+
+
+def zk_ber(
+    builder: CircuitBuilder,
+    watermark: Sequence[Wire],
+    extracted: Sequence[Wire],
+    theta: float,
+) -> ZkBerResult:
+    """Compare two boolean vectors under a BER threshold.
+
+    Both inputs must already be boolean-constrained (the extraction circuit
+    guarantees this for ``extracted``; ``watermark`` inputs are constrained
+    by the caller).  Cost: one XOR multiplication per bit plus one signed
+    comparison on the count.
+    """
+    if len(watermark) != len(extracted):
+        raise ValueError("watermark and extraction must have equal length")
+    if not watermark:
+        raise ValueError("empty watermark")
+    mismatches = builder.zero()
+    for wm_bit, ex_bit in zip(watermark, extracted):
+        mismatches = mismatches + builder.xor_(wm_bit, ex_bit)
+    budget = mismatch_budget(len(watermark), theta)
+    count_bits = max(len(watermark).bit_length() + 1, 2)
+    valid = builder.greater_equal(
+        builder.constant(budget), mismatches, count_bits
+    )
+    return ZkBerResult(valid=valid, mismatches=mismatches)

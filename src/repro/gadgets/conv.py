@@ -1,0 +1,169 @@
+"""Zero-knowledge convolution (Section III-B.2).
+
+The paper implements 3-D convolution by "flattening the input and kernel
+into 1D vectors", grouping input elements by kernel size and stride, then
+running a 1-D convolution of inner products and shifts.  That is exactly an
+im2col lowering, reproduced here:
+
+* the *index* bookkeeping (which input element lands in which patch) is
+  done at circuit-construction time and costs nothing;
+* each output element is one fixed-point inner product over a flattened
+  patch -- constraints = multiply-accumulates + one truncation.
+
+Shapes follow the paper's benchmark convention: input ``C x H x W``
+(channels first), kernels ``O x C x K x K``, stride ``s``, no padding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.fixedpoint import FixedPointFormat
+from ..circuit.wire import Wire
+
+__all__ = [
+    "conv_output_shape",
+    "flatten_input_patches",
+    "zk_conv1d",
+    "zk_conv3d",
+    "wire_tensor3",
+    "wire_tensor4",
+]
+
+WireTensor3 = List[List[List[Wire]]]  # C x H x W
+WireTensor4 = List[WireTensor3]  # O x C x K x K
+
+
+def wire_tensor3(
+    builder: CircuitBuilder,
+    name: str,
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    *,
+    private: bool = True,
+) -> WireTensor3:
+    """Encode a C x H x W numpy array as input wires."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 3:
+        raise ValueError(f"expected a 3-D array, got shape {arr.shape}")
+    alloc = builder.private_input if private else builder.public_input
+    return [
+        [
+            [
+                alloc(f"{name}[{c},{i},{j}]", fmt.encode(float(arr[c, i, j])))
+                for j in range(arr.shape[2])
+            ]
+            for i in range(arr.shape[1])
+        ]
+        for c in range(arr.shape[0])
+    ]
+
+
+def wire_tensor4(
+    builder: CircuitBuilder,
+    name: str,
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    *,
+    private: bool = True,
+) -> WireTensor4:
+    """Encode an O x C x K x K kernel stack as input wires."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 4:
+        raise ValueError(f"expected a 4-D array, got shape {arr.shape}")
+    return [
+        wire_tensor3(builder, f"{name}[{o}]", arr[o], fmt, private=private)
+        for o in range(arr.shape[0])
+    ]
+
+
+def conv_output_shape(
+    height: int, width: int, kernel: int, stride: int
+) -> Tuple[int, int]:
+    """Valid-mode output spatial dimensions."""
+    if height < kernel or width < kernel:
+        raise ValueError("kernel larger than input")
+    return ((height - kernel) // stride + 1, (width - kernel) // stride + 1)
+
+
+def flatten_input_patches(
+    x: WireTensor3, kernel: int, stride: int
+) -> Tuple[List[List[Wire]], Tuple[int, int]]:
+    """im2col: one flattened wire vector per output position.
+
+    Pure index shuffling -- zero constraints; this is the paper's
+    "input is grouped and structured based on the size of the kernel and
+    stride value into a vector".
+    """
+    channels = len(x)
+    height = len(x[0])
+    width = len(x[0][0])
+    out_h, out_w = conv_output_shape(height, width, kernel, stride)
+    patches: List[List[Wire]] = []
+    for i in range(out_h):
+        for j in range(out_w):
+            patch: List[Wire] = []
+            for c in range(channels):
+                for di in range(kernel):
+                    for dj in range(kernel):
+                        patch.append(x[c][i * stride + di][j * stride + dj])
+            patches.append(patch)
+    return patches, (out_h, out_w)
+
+
+def zk_conv1d(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    signal: Sequence[Wire],
+    kernel: Sequence[Wire],
+    stride: int = 1,
+) -> List[Wire]:
+    """1-D valid convolution (cross-correlation): inner product + shift."""
+    n, k = len(signal), len(kernel)
+    if k > n:
+        raise ValueError("kernel longer than signal")
+    out: List[Wire] = []
+    for start in range(0, n - k + 1, stride):
+        window = list(signal[start : start + k])
+        out.append(fmt.inner_product(builder, window, list(kernel)))
+    return out
+
+
+def zk_conv3d(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    x: WireTensor3,
+    kernels: WireTensor4,
+    bias: Sequence[Wire],
+    stride: int = 1,
+) -> WireTensor3:
+    """3-D convolution: C x H x W input, O kernels of C x K x K, stride s.
+
+    Lowered to flattened 1-D inner products per the paper.  Returns an
+    O x H' x W' wire tensor.
+    """
+    if len(kernels) != len(bias):
+        raise ValueError("one bias per output channel required")
+    kernel_size = len(kernels[0][0])
+    patches, (out_h, out_w) = flatten_input_patches(x, kernel_size, stride)
+    flat_kernels = [
+        [w for channel in kern for row in channel for w in row]
+        for kern in kernels
+    ]
+    output: WireTensor3 = []
+    for kern_flat, b in zip(flat_kernels, bias):
+        channel_out: List[List[Wire]] = []
+        idx = 0
+        for _ in range(out_h):
+            row: List[Wire] = []
+            for _ in range(out_w):
+                acc = fmt.inner_product_no_rescale(builder, patches[idx], kern_flat)
+                acc = acc + b.scale(fmt.scale)
+                row.append(fmt.rescale(builder, acc))
+                idx += 1
+            channel_out.append(row)
+        output.append(channel_out)
+    return output

@@ -1,0 +1,165 @@
+"""Zero-knowledge linear algebra: matrix multiply, dense layers, averaging.
+
+Reproduces the paper's Section III-B.1 (matrix multiplication) and the
+``zkAverage`` step of Algorithm 1.  The paper deliberately avoids
+interactive optimizations (Freivalds' algorithm) to preserve
+non-interactivity, so these are direct inner-product circuits: one
+constraint per multiply-accumulate plus a single fixed-point truncation per
+output element.
+
+Matrices are plain nested lists of :class:`~repro.circuit.wire.Wire`
+(row-major); helpers convert numpy arrays to wire matrices as public or
+private inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.fixedpoint import FixedPointFormat
+from ..circuit.wire import Wire
+
+__all__ = [
+    "wire_vector",
+    "wire_matrix",
+    "zk_matmul",
+    "zk_matvec",
+    "zk_dense",
+    "zk_average_rows",
+    "zk_average2d",
+]
+
+WireMatrix = List[List[Wire]]
+
+
+def wire_vector(
+    builder: CircuitBuilder,
+    name: str,
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    *,
+    private: bool = True,
+) -> List[Wire]:
+    """Encode a 1-D numpy array as circuit input wires."""
+    encoded = fmt.encode_array(np.asarray(values, dtype=float))
+    if private:
+        return builder.private_inputs(name, encoded)
+    return builder.public_inputs(name, encoded)
+
+
+def wire_matrix(
+    builder: CircuitBuilder,
+    name: str,
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    *,
+    private: bool = True,
+) -> WireMatrix:
+    """Encode a 2-D numpy array as a wire matrix (row-major)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {arr.shape}")
+    return [
+        wire_vector(builder, f"{name}[{i}]", arr[i], fmt, private=private)
+        for i in range(arr.shape[0])
+    ]
+
+
+def zk_matmul(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    a: WireMatrix,
+    b: WireMatrix,
+) -> WireMatrix:
+    """Fixed-point matrix product ``A (M x N) @ B (N x L) -> C (M x L)``.
+
+    Either operand may be public or private wires -- "A or B can be public
+    or private, depending on the application" (paper).  One truncation per
+    output element (operations combined within the inner loop).
+    """
+    if not a or not b:
+        raise ValueError("empty matrix operand")
+    m, n = len(a), len(a[0])
+    if len(b) != n:
+        raise ValueError(f"inner dimensions differ: {n} vs {len(b)}")
+    l = len(b[0])
+    b_cols = [[b[k][j] for k in range(n)] for j in range(l)]
+    return [
+        [fmt.inner_product(builder, a[i], b_cols[j]) for j in range(l)]
+        for i in range(m)
+    ]
+
+
+def zk_matvec(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    matrix: WireMatrix,
+    vector: Sequence[Wire],
+) -> List[Wire]:
+    """Matrix-vector product ``(M x N) @ (N,) -> (M,)``."""
+    if not matrix:
+        raise ValueError("empty matrix operand")
+    if len(matrix[0]) != len(vector):
+        raise ValueError(
+            f"dimension mismatch: matrix has {len(matrix[0])} columns, "
+            f"vector has {len(vector)} entries"
+        )
+    return [fmt.inner_product(builder, row, list(vector)) for row in matrix]
+
+
+def zk_dense(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    x: Sequence[Wire],
+    weights: WireMatrix,
+    bias: Sequence[Wire],
+) -> List[Wire]:
+    """A fully-connected layer ``W @ x + b`` (weights are M x N).
+
+    The bias is folded into the double-scale accumulator before the single
+    truncation, so it costs no extra constraints beyond its input wires.
+    """
+    if len(weights) != len(bias):
+        raise ValueError("bias length must match output dimension")
+    outputs: List[Wire] = []
+    for row, b_i in zip(weights, bias):
+        acc = fmt.inner_product_no_rescale(builder, row, list(x))
+        acc = acc + b_i.scale(fmt.scale)
+        outputs.append(fmt.rescale(builder, acc))
+    return outputs
+
+
+def zk_average_rows(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    rows: WireMatrix,
+) -> List[Wire]:
+    """Column-wise mean of a wire matrix: Algorithm 1's ``zkAverage``.
+
+    Sums are free (linear); the division by the row count is a
+    quotient-remainder gadget per column.  Used to approximate the Gaussian
+    centers from the activations of the trigger-set inputs.
+    """
+    if not rows:
+        raise ValueError("cannot average zero rows")
+    count = len(rows)
+    width = len(rows[0])
+    out: List[Wire] = []
+    for j in range(width):
+        total = builder.zero()
+        for row in rows:
+            total = total + row[j]
+        out.append(builder.div_floor_const(total, count, fmt.total_bits))
+    return out
+
+
+def zk_average2d(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    matrix: WireMatrix,
+) -> List[Wire]:
+    """Table I's ``Average2D`` benchmark circuit: mean over matrix rows."""
+    return zk_average_rows(builder, fmt, matrix)

@@ -1,0 +1,63 @@
+"""Zero-knowledge max pooling.
+
+Needed for the CIFAR-10 CNN benchmark architecture (Table II includes
+``MP(2,1)`` layers).  ``max(a, b)`` is one signed comparison plus one
+select; a k x k window folds pairwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.fixedpoint import FixedPointFormat
+from ..circuit.wire import Wire
+from .conv import WireTensor3, conv_output_shape
+
+__all__ = ["zk_max", "zk_max_of", "zk_maxpool2d"]
+
+
+def zk_max(builder: CircuitBuilder, fmt: FixedPointFormat, a: Wire, b: Wire) -> Wire:
+    """``max(a, b)`` on signed fixed-point wires."""
+    a_ge_b = builder.greater_equal(a, b, fmt.total_bits)
+    return builder.select(a_ge_b, a, b)
+
+
+def zk_max_of(
+    builder: CircuitBuilder, fmt: FixedPointFormat, xs: Sequence[Wire]
+) -> Wire:
+    """Maximum of a non-empty wire sequence (left fold)."""
+    if not xs:
+        raise ValueError("max of empty sequence")
+    acc = xs[0]
+    for x in xs[1:]:
+        acc = zk_max(builder, fmt, acc, x)
+    return acc
+
+
+def zk_maxpool2d(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    x: WireTensor3,
+    pool: int,
+    stride: int,
+) -> WireTensor3:
+    """Channel-wise max pooling with filter size ``pool`` and ``stride``."""
+    height = len(x[0])
+    width = len(x[0][0])
+    out_h, out_w = conv_output_shape(height, width, pool, stride)
+    output: WireTensor3 = []
+    for channel in x:
+        rows: List[List[Wire]] = []
+        for i in range(out_h):
+            row: List[Wire] = []
+            for j in range(out_w):
+                window = [
+                    channel[i * stride + di][j * stride + dj]
+                    for di in range(pool)
+                    for dj in range(pool)
+                ]
+                row.append(zk_max_of(builder, fmt, window))
+            rows.append(row)
+        output.append(rows)
+    return output

@@ -1,0 +1,43 @@
+"""Zero-knowledge hard thresholding (Section III-B.4).
+
+The step function applied to the sigmoid outputs during watermark
+extraction:
+
+    f(x) = 1 if x >= beta else 0
+
+Implemented with the same signed-comparison machinery as ReLU ("due to the
+similarity between ReLU and hard thresholding, a similar circuit is used
+for the two operations").  The output bits concatenate into the extracted
+watermark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.fixedpoint import FixedPointFormat
+from ..circuit.wire import Wire
+
+__all__ = ["zk_hard_threshold", "zk_hard_threshold_vector"]
+
+
+def zk_hard_threshold(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    x: Wire,
+    beta: float = 0.5,
+) -> Wire:
+    """Boolean wire ``[x >= beta]`` for a fixed-point ``x``."""
+    shifted = x - fmt.encode(beta)
+    return builder.is_nonnegative(shifted, fmt.total_bits)
+
+
+def zk_hard_threshold_vector(
+    builder: CircuitBuilder,
+    fmt: FixedPointFormat,
+    xs: Sequence[Wire],
+    beta: float = 0.5,
+) -> List[Wire]:
+    """Threshold a vector; the result is the extracted watermark bits."""
+    return [zk_hard_threshold(builder, fmt, x, beta) for x in xs]

@@ -1,0 +1,64 @@
+"""Pure-numpy neural network substrate.
+
+Layers with full backpropagation (DeepSigns embedding fine-tunes models),
+a :class:`Sequential` container exposing intermediate activations (the
+watermark lives in activation statistics), training helpers, and the
+paper's Table II benchmark architectures.
+"""
+
+from .architectures import (
+    cifar10_cnn,
+    cifar10_cnn_scaled,
+    mnist_mlp,
+    mnist_mlp_scaled,
+)
+from .io import load_weights, save_weights
+from .layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    col2im,
+    im2col,
+)
+from .losses import (
+    accuracy,
+    binary_cross_entropy,
+    cross_entropy,
+    mean_squared_error,
+    softmax,
+)
+from .model import Sequential, evaluate_classifier, train_classifier
+from .optim import Adam, Optimizer, SGD
+
+__all__ = [
+    "cifar10_cnn",
+    "cifar10_cnn_scaled",
+    "mnist_mlp",
+    "mnist_mlp_scaled",
+    "load_weights",
+    "save_weights",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "MaxPool2D",
+    "ReLU",
+    "Sigmoid",
+    "col2im",
+    "im2col",
+    "accuracy",
+    "binary_cross_entropy",
+    "cross_entropy",
+    "mean_squared_error",
+    "softmax",
+    "Sequential",
+    "evaluate_classifier",
+    "train_classifier",
+    "Adam",
+    "Optimizer",
+    "SGD",
+]

@@ -1,0 +1,126 @@
+"""The paper's benchmark architectures (Table II) and scaled variants.
+
+Table II:
+
+* MNIST:    784 - FC(512) - FC(512) - FC(10)
+* CIFAR-10: 3x32x32 - C(32,3,2) - C(32,3,1) - MP(2,1) - C(64,3,1)
+            - C(64,3,1) - MP(2,1) - FC(512) - FC(10)
+
+The paper-scale builders produce exactly these (used by the analytic cost
+model and architecture tests).  The pure-Python Groth16 prover cannot run
+2-million-constraint circuits in reasonable time, so each has a ``scaled``
+companion with the same *shape* -- same layer types, same depth, same
+watermark position -- at reduced width, which the end-to-end benchmarks
+prove against (see EXPERIMENTS.md for the scaling discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from .model import Sequential
+
+__all__ = [
+    "mnist_mlp",
+    "cifar10_cnn",
+    "mnist_mlp_scaled",
+    "cifar10_cnn_scaled",
+]
+
+
+def mnist_mlp(rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Table II MNIST architecture: 784 - FC(512) - FC(512) - FC(10)."""
+    rng = rng or np.random.default_rng()
+    return Sequential(
+        [
+            Dense(784, 512, rng=rng),
+            ReLU(),
+            Dense(512, 512, rng=rng),
+            ReLU(),
+            Dense(512, 10, rng=rng),
+        ],
+        name="mnist-mlp",
+    )
+
+
+def cifar10_cnn(rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Table II CIFAR-10 architecture (channels-first 3x32x32 input)."""
+    rng = rng or np.random.default_rng()
+    return Sequential(
+        [
+            Conv2D(3, 32, kernel=3, stride=2, rng=rng),
+            ReLU(),
+            Conv2D(32, 32, kernel=3, stride=1, rng=rng),
+            ReLU(),
+            MaxPool2D(pool=2, stride=1),
+            Conv2D(32, 64, kernel=3, stride=1, rng=rng),
+            ReLU(),
+            Conv2D(64, 64, kernel=3, stride=1, rng=rng),
+            ReLU(),
+            MaxPool2D(pool=2, stride=1),
+            Flatten(),
+            Dense(64 * 7 * 7, 512, rng=rng),
+            ReLU(),
+            Dense(512, 10, rng=rng),
+        ],
+        name="cifar10-cnn",
+    )
+
+
+def mnist_mlp_scaled(
+    input_dim: int = 64,
+    hidden: int = 16,
+    classes: int = 10,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Width-reduced MNIST MLP with the Table II shape (two hidden FCs)."""
+    rng = rng or np.random.default_rng()
+    return Sequential(
+        [
+            Dense(input_dim, hidden, rng=rng),
+            ReLU(),
+            Dense(hidden, hidden, rng=rng),
+            ReLU(),
+            Dense(hidden, classes, rng=rng),
+        ],
+        name="mnist-mlp-scaled",
+    )
+
+
+def cifar10_cnn_scaled(
+    image_size: int = 12,
+    channels: int = 4,
+    hidden: int = 16,
+    classes: int = 10,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Width-reduced CIFAR-10 CNN with the Table II shape.
+
+    Keeps the layer sequence (two conv blocks with max-pooling, then two
+    dense layers) and the stride-2 first convolution that Table I's Conv3D
+    benchmark highlights.
+    """
+    rng = rng or np.random.default_rng()
+    after_first = (image_size - 3) // 2 + 1  # stride-2 conv
+    after_second = after_first - 3 + 1  # stride-1 conv
+    after_pool = after_second - 2 + 1  # 2x2 pool, stride 1
+    flat = channels * after_pool * after_pool
+    if after_pool < 1:
+        raise ValueError("image_size too small for the scaled CNN shape")
+    return Sequential(
+        [
+            Conv2D(3, channels, kernel=3, stride=2, rng=rng),
+            ReLU(),
+            Conv2D(channels, channels, kernel=3, stride=1, rng=rng),
+            ReLU(),
+            MaxPool2D(pool=2, stride=1),
+            Flatten(),
+            Dense(flat, hidden, rng=rng),
+            ReLU(),
+            Dense(hidden, classes, rng=rng),
+        ],
+        name="cifar10-cnn-scaled",
+    )

@@ -1,0 +1,31 @@
+"""Model weight persistence (.npz).
+
+Stores the flat weight list of a :class:`~repro.nn.model.Sequential`; the
+architecture itself is code, so loading requires constructing the same
+architecture first (the usual numpy-checkpoint convention).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .model import Sequential
+
+__all__ = ["save_weights", "load_weights"]
+
+
+def save_weights(model: Sequential, path: Union[str, Path]) -> None:
+    """Write all model parameters to an ``.npz`` file."""
+    arrays = {f"param_{i}": w for i, w in enumerate(model.get_weights())}
+    np.savez(Path(path), **arrays)
+
+
+def load_weights(model: Sequential, path: Union[str, Path]) -> Sequential:
+    """Load parameters saved by :func:`save_weights` into ``model``."""
+    with np.load(Path(path)) as data:
+        weights = [data[f"param_{i}"] for i in range(len(data.files))]
+    model.set_weights(weights)
+    return model

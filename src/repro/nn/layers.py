@@ -1,0 +1,297 @@
+"""Neural-network layers with forward and backward passes (pure numpy).
+
+The substrate the watermarking pipeline runs on.  The paper benchmarks
+DeepSigns-watermarked models (an MLP and a CNN, Table II); embedding a
+DeepSigns watermark requires *fine-tuning with a regularized loss*, so the
+layers here implement full backpropagation, not just inference.
+
+Conventions: batch-first everywhere -- ``(batch, features)`` for dense
+layers, ``(batch, channels, height, width)`` for convolutional ones.
+Each layer caches what its backward pass needs during ``forward``; calling
+``backward`` consumes the cache of the most recent forward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Conv2D",
+    "MaxPool2D",
+    "Flatten",
+    "im2col",
+    "col2im",
+]
+
+
+class Layer:
+    """Base class: parameters, gradients, forward/backward."""
+
+    def __init__(self):
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def accumulate_grad(self, name: str, grad: np.ndarray) -> None:
+        """Add to a parameter gradient (losses from several heads combine).
+
+        The DeepSigns embedding injects the watermark-loss gradient in the
+        middle of the network while the task loss arrives from the top, so
+        gradients must accumulate rather than overwrite.
+        """
+        existing = self.grads.get(name)
+        self.grads[name] = grad if existing is None else existing + grad
+
+    def has_params(self) -> bool:
+        return bool(self.params)
+
+    def output_name(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W.T + b`` with W of shape (out, in)."""
+
+    def __init__(self, in_features: int, out_features: int, *, rng=None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng()
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.params["W"] = rng.uniform(-limit, limit, (out_features, in_features))
+        self.params["b"] = np.zeros(out_features)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x = x
+        return x @ self.params["W"].T + self.params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before a training forward")
+        self.accumulate_grad("W", grad_out.T @ self._x)
+        self.accumulate_grad("b", grad_out.sum(axis=0))
+        return grad_out @ self.params["W"]
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+class ReLU(Layer):
+    def __init__(self):
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training forward")
+        return grad_out * self._mask
+
+
+class Sigmoid(Layer):
+    def __init__(self):
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-x))
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before a training forward")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Extract sliding patches: (B, C, H, W) -> (B, OH*OW, C*K*K)."""
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    cols = np.empty((batch, out_h * out_w, channels * kernel * kernel), dtype=x.dtype)
+    idx = 0
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = x[:, :, i * stride : i * stride + kernel,
+                      j * stride : j * stride + kernel]
+            cols[:, idx, :] = patch.reshape(batch, -1)
+            idx += 1
+    return cols, (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Scatter-add patches back: inverse of :func:`im2col` for gradients."""
+    batch, channels, height, width = x_shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    idx = 0
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = cols[:, idx, :].reshape(batch, channels, kernel, kernel)
+            x[:, :, i * stride : i * stride + kernel,
+              j * stride : j * stride + kernel] += patch
+            idx += 1
+    return x
+
+
+class Conv2D(Layer):
+    """2-D convolution over channel stacks (the paper's Conv3D operation).
+
+    The paper calls this "Convolution3d" because kernels span all input
+    channels; weights have shape ``(out_channels, in_channels, K, K)``.
+    Valid padding, square kernels, im2col lowering.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        *,
+        rng=None,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        rng = rng or np.random.default_rng()
+        fan_in = in_channels * kernel * kernel
+        fan_out = out_channels * kernel * kernel
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        self.params["W"] = rng.uniform(
+            -limit, limit, (out_channels, in_channels, kernel, kernel)
+        )
+        self.params["b"] = np.zeros(out_channels)
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._out_hw: Optional[Tuple[int, int]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        cols, (out_h, out_w) = im2col(x, self.kernel, self.stride)
+        w_flat = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ w_flat.T + self.params["b"]
+        out = out.transpose(0, 2, 1).reshape(x.shape[0], self.out_channels, out_h, out_w)
+        if training:
+            self._cols = cols
+            self._x_shape = x.shape
+            self._out_hw = (out_h, out_w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before a training forward")
+        batch = grad_out.shape[0]
+        out_h, out_w = self._out_hw
+        grad_flat = grad_out.reshape(batch, self.out_channels, out_h * out_w)
+        grad_flat = grad_flat.transpose(0, 2, 1)  # (B, OH*OW, O)
+        w_flat = self.params["W"].reshape(self.out_channels, -1)
+        grad_w = np.einsum("bpo,bpk->ok", grad_flat, self._cols)
+        self.accumulate_grad("W", grad_w.reshape(self.params["W"].shape))
+        self.accumulate_grad("b", grad_flat.sum(axis=(0, 1)))
+        grad_cols = grad_flat @ w_flat
+        return col2im(grad_cols, self._x_shape, self.kernel, self.stride)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2D({self.in_channels}, {self.out_channels}, "
+            f"kernel={self.kernel}, stride={self.stride})"
+        )
+
+
+class MaxPool2D(Layer):
+    """Max pooling with filter size ``pool`` and ``stride`` (Table II MP)."""
+
+    def __init__(self, pool: int, stride: int):
+        super().__init__()
+        self.pool = pool
+        self.stride = stride
+        self._argmax: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        out_h = (height - self.pool) // self.stride + 1
+        out_w = (width - self.pool) // self.stride + 1
+        out = np.empty((batch, channels, out_h, out_w), dtype=x.dtype)
+        argmax = np.empty((batch, channels, out_h, out_w), dtype=np.int64)
+        for i in range(out_h):
+            for j in range(out_w):
+                window = x[:, :, i * self.stride : i * self.stride + self.pool,
+                           j * self.stride : j * self.stride + self.pool]
+                flat = window.reshape(batch, channels, -1)
+                arg = flat.argmax(axis=2)
+                out[:, :, i, j] = np.take_along_axis(
+                    flat, arg[:, :, None], axis=2
+                )[:, :, 0]
+                argmax[:, :, i, j] = arg
+        if training:
+            self._argmax = argmax
+            self._x_shape = x.shape
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None:
+            raise RuntimeError("backward called before a training forward")
+        grad_in = np.zeros(self._x_shape, dtype=grad_out.dtype)
+        batch, channels, out_h, out_w = grad_out.shape
+        for i in range(out_h):
+            for j in range(out_w):
+                arg = self._argmax[:, :, i, j]
+                di, dj = np.unravel_index(arg, (self.pool, self.pool))
+                bi = np.arange(batch)[:, None]
+                ci = np.arange(channels)[None, :]
+                grad_in[bi, ci, i * self.stride + di, j * self.stride + dj] += (
+                    grad_out[:, :, i, j]
+                )
+        return grad_in
+
+    def __repr__(self) -> str:
+        return f"MaxPool2D(pool={self.pool}, stride={self.stride})"
+
+
+class Flatten(Layer):
+    def __init__(self):
+        super().__init__()
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before a training forward")
+        return grad_out.reshape(self._shape)

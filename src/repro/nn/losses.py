@@ -1,0 +1,65 @@
+"""Loss functions with gradients.
+
+Cross-entropy for the classification task, binary cross-entropy for the
+DeepSigns watermark regularizer (the "embedding regularizer, which uses
+binary cross entropy loss" of the paper's Section II-A), and MSE for
+cluster-tightness terms.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "cross_entropy",
+    "binary_cross_entropy",
+    "mean_squared_error",
+    "accuracy",
+]
+
+_EPS = 1e-12
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Softmax cross-entropy; returns (mean loss, gradient wrt logits)."""
+    probs = softmax(logits)
+    batch = logits.shape[0]
+    loss = -np.log(probs[np.arange(batch), labels] + _EPS).mean()
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return float(loss), grad / batch
+
+
+def binary_cross_entropy(
+    probs: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Element-wise BCE; returns (mean loss, gradient wrt probs)."""
+    probs = np.clip(probs, _EPS, 1.0 - _EPS)
+    loss = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+    grad = (probs - targets) / (probs * (1 - probs)) / probs.size
+    return float(loss), grad
+
+
+def mean_squared_error(
+    predictions: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """MSE; returns (mean loss, gradient wrt predictions)."""
+    diff = predictions - targets
+    loss = float((diff**2).mean())
+    return loss, 2.0 * diff / diff.size
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    return float((logits.argmax(axis=-1) == labels).mean())

@@ -1,0 +1,158 @@
+"""Sequential model container with partial forward/backward.
+
+Two capabilities beyond a plain layer stack matter for this reproduction:
+
+* :meth:`Sequential.forward_collect` returns the activations at every
+  layer boundary -- DeepSigns embeds its watermark "into the pdf
+  distribution of the activation maps" of a chosen layer, so both
+  embedding and extraction need to read intermediate activations;
+* :meth:`Sequential.backward_from` injects a gradient *at* a layer
+  boundary and propagates it to the input -- the watermark regularizer's
+  gradient enters the network in the middle, not at the loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layers import Layer
+from .losses import accuracy, cross_entropy
+from .optim import Optimizer
+
+__all__ = ["Sequential", "train_classifier", "evaluate_classifier"]
+
+
+class Sequential:
+    """An ordered stack of layers."""
+
+    def __init__(self, layers: Sequence[Layer], name: str = "model"):
+        self.layers: List[Layer] = list(layers)
+        self.name = name
+
+    # -- inference -----------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x).argmax(axis=-1)
+
+    def forward_collect(
+        self, x: np.ndarray, training: bool = False
+    ) -> List[np.ndarray]:
+        """Forward pass returning activations after every layer.
+
+        ``result[i]`` is the output of ``self.layers[i]``; the final entry
+        is the model output.
+        """
+        activations: List[np.ndarray] = []
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+            activations.append(x)
+        return activations
+
+    def forward_to(
+        self, x: np.ndarray, layer_index: int, training: bool = False
+    ) -> np.ndarray:
+        """Forward only through ``layers[: layer_index + 1]``."""
+        for layer in self.layers[: layer_index + 1]:
+            x = layer.forward(x, training=training)
+        return x
+
+    # -- training --------------------------------------------------------------
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def backward_from(self, grad: np.ndarray, layer_index: int) -> np.ndarray:
+        """Backpropagate a gradient injected at the output of a layer."""
+        for layer in reversed(self.layers[: layer_index + 1]):
+            grad = layer.backward(grad)
+        return grad
+
+    # -- parameters ----------------------------------------------------------------
+
+    def parameters(self) -> List[Tuple[Layer, str, np.ndarray]]:
+        out = []
+        for layer in self.layers:
+            for name, param in layer.params.items():
+                out.append((layer, name, param))
+        return out
+
+    def num_parameters(self) -> int:
+        return sum(p.size for _, _, p in self.parameters())
+
+    def copy(self) -> "Sequential":
+        """Deep copy (used by attack simulations that mutate weights)."""
+        import copy
+
+        return copy.deepcopy(self)
+
+    def get_weights(self) -> List[np.ndarray]:
+        return [p.copy() for _, _, p in self.parameters()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(weights) != len(params):
+            raise ValueError(
+                f"expected {len(params)} arrays, got {len(weights)}"
+            )
+        for (_, _, param), new in zip(params, weights):
+            if param.shape != new.shape:
+                raise ValueError(
+                    f"shape mismatch: {param.shape} vs {new.shape}"
+                )
+            param[...] = new
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(l) for l in self.layers)
+        return f"Sequential({self.name!r}, [{inner}])"
+
+
+def train_classifier(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    optimizer: Optimizer,
+    *,
+    epochs: int = 5,
+    batch_size: int = 32,
+    rng: Optional[np.random.Generator] = None,
+    callback: Optional[Callable[[int, float], None]] = None,
+) -> List[float]:
+    """Minibatch cross-entropy training; returns per-epoch mean losses."""
+    rng = rng or np.random.default_rng()
+    history: List[float] = []
+    n = x.shape[0]
+    for epoch in range(epochs):
+        order = rng.permutation(n)
+        losses = []
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            logits = model.forward(x[idx], training=True)
+            loss, grad = cross_entropy(logits, y[idx])
+            model.backward(grad)
+            optimizer.step(model.layers)
+            optimizer.zero_grad(model.layers)
+            losses.append(loss)
+        epoch_loss = float(np.mean(losses))
+        history.append(epoch_loss)
+        if callback is not None:
+            callback(epoch, epoch_loss)
+    return history
+
+
+def evaluate_classifier(
+    model: Sequential, x: np.ndarray, y: np.ndarray
+) -> float:
+    """Classification accuracy on a held-out set."""
+    return accuracy(model.forward(x), y)

@@ -1,0 +1,85 @@
+"""Optimizers: SGD with momentum, and Adam.
+
+Operate on the ``params``/``grads`` dictionaries of
+:class:`repro.nn.layers.Layer`; stateless across models (state is keyed by
+layer identity and parameter name).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer over an iterable of layers."""
+
+    def step(self, layers: Iterable[Layer]) -> None:
+        for layer in layers:
+            if not layer.has_params():
+                continue
+            for name, param in layer.params.items():
+                grad = layer.grads.get(name)
+                if grad is None:
+                    continue
+                self._update(layer, name, param, grad)
+
+    def _update(
+        self, layer: Layer, name: str, param: np.ndarray, grad: np.ndarray
+    ) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self, layers: Iterable[Layer]) -> None:
+        for layer in layers:
+            layer.grads.clear()
+
+
+class SGD(Optimizer):
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _update(self, layer, name, param, grad):
+        if self.momentum:
+            key = (id(layer), name)
+            v = self._velocity.get(key)
+            v = grad if v is None else self.momentum * v + grad
+            self._velocity[key] = v
+            param -= self.learning_rate * v
+        else:
+            param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: Dict[Tuple[int, str], np.ndarray] = {}
+        self._v: Dict[Tuple[int, str], np.ndarray] = {}
+        self._t: Dict[Tuple[int, str], int] = {}
+
+    def _update(self, layer, name, param, grad):
+        key = (id(layer), name)
+        t = self._t.get(key, 0) + 1
+        m = self._m.get(key, np.zeros_like(param))
+        v = self._v.get(key, np.zeros_like(param))
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[key], self._v[key], self._t[key] = m, v, t
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

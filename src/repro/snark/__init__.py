@@ -1,0 +1,70 @@
+"""The zkSNARK layer: R1CS, QAP reduction, and the Groth16 proof system.
+
+This package is the Python replacement for the paper's libsnark backend.
+Typical use goes through :mod:`repro.circuit`, which builds the
+:class:`ConstraintSystem` and witness; the functions here then provide
+
+    keypair = setup(cs)
+    proof = prove(keypair.proving_key, cs, assignment)
+    assert verify(keypair.verifying_key, public_inputs, proof)
+"""
+
+from .errors import (
+    ConstraintViolation,
+    MalformedProof,
+    SetupCircuitMismatch,
+    SnarkError,
+    UnsatisfiedWitness,
+)
+from .groth16 import (
+    Groth16Keypair,
+    PreparedVerifyingKey,
+    SimulationTrapdoor,
+    prepare_verifying_key,
+    prove,
+    setup,
+    setup_with_trapdoor,
+    simulate_proof,
+    verify,
+    verify_batch,
+    verify_prepared,
+    verify_with_precheck,
+)
+from .keys import Proof, ProvingKey, VerifyingKey
+from .qap import compute_h, evaluate_qap_at, qap_domain
+from .r1cs import ONE_INDEX, Constraint, ConstraintSystem, LinearCombination
+from .serialize import deserialize_r1cs, load_r1cs, save_r1cs, serialize_r1cs
+
+__all__ = [
+    "ConstraintViolation",
+    "MalformedProof",
+    "SetupCircuitMismatch",
+    "SnarkError",
+    "UnsatisfiedWitness",
+    "Groth16Keypair",
+    "PreparedVerifyingKey",
+    "SimulationTrapdoor",
+    "prepare_verifying_key",
+    "prove",
+    "setup",
+    "setup_with_trapdoor",
+    "simulate_proof",
+    "verify",
+    "verify_batch",
+    "verify_prepared",
+    "verify_with_precheck",
+    "Proof",
+    "ProvingKey",
+    "VerifyingKey",
+    "compute_h",
+    "evaluate_qap_at",
+    "qap_domain",
+    "ONE_INDEX",
+    "Constraint",
+    "ConstraintSystem",
+    "LinearCombination",
+    "deserialize_r1cs",
+    "load_r1cs",
+    "save_r1cs",
+    "serialize_r1cs",
+]

@@ -1,0 +1,29 @@
+"""Exception types for the SNARK layer."""
+
+__all__ = [
+    "SnarkError",
+    "ConstraintViolation",
+    "UnsatisfiedWitness",
+    "MalformedProof",
+    "SetupCircuitMismatch",
+]
+
+
+class SnarkError(Exception):
+    """Base class for all SNARK-layer failures."""
+
+
+class ConstraintViolation(SnarkError):
+    """A circuit assertion failed while synthesizing the witness."""
+
+
+class UnsatisfiedWitness(SnarkError):
+    """A witness does not satisfy the constraint system it was built for."""
+
+
+class MalformedProof(SnarkError):
+    """Proof bytes or points failed validation before verification."""
+
+
+class SetupCircuitMismatch(SnarkError):
+    """Keys were generated for a different circuit than the one supplied."""

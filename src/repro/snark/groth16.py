@@ -1,0 +1,413 @@
+"""The Groth16 zkSNARK: Setup / Prove / Verify.
+
+The proof system of the paper (Section II-B): quadratic-arithmetic-program
+based, pairing-based, with constant-size proofs (2 G1 + 1 G2) and
+verification cost independent of circuit size -- the two properties all of
+ZKROWNN's "fast public verification" claims rest on.
+
+Follows Groth's EUROCRYPT 2016 construction exactly:
+
+* ``Setup(C)`` samples toxic waste ``(alpha, beta, gamma, delta, tau)``,
+  evaluates the QAP at tau and emits (PK, VK).  The sampled scalars must be
+  destroyed; :class:`repro.zkrownn.protocol.TrustedSetupParty` models the
+  ceremony.
+* ``Prove(PK, C, z)`` commits to the witness with two random blinders
+  (r, s), making proofs perfectly zero-knowledge.
+* ``Verify(VK, x, proof)`` checks one pairing-product equation via a single
+  multi-Miller loop.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..curves.bn254 import R
+from ..curves.g1 import G1Point, jac_add, jac_scalar_mul
+from ..curves.g2 import G2Point
+from ..curves.msm import FixedBaseTableG1, FixedBaseTableG2, msm_g1, msm_g2
+from ..curves.pairing import (
+    G2Precomputed,
+    final_exponentiation,
+    miller_loop,
+    miller_loop_precomputed,
+    multi_pairing,
+    precompute_g2,
+)
+from ..curves.bn254 import OPTIMAL_ATE_LOOP_COUNT
+from .errors import MalformedProof, UnsatisfiedWitness
+from .keys import Proof, ProvingKey, VerifyingKey
+from .qap import compute_h, evaluate_qap_at, qap_domain
+from .r1cs import ConstraintSystem
+
+__all__ = [
+    "Groth16Keypair",
+    "PreparedVerifyingKey",
+    "SimulationTrapdoor",
+    "setup",
+    "setup_with_trapdoor",
+    "simulate_proof",
+    "prepare_verifying_key",
+    "prove",
+    "verify",
+    "verify_batch",
+    "verify_prepared",
+    "verify_with_precheck",
+]
+
+
+@dataclass(frozen=True)
+class Groth16Keypair:
+    proving_key: ProvingKey
+    verifying_key: VerifyingKey
+
+
+@dataclass(frozen=True)
+class SimulationTrapdoor:
+    """The toxic waste of a Groth16 setup.
+
+    Whoever holds this can forge proofs for arbitrary statements --
+    exactly why the ceremony must destroy it.  It is exposed *only* to
+    implement the zero-knowledge simulator: the existence of
+    :func:`simulate_proof` (valid proofs generated without any witness)
+    is what certifies that honest proofs leak nothing about the witness.
+    Tests use it; the protocol layer never touches it.
+    """
+
+    alpha: int
+    beta: int
+    gamma: int
+    delta: int
+    tau: int
+
+
+_GENERATOR_TABLES: List = []
+
+
+def _generator_tables() -> Tuple[FixedBaseTableG1, FixedBaseTableG2]:
+    """Lazily built, process-wide fixed-base tables for the two generators.
+
+    Both tables depend only on curve constants, so sharing them across
+    setups is sound and removes ~0.2 s of per-setup overhead.
+    """
+    if not _GENERATOR_TABLES:
+        g1 = G1Point.generator()
+        _GENERATOR_TABLES.append(FixedBaseTableG1((g1.x, g1.y)))
+        _GENERATOR_TABLES.append(FixedBaseTableG2(G2Point.generator()))
+    return _GENERATOR_TABLES[0], _GENERATOR_TABLES[1]
+
+
+class _Randomness:
+    """Scalar sampler; deterministic when seeded (tests, reproducible runs)."""
+
+    def __init__(self, seed: Optional[int] = None):
+        if seed is None:
+            self._next = lambda: secrets.randbelow(R - 1) + 1
+        else:
+            import random
+
+            rng = random.Random(seed)
+            self._next = lambda: rng.randrange(1, R)
+
+    def scalar(self) -> int:
+        return self._next()
+
+
+def setup(cs: ConstraintSystem, *, seed: Optional[int] = None) -> Groth16Keypair:
+    """Run the (simulated) trusted setup for a circuit.
+
+    ``seed`` makes the toxic waste deterministic -- ONLY for tests and
+    benchmarks; a real ceremony must use fresh entropy and destroy it.
+    """
+    keypair, _ = setup_with_trapdoor(cs, seed=seed)
+    return keypair
+
+
+def setup_with_trapdoor(
+    cs: ConstraintSystem, *, seed: Optional[int] = None
+) -> Tuple[Groth16Keypair, SimulationTrapdoor]:
+    """Setup that also returns the toxic waste (for the ZK simulator)."""
+    rng = _Randomness(seed)
+    alpha, beta, gamma, delta, tau = (rng.scalar() for _ in range(5))
+    gamma_inv = pow(gamma, -1, R)
+    delta_inv = pow(delta, -1, R)
+
+    qap = evaluate_qap_at(cs, tau)
+    m = cs.num_variables
+    ell = cs.num_public
+
+    table_g1, table_g2 = _generator_tables()
+
+    def g1_mul(scalar: int) -> G1Point:
+        return G1Point.from_jacobian(table_g1.mul(scalar))
+
+    # Query vectors.
+    a_query = [g1_mul(qap.u[j]) for j in range(m)]
+    b_g1_query = [g1_mul(qap.v[j]) for j in range(m)]
+    b_g2_query = [table_g2.mul(qap.v[j]) for j in range(m)]
+
+    # k_j = (beta*u_j + alpha*v_j + w_j) scaled by 1/gamma (public, in VK)
+    # or 1/delta (private, in PK).
+    def k_scalar(j: int) -> int:
+        return (beta * qap.u[j] + alpha * qap.v[j] + qap.w[j]) % R
+
+    ic = [g1_mul(k_scalar(j) * gamma_inv % R) for j in range(ell + 1)]
+    k_query = [g1_mul(k_scalar(j) * delta_inv % R) for j in range(ell + 1, m)]
+
+    # h_query[i] = [tau^i * t(tau) / delta]_1 for i < |H| - 1.
+    t_over_delta = qap.t_at_tau * delta_inv % R
+    h_query: List[G1Point] = []
+    power = t_over_delta
+    for _ in range(qap.domain_size - 1):
+        h_query.append(g1_mul(power))
+        power = power * tau % R
+
+    proving_key = ProvingKey(
+        alpha_g1=g1_mul(alpha),
+        beta_g1=g1_mul(beta),
+        beta_g2=table_g2.mul(beta),
+        delta_g1=g1_mul(delta),
+        delta_g2=table_g2.mul(delta),
+        a_query=a_query,
+        b_g1_query=b_g1_query,
+        b_g2_query=b_g2_query,
+        k_query=k_query,
+        h_query=h_query,
+        num_public=ell,
+    )
+    verifying_key = VerifyingKey(
+        alpha_g1=proving_key.alpha_g1,
+        beta_g2=proving_key.beta_g2,
+        gamma_g2=table_g2.mul(gamma),
+        delta_g2=proving_key.delta_g2,
+        ic=ic,
+    )
+    trapdoor = SimulationTrapdoor(alpha, beta, gamma, delta, tau)
+    return Groth16Keypair(proving_key, verifying_key), trapdoor
+
+
+def simulate_proof(
+    trapdoor: SimulationTrapdoor,
+    cs: ConstraintSystem,
+    public_inputs: Sequence[int],
+    *,
+    seed: Optional[int] = None,
+) -> Proof:
+    """Forge a verifying proof for an instance WITHOUT any witness.
+
+    The standard Groth16 zero-knowledge simulator: sample random a, b and
+    solve the verification equation for C using the trapdoor::
+
+        C = (a*b - alpha*beta - sum_public z_j (beta u_j + alpha v_j + w_j)) / delta
+
+    Simulated proofs are distributed identically to honest ones, which is
+    the formal content of "the proof reveals nothing about the witness".
+    """
+    if len(public_inputs) != cs.num_public:
+        raise ValueError(
+            f"instance has {len(public_inputs)} values, circuit expects "
+            f"{cs.num_public}"
+        )
+    rng = _Randomness(seed)
+    a, b = rng.scalar(), rng.scalar()
+    qap = evaluate_qap_at(cs, trapdoor.tau)
+    z = [1] + [v % R for v in public_inputs]
+    k_public = 0
+    for j, z_j in enumerate(z):
+        k_j = (
+            trapdoor.beta * qap.u[j]
+            + trapdoor.alpha * qap.v[j]
+            + qap.w[j]
+        ) % R
+        k_public = (k_public + z_j * k_j) % R
+    c = (
+        (a * b - trapdoor.alpha * trapdoor.beta - k_public)
+        * pow(trapdoor.delta, -1, R)
+    ) % R
+    g1 = G1Point.generator()
+    g2 = G2Point.generator()
+    return Proof(g1 * a, g2 * b, g1 * c)
+
+
+def _g1_affine(p: G1Point) -> Optional[Tuple[int, int]]:
+    return None if p.is_infinity() else (p.x, p.y)
+
+
+def prove(
+    pk: ProvingKey,
+    cs: ConstraintSystem,
+    assignment: Sequence[int],
+    *,
+    seed: Optional[int] = None,
+) -> Proof:
+    """Generate a proof for a full variable assignment.
+
+    The assignment must satisfy ``cs`` (checked up front -- a SNARK proof
+    for an unsatisfied system would verify as garbage otherwise).
+    """
+    cs.check_satisfied(assignment)
+    if len(pk.a_query) != cs.num_variables:
+        raise UnsatisfiedWitness(
+            "proving key was generated for a different circuit "
+            f"({len(pk.a_query)} variables vs {cs.num_variables})"
+        )
+    rng = _Randomness(seed)
+    r, s = rng.scalar(), rng.scalar()
+
+    z = [v % R for v in assignment]
+    points_a = [_g1_affine(p) for p in pk.a_query]
+    points_b1 = [_g1_affine(p) for p in pk.b_g1_query]
+
+    # A = alpha + sum z_j u_j(tau) + r*delta   (in G1)
+    a_acc = msm_g1(points_a, z)
+    a_acc = jac_add(a_acc, pk.alpha_g1.to_jacobian())
+    a_acc = jac_add(a_acc, jac_scalar_mul(pk.delta_g1.to_jacobian(), r))
+    proof_a = G1Point.from_jacobian(a_acc)
+
+    # B = beta + sum z_j v_j(tau) + s*delta    (in G2, and mirrored in G1)
+    proof_b2 = msm_g2(pk.b_g2_query, z) + pk.beta_g2 + pk.delta_g2 * s
+    b1_acc = msm_g1(points_b1, z)
+    b1_acc = jac_add(b1_acc, pk.beta_g1.to_jacobian())
+    b1_acc = jac_add(b1_acc, jac_scalar_mul(pk.delta_g1.to_jacobian(), s))
+
+    # C = sum_private z_j K_j + sum h_i H_i + s*A + r*B1 - r*s*delta
+    h_coeffs = compute_h(cs, z)
+    private_z = z[pk.num_public + 1 :]
+    points_k = [_g1_affine(p) for p in pk.k_query]
+    points_h = [_g1_affine(p) for p in pk.h_query]
+    c_acc = msm_g1(points_k, private_z)
+    c_acc = jac_add(c_acc, msm_g1(points_h, h_coeffs[: len(pk.h_query)]))
+    c_acc = jac_add(c_acc, jac_scalar_mul(a_acc, s))
+    c_acc = jac_add(c_acc, jac_scalar_mul(b1_acc, r))
+    c_acc = jac_add(
+        c_acc, jac_scalar_mul(pk.delta_g1.to_jacobian(), (-r * s) % R)
+    )
+    proof_c = G1Point.from_jacobian(c_acc)
+
+    return Proof(proof_a, proof_b2, proof_c)
+
+
+def verify(vk: VerifyingKey, public_inputs: Sequence[int], proof: Proof) -> bool:
+    """Check the Groth16 pairing equation.
+
+    ``e(A, B) = e(alpha, beta) * e(IC(x), gamma) * e(C, delta)`` rearranged
+    into a single product check via one multi-pairing.
+    """
+    if len(public_inputs) != vk.num_public_inputs:
+        return False
+    ic_points = [_g1_affine(p) for p in vk.ic]
+    scalars = [1] + [x % R for x in public_inputs]
+    vk_x = G1Point.from_jacobian(msm_g1(ic_points, scalars))
+    return multi_pairing(
+        [
+            (proof.a, proof.b),
+            (-vk_x, vk.gamma_g2),
+            (-proof.c, vk.delta_g2),
+            (-vk.alpha_g1, vk.beta_g2),
+        ]
+    ).is_one()
+
+
+@dataclass(frozen=True)
+class PreparedVerifyingKey:
+    """A verification key with its fixed G2 points precomputed.
+
+    Three of the four pairings in the Groth16 check use key-fixed G2
+    points (beta, gamma, delta); a verifier expecting many proofs
+    precomputes their Miller-loop coefficients once and roughly halves
+    per-proof pairing time.  Mirrors libsnark's processed key.
+    """
+
+    vk: VerifyingKey
+    beta_pre: G2Precomputed
+    gamma_pre: G2Precomputed
+    delta_pre: G2Precomputed
+
+
+def prepare_verifying_key(vk: VerifyingKey) -> PreparedVerifyingKey:
+    return PreparedVerifyingKey(
+        vk=vk,
+        beta_pre=precompute_g2(vk.beta_g2),
+        gamma_pre=precompute_g2(vk.gamma_g2),
+        delta_pre=precompute_g2(vk.delta_g2),
+    )
+
+
+def verify_prepared(
+    pvk: PreparedVerifyingKey, public_inputs: Sequence[int], proof: Proof
+) -> bool:
+    """Groth16 verification against a prepared key.
+
+    One live Miller loop (A, B) plus three precomputed ones, a single
+    shared final exponentiation.
+    """
+    vk = pvk.vk
+    if len(public_inputs) != vk.num_public_inputs:
+        return False
+    ic_points = [_g1_affine(p) for p in vk.ic]
+    scalars = [1] + [x % R for x in public_inputs]
+    vk_x = G1Point.from_jacobian(msm_g1(ic_points, scalars))
+    acc = miller_loop(
+        proof.a, proof.b, OPTIMAL_ATE_LOOP_COUNT, optimal_corrections=True
+    )
+    acc = acc * miller_loop_precomputed(-vk_x, pvk.gamma_pre)
+    acc = acc * miller_loop_precomputed(-proof.c, pvk.delta_pre)
+    acc = acc * miller_loop_precomputed(-vk.alpha_g1, pvk.beta_pre)
+    return final_exponentiation(acc).is_one()
+
+
+def verify_batch(
+    vk: VerifyingKey,
+    batch: Sequence[Tuple[Sequence[int], Proof]],
+    *,
+    seed: Optional[int] = None,
+) -> bool:
+    """Verify many proofs under one key with a single multi-pairing.
+
+    Takes a random linear combination of the verification equations:
+    ``prod_i e(rho_i A_i, B_i) = e(alpha, beta)^(sum rho_i)
+    * e(sum rho_i IC(x_i), gamma) * e(sum rho_i C_i, delta)``.
+    A batch of n proofs costs n + 3 Miller loops and one final
+    exponentiation instead of 4n + n (soundness error ~ n/r from the
+    random rho_i).  Useful for a verifier auditing many ownership claims
+    at once; benchmarked in ``bench_ablations``.
+    """
+    if not batch:
+        return True
+    rng = _Randomness(seed)
+    pairs: List[Tuple[G1Point, G2Point]] = []
+    rho_total = 0
+    c_acc = None
+    ic_points = [_g1_affine(p) for p in vk.ic]
+    # All instances share the IC points, so their contributions fold into
+    # a single MSM with combined scalars sum_i rho_i * z_i[j].
+    combined_scalars = [0] * len(vk.ic)
+    for public_inputs, proof in batch:
+        if len(public_inputs) != vk.num_public_inputs:
+            return False
+        rho = rng.scalar()
+        rho_total = (rho_total + rho) % R
+        pairs.append((proof.a * rho, proof.b))
+        combined_scalars[0] = (combined_scalars[0] + rho) % R
+        for j, x in enumerate(public_inputs, start=1):
+            combined_scalars[j] = (combined_scalars[j] + rho * x) % R
+        c_i = jac_scalar_mul(proof.c.to_jacobian(), rho)
+        c_acc = c_i if c_acc is None else jac_add(c_acc, c_i)
+    vkx_acc = msm_g1(ic_points, combined_scalars)
+    pairs.append((-(vk.alpha_g1 * rho_total), vk.beta_g2))
+    pairs.append((-G1Point.from_jacobian(vkx_acc), vk.gamma_g2))
+    pairs.append((-G1Point.from_jacobian(c_acc), vk.delta_g2))
+    return multi_pairing(pairs).is_one()
+
+
+def verify_with_precheck(
+    vk: VerifyingKey, public_inputs: Sequence[int], proof: Proof
+) -> bool:
+    """Verification with explicit point validation (for untrusted proofs).
+
+    Raises :class:`MalformedProof` on invalid points rather than silently
+    failing the pairing check, to distinguish garbage from a false claim.
+    """
+    proof.validate_points()
+    return verify(vk, public_inputs, proof)

@@ -1,0 +1,211 @@
+"""Rank-1 Constraint Systems.
+
+The circuit representation Groth16 consumes: a list of constraints
+
+    <A_k, z> * <B_k, z> = <C_k, z>
+
+over a variable vector ``z`` whose entry 0 is the constant ONE, entries
+``1..num_public`` are the public instance, and the remainder is the private
+witness.  Linear combinations are sparse ``{variable_index: coefficient}``
+dictionaries with coefficients in Fr.
+
+This module is deliberately value-free: it stores structure only.  Witness
+*synthesis* lives in :mod:`repro.circuit.builder`, which builds a
+:class:`ConstraintSystem` and an assignment side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..field.prime import BN254_R as R
+from .errors import UnsatisfiedWitness
+
+__all__ = ["LinearCombination", "Constraint", "ConstraintSystem", "ONE_INDEX"]
+
+#: Index of the constant-one variable.
+ONE_INDEX = 0
+
+
+class LinearCombination:
+    """A sparse linear combination of variables with Fr coefficients."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Optional[Dict[int, int]] = None):
+        self.terms: Dict[int, int] = {}
+        if terms:
+            for idx, coeff in terms.items():
+                c = coeff % R
+                if c:
+                    self.terms[idx] = c
+
+    @staticmethod
+    def variable(index: int, coeff: int = 1) -> "LinearCombination":
+        return LinearCombination({index: coeff})
+
+    @staticmethod
+    def constant(value: int) -> "LinearCombination":
+        return LinearCombination({ONE_INDEX: value})
+
+    def __add__(self, other: "LinearCombination") -> "LinearCombination":
+        out = dict(self.terms)
+        for idx, coeff in other.terms.items():
+            new = (out.get(idx, 0) + coeff) % R
+            if new:
+                out[idx] = new
+            else:
+                out.pop(idx, None)
+        result = LinearCombination()
+        result.terms = out
+        return result
+
+    def __sub__(self, other: "LinearCombination") -> "LinearCombination":
+        return self + other.scale(R - 1)
+
+    def scale(self, k: int) -> "LinearCombination":
+        k %= R
+        result = LinearCombination()
+        if k:
+            result.terms = {i: c * k % R for i, c in self.terms.items()}
+        return result
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        """Inner product with a full variable assignment."""
+        total = 0
+        for idx, coeff in self.terms.items():
+            total += coeff * assignment[idx]
+        return total % R
+
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def as_single_variable(self) -> Optional[int]:
+        """If this LC is exactly ``1 * v_i``, return ``i``; else ``None``."""
+        if len(self.terms) == 1:
+            idx, coeff = next(iter(self.terms.items()))
+            if coeff == 1:
+                return idx
+        return None
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, LinearCombination) and self.terms == other.terms
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*v{i}" for i, c in sorted(self.terms.items())]
+        return "LC(" + " + ".join(parts or ["0"]) + ")"
+
+
+Constraint = Tuple[LinearCombination, LinearCombination, LinearCombination]
+
+
+class ConstraintSystem:
+    """An R1CS instance: variables, public-input count, and constraints.
+
+    Variable layout (Groth16 convention):
+
+    * index 0: the constant ONE,
+    * indices ``1 .. num_public``: public instance variables,
+    * the rest: private witness variables.
+
+    Public variables must all be allocated before any private variable so
+    the instance occupies a contiguous prefix.
+    """
+
+    def __init__(self):
+        self.num_variables = 1  # the constant ONE
+        self.num_public = 0
+        self.constraints: List[Constraint] = []
+        self.variable_names: List[str] = ["~one"]
+        self._private_started = False
+
+    # -- allocation ------------------------------------------------------------
+
+    def allocate_public(self, name: str = "") -> int:
+        if self._private_started:
+            raise ValueError(
+                "public inputs must be allocated before any private variable"
+            )
+        index = self.num_variables
+        self.num_variables += 1
+        self.num_public += 1
+        self.variable_names.append(name or f"pub_{index}")
+        return index
+
+    def allocate_private(self, name: str = "") -> int:
+        self._private_started = True
+        index = self.num_variables
+        self.num_variables += 1
+        self.variable_names.append(name or f"aux_{index}")
+        return index
+
+    # -- constraints --------------------------------------------------------------
+
+    def enforce(
+        self,
+        a: LinearCombination,
+        b: LinearCombination,
+        c: LinearCombination,
+    ) -> None:
+        """Add the constraint ``<a, z> * <b, z> = <c, z>``."""
+        self.constraints.append((a, b, c))
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_private(self) -> int:
+        return self.num_variables - 1 - self.num_public
+
+    # -- satisfaction ---------------------------------------------------------------
+
+    def is_satisfied(self, assignment: Sequence[int]) -> bool:
+        try:
+            self.check_satisfied(assignment)
+        except UnsatisfiedWitness:
+            return False
+        return True
+
+    def check_satisfied(self, assignment: Sequence[int]) -> None:
+        """Raise :class:`UnsatisfiedWitness` on the first failing constraint."""
+        if len(assignment) != self.num_variables:
+            raise UnsatisfiedWitness(
+                f"assignment has {len(assignment)} entries, "
+                f"expected {self.num_variables}"
+            )
+        if assignment[ONE_INDEX] % R != 1:
+            raise UnsatisfiedWitness("assignment[0] must be the constant 1")
+        for k, (a, b, c) in enumerate(self.constraints):
+            lhs = a.evaluate(assignment) * b.evaluate(assignment) % R
+            rhs = c.evaluate(assignment)
+            if lhs != rhs:
+                raise UnsatisfiedWitness(
+                    f"constraint {k} violated: "
+                    f"<A,z>*<B,z> = {lhs} but <C,z> = {rhs}"
+                )
+
+    def public_inputs_of(self, assignment: Sequence[int]) -> List[int]:
+        """Extract the public instance (excluding ONE) from an assignment."""
+        return [v % R for v in assignment[1 : 1 + self.num_public]]
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        nnz = sum(
+            len(a.terms) + len(b.terms) + len(c.terms)
+            for a, b, c in self.constraints
+        )
+        return {
+            "constraints": self.num_constraints,
+            "variables": self.num_variables,
+            "public_inputs": self.num_public,
+            "private_variables": self.num_private,
+            "nonzero_coefficients": nnz,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstraintSystem(constraints={self.num_constraints}, "
+            f"variables={self.num_variables}, public={self.num_public})"
+        )

@@ -1,0 +1,120 @@
+"""Binary serialization of constraint systems.
+
+In a deployment, the circuit travels: the model owner synthesizes the
+extraction circuit and ships it to the trusted-setup party; auditors want
+to inspect the exact R1CS a verification key belongs to.  This module
+provides a compact, versioned binary format for
+:class:`~repro.snark.r1cs.ConstraintSystem` (structure only -- witnesses
+never leave the prover).
+
+Layout (big-endian):
+
+    magic "R1CS" | u16 version | u32 num_variables | u32 num_public
+    | u32 num_constraints
+    | per constraint: 3 linear combinations
+    | per LC: u32 term count, then (u32 index, 32-byte coefficient) pairs
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+from .errors import SnarkError
+from .r1cs import ConstraintSystem, LinearCombination
+
+__all__ = ["serialize_r1cs", "deserialize_r1cs", "save_r1cs", "load_r1cs"]
+
+_MAGIC = b"R1CS"
+_VERSION = 1
+
+
+class R1csFormatError(SnarkError):
+    """Raised on malformed R1CS bytes."""
+
+
+def _pack_lc(lc: LinearCombination) -> bytes:
+    parts = [struct.pack(">I", len(lc.terms))]
+    for index in sorted(lc.terms):
+        parts.append(struct.pack(">I", index))
+        parts.append(lc.terms[index].to_bytes(32, "big"))
+    return b"".join(parts)
+
+
+def _unpack_lc(data: bytes, offset: int):
+    (count,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    terms = {}
+    for _ in range(count):
+        (index,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        coeff = int.from_bytes(data[offset : offset + 32], "big")
+        offset += 32
+        terms[index] = coeff
+    return LinearCombination(terms), offset
+
+
+def serialize_r1cs(cs: ConstraintSystem) -> bytes:
+    """Encode a constraint system's structure to bytes."""
+    parts = [
+        _MAGIC,
+        struct.pack(
+            ">HIII",
+            _VERSION,
+            cs.num_variables,
+            cs.num_public,
+            cs.num_constraints,
+        ),
+    ]
+    for a, b, c in cs.constraints:
+        parts.append(_pack_lc(a))
+        parts.append(_pack_lc(b))
+        parts.append(_pack_lc(c))
+    return b"".join(parts)
+
+
+def deserialize_r1cs(data: bytes) -> ConstraintSystem:
+    """Decode bytes back into a constraint system.
+
+    Variable names are not preserved (they are a debugging aid);
+    constraint structure, variable counts, and the public split are.
+    """
+    if data[:4] != _MAGIC:
+        raise R1csFormatError("not an R1CS blob (bad magic)")
+    version, num_variables, num_public, num_constraints = struct.unpack_from(
+        ">HIII", data, 4
+    )
+    if version != _VERSION:
+        raise R1csFormatError(f"unsupported R1CS version {version}")
+    if num_public >= num_variables:
+        raise R1csFormatError("public count must be below variable count")
+    cs = ConstraintSystem()
+    for _ in range(num_public):
+        cs.allocate_public()
+    for _ in range(num_variables - 1 - num_public):
+        cs.allocate_private()
+    offset = 4 + struct.calcsize(">HIII")
+    for _ in range(num_constraints):
+        a, offset = _unpack_lc(data, offset)
+        b, offset = _unpack_lc(data, offset)
+        c, offset = _unpack_lc(data, offset)
+        for lc in (a, b, c):
+            for index in lc.terms:
+                if index >= num_variables:
+                    raise R1csFormatError(
+                        f"constraint references variable {index} "
+                        f"outside the declared {num_variables}"
+                    )
+        cs.enforce(a, b, c)
+    if offset != len(data):
+        raise R1csFormatError("trailing bytes after last constraint")
+    return cs
+
+
+def save_r1cs(cs: ConstraintSystem, path: Union[str, Path]) -> None:
+    Path(path).write_bytes(serialize_r1cs(cs))
+
+
+def load_r1cs(path: Union[str, Path]) -> ConstraintSystem:
+    return deserialize_r1cs(Path(path).read_bytes())

@@ -1,0 +1,40 @@
+"""DeepSigns neural-network watermarking (the paper's Section II-A).
+
+Key generation, embedding into activation-map statistics via regularized
+fine-tuning, float-side extraction (the reference the ZK circuit
+reproduces), and removal-attack simulations.
+"""
+
+from .attacks import (
+    finetune_attack,
+    overwrite_attack,
+    prune_attack,
+    quantization_attack,
+    weight_noise_attack,
+)
+from .embed import EmbedConfig, EmbeddingReport, embed_watermark
+from .extract import (
+    ExtractionResult,
+    detect_watermark,
+    extract_watermark,
+    layer_activations,
+)
+from .keys import WatermarkKeys, activation_feature_dim, generate_keys
+
+__all__ = [
+    "finetune_attack",
+    "overwrite_attack",
+    "prune_attack",
+    "quantization_attack",
+    "weight_noise_attack",
+    "EmbedConfig",
+    "EmbeddingReport",
+    "embed_watermark",
+    "ExtractionResult",
+    "detect_watermark",
+    "extract_watermark",
+    "layer_activations",
+    "WatermarkKeys",
+    "activation_feature_dim",
+    "generate_keys",
+]

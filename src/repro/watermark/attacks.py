@@ -1,0 +1,149 @@
+"""Watermark removal attacks.
+
+DeepSigns claims (and the paper repeats) robustness to "watermark
+overwriting, model fine-tuning and model-pruning".  These attack
+simulations let the test suite and benchmarks check that the reproduced
+pipeline inherits that robustness -- and that ZKROWNN's ownership proof
+still goes through on an attacked model (the scenario that motivates the
+whole framework: prover claims M' was derived from M).
+
+Every attack returns a *new* model; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn.model import Sequential, train_classifier
+from ..nn.optim import Adam
+from .embed import EmbedConfig, embed_watermark
+from .keys import WatermarkKeys, generate_keys
+
+__all__ = [
+    "finetune_attack",
+    "prune_attack",
+    "overwrite_attack",
+    "quantization_attack",
+    "weight_noise_attack",
+]
+
+
+def finetune_attack(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    epochs: int = 3,
+    learning_rate: float = 1e-3,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> Sequential:
+    """Continue task training without the watermark regularizer.
+
+    The classic removal attempt: if the watermark sat in the loss landscape
+    only superficially, plain fine-tuning would wash it out.
+    """
+    attacked = model.copy()
+    rng = np.random.default_rng(seed)
+    train_classifier(
+        attacked,
+        x,
+        y,
+        Adam(learning_rate),
+        epochs=epochs,
+        batch_size=batch_size,
+        rng=rng,
+    )
+    return attacked
+
+
+def prune_attack(model: Sequential, fraction: float) -> Sequential:
+    """Magnitude pruning: zero the smallest ``fraction`` of each weight matrix."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    attacked = model.copy()
+    for layer in attacked.layers:
+        w = layer.params.get("W")
+        if w is None or w.size == 0:
+            continue
+        k = int(fraction * w.size)
+        if k == 0:
+            continue
+        threshold = np.partition(np.abs(w).ravel(), k - 1)[k - 1]
+        w[np.abs(w) <= threshold] = 0.0
+    return attacked
+
+
+def weight_noise_attack(
+    model: Sequential, scale: float, *, seed: int = 0
+) -> Sequential:
+    """Additive Gaussian noise on all weights (a crude obfuscation attempt)."""
+    attacked = model.copy()
+    rng = np.random.default_rng(seed)
+    for layer in attacked.layers:
+        for name, param in layer.params.items():
+            std = float(np.std(param)) or 1.0
+            param += rng.normal(0.0, scale * std, param.shape)
+    return attacked
+
+
+def quantization_attack(model: Sequential, bits: int) -> Sequential:
+    """Quantize all weights to a ``bits``-bit uniform grid.
+
+    Compression-style obfuscation: per tensor, snap values to
+    ``2**bits`` levels across the observed range.  A watermark in the
+    activation *statistics* survives moderate quantization because the
+    Gaussian centers move by at most half a quantization step.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    attacked = model.copy()
+    levels = (1 << bits) - 1
+    for layer in attacked.layers:
+        for param in layer.params.values():
+            low = float(param.min())
+            high = float(param.max())
+            span = high - low
+            if span == 0.0:
+                continue
+            param[...] = np.round((param - low) / span * levels) / levels * span + low
+    return attacked
+
+
+def overwrite_attack(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    embed_layer: int,
+    wm_bits: int = 32,
+    config: Optional[EmbedConfig] = None,
+    seed: int = 1234,
+) -> Sequential:
+    """Embed an adversary's own watermark on top of the owner's.
+
+    DeepSigns argues activation-PDF watermarks coexist: the adversary's
+    signature occupies different directions of the feature space, so the
+    owner's extraction (with the owner's secret keys) still succeeds.
+    """
+    attacked = model.copy()
+    rng = np.random.default_rng(seed)
+    adversary_keys = generate_keys(
+        attacked,
+        x,
+        y,
+        embed_layer=embed_layer,
+        wm_bits=wm_bits,
+        rng=rng,
+    )
+    embed_watermark(
+        attacked,
+        adversary_keys,
+        x,
+        y,
+        config=config or EmbedConfig(epochs=3, seed=seed),
+    )
+    return attacked

@@ -1,0 +1,78 @@
+"""DeepSigns watermark extraction (the computation ZKROWNN proves).
+
+Paper Section II-A, extraction phase:
+
+1. query the DNN with the owner-specific trigger keys X_key;
+2. approximate the Gaussian centers by the statistical mean of the
+   activation maps at the embedding layer;
+3. project with A, squash through the sigmoid, hard-threshold at 0.5 to
+   recover the signature estimate;
+4. compute the bit error rate against the owner's signature.
+
+This float-side implementation is both the reference the ZK circuit is
+tested against and the tool the attack suite uses to measure robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.model import Sequential
+from .keys import WatermarkKeys
+
+__all__ = ["ExtractionResult", "extract_watermark", "detect_watermark", "layer_activations"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+@dataclass
+class ExtractionResult:
+    """Everything the extraction pipeline computes, step by step."""
+
+    mean_activation: np.ndarray  # mu: statistical mean over trigger inputs
+    projected: np.ndarray  # G = sigmoid(mu @ A)
+    extracted_bits: np.ndarray  # wm_hat = [G >= 0.5]
+    ber: float  # fraction of bits differing from the signature
+
+    def matches(self, theta: float) -> bool:
+        return self.ber <= theta + 1e-12
+
+
+def layer_activations(
+    model: Sequential, inputs: np.ndarray, layer_index: int
+) -> np.ndarray:
+    """Flattened activations at a layer boundary, one row per input."""
+    acts = model.forward_to(inputs, layer_index)
+    return acts.reshape(acts.shape[0], -1)
+
+
+def extract_watermark(model: Sequential, keys: WatermarkKeys) -> ExtractionResult:
+    """Run DeepSigns extraction against ``model`` with the owner's keys."""
+    keys.validate()
+    acts = layer_activations(model, keys.trigger_inputs, keys.embed_layer)
+    if acts.shape[1] != keys.feature_dim:
+        raise ValueError(
+            "projection matrix does not match this model's activations: "
+            f"{acts.shape[1]} features vs {keys.feature_dim} projection rows"
+        )
+    mu = acts.mean(axis=0)
+    projected = _sigmoid(mu @ keys.projection)
+    extracted = (projected >= 0.5).astype(np.int64)
+    ber = float((extracted != keys.signature).mean())
+    return ExtractionResult(
+        mean_activation=mu,
+        projected=projected,
+        extracted_bits=extracted,
+        ber=ber,
+    )
+
+
+def detect_watermark(
+    model: Sequential, keys: WatermarkKeys, theta: float = 0.0
+) -> bool:
+    """DeepSigns' ownership test: BER <= theta (theta = 0 is exact match)."""
+    return extract_watermark(model, keys).matches(theta)

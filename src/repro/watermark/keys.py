@@ -1,0 +1,144 @@
+"""DeepSigns watermark keys (paper Section II-A).
+
+"The WM keys contain three parameters, the chosen Gaussian classes s, the
+input triggers, which are basically a subset (1%) of the input training
+data (X_key), and the projection matrix A."
+
+Plus the owner's signature: "encoded watermark signatures are Independently
+and Identically Distributed (iid) arbitrary binary strings."
+
+Everything in this dataclass is exactly what ZKROWNN keeps *private* inside
+the proof: the trigger keys, the projection matrix, the signature bits and
+the embedding layer.  Only the model and the BER threshold are public.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..nn.model import Sequential
+
+__all__ = ["WatermarkKeys", "generate_keys", "activation_feature_dim"]
+
+
+@dataclass
+class WatermarkKeys:
+    """An owner's secret watermarking material."""
+
+    embed_layer: int  # index into model.layers whose output carries the WM
+    target_class: int  # the chosen Gaussian class s
+    trigger_inputs: np.ndarray  # X_key: (T, ...) inputs triggering the WM
+    projection: np.ndarray  # A: (feature_dim, wm_bits)
+    signature: np.ndarray  # b: (wm_bits,) in {0, 1}
+
+    @property
+    def num_bits(self) -> int:
+        return int(self.signature.size)
+
+    @property
+    def num_triggers(self) -> int:
+        return int(self.trigger_inputs.shape[0])
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.projection.shape[0])
+
+    def validate(self) -> None:
+        if self.projection.ndim != 2:
+            raise ValueError("projection matrix must be 2-D")
+        if self.projection.shape[1] != self.signature.size:
+            raise ValueError(
+                "projection columns must match signature length: "
+                f"{self.projection.shape[1]} vs {self.signature.size}"
+            )
+        if not np.isin(self.signature, (0, 1)).all():
+            raise ValueError("signature must be a binary vector")
+        if self.trigger_inputs.shape[0] == 0:
+            raise ValueError("at least one trigger input is required")
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        np.savez(
+            Path(path),
+            embed_layer=np.array(self.embed_layer),
+            target_class=np.array(self.target_class),
+            trigger_inputs=self.trigger_inputs,
+            projection=self.projection,
+            signature=self.signature,
+        )
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "WatermarkKeys":
+        with np.load(Path(path)) as data:
+            keys = WatermarkKeys(
+                embed_layer=int(data["embed_layer"]),
+                target_class=int(data["target_class"]),
+                trigger_inputs=data["trigger_inputs"],
+                projection=data["projection"],
+                signature=data["signature"],
+            )
+        keys.validate()
+        return keys
+
+
+def activation_feature_dim(model: Sequential, layer_index: int, input_shape) -> int:
+    """Flattened size of the activations at a layer boundary.
+
+    Runs one dummy forward (conv feature dims depend on spatial shape).
+    """
+    probe = np.zeros((1, *input_shape))
+    activation = model.forward_to(probe, layer_index)
+    return int(np.prod(activation.shape[1:]))
+
+
+def generate_keys(
+    model: Sequential,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    *,
+    embed_layer: int,
+    wm_bits: int = 32,
+    target_class: Optional[int] = None,
+    trigger_fraction: float = 0.01,
+    min_triggers: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> WatermarkKeys:
+    """Generate owner-specific watermark keys for a model.
+
+    Selects the target Gaussian class, samples the trigger set from that
+    class's training data (1% by default, as in DeepSigns), and draws the
+    projection matrix and signature.
+    """
+    rng = rng or np.random.default_rng()
+    if not 0 <= embed_layer < len(model.layers):
+        raise ValueError(f"embed_layer out of range: {embed_layer}")
+    if target_class is None:
+        target_class = int(rng.integers(0, int(y_train.max()) + 1))
+    class_indices = np.flatnonzero(y_train == target_class)
+    if class_indices.size == 0:
+        raise ValueError(f"no training samples of class {target_class}")
+    count = max(min_triggers, int(round(trigger_fraction * x_train.shape[0])))
+    count = min(count, class_indices.size)
+    chosen = rng.choice(class_indices, size=count, replace=False)
+    trigger_inputs = x_train[chosen].copy()
+
+    feature_dim = activation_feature_dim(
+        model, embed_layer, x_train.shape[1:]
+    )
+    projection = rng.standard_normal((feature_dim, wm_bits))
+    signature = rng.integers(0, 2, wm_bits).astype(np.int64)
+
+    keys = WatermarkKeys(
+        embed_layer=embed_layer,
+        target_class=int(target_class),
+        trigger_inputs=trigger_inputs,
+        projection=projection,
+        signature=signature,
+    )
+    keys.validate()
+    return keys

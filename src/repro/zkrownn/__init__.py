@@ -1,0 +1,39 @@
+"""ZKROWNN: zero-knowledge right-of-ownership proofs for neural networks.
+
+The paper's primary contribution, assembled from the substrates below it:
+
+* :func:`build_extraction_circuit` -- Algorithm 1 as an R1CS circuit;
+* :class:`OwnershipProver` / :class:`OwnershipVerifier` -- P and V;
+* :class:`TrustedSetupParty` / :func:`run_ownership_protocol` -- Figure 1;
+* :class:`OwnershipClaim` -- the ~hundreds-of-bytes artifact that travels.
+"""
+
+from .artifacts import OwnershipClaim, model_digest
+from .circuit import (
+    CircuitConfig,
+    ExtractionCircuit,
+    build_extraction_circuit,
+    public_inputs_for,
+)
+from .planning import CircuitCostEstimate, estimate_extraction_cost
+from .prover import OwnershipProver, ProverError
+from .protocol import ProtocolTranscript, TrustedSetupParty, run_ownership_protocol
+from .verifier import OwnershipVerifier, VerificationReport
+
+__all__ = [
+    "OwnershipClaim",
+    "model_digest",
+    "CircuitConfig",
+    "ExtractionCircuit",
+    "build_extraction_circuit",
+    "public_inputs_for",
+    "CircuitCostEstimate",
+    "estimate_extraction_cost",
+    "OwnershipProver",
+    "ProverError",
+    "ProtocolTranscript",
+    "TrustedSetupParty",
+    "run_ownership_protocol",
+    "OwnershipVerifier",
+    "VerificationReport",
+]

@@ -1,0 +1,87 @@
+"""Serializable protocol artifacts: claims and proof bundles.
+
+What actually travels between the parties of Figure 1:
+
+* the trusted-setup party publishes the verification key (and hands the
+  proving key to the prover);
+* the prover publishes an :class:`OwnershipClaim` -- proof bytes plus the
+  public parameters a verifier needs to reconstruct the instance (theta,
+  watermark width, embedding depth, and a commitment to the model);
+* any verifier combines claim + model + VK and checks.
+
+Byte sizes of these artifacts are the communication numbers reported in
+the Table I reproduction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..nn.model import Sequential
+from ..snark.keys import Proof
+
+__all__ = ["OwnershipClaim", "model_digest"]
+
+
+def model_digest(model: Sequential, upto_layer: int) -> str:
+    """SHA-256 over the public weight tensors of layers ``0..upto_layer``.
+
+    Binds a claim to one specific model: the verifier recomputes this from
+    the model they were handed and rejects mismatched claims early, before
+    any pairing work.
+    """
+    h = hashlib.sha256()
+    for i, layer in enumerate(model.layers[: upto_layer + 1]):
+        for name in sorted(layer.params):
+            arr = np.ascontiguousarray(layer.params[name], dtype=np.float64)
+            h.update(f"{i}:{name}:{arr.shape}".encode())
+            h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class OwnershipClaim:
+    """A prover's public ownership assertion for a model."""
+
+    proof_bytes: bytes
+    theta: float
+    wm_bits: int
+    embed_layer: int
+    model_sha256: str
+    frac_bits: int
+    total_bits: int
+    sigmoid_degree: int = 9
+
+    @property
+    def proof(self) -> Proof:
+        return Proof.from_bytes(self.proof_bytes)
+
+    def size_bytes(self) -> int:
+        """Bytes a verifier must receive beyond the (public) model + VK."""
+        return len(self.to_json().encode())
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        data = asdict(self)
+        data["proof_bytes"] = self.proof_bytes.hex()
+        return json.dumps(data, sort_keys=True)
+
+    @staticmethod
+    def from_json(payload: str) -> "OwnershipClaim":
+        data = json.loads(payload)
+        data["proof_bytes"] = bytes.fromhex(data["proof_bytes"])
+        return OwnershipClaim(**data)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "OwnershipClaim":
+        return OwnershipClaim.from_json(Path(path).read_text())

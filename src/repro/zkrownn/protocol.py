@@ -1,0 +1,155 @@
+"""The full Figure-1 protocol: setup party, prover, verifiers, transcripts.
+
+Simulates the paper's deployment story end to end:
+
+1. a :class:`TrustedSetupParty` runs Groth16 setup for the circuit shape
+   and publishes the verification key ("a trusted third party or V run a
+   setup procedure"); the toxic waste is destroyed with the party object;
+2. the model owner proves once;
+3. any number of independent verifiers check the same claim -- public
+   verifiability, the property the paper contrasts against interactive ZK.
+
+The :class:`ProtocolTranscript` records who sent how many bytes to whom;
+the Figure-1 benchmark regenerates the paper's communication accounting
+(<= 16 MB setup->verifier, 128 B prover->verifier) from it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..nn.model import Sequential
+from ..snark.groth16 import Groth16Keypair, setup
+from ..snark.keys import ProvingKey, VerifyingKey
+from ..watermark.keys import WatermarkKeys
+from .artifacts import OwnershipClaim
+from .circuit import CircuitConfig, build_extraction_circuit
+from .prover import OwnershipProver
+from .verifier import OwnershipVerifier, VerificationReport
+
+__all__ = ["TrustedSetupParty", "ProtocolTranscript", "run_ownership_protocol"]
+
+
+@dataclass
+class Message:
+    """One protocol message, for communication accounting."""
+
+    sender: str
+    receiver: str
+    description: str
+    num_bytes: int
+
+
+@dataclass
+class ProtocolTranscript:
+    """Everything that happened in one protocol run."""
+
+    messages: List[Message] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+    reports: List[VerificationReport] = field(default_factory=list)
+
+    def record(self, sender: str, receiver: str, description: str, num_bytes: int):
+        self.messages.append(Message(sender, receiver, description, num_bytes))
+
+    def bytes_between(self, sender: str, receiver: str) -> int:
+        return sum(
+            m.num_bytes
+            for m in self.messages
+            if m.sender == sender and m.receiver == receiver
+        )
+
+    def total_bytes(self) -> int:
+        return sum(m.num_bytes for m in self.messages)
+
+    @property
+    def all_accepted(self) -> bool:
+        return bool(self.reports) and all(r.accepted for r in self.reports)
+
+
+class TrustedSetupParty:
+    """Runs the one-time Groth16 ceremony for a circuit shape.
+
+    The sampled toxic waste lives only inside :func:`repro.snark.setup`'s
+    stack frame; this object retains only the public outputs.  ``seed``
+    exists for reproducible tests -- a real ceremony must not use it.
+    """
+
+    def __init__(self, name: str = "setup-party"):
+        self.name = name
+        self._keypair: Optional[Groth16Keypair] = None
+
+    def run_ceremony(
+        self,
+        model: Sequential,
+        keys: WatermarkKeys,
+        config: Optional[CircuitConfig] = None,
+        *,
+        seed: Optional[int] = None,
+    ) -> Groth16Keypair:
+        """Setup for the extraction circuit of (model shape, key shape)."""
+        circuit = build_extraction_circuit(model, keys, config or CircuitConfig())
+        self._keypair = setup(circuit.constraint_system, seed=seed)
+        return self._keypair
+
+    @property
+    def proving_key(self) -> ProvingKey:
+        if self._keypair is None:
+            raise RuntimeError("ceremony has not been run")
+        return self._keypair.proving_key
+
+    @property
+    def verifying_key(self) -> VerifyingKey:
+        if self._keypair is None:
+            raise RuntimeError("ceremony has not been run")
+        return self._keypair.verifying_key
+
+
+def run_ownership_protocol(
+    suspect_model: Sequential,
+    owner_keys: WatermarkKeys,
+    *,
+    config: Optional[CircuitConfig] = None,
+    num_verifiers: int = 3,
+    seed: Optional[int] = None,
+) -> Tuple[ProtocolTranscript, OwnershipClaim]:
+    """Run the complete Figure-1 flow and return its transcript.
+
+    One setup, one proof, ``num_verifiers`` independent verifications of
+    the same claim (the non-interactivity the paper emphasizes: "the proof
+    is generated once and can be verified by third parties without further
+    interaction").
+    """
+    config = config or CircuitConfig()
+    transcript = ProtocolTranscript()
+
+    # 1. Trusted setup (once per circuit).
+    party = TrustedSetupParty()
+    t0 = time.perf_counter()
+    party.run_ceremony(suspect_model, owner_keys, config, seed=seed)
+    transcript.timings["setup_seconds"] = time.perf_counter() - t0
+    pk_bytes = party.proving_key.size_bytes()
+    vk_bytes = party.verifying_key.size_bytes()
+    transcript.record(party.name, "prover", "proving key", pk_bytes)
+
+    # 2. The owner proves once.
+    prover = OwnershipProver(suspect_model, owner_keys, config)
+    t0 = time.perf_counter()
+    claim = prover.prove_ownership(party.proving_key, seed=seed)
+    transcript.timings["prove_seconds"] = time.perf_counter() - t0
+
+    # 3. Verifiers: each receives the VK (from the setup party) and the
+    #    claim (from the prover), then checks independently.
+    verify_times = []
+    for v in range(num_verifiers):
+        verifier_name = f"verifier-{v}"
+        transcript.record(party.name, verifier_name, "verification key", vk_bytes)
+        transcript.record("prover", verifier_name, "ownership claim", claim.size_bytes())
+        verifier = OwnershipVerifier(party.verifying_key)
+        t0 = time.perf_counter()
+        report = verifier.verify(suspect_model, claim)
+        verify_times.append(time.perf_counter() - t0)
+        transcript.reports.append(report)
+    transcript.timings["verify_seconds_mean"] = sum(verify_times) / len(verify_times)
+    return transcript, claim

@@ -1,0 +1,107 @@
+"""The prover side of ZKROWNN.
+
+The model owner (P in the paper) holds the watermarked model M, private
+trigger keys K and watermark parameters W, and claims that a second model
+M' carries their watermark.  :class:`OwnershipProver` synthesizes the
+Algorithm-1 circuit against M', generates the Groth16 proof, and packages
+a publishable :class:`~repro.zkrownn.artifacts.OwnershipClaim`.
+
+Setup and proof generation happen once per circuit; the paper's
+amortization argument (Section IV) is exactly this object's lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..snark.errors import ConstraintViolation
+from ..snark.groth16 import Groth16Keypair, prove, setup
+from ..snark.keys import Proof, ProvingKey
+from ..nn.model import Sequential
+from ..watermark.keys import WatermarkKeys
+from .artifacts import OwnershipClaim, model_digest
+from .circuit import CircuitConfig, ExtractionCircuit, build_extraction_circuit
+
+__all__ = ["OwnershipProver", "ProverError"]
+
+
+class ProverError(Exception):
+    """Raised when an ownership proof cannot be generated honestly."""
+
+
+@dataclass
+class OwnershipProver:
+    """A model owner generating ownership proofs.
+
+    ``model`` is the *suspect* model M' being proven against (for a
+    dispute, the allegedly-stolen network); ``keys`` are the owner's
+    private watermark material.
+    """
+
+    model: Sequential
+    keys: WatermarkKeys
+    config: CircuitConfig = CircuitConfig()
+
+    def synthesize(self) -> ExtractionCircuit:
+        """Build the extraction circuit + witness against the model.
+
+        Raises :class:`ProverError` if the witness cannot be synthesized
+        (e.g. activations overflow the fixed-point range).
+        """
+        try:
+            return build_extraction_circuit(self.model, self.keys, self.config)
+        except (ConstraintViolation, OverflowError) as exc:
+            # ConstraintViolation: an intermediate value escaped the
+            # fixed-point range mid-circuit; OverflowError: an input or
+            # weight did not even encode.  Both mean the chosen format is
+            # too narrow for this model.
+            raise ProverError(f"witness synthesis failed: {exc}") from exc
+
+    def run_trusted_setup(self, *, seed: Optional[int] = None) -> Groth16Keypair:
+        """Convenience wrapper: run Groth16 setup for this circuit shape.
+
+        In deployment the setup is run by a neutral party
+        (:class:`repro.zkrownn.protocol.TrustedSetupParty`); having the
+        prover run it is acceptable only for benchmarks and tests.
+        """
+        circuit = self.synthesize()
+        return setup(circuit.constraint_system, seed=seed)
+
+    def prove_ownership(
+        self,
+        proving_key: ProvingKey,
+        *,
+        require_valid: bool = True,
+        seed: Optional[int] = None,
+    ) -> OwnershipClaim:
+        """Generate the ownership proof and wrap it as a claim.
+
+        With ``require_valid`` (default) the prover refuses to publish a
+        claim whose circuit output is 0 -- i.e. the watermark did NOT
+        extract below the BER threshold.  (The proof would be sound but
+        would only convince a verifier that the model is *not* yours.)
+        """
+        circuit = self.synthesize()
+        if require_valid and not circuit.valid:
+            raise ProverError(
+                "watermark does not extract from this model within theta; "
+                "refusing to publish a non-ownership proof"
+            )
+        proof: Proof = prove(
+            proving_key,
+            circuit.constraint_system,
+            circuit.assignment,
+            seed=seed,
+        )
+        fmt = self.config.fixed_point
+        return OwnershipClaim(
+            proof_bytes=proof.to_bytes(),
+            theta=self.config.theta,
+            wm_bits=self.keys.num_bits,
+            embed_layer=self.keys.embed_layer,
+            model_sha256=model_digest(self.model, self.keys.embed_layer),
+            frac_bits=fmt.frac_bits,
+            total_bits=fmt.total_bits,
+            sigmoid_degree=self.config.sigmoid_degree,
+        )

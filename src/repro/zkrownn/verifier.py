@@ -1,0 +1,150 @@
+"""The verifier side of ZKROWNN.
+
+Any third party (V in the paper -- a court expert, a marketplace, another
+vendor) verifies an ownership claim with only:
+
+* the public model M' in question,
+* the published verification key for the circuit shape,
+* the prover's :class:`~repro.zkrownn.artifacts.OwnershipClaim` (~hundreds
+  of bytes).
+
+Crucially the verifier reconstructs the public instance *themselves* from
+the model and the claim's public parameters -- the prover never supplies
+instance values, so a cheating prover cannot claim against a model other
+than the one the verifier holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit.fixedpoint import FixedPointFormat
+from ..nn.model import Sequential
+from ..snark.errors import MalformedProof
+from ..snark.groth16 import verify_batch, verify_with_precheck
+from ..snark.keys import VerifyingKey
+from .artifacts import OwnershipClaim, model_digest
+from .circuit import CircuitConfig, public_inputs_for
+
+__all__ = ["OwnershipVerifier", "VerificationReport"]
+
+
+@dataclass
+class VerificationReport:
+    """The verifier's decision with its reasoning trail."""
+
+    accepted: bool
+    reason: str
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.accepted
+
+
+@dataclass
+class OwnershipVerifier:
+    """A third-party verifier for ownership claims."""
+
+    verifying_key: VerifyingKey
+
+    def verify(self, model: Sequential, claim: OwnershipClaim) -> VerificationReport:
+        """Check an ownership claim against the model the verifier holds."""
+        digest = model_digest(model, claim.embed_layer)
+        if digest != claim.model_sha256:
+            return VerificationReport(
+                accepted=False,
+                reason="claim was made for a different model "
+                f"(digest {claim.model_sha256[:16]}... != {digest[:16]}...)",
+            )
+        config = CircuitConfig(
+            theta=claim.theta,
+            fixed_point=FixedPointFormat(
+                frac_bits=claim.frac_bits, total_bits=claim.total_bits
+            ),
+            sigmoid_degree=claim.sigmoid_degree,
+        )
+        instance = public_inputs_for(
+            model, claim.theta, claim.wm_bits, claim.embed_layer, config
+        )
+        if len(instance) != self.verifying_key.num_public_inputs:
+            return VerificationReport(
+                accepted=False,
+                reason="verification key does not match this circuit shape "
+                f"({self.verifying_key.num_public_inputs} public inputs "
+                f"expected, instance has {len(instance)})",
+            )
+        try:
+            ok = verify_with_precheck(self.verifying_key, instance, claim.proof)
+        except MalformedProof as exc:
+            return VerificationReport(accepted=False, reason=f"malformed proof: {exc}")
+        if not ok:
+            return VerificationReport(
+                accepted=False, reason="pairing check failed: proof is invalid"
+            )
+        return VerificationReport(
+            accepted=True,
+            reason="watermark extracts from the model within the BER "
+            f"threshold theta={claim.theta}",
+        )
+
+    def _instance_for(
+        self, model: Sequential, claim: OwnershipClaim
+    ) -> Optional[List[int]]:
+        """Reconstruct + validate the instance; None on any precheck failure."""
+        if model_digest(model, claim.embed_layer) != claim.model_sha256:
+            return None
+        config = CircuitConfig(
+            theta=claim.theta,
+            fixed_point=FixedPointFormat(
+                frac_bits=claim.frac_bits, total_bits=claim.total_bits
+            ),
+            sigmoid_degree=claim.sigmoid_degree,
+        )
+        instance = public_inputs_for(
+            model, claim.theta, claim.wm_bits, claim.embed_layer, config
+        )
+        if len(instance) != self.verifying_key.num_public_inputs:
+            return None
+        try:
+            claim.proof.validate_points()
+        except (MalformedProof, ValueError):
+            return None
+        return instance
+
+    def verify_many(
+        self,
+        cases: Sequence[Tuple[Sequential, OwnershipClaim]],
+        *,
+        seed: Optional[int] = None,
+    ) -> List[VerificationReport]:
+        """Audit many claims sharing this circuit shape in one batch.
+
+        A marketplace scenario: many models of one architecture, one
+        verification key, many ownership claims.  Prechecks (digest,
+        instance shape, point validity) run per claim; the pairing work is
+        batched into a single multi-pairing.  If the batch fails, claims
+        are re-verified individually to attribute blame -- the standard
+        batch-with-fallback pattern.
+        """
+        reports: List[Optional[VerificationReport]] = [None] * len(cases)
+        batch = []
+        batch_indices = []
+        for i, (model, claim) in enumerate(cases):
+            instance = self._instance_for(model, claim)
+            if instance is None:
+                reports[i] = VerificationReport(
+                    accepted=False, reason="precheck failed (digest/shape/points)"
+                )
+            else:
+                batch.append((instance, claim.proof))
+                batch_indices.append(i)
+        if batch and verify_batch(self.verifying_key, batch, seed=seed):
+            for i in batch_indices:
+                reports[i] = VerificationReport(
+                    accepted=True, reason="accepted (batched pairing check)"
+                )
+        else:
+            for i in batch_indices:
+                model, claim = cases[i]
+                reports[i] = self.verify(model, claim)
+        return [r for r in reports if r is not None]

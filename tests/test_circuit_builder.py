@@ -1,0 +1,347 @@
+"""Tests for the circuit-builder DSL (wires, bits, comparisons, hints)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.builder import CircuitBuilder
+from repro.field.prime import BN254_R as R
+from repro.snark.errors import ConstraintViolation
+
+signed_small = st.integers(min_value=-(2**20), max_value=2**20)
+
+
+def fresh():
+    return CircuitBuilder("test")
+
+
+class TestInputsAndConstants:
+    def test_constant_has_no_constraints(self):
+        b = fresh()
+        b.constant(5)
+        assert b.cs.num_constraints == 0
+
+    def test_public_then_private_layout(self):
+        b = fresh()
+        p = b.public_input("p", 1)
+        w = b.private_input("w", 2)
+        assert b.cs.num_public == 1
+        assert b.assignment[1] == 1
+        assert b.assignment[2] == 2
+
+    def test_public_after_private_rejected(self):
+        b = fresh()
+        b.private_input("w", 0)
+        with pytest.raises(ValueError):
+            b.public_input("p", 0)
+
+    def test_vector_inputs(self):
+        b = fresh()
+        ws = b.private_inputs("v", [1, 2, 3])
+        assert [w.value for w in ws] == [1, 2, 3]
+
+    def test_one_zero(self):
+        b = fresh()
+        assert b.one().value == 1
+        assert b.zero().value == 0
+
+
+class TestLinearOps:
+    def test_add_free(self):
+        b = fresh()
+        x = b.private_input("x", 3)
+        y = b.private_input("y", 4)
+        z = x + y
+        assert z.value == 7
+        assert b.cs.num_constraints == 0
+
+    def test_sub_and_neg(self):
+        b = fresh()
+        x = b.private_input("x", 10)
+        assert (x - 4).value == 6
+        assert (-x).value == R - 10
+
+    def test_scale_free(self):
+        b = fresh()
+        x = b.private_input("x", 3)
+        assert x.scale(5).value == 15
+        assert b.cs.num_constraints == 0
+
+    def test_int_mul_is_free(self):
+        b = fresh()
+        x = b.private_input("x", 3)
+        _ = x * 7
+        _ = 7 * x
+        assert b.cs.num_constraints == 0
+
+    def test_radd_rsub(self):
+        b = fresh()
+        x = b.private_input("x", 3)
+        assert (10 + x).value == 13
+        assert (10 - x).value == 7
+
+    def test_cross_builder_rejected(self):
+        b1, b2 = fresh(), fresh()
+        x = b1.private_input("x", 1)
+        y = b2.private_input("y", 1)
+        with pytest.raises(ValueError):
+            _ = x + y
+
+
+class TestMultiplication:
+    def test_wire_mul_costs_one_constraint(self):
+        b = fresh()
+        x = b.private_input("x", 3)
+        y = b.private_input("y", 4)
+        z = x * y
+        assert z.value == 12
+        assert b.cs.num_constraints == 1
+        b.check()
+
+    def test_mul_by_constant_wire_is_free(self):
+        b = fresh()
+        x = b.private_input("x", 3)
+        c = b.constant(5)
+        z = b.mul(x, c)
+        assert z.value == 15
+        assert b.cs.num_constraints == 0
+
+    def test_square(self):
+        b = fresh()
+        x = b.private_input("x", 9)
+        assert x.square().value == 81
+        b.check()
+
+    @given(a=signed_small, b_val=signed_small)
+    def test_mul_matches_field(self, a, b_val):
+        b = fresh()
+        x = b.private_input("x", a)
+        y = b.private_input("y", b_val)
+        assert (x * y).value == (a * b_val) % R
+
+
+class TestAssertions:
+    def test_assert_equal_ok(self):
+        b = fresh()
+        x = b.private_input("x", 6)
+        b.assert_equal(x, b.constant(6))
+        b.check()
+
+    def test_assert_equal_fails_at_synthesis(self):
+        b = fresh()
+        x = b.private_input("x", 6)
+        with pytest.raises(ConstraintViolation):
+            b.assert_equal(x, b.constant(7))
+
+    def test_enforce_checks_witness(self):
+        b = fresh()
+        x = b.private_input("x", 2)
+        with pytest.raises(ConstraintViolation):
+            b.enforce(x, x, b.constant(5))
+
+    def test_assert_zero(self):
+        b = fresh()
+        x = b.private_input("x", 0)
+        b.assert_zero(x)
+        b.check()
+
+
+class TestBooleans:
+    def test_assert_boolean_accepts_bits(self):
+        b = fresh()
+        for v in (0, 1):
+            b.assert_boolean(b.private_input(f"b{v}", v))
+        b.check()
+
+    def test_assert_boolean_rejects_two(self):
+        b = fresh()
+        x = b.private_input("x", 2)
+        with pytest.raises(ConstraintViolation):
+            b.assert_boolean(x)
+
+    @pytest.mark.parametrize(
+        "op,table",
+        [
+            ("and_", [0, 0, 0, 1]),
+            ("or_", [0, 1, 1, 1]),
+            ("xor_", [0, 1, 1, 0]),
+        ],
+    )
+    def test_truth_tables(self, op, table):
+        for idx, (x_val, y_val) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
+            b = fresh()
+            x = b.allocate_bit("x", x_val)
+            y = b.allocate_bit("y", y_val)
+            out = getattr(b, op)(x, y)
+            assert out.value == table[idx]
+            b.check()
+
+    def test_not(self):
+        b = fresh()
+        x = b.allocate_bit("x", 1)
+        assert b.not_(x).value == 0
+
+    def test_select(self):
+        b = fresh()
+        cond = b.allocate_bit("c", 1)
+        t = b.private_input("t", 10)
+        f = b.private_input("f", 20)
+        assert b.select(cond, t, f).value == 10
+        b.check()
+
+
+class TestBitDecomposition:
+    def test_round_trip(self):
+        b = fresh()
+        x = b.private_input("x", 0b1011)
+        bits = b.to_bits(x, 4)
+        assert [bit.value for bit in bits] == [1, 1, 0, 1]
+        assert b.from_bits(bits).value == 0b1011
+        b.check()
+
+    def test_constraint_count(self):
+        b = fresh()
+        x = b.private_input("x", 5)
+        b.to_bits(x, 8)
+        assert b.cs.num_constraints == 9  # 8 booleans + 1 recomposition
+
+    def test_overflow_rejected(self):
+        b = fresh()
+        x = b.private_input("x", 16)
+        with pytest.raises(ConstraintViolation):
+            b.to_bits(x, 4)
+
+    def test_range_check(self):
+        b = fresh()
+        x = b.private_input("x", 255)
+        b.assert_range(x, 8)
+        b.check()
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("value,expected", [(5, 1), (0, 1), (-5, 0)])
+    def test_is_nonnegative(self, value, expected):
+        b = fresh()
+        x = b.private_input("x", value)
+        assert b.is_nonnegative(x, 16).value == expected
+        b.check()
+
+    def test_is_nonnegative_overflow_rejected(self):
+        b = fresh()
+        x = b.private_input("x", 1 << 20)
+        with pytest.raises(ConstraintViolation):
+            b.is_nonnegative(x, 16)
+
+    @pytest.mark.parametrize(
+        "a,c,expected", [(5, 3, 1), (3, 3, 1), (2, 3, 0), (-4, -5, 1), (-5, -4, 0)]
+    )
+    def test_greater_equal(self, a, c, expected):
+        b = fresh()
+        x = b.private_input("x", a)
+        y = b.private_input("y", c)
+        assert b.greater_equal(x, y, 16).value == expected
+        b.check()
+
+    def test_less_than(self):
+        b = fresh()
+        x = b.private_input("x", 2)
+        y = b.private_input("y", 3)
+        assert b.less_than(x, y, 16).value == 1
+        b.check()
+
+    @pytest.mark.parametrize("value,expected", [(0, 1), (1, 0), (-7, 0)])
+    def test_is_zero(self, value, expected):
+        b = fresh()
+        x = b.private_input("x", value)
+        assert b.is_zero(x).value == expected
+        b.check()
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("value,shift,expected", [
+        (256, 4, 16),
+        (255, 4, 15),
+        (-256, 4, -16),
+        (-255, 4, -16),  # floor semantics for negatives
+        (0, 4, 0),
+    ])
+    def test_truncate_floor_semantics(self, value, shift, expected):
+        b = fresh()
+        x = b.private_input("x", value)
+        q = b.truncate(x, shift, 24)
+        assert q.signed_value() == expected
+        b.check()
+
+    @given(value=signed_small, shift=st.integers(min_value=1, max_value=8))
+    def test_truncate_matches_python_shift(self, value, shift):
+        b = fresh()
+        x = b.private_input("x", value)
+        q = b.truncate(x, shift, 32)
+        assert q.signed_value() == value >> shift
+        b.check()
+
+    @pytest.mark.parametrize("value,divisor,expected", [
+        (10, 5, 2), (11, 5, 2), (-11, 5, -3), (7, 1, 7), (12, 4, 3),
+    ])
+    def test_div_floor_const(self, value, divisor, expected):
+        b = fresh()
+        x = b.private_input("x", value)
+        q = b.div_floor_const(x, divisor, 24)
+        assert q.signed_value() == expected
+        b.check()
+
+    def test_div_by_nonpositive_rejected(self):
+        b = fresh()
+        x = b.private_input("x", 5)
+        with pytest.raises(ValueError):
+            b.div_floor_const(x, 0, 24)
+
+
+class TestOutputs:
+    def test_bind_output(self):
+        b = fresh()
+        out = b.public_output("result")
+        x = b.private_input("x", 4)
+        y = x * x
+        b.bind_output(out, y)
+        assert b.assignment[out.index] == 16
+        assert b.public_values() == [16]
+        b.check()
+
+    def test_double_bind_rejected(self):
+        b = fresh()
+        out = b.public_output("result")
+        x = b.private_input("x", 4)
+        b.bind_output(out, x)
+        with pytest.raises(ValueError):
+            b.bind_output(out, x)
+
+    def test_output_wire(self):
+        b = fresh()
+        out = b.public_output("result")
+        x = b.private_input("x", 3)
+        b.bind_output(out, x)
+        assert b.output_wire(out).value == 3
+
+
+class TestStructureDigest:
+    def _build(self, x_val, y_val):
+        b = fresh()
+        x = b.private_input("x", x_val)
+        y = b.private_input("y", y_val)
+        z = x * y
+        b.is_nonnegative(z, 16)
+        return b
+
+    def test_same_structure_same_digest(self):
+        assert self._build(2, 3).structure_digest() == self._build(5, 7).structure_digest()
+
+    def test_different_structure_different_digest(self):
+        b1 = self._build(2, 3)
+        b2 = fresh()
+        x = b2.private_input("x", 2)
+        _ = x * x
+        assert b1.structure_digest() != b2.structure_digest()
+
+    def test_repr(self):
+        assert "CircuitBuilder" in repr(fresh())

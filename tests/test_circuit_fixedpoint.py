@@ -1,0 +1,130 @@
+"""Tests for fixed-point encoding and circuit arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.fixedpoint import DEFAULT_FORMAT, FixedPointFormat
+
+floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+FMT = FixedPointFormat(frac_bits=16, total_bits=48)
+
+
+class TestFormatValidation:
+    def test_frac_bits_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(frac_bits=0, total_bits=8)
+
+    def test_total_must_exceed_frac(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(frac_bits=16, total_bits=16)
+
+    def test_too_wide_for_field(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(frac_bits=16, total_bits=130)
+
+    def test_default_format_valid(self):
+        assert DEFAULT_FORMAT.frac_bits == 16
+
+
+class TestEncodeDecode:
+    @given(x=floats)
+    def test_round_trip_within_resolution(self, x):
+        assert abs(FMT.decode(FMT.encode(x)) - x) <= FMT.resolution()
+
+    def test_negative_wraps_to_top(self):
+        from repro.field.prime import BN254_R as R
+
+        encoded = FMT.encode(-1.0)
+        assert encoded > R // 2
+
+    def test_overflow_rejected(self):
+        small = FixedPointFormat(frac_bits=8, total_bits=16)
+        with pytest.raises(OverflowError):
+            small.encode(1000.0)
+
+    def test_zero(self):
+        assert FMT.encode(0.0) == 0
+        assert FMT.decode(0) == 0.0
+
+    def test_encode_array(self):
+        values = np.array([0.5, -0.5, 2.0])
+        encoded = FMT.encode_array(values)
+        decoded = FMT.decode_array(encoded)
+        np.testing.assert_allclose(decoded, values, atol=FMT.resolution())
+
+    def test_decode_array_with_shape(self):
+        encoded = FMT.encode_array(np.zeros((2, 3)))
+        assert FMT.decode_array(encoded, shape=(2, 3)).shape == (2, 3)
+
+    def test_resolution(self):
+        assert FMT.resolution() == 2.0**-16
+
+
+class TestCircuitOps:
+    @given(a=floats, b=floats)
+    def test_mul_accuracy(self, a, b):
+        builder = CircuitBuilder("fp")
+        x = builder.private_input("x", FMT.encode(a))
+        y = builder.private_input("y", FMT.encode(b))
+        z = FMT.mul(builder, x, y)
+        builder.check()
+        assert abs(FMT.decode(z.value) - a * b) < 1e-3 * max(1.0, abs(a * b))
+
+    def test_inner_product_matches_numpy(self, nprng):
+        xs_f = nprng.uniform(-2, 2, 8)
+        ys_f = nprng.uniform(-2, 2, 8)
+        builder = CircuitBuilder("ip")
+        xs = [builder.private_input(f"x{i}", FMT.encode(v)) for i, v in enumerate(xs_f)]
+        ys = [builder.private_input(f"y{i}", FMT.encode(v)) for i, v in enumerate(ys_f)]
+        out = FMT.inner_product(builder, xs, ys)
+        builder.check()
+        assert abs(FMT.decode(out.value) - float(xs_f @ ys_f)) < 1e-3
+
+    def test_inner_product_single_truncation(self):
+        builder = CircuitBuilder("ip")
+        xs = [builder.private_input(f"x{i}", FMT.encode(1.0)) for i in range(4)]
+        ys = [builder.private_input(f"y{i}", FMT.encode(1.0)) for i in range(4)]
+        FMT.inner_product(builder, xs, ys)
+        # 4 multiplies + one truncation (1 + frac + 1 + total + 1).
+        expected = 4 + 1 + (FMT.frac_bits + 1) + (FMT.total_bits + 1)
+        assert builder.cs.num_constraints == expected
+
+    def test_inner_product_length_mismatch(self):
+        builder = CircuitBuilder("ip")
+        xs = [builder.private_input("x", FMT.encode(1.0))]
+        with pytest.raises(ValueError):
+            FMT.inner_product(builder, xs, [])
+
+    def test_no_rescale_variant_keeps_double_scale(self):
+        builder = CircuitBuilder("ip")
+        xs = [builder.private_input("x", FMT.encode(2.0))]
+        ys = [builder.private_input("y", FMT.encode(3.0))]
+        raw = FMT.inner_product_no_rescale(builder, xs, ys)
+        assert raw.value == FMT.encode(2.0) * FMT.encode(3.0)
+
+    def test_rescale(self):
+        builder = CircuitBuilder("rs")
+        xs = [builder.private_input("x", FMT.encode(2.0))]
+        ys = [builder.private_input("y", FMT.encode(3.0))]
+        raw = FMT.inner_product_no_rescale(builder, xs, ys)
+        out = FMT.rescale(builder, raw)
+        builder.check()
+        assert abs(FMT.decode(out.value) - 6.0) < 1e-3
+
+    def test_constant(self):
+        builder = CircuitBuilder("c")
+        w = FMT.constant(builder, 1.5)
+        assert FMT.wire_to_float(w) == pytest.approx(1.5, abs=FMT.resolution())
+
+    def test_chain_of_muls_stays_accurate(self):
+        """Repeated rescaling must not drift: (0.9)^8 via chained muls."""
+        builder = CircuitBuilder("chain")
+        acc = builder.private_input("x", FMT.encode(0.9))
+        x = acc
+        for _ in range(7):
+            acc = FMT.mul(builder, acc, x)
+        builder.check()
+        assert abs(FMT.decode(acc.value) - 0.9**8) < 1e-3

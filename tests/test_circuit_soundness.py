@@ -1,0 +1,211 @@
+"""Soundness of hint-based gadgets: forged witnesses must not satisfy.
+
+Completeness (honest witnesses satisfy) is tested everywhere else.  These
+tests attack the other direction: several gadgets allocate *unconstrained
+hint variables* (bit decompositions, truncation quotients/remainders,
+inverse hints) that a malicious prover controls.  Groth16 will happily
+prove any satisfying assignment, so the constraints themselves must pin
+every hint down.  Each test takes a valid assignment and perturbs hint
+variables, asserting the constraint system rejects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.fixedpoint import FixedPointFormat
+from repro.field.prime import BN254_R as R
+from repro.snark.errors import UnsatisfiedWitness
+
+FMT = FixedPointFormat(frac_bits=8, total_bits=24)
+
+
+def perturbations_reject(builder: CircuitBuilder, start_index: int = 1):
+    """Yield (index, delta) single-variable perturbations that must fail."""
+    base = list(builder.assignment)
+    builder.cs.check_satisfied(base)
+    rejected = 0
+    total = 0
+    for index in range(start_index, len(base)):
+        for delta in (1, R - 1):
+            mutated = list(base)
+            mutated[index] = (mutated[index] + delta) % R
+            total += 1
+            if not builder.cs.is_satisfied(mutated):
+                rejected += 1
+    return rejected, total
+
+
+class TestBitDecompositionSoundness:
+    def test_any_bit_flip_rejected(self):
+        b = CircuitBuilder("bits")
+        x = b.private_input("x", 0b1010)
+        bits = b.to_bits(x, 4)
+        base = list(b.assignment)
+        for bit in bits:
+            index = bit.lc.as_single_variable()
+            mutated = list(base)
+            mutated[index] = 1 - mutated[index]
+            assert not b.cs.is_satisfied(mutated)
+
+    def test_non_boolean_bit_rejected(self):
+        b = CircuitBuilder("bits")
+        x = b.private_input("x", 5)
+        bits = b.to_bits(x, 4)
+        index = bits[0].lc.as_single_variable()
+        mutated = list(b.assignment)
+        # Try to satisfy the recomposition with a non-boolean "bit":
+        # x = 5, claim bit0 = 5 and zero the rest. Booleanity must reject.
+        mutated[index] = 5
+        for other in bits[1:]:
+            mutated[other.lc.as_single_variable()] = 0
+        assert not b.cs.is_satisfied(mutated)
+
+
+class TestTruncationSoundness:
+    def test_inflated_quotient_rejected(self):
+        """A prover rounding in their favor (quotient + 1) must fail."""
+        b = CircuitBuilder("trunc")
+        x = b.private_input("x", 1000)
+        q = b.truncate(x, 4, 16)
+        q_index = q.lc.as_single_variable()
+        mutated = list(b.assignment)
+        mutated[q_index] = (mutated[q_index] + 1) % R
+        assert not b.cs.is_satisfied(mutated)
+
+    def test_every_single_variable_perturbation_rejected(self):
+        """No lone witness variable in a truncation gadget is free."""
+        b = CircuitBuilder("trunc")
+        x = b.private_input("x", -777)
+        b.truncate(x, 3, 16)
+        rejected, total = perturbations_reject(b, start_index=2)
+        assert rejected == total
+
+    def test_division_remainder_shift_rejected(self):
+        """(q, rem) -> (q - 1, rem + divisor) satisfies the linear relation
+        but must be killed by the remainder range check."""
+        b = CircuitBuilder("div")
+        x = b.private_input("x", 22)
+        q = b.div_floor_const(x, 5, 16)  # q = 4, rem = 2
+        q_index = q.lc.as_single_variable()
+        base = list(b.assignment)
+        mutated = list(base)
+        mutated[q_index] = (mutated[q_index] - 1) % R
+        # rem variable was allocated right after q.
+        rem_index = q_index + 1
+        mutated[rem_index] = (mutated[rem_index] + 5) % R
+        # The linear equation x = 5q + rem still holds...
+        lhs = (5 * mutated[q_index] + mutated[rem_index]) % R
+        assert lhs == 22
+        # ...but range constraints reject the forged split.
+        assert not b.cs.is_satisfied(mutated)
+
+
+class TestComparisonSoundness:
+    def test_sign_bit_cannot_be_flipped(self):
+        b = CircuitBuilder("cmp")
+        x = b.private_input("x", -3)
+        sign = b.is_nonnegative(x, 8)
+        assert sign.value == 0
+        index = sign.lc.as_single_variable()
+        mutated = list(b.assignment)
+        mutated[index] = 1
+        assert not b.cs.is_satisfied(mutated)
+
+    def test_is_zero_cannot_claim_nonzero_is_zero(self):
+        b = CircuitBuilder("isz")
+        x = b.private_input("x", 7)
+        out = b.is_zero(x)
+        assert out.value == 0
+        index = out.lc.as_single_variable()
+        mutated = list(b.assignment)
+        mutated[index] = 1
+        assert not b.cs.is_satisfied(mutated)
+
+    def test_is_zero_cannot_claim_zero_is_nonzero(self):
+        b = CircuitBuilder("isz")
+        x = b.private_input("x", 0)
+        out = b.is_zero(x)
+        assert out.value == 1
+        index = out.lc.as_single_variable()
+        for forged_inverse in (0, 1, 12345):
+            mutated = list(b.assignment)
+            mutated[index] = 0
+            # also try to help the forgery along via the inverse hint
+            mutated[index - 1] = forged_inverse
+            assert not b.cs.is_satisfied(mutated)
+
+
+class TestReluThresholdSoundness:
+    def test_relu_output_is_pinned(self):
+        from repro.gadgets.activation import zk_relu
+
+        b = CircuitBuilder("relu")
+        x = b.private_input("x", FMT.encode(-1.5))
+        out = zk_relu(b, FMT, x)
+        assert out.value == 0
+        rejected, total = perturbations_reject(b, start_index=2)
+        assert rejected == total
+
+    def test_threshold_bit_is_pinned(self):
+        from repro.gadgets.threshold import zk_hard_threshold
+
+        b = CircuitBuilder("thr")
+        x = b.private_input("x", FMT.encode(0.3))
+        bit = zk_hard_threshold(b, FMT, x, beta=0.5)
+        assert bit.value == 0
+        index = bit.lc.as_single_variable()
+        mutated = list(b.assignment)
+        mutated[index] = 1
+        assert not b.cs.is_satisfied(mutated)
+
+
+class TestBerSoundness:
+    def test_validity_bit_cannot_be_forged(self):
+        """The core ZKROWNN statement: a prover whose watermark does NOT
+        match cannot flip the BER validity bit by witness manipulation."""
+        from repro.gadgets.ber import zk_ber
+
+        b = CircuitBuilder("ber")
+        wm = [b.allocate_bit(f"w{i}", v) for i, v in enumerate([1, 0, 1, 0])]
+        ext = [b.allocate_bit(f"e{i}", v) for i, v in enumerate([0, 1, 0, 1])]
+        result = zk_ber(b, wm, ext, theta=0.0)
+        assert result.valid.value == 0
+        index = result.valid.lc.as_single_variable()
+        mutated = list(b.assignment)
+        mutated[index] = 1
+        assert not b.cs.is_satisfied(mutated)
+
+    def test_every_perturbation_of_failing_ber_rejected(self):
+        from repro.gadgets.ber import zk_ber
+
+        b = CircuitBuilder("ber")
+        wm = [b.allocate_bit(f"w{i}", v) for i, v in enumerate([1, 1])]
+        ext = [b.allocate_bit(f"e{i}", v) for i, v in enumerate([0, 1])]
+        zk_ber(b, wm, ext, theta=0.0)
+        rejected, total = perturbations_reject(b, start_index=1)
+        assert rejected == total
+
+
+class TestExtractionOutputSoundness:
+    def test_valid_output_cannot_be_forged_on_unrelated_model(
+        self, watermarked_mlp
+    ):
+        """End to end: for a model without the watermark, no single-variable
+        change to the public 'valid' output satisfies the circuit."""
+        from repro.circuit import FixedPointFormat as FPF
+        from repro.nn import mnist_mlp_scaled
+        from repro.zkrownn import CircuitConfig, build_extraction_circuit
+
+        _, keys, _ = watermarked_mlp
+        fresh = mnist_mlp_scaled(
+            input_dim=16, hidden=16, rng=np.random.default_rng(9)
+        )
+        config = CircuitConfig(
+            theta=0.0, fixed_point=FPF(frac_bits=14, total_bits=40)
+        )
+        circuit = build_extraction_circuit(fresh, keys, config)
+        assert not circuit.valid
+        mutated = list(circuit.assignment)
+        mutated[circuit.valid_output.index] = 1
+        assert not circuit.constraint_system.is_satisfied(mutated)

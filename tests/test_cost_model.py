@@ -1,0 +1,183 @@
+"""Validation of the analytic constraint cost model against real circuits.
+
+Every formula in :class:`repro.bench.cost_model.GadgetCosts` is checked by
+building the corresponding gadget and comparing exact constraint counts.
+This is what justifies quoting cost-model numbers at the paper's scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.cost_model import GadgetCosts
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.fixedpoint import FixedPointFormat
+from repro.gadgets.activation import zk_relu_vector, zk_sigmoid_vector
+from repro.gadgets.ber import zk_ber
+from repro.gadgets.conv import wire_tensor3, wire_tensor4, zk_conv3d
+from repro.gadgets.linalg import wire_matrix, wire_vector, zk_average_rows, zk_dense, zk_matmul
+from repro.gadgets.pooling import zk_maxpool2d
+from repro.gadgets.threshold import zk_hard_threshold_vector
+
+FMT = FixedPointFormat(frac_bits=12, total_bits=36)
+COSTS = GadgetCosts(FMT)
+RNG = np.random.default_rng(0)
+
+
+def builder():
+    return CircuitBuilder("cost")
+
+
+class TestPrimitiveCosts:
+    @pytest.mark.parametrize("bits", [4, 8, 17])
+    def test_to_bits(self, bits):
+        b = builder()
+        x = b.private_input("x", 3)
+        b.to_bits(x, bits)
+        assert b.cs.num_constraints == COSTS.to_bits(bits)
+
+    @pytest.mark.parametrize("bits", [8, 16])
+    def test_is_nonnegative(self, bits):
+        b = builder()
+        x = b.private_input("x", 3)
+        b.is_nonnegative(x, bits)
+        assert b.cs.num_constraints == COSTS.is_nonnegative(bits)
+
+    @pytest.mark.parametrize("bits", [8, 16])
+    def test_greater_equal(self, bits):
+        b = builder()
+        x = b.private_input("x", 5)
+        y = b.private_input("y", 2)
+        b.greater_equal(x, y, bits)
+        assert b.cs.num_constraints == COSTS.greater_equal(bits)
+
+    @pytest.mark.parametrize("shift,range_bits", [(4, 16), (12, 36)])
+    def test_truncate(self, shift, range_bits):
+        b = builder()
+        x = b.private_input("x", 1000)
+        b.truncate(x, shift, range_bits)
+        assert b.cs.num_constraints == COSTS.truncate(shift, range_bits)
+
+    @pytest.mark.parametrize("divisor", [2, 3, 4, 5, 7, 8])
+    def test_div_floor_const(self, divisor):
+        b = builder()
+        x = b.private_input("x", 1000)
+        b.div_floor_const(x, divisor, FMT.total_bits)
+        assert b.cs.num_constraints == COSTS.div_floor_const(divisor)
+
+    def test_fp_mul(self):
+        b = builder()
+        x = b.private_input("x", FMT.encode(1.5))
+        y = b.private_input("y", FMT.encode(2.0))
+        FMT.mul(b, x, y)
+        assert b.cs.num_constraints == COSTS.fp_mul()
+
+    @pytest.mark.parametrize("n", [1, 4, 9])
+    def test_inner_product(self, n):
+        b = builder()
+        xs = [b.private_input(f"x{i}", FMT.encode(0.5)) for i in range(n)]
+        ys = [b.private_input(f"y{i}", FMT.encode(0.5)) for i in range(n)]
+        FMT.inner_product(b, xs, ys)
+        assert b.cs.num_constraints == COSTS.inner_product(n)
+
+
+class TestGadgetCosts:
+    @pytest.mark.parametrize("m,n,l", [(2, 3, 4), (4, 4, 4)])
+    def test_matmul(self, m, n, l):
+        b = builder()
+        wa = wire_matrix(b, "A", RNG.uniform(-1, 1, (m, n)), FMT)
+        wb = wire_matrix(b, "B", RNG.uniform(-1, 1, (n, l)), FMT)
+        zk_matmul(b, FMT, wa, wb)
+        assert b.cs.num_constraints == COSTS.matmul(m, n, l)
+
+    def test_dense(self):
+        b = builder()
+        w = wire_matrix(b, "W", RNG.uniform(-1, 1, (3, 5)), FMT)
+        x = wire_vector(b, "x", RNG.uniform(-1, 1, 5), FMT)
+        bias = wire_vector(b, "b", RNG.uniform(-1, 1, 3), FMT)
+        zk_dense(b, FMT, x, w, bias)
+        assert b.cs.num_constraints == COSTS.dense(3, 5)
+
+    @pytest.mark.parametrize("n", [1, 5])
+    def test_relu_vector(self, n):
+        b = builder()
+        xs = [b.private_input(f"x{i}", FMT.encode(-0.5)) for i in range(n)]
+        zk_relu_vector(b, FMT, xs)
+        assert b.cs.num_constraints == COSTS.relu_vector(n)
+
+    @pytest.mark.parametrize("n", [1, 4])
+    def test_hard_threshold_vector(self, n):
+        b = builder()
+        xs = [b.private_input(f"x{i}", FMT.encode(0.7)) for i in range(n)]
+        zk_hard_threshold_vector(b, FMT, xs)
+        assert b.cs.num_constraints == COSTS.hard_threshold_vector(n)
+
+    @pytest.mark.parametrize("degree", [3, 5, 9])
+    def test_sigmoid(self, degree):
+        b = builder()
+        x = b.private_input("x", FMT.encode(0.5))
+        zk_sigmoid_vector(b, FMT, [x], degree=degree)
+        assert b.cs.num_constraints == COSTS.sigmoid(degree)
+
+    @pytest.mark.parametrize("rows,width", [(2, 3), (5, 4), (4, 2)])
+    def test_average_rows(self, rows, width):
+        b = builder()
+        wm = wire_matrix(b, "M", RNG.uniform(-1, 1, (rows, width)), FMT)
+        zk_average_rows(b, FMT, wm)
+        assert b.cs.num_constraints == COSTS.average_rows(rows, width)
+
+    @pytest.mark.parametrize("n", [4, 8, 33])
+    def test_ber(self, n):
+        b = builder()
+        wm = [b.allocate_bit(f"w{i}", 0) for i in range(n)]
+        ext = [b.allocate_bit(f"e{i}", 0) for i in range(n)]
+        before = b.cs.num_constraints
+        zk_ber(b, wm, ext, theta=0.5)
+        assert b.cs.num_constraints - before == COSTS.ber(n)
+
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_conv3d(self, stride):
+        b = builder()
+        x = wire_tensor3(b, "x", RNG.uniform(-1, 1, (2, 5, 5)), FMT)
+        k = wire_tensor4(b, "k", RNG.uniform(-1, 1, (3, 2, 3, 3)), FMT)
+        bias = wire_vector(b, "b", RNG.uniform(-1, 1, 3), FMT)
+        zk_conv3d(b, FMT, x, k, bias, stride=stride)
+        assert b.cs.num_constraints == COSTS.conv3d(2, 5, 5, 3, 3, stride)
+
+    @pytest.mark.parametrize("pool,stride", [(2, 1), (2, 2)])
+    def test_maxpool(self, pool, stride):
+        b = builder()
+        x = wire_tensor3(b, "x", RNG.uniform(-1, 1, (2, 4, 4)), FMT)
+        zk_maxpool2d(b, FMT, x, pool, stride)
+        assert b.cs.num_constraints == COSTS.maxpool2d(2, 4, 4, pool, stride)
+
+
+class TestEndToEndCosts:
+    def test_mlp_extraction_cost(self):
+        """The full Algorithm-1 MLP circuit matches the closed form."""
+        from repro.bench.table1 import SCALES, build_mlp_extraction
+
+        scale = SCALES["tiny"]
+        builder = build_mlp_extraction(scale, FMT)
+        expected = GadgetCosts(FMT).mlp_extraction(
+            scale.mlp_input, scale.mlp_hidden, scale.mlp_triggers, scale.wm_bits
+        )
+        assert builder.cs.num_constraints == expected
+
+    def test_cnn_extraction_cost(self):
+        from repro.bench.table1 import SCALES, build_cnn_extraction
+
+        scale = SCALES["tiny"]
+        builder = build_cnn_extraction(scale, FMT)
+        expected = GadgetCosts(FMT).cnn_extraction(
+            3, scale.cnn_image, scale.cnn_channels, 3, 2,
+            scale.cnn_triggers, scale.wm_bits,
+        )
+        assert builder.cs.num_constraints == expected
+
+    def test_paper_scale_counts_are_stable(self):
+        """Regression pin: the published numbers in EXPERIMENTS.md."""
+        from repro.bench.table1 import BENCH_FORMAT, paper_scale_constraints
+
+        counts = paper_scale_constraints(BENCH_FORMAT)
+        assert counts["MatMult"] == 3_194_880
+        assert counts["MNIST-MLP"] == 2_369_450

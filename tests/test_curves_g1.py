@@ -1,0 +1,153 @@
+"""Tests for G1 arithmetic (affine wrapper and raw Jacobian fast path)."""
+
+import pytest
+
+from repro.curves.bn254 import R
+from repro.curves.g1 import (
+    G1_INFINITY_JAC,
+    G1Point,
+    jac_add,
+    jac_add_mixed,
+    jac_double,
+    jac_is_infinity,
+    jac_neg,
+    jac_scalar_mul,
+    jac_to_affine,
+)
+
+G = G1Point.generator()
+
+
+class TestGroupLaw:
+    def test_generator_on_curve(self):
+        assert G.is_on_curve()
+
+    def test_identity(self):
+        inf = G1Point.infinity()
+        assert G + inf == G
+        assert inf + G == G
+        assert inf + inf == inf
+
+    def test_add_commutes(self):
+        a, b = G * 5, G * 9
+        assert a + b == b + a
+
+    def test_add_associative(self):
+        a, b, c = G * 2, G * 3, G * 11
+        assert (a + b) + c == a + (b + c)
+
+    def test_double_matches_add(self):
+        a = G * 7
+        assert a.double() == a + a
+
+    def test_neg_cancels(self):
+        a = G * 13
+        assert (a + (-a)).is_infinity()
+
+    def test_sub(self):
+        assert G * 10 - G * 3 == G * 7
+
+    def test_neg_of_infinity(self):
+        assert (-G1Point.infinity()).is_infinity()
+
+    def test_double_of_two_torsion(self):
+        # No 2-torsion on this curve other than infinity (odd order).
+        assert G1Point.infinity().double().is_infinity()
+
+
+class TestScalarMul:
+    def test_small_multiples(self):
+        acc = G1Point.infinity()
+        for k in range(1, 12):
+            acc = acc + G
+            assert G * k == acc
+
+    def test_zero_scalar(self):
+        assert (G * 0).is_infinity()
+
+    def test_order_annihilates(self):
+        assert (G * R).is_infinity()
+
+    def test_scalar_reduced_mod_r(self):
+        assert G * (R + 5) == G * 5
+
+    def test_rmul(self):
+        assert 3 * G == G * 3
+
+    def test_distributes_over_scalars(self):
+        assert G * 7 + G * 8 == G * 15
+
+    def test_subgroup_membership(self):
+        assert (G * 123).in_subgroup()
+
+
+class TestJacobianFastPath:
+    def test_round_trip(self):
+        p = (G * 6).to_jacobian()
+        assert G1Point.from_jacobian(p) == G * 6
+
+    def test_add_matches_affine(self):
+        a, b = (G * 3).to_jacobian(), (G * 4).to_jacobian()
+        assert G1Point.from_jacobian(jac_add(a, b)) == G * 7
+
+    def test_double_matches_affine(self):
+        a = (G * 5).to_jacobian()
+        assert G1Point.from_jacobian(jac_double(a)) == G * 10
+
+    def test_mixed_add(self):
+        a = (G * 3).to_jacobian()
+        b = (G * 4)
+        assert G1Point.from_jacobian(jac_add_mixed(a, (b.x, b.y))) == G * 7
+
+    def test_mixed_add_to_infinity(self):
+        assert G1Point.from_jacobian(jac_add_mixed(G1_INFINITY_JAC, (G.x, G.y))) == G
+
+    def test_add_inverse_gives_infinity(self):
+        a = (G * 9).to_jacobian()
+        assert jac_is_infinity(jac_add(a, jac_neg(a)))
+
+    def test_add_equal_points_doubles(self):
+        a = (G * 9).to_jacobian()
+        assert G1Point.from_jacobian(jac_add(a, a)) == G * 18
+
+    def test_mixed_add_equal_points_doubles(self):
+        p = G * 9
+        assert G1Point.from_jacobian(
+            jac_add_mixed(p.to_jacobian(), (p.x, p.y))
+        ) == G * 18
+
+    def test_scalar_mul_matches_class(self):
+        for k in (1, 2, 255, 123456789):
+            got = G1Point.from_jacobian(jac_scalar_mul(G.to_jacobian(), k))
+            assert got == G * k
+
+    def test_jacobian_z_scaling_invariance(self):
+        # (X, Y, Z) and (l^2 X, l^3 Y, l Z) are the same point.
+        p = (G * 7).to_jacobian()
+        lam = 12345
+        from repro.curves.bn254 import P as prime
+
+        scaled = (
+            p[0] * lam * lam % prime,
+            p[1] * lam * lam * lam % prime,
+            p[2] * lam % prime,
+        )
+        assert jac_to_affine(p) == jac_to_affine(scaled)
+
+
+class TestValidation:
+    def test_off_curve_point_detected(self):
+        assert not G1Point(1, 1).is_on_curve()
+
+    def test_infinity_on_curve(self):
+        assert G1Point.infinity().is_on_curve()
+
+    def test_eq_against_non_point(self):
+        assert (G == 42) is False or (G == 42) is NotImplemented
+
+    def test_hash_consistency(self):
+        assert hash(G * 4) == hash(G * 4)
+
+    def test_repr(self):
+        assert "G1Point" in repr(G)
+        assert "infinity" in repr(G1Point.infinity())

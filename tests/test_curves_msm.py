@@ -1,0 +1,128 @@
+"""Tests for multi-scalar multiplication and fixed-base tables."""
+
+import random
+
+import pytest
+
+from repro.curves.bn254 import R
+from repro.curves.g1 import G1Point
+from repro.curves.g2 import G2Point
+from repro.curves.msm import (
+    FixedBaseTableG1,
+    FixedBaseTableG2,
+    msm_g1,
+    msm_g2,
+    naive_msm_g1,
+    naive_msm_g2,
+    pippenger_window_size,
+)
+
+G = G1Point.generator()
+H = G2Point.generator()
+
+
+def _affine(p: G1Point):
+    return None if p.is_infinity() else (p.x, p.y)
+
+
+class TestPippengerG1:
+    @pytest.mark.parametrize("n", [1, 2, 5, 33, 150])
+    def test_matches_naive(self, n, rng):
+        points = [_affine(G * rng.randrange(1, 1000)) for _ in range(n)]
+        scalars = [rng.randrange(R) for _ in range(n)]
+        fast = G1Point.from_jacobian(msm_g1(points, scalars))
+        slow = G1Point.from_jacobian(naive_msm_g1(points, scalars))
+        assert fast == slow
+
+    def test_scalar_sum_identity(self, rng):
+        # sum k_i * G == (sum k_i) * G
+        scalars = [rng.randrange(R) for _ in range(20)]
+        points = [_affine(G)] * 20
+        got = G1Point.from_jacobian(msm_g1(points, scalars))
+        assert got == G * (sum(scalars) % R)
+
+    def test_empty(self):
+        assert G1Point.from_jacobian(msm_g1([], [])).is_infinity()
+
+    def test_all_zero_scalars(self):
+        points = [_affine(G), _affine(G * 2)]
+        assert G1Point.from_jacobian(msm_g1(points, [0, 0])).is_infinity()
+
+    def test_infinity_points_skipped(self):
+        points = [None, _affine(G)]
+        got = G1Point.from_jacobian(msm_g1(points, [5, 7]))
+        assert got == G * 7
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            msm_g1([_affine(G)], [1, 2])
+
+    def test_negative_wrap(self):
+        got = G1Point.from_jacobian(msm_g1([_affine(G)], [R - 1]))
+        assert got == -G
+
+
+class TestPippengerG2:
+    @pytest.mark.parametrize("n", [1, 3, 20])
+    def test_matches_naive(self, n, rng):
+        points = [H * rng.randrange(1, 50) for _ in range(n)]
+        scalars = [rng.randrange(R) for _ in range(n)]
+        assert msm_g2(points, scalars) == naive_msm_g2(points, scalars)
+
+    def test_empty(self):
+        assert msm_g2([], []).is_infinity()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            msm_g2([H], [])
+
+
+class TestWindowHeuristic:
+    def test_monotone(self):
+        sizes = [pippenger_window_size(n) for n in (1, 10, 100, 1000, 10**5)]
+        assert sizes == sorted(sizes)
+
+    def test_small_inputs(self):
+        assert pippenger_window_size(1) == 1
+
+
+class TestFixedBaseG1:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return FixedBaseTableG1((G.x, G.y), window=4)
+
+    def test_matches_scalar_mul(self, table, rng):
+        for _ in range(5):
+            k = rng.randrange(R)
+            assert G1Point.from_jacobian(table.mul(k)) == G * k
+
+    def test_zero(self, table):
+        assert G1Point.from_jacobian(table.mul(0)).is_infinity()
+
+    def test_one(self, table):
+        assert G1Point.from_jacobian(table.mul(1)) == G
+
+    def test_order(self, table):
+        assert G1Point.from_jacobian(table.mul(R)).is_infinity()
+
+    def test_mul_many(self, table):
+        results = table.mul_many([2, 3])
+        assert G1Point.from_jacobian(results[0]) == G * 2
+        assert G1Point.from_jacobian(results[1]) == G * 3
+
+
+class TestFixedBaseG2:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return FixedBaseTableG2(H, window=4)
+
+    def test_matches_scalar_mul(self, table, rng):
+        for _ in range(3):
+            k = rng.randrange(R)
+            assert table.mul(k) == H * k
+
+    def test_zero(self, table):
+        assert table.mul(0).is_infinity()
+
+    def test_mul_many(self, table):
+        assert table.mul_many([5])[0] == H * 5

@@ -1,0 +1,129 @@
+"""Tests for the Ate pairings: bilinearity, non-degeneracy, product checks.
+
+These are the load-bearing tests of the whole SNARK stack: Groth16
+soundness rests on the pairing being a correct bilinear map.
+"""
+
+import pytest
+
+from repro.curves.bn254 import R
+from repro.curves.g1 import G1Point
+from repro.curves.g2 import G2Point
+from repro.curves.pairing import (
+    final_exponentiation,
+    miller_loop,
+    multi_pairing,
+    pairing,
+    pairing_check,
+)
+from repro.field.tower import Fp12Element
+
+G = G1Point.generator()
+H = G2Point.generator()
+
+
+@pytest.fixture(scope="module")
+def e_gh():
+    return pairing(G, H)
+
+
+class TestNonDegeneracy:
+    def test_generator_pairing_nontrivial(self, e_gh):
+        assert not e_gh.is_one()
+
+    def test_pairing_value_has_order_r(self, e_gh):
+        assert e_gh.pow(R).is_one()
+
+    def test_infinity_left(self):
+        assert pairing(G1Point.infinity(), H).is_one()
+
+    def test_infinity_right(self):
+        assert pairing(G, G2Point.infinity()).is_one()
+
+
+class TestBilinearity:
+    @pytest.mark.parametrize("a,b", [(2, 3), (7, 11), (123456789, 987654321)])
+    def test_optimal_ate(self, e_gh, a, b):
+        assert pairing(G * a, H * b) == e_gh.pow(a * b % R)
+
+    def test_plain_ate(self):
+        e = pairing(G, H, variant="ate")
+        assert pairing(G * 6, H * 5, variant="ate") == e.pow(30)
+
+    def test_left_linearity(self, e_gh):
+        assert pairing(G * 4, H) == e_gh.pow(4)
+
+    def test_right_linearity(self, e_gh):
+        assert pairing(G, H * 9) == e_gh.pow(9)
+
+    def test_negation(self, e_gh):
+        assert pairing(-G, H) == e_gh.inverse()
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            pairing(G, H, variant="tate")
+
+
+class TestMultiPairing:
+    def test_product_of_inverse_pairs_is_one(self):
+        assert multi_pairing([(G * 7, H * 3), (-(G * 21), H)]).is_one()
+
+    def test_matches_individual_product(self, e_gh):
+        product = multi_pairing([(G * 2, H), (G, H * 3)])
+        assert product == e_gh.pow(5)
+
+    def test_empty_product_is_one(self):
+        assert multi_pairing([]).is_one()
+
+    def test_skips_infinity(self, e_gh):
+        product = multi_pairing([(G1Point.infinity(), H), (G, H)])
+        assert product == e_gh
+
+    def test_pairing_check_true(self):
+        assert pairing_check([(G * 5, H * 2), (-(G * 10), H)])
+
+    def test_pairing_check_false(self):
+        assert not pairing_check([(G * 5, H * 2), (-(G * 11), H)])
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            multi_pairing([(G, H)], variant="weil")
+
+
+class TestFinalExponentiation:
+    def test_output_in_cyclotomic_subgroup(self):
+        # After final exponentiation, conjugate == inverse.
+        f = pairing(G * 3, H * 4)
+        assert f.conjugate() == f.inverse()
+
+    def test_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            final_exponentiation(Fp12Element.zero())
+
+    def test_one_maps_to_one(self):
+        assert final_exponentiation(Fp12Element.one()).is_one()
+
+
+class TestMillerLoop:
+    def test_infinity_returns_one(self):
+        from repro.curves.bn254 import OPTIMAL_ATE_LOOP_COUNT
+
+        assert miller_loop(
+            G1Point.infinity(), H, OPTIMAL_ATE_LOOP_COUNT
+        ).is_one()
+
+    def test_raw_miller_value_not_reduced(self):
+        # Before final exponentiation the Miller value is generally != the
+        # reduced pairing (sanity check that final exp matters).
+        from repro.curves.bn254 import OPTIMAL_ATE_LOOP_COUNT
+
+        raw = miller_loop(G, H, OPTIMAL_ATE_LOOP_COUNT, optimal_corrections=True)
+        assert raw != pairing(G, H)
+
+
+class TestVariantsAgree:
+    def test_both_variants_give_order_r_values(self):
+        for variant in ("optimal", "ate"):
+            value = pairing(G * 2, H * 2, variant=variant)
+            assert value.pow(R).is_one()
+            assert not value.is_one()

@@ -1,0 +1,79 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import cifar10_like, make_image_classes, mnist_like
+
+
+class TestMakeImageClasses:
+    def test_shapes(self):
+        data = make_image_classes(50, 10, shape=(1, 8, 8), num_classes=4, seed=0)
+        assert data.x_train.shape == (50, 1, 8, 8)
+        assert data.x_test.shape == (10, 1, 8, 8)
+        assert data.y_train.shape == (50,)
+        assert data.num_classes == 4
+
+    def test_values_in_unit_interval(self):
+        data = make_image_classes(20, 5, shape=(3, 4, 4), seed=0)
+        assert data.x_train.min() >= 0.0
+        assert data.x_train.max() <= 1.0
+
+    def test_labels_in_range(self):
+        data = make_image_classes(100, 10, shape=(1, 4, 4), num_classes=7, seed=0)
+        assert set(np.unique(data.y_train)) <= set(range(7))
+
+    def test_deterministic_per_seed(self):
+        a = make_image_classes(10, 2, shape=(1, 4, 4), seed=5)
+        b = make_image_classes(10, 2, shape=(1, 4, 4), seed=5)
+        np.testing.assert_allclose(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_different_seeds_differ(self):
+        a = make_image_classes(10, 2, shape=(1, 4, 4), seed=5)
+        b = make_image_classes(10, 2, shape=(1, 4, 4), seed=6)
+        assert not np.allclose(a.x_train, b.x_train)
+
+    def test_class_structure_exists(self):
+        """Same-class samples are closer than cross-class samples on average."""
+        data = make_image_classes(
+            200, 10, shape=(1, 8, 8), num_classes=3, noise=0.2, seed=1
+        )
+        x = data.x_train.reshape(200, -1)
+        y = data.y_train
+        centroids = np.stack([x[y == c].mean(axis=0) for c in range(3)])
+        within = np.mean([
+            np.linalg.norm(x[i] - centroids[y[i]]) for i in range(200)
+        ])
+        cross = np.mean([
+            np.linalg.norm(x[i] - centroids[(y[i] + 1) % 3]) for i in range(200)
+        ])
+        assert within < cross
+
+
+class TestMnistLike:
+    def test_flattened_by_default(self):
+        data = mnist_like(30, 5, image_size=8, seed=0)
+        assert data.x_train.shape == (30, 64)
+
+    def test_unflattened(self):
+        data = mnist_like(30, 5, image_size=8, seed=0, flatten=False)
+        assert data.x_train.shape == (30, 1, 8, 8)
+
+    def test_default_is_mnist_shape(self):
+        data = mnist_like(5, 2)
+        assert data.x_train.shape == (5, 784)
+
+    def test_input_shape_property(self):
+        data = mnist_like(5, 2, image_size=8)
+        assert data.input_shape == (64,)
+
+
+class TestCifarLike:
+    def test_channels_first(self):
+        data = cifar10_like(10, 2, image_size=8, seed=0)
+        assert data.x_train.shape == (10, 3, 8, 8)
+
+    def test_default_is_cifar_shape(self):
+        data = cifar10_like(4, 2)
+        assert data.x_train.shape == (4, 3, 32, 32)

@@ -1,0 +1,131 @@
+"""Tests for zk ReLU and the Chebyshev sigmoid."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.fixedpoint import FixedPointFormat
+from repro.gadgets.activation import (
+    CHEBYSHEV_COEFFICIENTS,
+    sigmoid_chebyshev_float,
+    sigmoid_reference,
+    zk_relu,
+    zk_relu_vector,
+    zk_sigmoid,
+    zk_sigmoid_vector,
+)
+
+FMT = FixedPointFormat(frac_bits=16, total_bits=48)
+HI_FMT = FixedPointFormat(frac_bits=32, total_bits=100)
+
+reals = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestRelu:
+    @given(x=reals)
+    def test_matches_numpy(self, x):
+        b = CircuitBuilder("relu")
+        w = b.private_input("x", FMT.encode(x))
+        out = zk_relu(b, FMT, w)
+        b.check()
+        assert FMT.decode(out.value) == pytest.approx(max(0.0, x), abs=FMT.resolution())
+
+    def test_zero_boundary(self):
+        b = CircuitBuilder("relu")
+        w = b.private_input("x", 0)
+        assert zk_relu(b, FMT, w).value == 0
+
+    def test_vector(self, nprng):
+        xs = nprng.uniform(-3, 3, 6)
+        b = CircuitBuilder("relu")
+        ws = [b.private_input(f"x{i}", FMT.encode(v)) for i, v in enumerate(xs)]
+        outs = zk_relu_vector(b, FMT, ws)
+        b.check()
+        got = np.array([FMT.decode(w.value) for w in outs])
+        np.testing.assert_allclose(got, np.maximum(xs, 0), atol=FMT.resolution())
+
+
+class TestChebyshevFloat:
+    def test_coefficients_match_paper(self):
+        assert CHEBYSHEV_COEFFICIENTS[0] == 0.2159198015
+        assert CHEBYSHEV_COEFFICIENTS[-1] == 0.0000000072
+
+    def test_midpoint(self):
+        assert sigmoid_chebyshev_float(np.array(0.0)) == pytest.approx(0.5)
+
+    def test_approximates_true_sigmoid(self):
+        xs = np.linspace(-4, 4, 41)
+        approx = sigmoid_chebyshev_float(xs)
+        exact = sigmoid_reference(xs)
+        assert np.abs(approx - exact).max() < 0.05
+
+    def test_symmetry(self):
+        # S(-x) = 1 - S(x): the polynomial is odd around 0.5.
+        xs = np.linspace(0.1, 4, 10)
+        np.testing.assert_allclose(
+            sigmoid_chebyshev_float(-xs), 1 - sigmoid_chebyshev_float(xs), atol=1e-12
+        )
+
+    def test_lower_degrees_are_worse(self):
+        xs = np.linspace(-4, 4, 81)
+        exact = sigmoid_reference(xs)
+        err3 = np.abs(sigmoid_chebyshev_float(xs, 3) - exact).max()
+        err9 = np.abs(sigmoid_chebyshev_float(xs, 9) - exact).max()
+        assert err9 < err3
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            sigmoid_chebyshev_float(np.array(1.0), degree=4)
+
+
+class TestZkSigmoid:
+    @pytest.mark.parametrize("x", [-4.0, -1.5, 0.0, 0.5, 2.0, 4.0])
+    def test_matches_float_polynomial(self, x):
+        b = CircuitBuilder("sig")
+        w = b.private_input("x", HI_FMT.encode(x))
+        out = zk_sigmoid(b, HI_FMT, w)
+        b.check()
+        expected = float(sigmoid_chebyshev_float(np.array(x)))
+        assert HI_FMT.decode(out.value) == pytest.approx(expected, abs=1e-5)
+
+    @pytest.mark.parametrize("degree", [1, 3, 5, 7, 9])
+    def test_all_degrees_synthesize(self, degree):
+        b = CircuitBuilder("sig")
+        w = b.private_input("x", HI_FMT.encode(1.0))
+        out = zk_sigmoid(b, HI_FMT, w, degree=degree)
+        b.check()
+        expected = float(sigmoid_chebyshev_float(np.array(1.0), degree))
+        assert HI_FMT.decode(out.value) == pytest.approx(expected, abs=1e-4)
+
+    def test_invalid_degree(self):
+        b = CircuitBuilder("sig")
+        w = b.private_input("x", 0)
+        with pytest.raises(ValueError):
+            zk_sigmoid(b, HI_FMT, w, degree=2)
+
+    def test_constraint_count_grows_with_degree(self):
+        def count(degree):
+            b = CircuitBuilder("sig")
+            w = b.private_input("x", HI_FMT.encode(1.0))
+            zk_sigmoid(b, HI_FMT, w, degree=degree)
+            return b.cs.num_constraints
+
+        assert count(3) < count(9)
+
+    def test_vector(self, nprng):
+        xs = nprng.uniform(-3, 3, 4)
+        b = CircuitBuilder("sig")
+        ws = [b.private_input(f"x{i}", HI_FMT.encode(v)) for i, v in enumerate(xs)]
+        outs = zk_sigmoid_vector(b, HI_FMT, ws)
+        b.check()
+        got = np.array([HI_FMT.decode(w.value) for w in outs])
+        np.testing.assert_allclose(got, sigmoid_chebyshev_float(xs), atol=1e-4)
+
+    def test_output_in_unit_interval_on_moderate_range(self, nprng):
+        for x in nprng.uniform(-4, 4, 10):
+            b = CircuitBuilder("sig")
+            w = b.private_input("x", HI_FMT.encode(float(x)))
+            out = zk_sigmoid(b, HI_FMT, w)
+            assert -0.05 < HI_FMT.decode(out.value) < 1.05

@@ -1,0 +1,139 @@
+"""Tests for zk convolution gadgets against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.fixedpoint import FixedPointFormat
+from repro.gadgets.conv import (
+    conv_output_shape,
+    flatten_input_patches,
+    wire_tensor3,
+    wire_tensor4,
+    zk_conv1d,
+    zk_conv3d,
+)
+
+FMT = FixedPointFormat(frac_bits=16, total_bits=48)
+
+
+def conv3d_reference(x, kernels, bias, stride):
+    channels, height, width = x.shape
+    out_ch, _, k, _ = kernels.shape
+    oh = (height - k) // stride + 1
+    ow = (width - k) // stride + 1
+    out = np.zeros((out_ch, oh, ow))
+    for o in range(out_ch):
+        for i in range(oh):
+            for j in range(ow):
+                patch = x[:, i * stride : i * stride + k, j * stride : j * stride + k]
+                out[o, i, j] = float((patch * kernels[o]).sum() + bias[o])
+    return out
+
+
+class TestOutputShape:
+    @pytest.mark.parametrize(
+        "h,w,k,s,expected",
+        [(8, 8, 3, 1, (6, 6)), (8, 8, 3, 2, (3, 3)), (5, 7, 3, 2, (2, 3))],
+    )
+    def test_valid_shapes(self, h, w, k, s, expected):
+        assert conv_output_shape(h, w, k, s) == expected
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            conv_output_shape(2, 2, 3, 1)
+
+
+class TestPatches:
+    def test_patch_count_and_length(self, nprng):
+        b = CircuitBuilder("p")
+        x = wire_tensor3(b, "x", nprng.uniform(0, 1, (2, 5, 5)), FMT)
+        patches, (oh, ow) = flatten_input_patches(x, kernel=3, stride=1)
+        assert (oh, ow) == (3, 3)
+        assert len(patches) == 9
+        assert all(len(p) == 2 * 3 * 3 for p in patches)
+
+    def test_patches_cost_no_constraints(self, nprng):
+        b = CircuitBuilder("p")
+        x = wire_tensor3(b, "x", nprng.uniform(0, 1, (1, 4, 4)), FMT)
+        before = b.cs.num_constraints
+        flatten_input_patches(x, kernel=2, stride=2)
+        assert b.cs.num_constraints == before
+
+
+class TestConv1d:
+    def test_matches_numpy_correlate(self, nprng):
+        sig = nprng.uniform(-1, 1, 10)
+        ker = nprng.uniform(-1, 1, 3)
+        b = CircuitBuilder("c1")
+        ws = [b.private_input(f"s{i}", FMT.encode(v)) for i, v in enumerate(sig)]
+        wk = [b.private_input(f"k{i}", FMT.encode(v)) for i, v in enumerate(ker)]
+        out = zk_conv1d(b, FMT, ws, wk)
+        b.check()
+        got = np.array([FMT.decode(w.value) for w in out])
+        expected = np.correlate(sig, ker, mode="valid")
+        np.testing.assert_allclose(got, expected, atol=1e-3)
+
+    def test_stride(self, nprng):
+        sig = nprng.uniform(-1, 1, 9)
+        ker = nprng.uniform(-1, 1, 3)
+        b = CircuitBuilder("c1")
+        ws = [b.private_input(f"s{i}", FMT.encode(v)) for i, v in enumerate(sig)]
+        wk = [b.private_input(f"k{i}", FMT.encode(v)) for i, v in enumerate(ker)]
+        out = zk_conv1d(b, FMT, ws, wk, stride=2)
+        assert len(out) == 4
+
+    def test_kernel_longer_than_signal(self):
+        b = CircuitBuilder("c1")
+        ws = [b.private_input("s", FMT.encode(1.0))]
+        wk = [b.private_input(f"k{i}", FMT.encode(1.0)) for i in range(2)]
+        with pytest.raises(ValueError):
+            zk_conv1d(b, FMT, ws, wk)
+
+
+class TestConv3d:
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_matches_reference(self, stride, nprng):
+        x = nprng.uniform(-1, 1, (2, 5, 5))
+        k = nprng.uniform(-1, 1, (3, 2, 3, 3))
+        bias = nprng.uniform(-1, 1, 3)
+        b = CircuitBuilder("c3")
+        wx = wire_tensor3(b, "x", x, FMT)
+        wk = wire_tensor4(b, "k", k, FMT)
+        wb = [b.private_input(f"b{i}", FMT.encode(v)) for i, v in enumerate(bias)]
+        out = zk_conv3d(b, FMT, wx, wk, wb, stride=stride)
+        b.check()
+        got = np.array([[[FMT.decode(w.value) for w in row] for row in ch] for ch in out])
+        np.testing.assert_allclose(
+            got, conv3d_reference(x, k, bias, stride), atol=1e-3
+        )
+
+    def test_bias_per_channel_required(self, nprng):
+        b = CircuitBuilder("c3")
+        wx = wire_tensor3(b, "x", np.zeros((1, 4, 4)), FMT)
+        wk = wire_tensor4(b, "k", np.zeros((2, 1, 2, 2)), FMT)
+        wb = [b.private_input("b0", 0)]
+        with pytest.raises(ValueError):
+            zk_conv3d(b, FMT, wx, wk, wb)
+
+    def test_tensor_shape_validation(self):
+        b = CircuitBuilder("c3")
+        with pytest.raises(ValueError):
+            wire_tensor3(b, "x", np.zeros((4, 4)), FMT)
+        with pytest.raises(ValueError):
+            wire_tensor4(b, "k", np.zeros((2, 2, 2)), FMT)
+
+    def test_public_kernels(self, nprng):
+        """Model weights public (the e2e setting): conv must still work."""
+        x = nprng.uniform(0, 1, (1, 4, 4))
+        k = nprng.uniform(-1, 1, (1, 1, 2, 2))
+        b = CircuitBuilder("c3")
+        wk = wire_tensor4(b, "k", k, FMT, private=False)
+        wb = [b.public_input("b0", FMT.encode(0.0))]
+        wx = wire_tensor3(b, "x", x, FMT)
+        out = zk_conv3d(b, FMT, wx, wk, wb, stride=1)
+        b.check()
+        got = np.array([[[FMT.decode(w.value) for w in row] for row in ch] for ch in out])
+        np.testing.assert_allclose(
+            got, conv3d_reference(x, k, np.zeros(1), 1), atol=1e-3
+        )

@@ -1,0 +1,168 @@
+"""Tests for zk linear algebra gadgets against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.fixedpoint import FixedPointFormat
+from repro.gadgets.linalg import (
+    wire_matrix,
+    wire_vector,
+    zk_average2d,
+    zk_average_rows,
+    zk_dense,
+    zk_matmul,
+    zk_matvec,
+)
+
+FMT = FixedPointFormat(frac_bits=16, total_bits=48)
+
+
+def decode_matrix(fmt, rows):
+    return np.array([[fmt.decode(w.value) for w in row] for row in rows])
+
+
+def decode_vector(fmt, vec):
+    return np.array([fmt.decode(w.value) for w in vec])
+
+
+class TestWireConversion:
+    def test_wire_vector_private(self, nprng):
+        b = CircuitBuilder("wv")
+        v = nprng.uniform(-1, 1, 5)
+        ws = wire_vector(b, "v", v, FMT)
+        np.testing.assert_allclose(decode_vector(FMT, ws), v, atol=FMT.resolution())
+        assert b.cs.num_public == 0
+
+    def test_wire_vector_public(self, nprng):
+        b = CircuitBuilder("wv")
+        ws = wire_vector(b, "v", nprng.uniform(-1, 1, 5), FMT, private=False)
+        assert b.cs.num_public == 5
+
+    def test_wire_matrix_shape_validated(self):
+        b = CircuitBuilder("wm")
+        with pytest.raises(ValueError):
+            wire_matrix(b, "m", np.zeros(3), FMT)
+
+
+class TestMatMul:
+    @pytest.mark.parametrize("m,n,l", [(2, 3, 4), (1, 1, 1), (4, 2, 3)])
+    def test_matches_numpy(self, m, n, l, nprng):
+        a = nprng.uniform(-2, 2, (m, n))
+        c = nprng.uniform(-2, 2, (n, l))
+        b = CircuitBuilder("mm")
+        wa = wire_matrix(b, "A", a, FMT)
+        wc = wire_matrix(b, "B", c, FMT)
+        result = zk_matmul(b, FMT, wa, wc)
+        b.check()
+        np.testing.assert_allclose(decode_matrix(FMT, result), a @ c, atol=1e-3)
+
+    def test_public_private_mix(self, nprng):
+        """Paper: 'A or B can be public or private'."""
+        a = nprng.uniform(-1, 1, (2, 2))
+        c = nprng.uniform(-1, 1, (2, 2))
+        b = CircuitBuilder("mm")
+        wa = wire_matrix(b, "A", a, FMT, private=False)  # public
+        wc = wire_matrix(b, "B", c, FMT, private=True)
+        result = zk_matmul(b, FMT, wa, wc)
+        b.check()
+        np.testing.assert_allclose(decode_matrix(FMT, result), a @ c, atol=1e-3)
+
+    def test_dimension_mismatch(self):
+        b = CircuitBuilder("mm")
+        wa = wire_matrix(b, "A", np.zeros((2, 3)), FMT)
+        wc = wire_matrix(b, "B", np.zeros((2, 2)), FMT)
+        with pytest.raises(ValueError):
+            zk_matmul(b, FMT, wa, wc)
+
+    def test_empty_rejected(self):
+        b = CircuitBuilder("mm")
+        with pytest.raises(ValueError):
+            zk_matmul(b, FMT, [], [])
+
+
+class TestMatVec:
+    def test_matches_numpy(self, nprng):
+        m = nprng.uniform(-1, 1, (3, 4))
+        v = nprng.uniform(-1, 1, 4)
+        b = CircuitBuilder("mv")
+        wm = wire_matrix(b, "M", m, FMT)
+        wv = wire_vector(b, "v", v, FMT)
+        out = zk_matvec(b, FMT, wm, wv)
+        b.check()
+        np.testing.assert_allclose(decode_vector(FMT, out), m @ v, atol=1e-3)
+
+    def test_dimension_mismatch(self):
+        b = CircuitBuilder("mv")
+        wm = wire_matrix(b, "M", np.zeros((2, 3)), FMT)
+        wv = wire_vector(b, "v", np.zeros(2), FMT)
+        with pytest.raises(ValueError):
+            zk_matvec(b, FMT, wm, wv)
+
+
+class TestDense:
+    def test_matches_numpy_with_bias(self, nprng):
+        w = nprng.uniform(-1, 1, (3, 5))
+        x = nprng.uniform(-1, 1, 5)
+        bias = nprng.uniform(-1, 1, 3)
+        b = CircuitBuilder("dense")
+        ww = wire_matrix(b, "W", w, FMT)
+        wx = wire_vector(b, "x", x, FMT)
+        wb = wire_vector(b, "b", bias, FMT)
+        out = zk_dense(b, FMT, wx, ww, wb)
+        b.check()
+        np.testing.assert_allclose(decode_vector(FMT, out), w @ x + bias, atol=1e-3)
+
+    def test_bias_length_mismatch(self):
+        b = CircuitBuilder("dense")
+        ww = wire_matrix(b, "W", np.zeros((2, 2)), FMT)
+        wx = wire_vector(b, "x", np.zeros(2), FMT)
+        wb = wire_vector(b, "b", np.zeros(3), FMT)
+        with pytest.raises(ValueError):
+            zk_dense(b, FMT, wx, ww, wb)
+
+    def test_bias_is_free(self, nprng):
+        """Folding the bias must not add constraints over the biasless case."""
+
+        def build(with_bias):
+            b = CircuitBuilder("dense")
+            ww = wire_matrix(b, "W", np.ones((2, 3)), FMT)
+            wx = wire_vector(b, "x", np.ones(3), FMT)
+            wb = wire_vector(b, "b", np.ones(2) * with_bias, FMT)
+            zk_dense(b, FMT, wx, ww, wb)
+            return b.cs.num_constraints
+
+        assert build(0.0) == build(1.0)
+
+
+class TestAverage:
+    @pytest.mark.parametrize("rows", [2, 3, 4, 5, 8])
+    def test_matches_numpy_mean(self, rows, nprng):
+        data = nprng.uniform(-2, 2, (rows, 4))
+        b = CircuitBuilder("avg")
+        wm = wire_matrix(b, "M", data, FMT)
+        out = zk_average_rows(b, FMT, wm)
+        b.check()
+        got = decode_vector(FMT, out)
+        # Floor division in fixed point: error below one resolution step.
+        np.testing.assert_allclose(got, data.mean(axis=0), atol=2e-4)
+
+    def test_average2d_alias(self, nprng):
+        data = nprng.uniform(-1, 1, (4, 4))
+        b = CircuitBuilder("avg2d")
+        out = zk_average2d(b, FMT, wire_matrix(b, "M", data, FMT))
+        b.check()
+        np.testing.assert_allclose(
+            decode_vector(FMT, out), data.mean(axis=0), atol=2e-4
+        )
+
+    def test_empty_rejected(self):
+        b = CircuitBuilder("avg")
+        with pytest.raises(ValueError):
+            zk_average_rows(b, FMT, [])
+
+    def test_single_row_is_identity(self, nprng):
+        data = nprng.uniform(-1, 1, (1, 3))
+        b = CircuitBuilder("avg")
+        out = zk_average_rows(b, FMT, wire_matrix(b, "M", data, FMT))
+        np.testing.assert_allclose(decode_vector(FMT, out), data[0], atol=1e-4)

@@ -1,0 +1,78 @@
+"""Tests for zk max pooling."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.fixedpoint import FixedPointFormat
+from repro.gadgets.conv import wire_tensor3
+from repro.gadgets.pooling import zk_max, zk_max_of, zk_maxpool2d
+
+FMT = FixedPointFormat(frac_bits=16, total_bits=48)
+
+
+def maxpool_reference(x, pool, stride):
+    c, h, w = x.shape
+    oh = (h - pool) // stride + 1
+    ow = (w - pool) // stride + 1
+    out = np.zeros((c, oh, ow))
+    for ch in range(c):
+        for i in range(oh):
+            for j in range(ow):
+                out[ch, i, j] = x[
+                    ch, i * stride : i * stride + pool, j * stride : j * stride + pool
+                ].max()
+    return out
+
+
+class TestZkMax:
+    @pytest.mark.parametrize("a,b_val", [(1.0, 2.0), (2.0, 1.0), (-1.5, -1.4), (0.0, 0.0)])
+    def test_pairwise(self, a, b_val):
+        builder = CircuitBuilder("max")
+        wa = builder.private_input("a", FMT.encode(a))
+        wb = builder.private_input("b", FMT.encode(b_val))
+        out = zk_max(builder, FMT, wa, wb)
+        builder.check()
+        assert FMT.decode(out.value) == pytest.approx(max(a, b_val), abs=FMT.resolution())
+
+    def test_max_of_sequence(self, nprng):
+        values = nprng.uniform(-3, 3, 7)
+        builder = CircuitBuilder("max")
+        ws = [builder.private_input(f"x{i}", FMT.encode(v)) for i, v in enumerate(values)]
+        out = zk_max_of(builder, FMT, ws)
+        builder.check()
+        assert FMT.decode(out.value) == pytest.approx(values.max(), abs=FMT.resolution())
+
+    def test_max_of_empty_rejected(self):
+        builder = CircuitBuilder("max")
+        with pytest.raises(ValueError):
+            zk_max_of(builder, FMT, [])
+
+    def test_max_of_single(self):
+        builder = CircuitBuilder("max")
+        w = builder.private_input("x", FMT.encode(5.0))
+        assert zk_max_of(builder, FMT, [w]) is w
+
+
+class TestMaxPool:
+    @pytest.mark.parametrize("pool,stride", [(2, 1), (2, 2), (3, 1)])
+    def test_matches_reference(self, pool, stride, nprng):
+        x = nprng.uniform(-2, 2, (2, 5, 5))
+        builder = CircuitBuilder("mp")
+        wx = wire_tensor3(builder, "x", x, FMT)
+        out = zk_maxpool2d(builder, FMT, wx, pool, stride)
+        builder.check()
+        got = np.array(
+            [[[FMT.decode(w.value) for w in row] for row in ch] for ch in out]
+        )
+        np.testing.assert_allclose(
+            got, maxpool_reference(x, pool, stride), atol=FMT.resolution()
+        )
+
+    def test_table2_pooling_config(self, nprng):
+        """MP(2,1), the CIFAR-10 architecture's pooling."""
+        x = nprng.uniform(0, 1, (1, 4, 4))
+        builder = CircuitBuilder("mp")
+        wx = wire_tensor3(builder, "x", x, FMT)
+        out = zk_maxpool2d(builder, FMT, wx, 2, 1)
+        assert len(out[0]) == 3 and len(out[0][0]) == 3

@@ -1,0 +1,116 @@
+"""Tests for hard thresholding and the BER circuit."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.fixedpoint import FixedPointFormat
+from repro.gadgets.ber import mismatch_budget, zk_ber
+from repro.gadgets.threshold import zk_hard_threshold, zk_hard_threshold_vector
+
+FMT = FixedPointFormat(frac_bits=16, total_bits=48)
+
+
+class TestHardThreshold:
+    @pytest.mark.parametrize(
+        "x,beta,expected",
+        [
+            (0.6, 0.5, 1),
+            (0.5, 0.5, 1),  # boundary: >= beta
+            (0.4999, 0.5, 0),
+            (-1.0, 0.5, 0),
+            (0.0, 0.0, 1),
+            (-0.1, 0.0, 0),
+        ],
+    )
+    def test_semantics(self, x, beta, expected):
+        b = CircuitBuilder("th")
+        w = b.private_input("x", FMT.encode(x))
+        out = zk_hard_threshold(b, FMT, w, beta=beta)
+        b.check()
+        assert out.value == expected
+
+    def test_vector(self):
+        b = CircuitBuilder("th")
+        values = [0.1, 0.5, 0.9]
+        ws = [b.private_input(f"x{i}", FMT.encode(v)) for i, v in enumerate(values)]
+        outs = zk_hard_threshold_vector(b, FMT, ws)
+        b.check()
+        assert [w.value for w in outs] == [0, 1, 1]
+
+    def test_output_is_boolean_constrained(self):
+        """The threshold bit must be usable directly as a watermark bit."""
+        b = CircuitBuilder("th")
+        w = b.private_input("x", FMT.encode(0.7))
+        out = zk_hard_threshold(b, FMT, w)
+        # xor with itself must synthesize fine (requires well-formed bit).
+        assert b.xor_(out, out).value == 0
+        b.check()
+
+
+class TestMismatchBudget:
+    @pytest.mark.parametrize(
+        "bits,theta,expected",
+        [(32, 0.0, 0), (32, 0.1, 3), (32, 0.5, 16), (8, 1.0, 8), (8, 0.124, 0)],
+    )
+    def test_values(self, bits, theta, expected):
+        assert mismatch_budget(bits, theta) == expected
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            mismatch_budget(8, 1.5)
+        with pytest.raises(ValueError):
+            mismatch_budget(8, -0.1)
+
+
+class TestZkBer:
+    def _run(self, wm, ext, theta):
+        b = CircuitBuilder("ber")
+        wm_w = [b.allocate_bit(f"w{i}", v) for i, v in enumerate(wm)]
+        ex_w = [b.allocate_bit(f"e{i}", v) for i, v in enumerate(ext)]
+        result = zk_ber(b, wm_w, ex_w, theta)
+        b.check()
+        return result
+
+    def test_identical_bits_pass_zero_theta(self):
+        result = self._run([1, 0, 1, 1], [1, 0, 1, 1], theta=0.0)
+        assert result.valid.value == 1
+        assert result.mismatches.value == 0
+
+    def test_one_flip_fails_zero_theta(self):
+        result = self._run([1, 0, 1, 1], [1, 1, 1, 1], theta=0.0)
+        assert result.valid.value == 0
+        assert result.mismatches.value == 1
+
+    def test_one_flip_passes_quarter_theta(self):
+        result = self._run([1, 0, 1, 1], [1, 1, 1, 1], theta=0.25)
+        assert result.valid.value == 1
+
+    def test_boundary_exactly_at_budget(self):
+        # 2 mismatches of 8 bits, theta = 0.25 -> budget 2 -> pass.
+        wm = [0] * 8
+        ext = [1, 1] + [0] * 6
+        assert self._run(wm, ext, 0.25).valid.value == 1
+
+    def test_boundary_one_over_budget(self):
+        wm = [0] * 8
+        ext = [1, 1, 1] + [0] * 5
+        assert self._run(wm, ext, 0.25).valid.value == 0
+
+    def test_all_bits_wrong(self):
+        result = self._run([0, 1] * 4, [1, 0] * 4, theta=0.5)
+        assert result.mismatches.value == 8
+        assert result.valid.value == 0
+
+    def test_theta_one_always_passes(self):
+        assert self._run([0, 1] * 4, [1, 0] * 4, theta=1.0).valid.value == 1
+
+    def test_length_mismatch(self):
+        b = CircuitBuilder("ber")
+        wm = [b.allocate_bit("w", 1)]
+        with pytest.raises(ValueError):
+            zk_ber(b, wm, [], 0.0)
+
+    def test_empty_watermark_rejected(self):
+        b = CircuitBuilder("ber")
+        with pytest.raises(ValueError):
+            zk_ber(b, [], [], 0.0)

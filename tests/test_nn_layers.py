@@ -1,0 +1,232 @@
+"""Tests for neural-network layers, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    col2im,
+    im2col,
+)
+
+EPS = 1e-5
+TOL = 1e-4
+
+
+def numeric_grad_wrt_input(layer, x, grad_out):
+    """Finite-difference gradient of sum(out * grad_out) wrt x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        plus = float((layer.forward(x) * grad_out).sum())
+        flat[i] = orig - EPS
+        minus = float((layer.forward(x) * grad_out).sum())
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * EPS)
+    return grad
+
+
+def numeric_grad_wrt_param(layer, x, grad_out, pname):
+    param = layer.params[pname]
+    grad = np.zeros_like(param)
+    flat = param.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        plus = float((layer.forward(x) * grad_out).sum())
+        flat[i] = orig - EPS
+        minus = float((layer.forward(x) * grad_out).sum())
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * EPS)
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self, nprng):
+        layer = Dense(4, 3, rng=nprng)
+        assert layer.forward(nprng.normal(size=(5, 4))).shape == (5, 3)
+
+    def test_forward_matches_numpy(self, nprng):
+        layer = Dense(4, 3, rng=nprng)
+        x = nprng.normal(size=(2, 4))
+        np.testing.assert_allclose(
+            layer.forward(x), x @ layer.params["W"].T + layer.params["b"]
+        )
+
+    def test_input_gradient(self, nprng):
+        layer = Dense(4, 3, rng=nprng)
+        x = nprng.normal(size=(2, 4))
+        grad_out = nprng.normal(size=(2, 3))
+        layer.forward(x, training=True)
+        layer.grads.clear()
+        got = layer.backward(grad_out)
+        np.testing.assert_allclose(
+            got, numeric_grad_wrt_input(layer, x, grad_out), atol=TOL
+        )
+
+    @pytest.mark.parametrize("pname", ["W", "b"])
+    def test_param_gradients(self, pname, nprng):
+        layer = Dense(4, 3, rng=nprng)
+        x = nprng.normal(size=(2, 4))
+        grad_out = nprng.normal(size=(2, 3))
+        layer.forward(x, training=True)
+        layer.grads.clear()
+        layer.backward(grad_out)
+        np.testing.assert_allclose(
+            layer.grads[pname],
+            numeric_grad_wrt_param(layer, x, grad_out, pname),
+            atol=TOL,
+        )
+
+    def test_gradients_accumulate(self, nprng):
+        layer = Dense(3, 2, rng=nprng)
+        x = nprng.normal(size=(2, 3))
+        grad_out = nprng.normal(size=(2, 2))
+        layer.forward(x, training=True)
+        layer.grads.clear()
+        layer.backward(grad_out)
+        first = layer.grads["W"].copy()
+        layer.forward(x, training=True)
+        layer.backward(grad_out)
+        np.testing.assert_allclose(layer.grads["W"], 2 * first)
+
+    def test_backward_without_forward_raises(self, nprng):
+        layer = Dense(3, 2, rng=nprng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        np.testing.assert_allclose(layer.forward(x), [[0, 0, 2]])
+
+    def test_relu_gradient(self, nprng):
+        layer = ReLU()
+        x = nprng.normal(size=(3, 5)) + 0.1  # avoid the kink
+        grad_out = nprng.normal(size=(3, 5))
+        layer.forward(x, training=True)
+        got = layer.backward(grad_out)
+        np.testing.assert_allclose(
+            got, numeric_grad_wrt_input(layer, x, grad_out), atol=TOL
+        )
+
+    def test_sigmoid_forward_range(self, nprng):
+        layer = Sigmoid()
+        out = layer.forward(nprng.normal(size=(4, 4)) * 3)
+        assert ((out > 0) & (out < 1)).all()
+
+    def test_sigmoid_gradient(self, nprng):
+        layer = Sigmoid()
+        x = nprng.normal(size=(2, 3))
+        grad_out = nprng.normal(size=(2, 3))
+        layer.forward(x, training=True)
+        got = layer.backward(grad_out)
+        np.testing.assert_allclose(
+            got, numeric_grad_wrt_input(layer, x, grad_out), atol=TOL
+        )
+
+
+class TestIm2Col:
+    def test_round_trip_counts_overlaps(self, nprng):
+        x = nprng.normal(size=(2, 3, 4, 4))
+        cols, _ = im2col(x, kernel=2, stride=2)  # non-overlapping
+        back = col2im(cols, x.shape, kernel=2, stride=2)
+        np.testing.assert_allclose(back, x)
+
+    def test_shapes(self, nprng):
+        cols, (oh, ow) = im2col(nprng.normal(size=(1, 2, 5, 5)), 3, 1)
+        assert (oh, ow) == (3, 3)
+        assert cols.shape == (1, 9, 18)
+
+
+class TestConv2D:
+    def test_forward_shape(self, nprng):
+        layer = Conv2D(3, 8, kernel=3, stride=2, rng=nprng)
+        out = layer.forward(nprng.normal(size=(2, 3, 9, 9)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_input_gradient(self, nprng):
+        layer = Conv2D(2, 3, kernel=2, stride=1, rng=nprng)
+        x = nprng.normal(size=(2, 2, 4, 4))
+        grad_out = nprng.normal(size=(2, 3, 3, 3))
+        layer.forward(x, training=True)
+        layer.grads.clear()
+        got = layer.backward(grad_out)
+        np.testing.assert_allclose(
+            got, numeric_grad_wrt_input(layer, x, grad_out), atol=TOL
+        )
+
+    @pytest.mark.parametrize("pname", ["W", "b"])
+    def test_param_gradients(self, pname, nprng):
+        layer = Conv2D(2, 3, kernel=2, stride=1, rng=nprng)
+        x = nprng.normal(size=(2, 2, 4, 4))
+        grad_out = nprng.normal(size=(2, 3, 3, 3))
+        layer.forward(x, training=True)
+        layer.grads.clear()
+        layer.backward(grad_out)
+        np.testing.assert_allclose(
+            layer.grads[pname],
+            numeric_grad_wrt_param(layer, x, grad_out, pname),
+            atol=TOL,
+        )
+
+    def test_strided_gradient(self, nprng):
+        layer = Conv2D(1, 2, kernel=3, stride=2, rng=nprng)
+        x = nprng.normal(size=(1, 1, 7, 7))
+        grad_out = nprng.normal(size=(1, 2, 3, 3))
+        layer.forward(x, training=True)
+        layer.grads.clear()
+        got = layer.backward(grad_out)
+        np.testing.assert_allclose(
+            got, numeric_grad_wrt_input(layer, x, grad_out), atol=TOL
+        )
+
+
+class TestMaxPool:
+    def test_forward_matches_reference(self, nprng):
+        layer = MaxPool2D(pool=2, stride=2)
+        x = nprng.normal(size=(1, 1, 4, 4))
+        out = layer.forward(x)
+        expected = x.reshape(1, 1, 2, 2, 2, 2).max(axis=(3, 5))
+        np.testing.assert_allclose(out, expected)
+
+    def test_gradient_routes_to_argmax(self, nprng):
+        layer = MaxPool2D(pool=2, stride=2)
+        x = nprng.normal(size=(2, 2, 4, 4))
+        grad_out = nprng.normal(size=(2, 2, 2, 2))
+        layer.forward(x, training=True)
+        got = layer.backward(grad_out)
+        np.testing.assert_allclose(
+            got, numeric_grad_wrt_input(layer, x, grad_out), atol=TOL
+        )
+
+    def test_overlapping_windows_gradient(self, nprng):
+        layer = MaxPool2D(pool=2, stride=1)
+        x = nprng.normal(size=(1, 1, 4, 4))
+        grad_out = nprng.normal(size=(1, 1, 3, 3))
+        layer.forward(x, training=True)
+        got = layer.backward(grad_out)
+        np.testing.assert_allclose(
+            got, numeric_grad_wrt_input(layer, x, grad_out), atol=TOL
+        )
+
+
+class TestFlatten:
+    def test_round_trip(self, nprng):
+        layer = Flatten()
+        x = nprng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 48)
+        back = layer.backward(out)
+        np.testing.assert_allclose(back, x)

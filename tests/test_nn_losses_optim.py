@@ -1,0 +1,146 @@
+"""Tests for losses (with gradient checks) and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.losses import (
+    accuracy,
+    binary_cross_entropy,
+    cross_entropy,
+    mean_squared_error,
+    softmax,
+)
+from repro.nn.optim import SGD, Adam
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, nprng):
+        probs = softmax(nprng.normal(size=(4, 7)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4))
+
+    def test_shift_invariance(self, nprng):
+        logits = nprng.normal(size=(2, 5))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100))
+
+    def test_large_values_stable(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss, _ = cross_entropy(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_gradient_finite_difference(self, nprng):
+        logits = nprng.normal(size=(3, 4))
+        labels = np.array([0, 2, 1])
+        _, grad = cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                logits[i, j] += eps
+                plus, _ = cross_entropy(logits, labels)
+                logits[i, j] -= 2 * eps
+                minus, _ = cross_entropy(logits, labels)
+                logits[i, j] += eps
+                assert grad[i, j] == pytest.approx((plus - minus) / (2 * eps), abs=1e-4)
+
+
+class TestBinaryCrossEntropy:
+    def test_matched_targets_low_loss(self):
+        probs = np.array([0.999, 0.001])
+        targets = np.array([1.0, 0.0])
+        loss, _ = binary_cross_entropy(probs, targets)
+        assert loss < 0.01
+
+    def test_gradient_finite_difference(self, nprng):
+        probs = nprng.uniform(0.1, 0.9, 5)
+        targets = nprng.integers(0, 2, 5).astype(float)
+        _, grad = binary_cross_entropy(probs, targets)
+        eps = 1e-7
+        for i in range(5):
+            probs[i] += eps
+            plus, _ = binary_cross_entropy(probs, targets)
+            probs[i] -= 2 * eps
+            minus, _ = binary_cross_entropy(probs, targets)
+            probs[i] += eps
+            assert grad[i] == pytest.approx((plus - minus) / (2 * eps), rel=1e-3)
+
+    def test_clipping_avoids_nan(self):
+        loss, grad = binary_cross_entropy(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss)
+        assert np.isfinite(grad).all()
+
+
+class TestMse:
+    def test_zero_at_match(self, nprng):
+        x = nprng.normal(size=(3, 3))
+        loss, grad = mean_squared_error(x, x.copy())
+        assert loss == 0
+        np.testing.assert_allclose(grad, 0)
+
+    def test_gradient_finite_difference(self, nprng):
+        pred = nprng.normal(size=4)
+        target = nprng.normal(size=4)
+        _, grad = mean_squared_error(pred, target)
+        eps = 1e-6
+        for i in range(4):
+            pred[i] += eps
+            plus, _ = mean_squared_error(pred, target)
+            pred[i] -= 2 * eps
+            minus, _ = mean_squared_error(pred, target)
+            pred[i] += eps
+            assert grad[i] == pytest.approx((plus - minus) / (2 * eps), abs=1e-4)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.eye(3)
+        assert accuracy(logits, np.array([0, 1, 2])) == 1.0
+
+    def test_none_correct(self):
+        logits = np.eye(2)
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+
+def _quadratic_layer(start):
+    """A Dense layer set up so training minimizes ||W||^2 via grads = 2W."""
+    layer = Dense(1, 1, rng=np.random.default_rng(0))
+    layer.params["W"][:] = start
+    return layer
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("opt", [SGD(0.1), SGD(0.05, momentum=0.9), Adam(0.1)])
+    def test_minimizes_quadratic(self, opt):
+        layer = _quadratic_layer(5.0)
+        for _ in range(200):
+            layer.grads["W"] = 2 * layer.params["W"]
+            layer.grads["b"] = np.zeros_like(layer.params["b"])
+            opt.step([layer])
+            opt.zero_grad([layer])
+        assert abs(layer.params["W"].item()) < 0.05
+
+    def test_zero_grad_clears(self):
+        layer = _quadratic_layer(1.0)
+        layer.grads["W"] = np.ones_like(layer.params["W"])
+        SGD(0.1).zero_grad([layer])
+        assert not layer.grads
+
+    def test_step_skips_missing_grads(self):
+        layer = _quadratic_layer(1.0)
+        before = layer.params["W"].copy()
+        SGD(0.1).step([layer])  # no grads set
+        np.testing.assert_allclose(layer.params["W"], before)
+
+    def test_adam_state_is_per_parameter(self):
+        layer1 = _quadratic_layer(1.0)
+        layer2 = _quadratic_layer(1.0)
+        opt = Adam(0.1)
+        layer1.grads["W"] = np.ones((1, 1))
+        layer2.grads["W"] = -np.ones((1, 1))
+        opt.step([layer1, layer2])
+        assert layer1.params["W"].item() < 1.0 < layer2.params["W"].item()

@@ -1,0 +1,183 @@
+"""Tests for Sequential, training helpers, and weight persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.losses import cross_entropy
+from repro.nn.model import Sequential, evaluate_classifier, train_classifier
+from repro.nn.optim import SGD, Adam
+from repro.nn.io import load_weights, save_weights
+from repro.nn.architectures import (
+    cifar10_cnn,
+    cifar10_cnn_scaled,
+    mnist_mlp,
+    mnist_mlp_scaled,
+)
+
+
+def tiny_model(rng):
+    return Sequential([Dense(4, 8, rng=rng), ReLU(), Dense(8, 3, rng=rng)])
+
+
+class TestForward:
+    def test_forward_shape(self, nprng):
+        model = tiny_model(nprng)
+        assert model.forward(nprng.normal(size=(5, 4))).shape == (5, 3)
+
+    def test_call_alias(self, nprng):
+        model = tiny_model(nprng)
+        x = nprng.normal(size=(2, 4))
+        np.testing.assert_allclose(model(x), model.forward(x))
+
+    def test_predict(self, nprng):
+        model = tiny_model(nprng)
+        preds = model.predict(nprng.normal(size=(6, 4)))
+        assert preds.shape == (6,)
+        assert ((preds >= 0) & (preds < 3)).all()
+
+    def test_forward_collect_layers(self, nprng):
+        model = tiny_model(nprng)
+        acts = model.forward_collect(nprng.normal(size=(2, 4)))
+        assert len(acts) == 3
+        assert acts[0].shape == (2, 8)
+        assert acts[-1].shape == (2, 3)
+
+    def test_forward_to_matches_collect(self, nprng):
+        model = tiny_model(nprng)
+        x = nprng.normal(size=(2, 4))
+        acts = model.forward_collect(x)
+        np.testing.assert_allclose(model.forward_to(x, 1), acts[1])
+
+
+class TestBackward:
+    def test_backward_from_matches_partial_finite_diff(self, nprng):
+        """Injecting a gradient at layer 1 must reach Dense 0's params."""
+        model = tiny_model(nprng)
+        x = nprng.normal(size=(3, 4))
+        grad = nprng.normal(size=(3, 8))
+        model.forward_to(x, 1, training=True)
+        model.layers[0].grads.clear()
+        model.backward_from(grad, 1)
+        # Finite differences through layers 0..1 only.
+        w = model.layers[0].params["W"]
+        eps = 1e-5
+        num = np.zeros_like(w)
+        for i in range(w.shape[0]):
+            for j in range(w.shape[1]):
+                orig = w[i, j]
+                w[i, j] = orig + eps
+                plus = float((model.forward_to(x, 1) * grad).sum())
+                w[i, j] = orig - eps
+                minus = float((model.forward_to(x, 1) * grad).sum())
+                w[i, j] = orig
+                num[i, j] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(model.layers[0].grads["W"], num, atol=1e-4)
+
+
+class TestWeights:
+    def test_get_set_round_trip(self, nprng):
+        model = tiny_model(nprng)
+        weights = model.get_weights()
+        model.set_weights([w * 0 for w in weights])
+        assert all((w == 0).all() for w in model.get_weights())
+        model.set_weights(weights)
+        for a, b in zip(model.get_weights(), weights):
+            np.testing.assert_allclose(a, b)
+
+    def test_set_weights_shape_mismatch(self, nprng):
+        model = tiny_model(nprng)
+        weights = model.get_weights()
+        weights[0] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.set_weights(weights)
+
+    def test_set_weights_count_mismatch(self, nprng):
+        model = tiny_model(nprng)
+        with pytest.raises(ValueError):
+            model.set_weights([])
+
+    def test_copy_is_independent(self, nprng):
+        model = tiny_model(nprng)
+        clone = model.copy()
+        clone.layers[0].params["W"][:] = 0
+        assert not (model.layers[0].params["W"] == 0).all()
+
+    def test_num_parameters(self, nprng):
+        model = tiny_model(nprng)
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_save_load(self, nprng, tmp_path):
+        model = tiny_model(nprng)
+        path = tmp_path / "weights.npz"
+        save_weights(model, path)
+        other = tiny_model(np.random.default_rng(999))
+        load_weights(other, path)
+        x = nprng.normal(size=(2, 4))
+        np.testing.assert_allclose(other.forward(x), model.forward(x))
+
+
+class TestTraining:
+    def test_loss_decreases(self, nprng):
+        from repro.datasets import mnist_like
+
+        data = mnist_like(300, 50, image_size=4, seed=3)
+        model = Sequential([Dense(16, 16, rng=nprng), ReLU(), Dense(16, 10, rng=nprng)])
+        history = train_classifier(
+            model, data.x_train, data.y_train, Adam(0.005),
+            epochs=6, batch_size=32, rng=nprng,
+        )
+        assert history[-1] < history[0]
+
+    def test_accuracy_above_chance(self, nprng):
+        from repro.datasets import mnist_like
+
+        data = mnist_like(400, 100, image_size=4, seed=3)
+        model = Sequential([Dense(16, 16, rng=nprng), ReLU(), Dense(16, 10, rng=nprng)])
+        train_classifier(
+            model, data.x_train, data.y_train, Adam(0.005),
+            epochs=8, batch_size=32, rng=nprng,
+        )
+        assert evaluate_classifier(model, data.x_test, data.y_test) > 0.3
+
+    def test_callback_invoked(self, nprng):
+        from repro.datasets import mnist_like
+
+        data = mnist_like(100, 10, image_size=4, seed=3)
+        model = tiny_model(nprng)
+        seen = []
+        # 4-dim model vs 16-dim data: use matching tiny data instead.
+        model = Sequential([Dense(16, 4, rng=nprng), ReLU(), Dense(4, 10, rng=nprng)])
+        train_classifier(
+            model, data.x_train, data.y_train, SGD(0.01),
+            epochs=2, rng=nprng, callback=lambda e, l: seen.append(e),
+        )
+        assert seen == [0, 1]
+
+
+class TestArchitectures:
+    def test_table2_mlp_shape(self):
+        model = mnist_mlp(np.random.default_rng(0))
+        assert model.forward(np.zeros((1, 784))).shape == (1, 10)
+        # 784-FC(512)-FC(512)-FC(10) parameter count.
+        expected = 784 * 512 + 512 + 512 * 512 + 512 + 512 * 10 + 10
+        assert model.num_parameters() == expected
+
+    def test_table2_cnn_shape(self):
+        model = cifar10_cnn(np.random.default_rng(0))
+        assert model.forward(np.zeros((1, 3, 32, 32))).shape == (1, 10)
+
+    def test_scaled_mlp_mirrors_shape(self):
+        model = mnist_mlp_scaled(input_dim=64, hidden=16)
+        # Same layer sequence as the paper MLP: 3 Dense, 2 ReLU.
+        names = [type(l).__name__ for l in model.layers]
+        paper_names = [type(l).__name__ for l in mnist_mlp().layers]
+        assert names == paper_names
+
+    def test_scaled_cnn_forward(self):
+        model = cifar10_cnn_scaled(image_size=12, channels=4)
+        assert model.forward(np.zeros((2, 3, 12, 12))).shape == (2, 10)
+
+    def test_scaled_cnn_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            cifar10_cnn_scaled(image_size=6)

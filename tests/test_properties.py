@@ -1,0 +1,148 @@
+"""Cross-layer property tests (hypothesis).
+
+Random structures flowing through multiple layers of the stack: random
+linear circuits through Groth16, random values through fixed-point
+gadgets, adversarial byte strings through the decoders.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.fixedpoint import FixedPointFormat
+from repro.curves.serialize import PointDecodingError, g1_from_bytes, g2_from_bytes
+from repro.field.prime import BN254_R as R
+from repro.snark import prove, setup, verify
+
+FMT = FixedPointFormat(frac_bits=12, total_bits=36)
+
+
+class TestRandomCircuitsThroughGroth16:
+    @settings(max_examples=3, deadline=None)
+    @given(
+        xs=st.lists(
+            st.integers(min_value=-1000, max_value=1000), min_size=2, max_size=4
+        ),
+        data=st.data(),
+    )
+    def test_random_polynomial_circuit_roundtrip(self, xs, data):
+        """Random products/sums of private inputs prove and verify."""
+        b = CircuitBuilder("random")
+        out = b.public_output("out")
+        wires = [b.private_input(f"x{i}", v) for i, v in enumerate(xs)]
+        acc = wires[0]
+        for w in wires[1:]:
+            if data.draw(st.booleans()):
+                acc = b.mul(acc, w)
+            else:
+                acc = acc + w
+        b.bind_output(out, acc)
+        b.check()
+        kp = setup(b.cs, seed=1)
+        proof = prove(kp.proving_key, b.cs, b.assignment, seed=2)
+        assert verify(kp.verifying_key, b.public_values(), proof)
+        # And the negated instance must fail.
+        wrong = [(b.public_values()[0] + 1) % R]
+        assert not verify(kp.verifying_key, wrong, proof)
+
+
+class TestFixedPointProperties:
+    @given(
+        x=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        y=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    )
+    def test_mul_commutes_in_circuit(self, x, y):
+        b = CircuitBuilder("fp")
+        wx = b.private_input("x", FMT.encode(x))
+        wy = b.private_input("y", FMT.encode(y))
+        xy = FMT.mul(b, wx, wy)
+        yx = FMT.mul(b, wy, wx)
+        assert abs(FMT.decode(xy.value) - FMT.decode(yx.value)) <= 2 * FMT.resolution()
+
+    @given(x=st.floats(min_value=-50, max_value=50, allow_nan=False))
+    def test_relu_idempotent(self, x):
+        from repro.gadgets.activation import zk_relu
+
+        b = CircuitBuilder("fp")
+        w = b.private_input("x", FMT.encode(x))
+        once = zk_relu(b, FMT, w)
+        twice = zk_relu(b, FMT, once)
+        assert once.value == twice.value
+        b.check()
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_max_of_ge_all_elements(self, values):
+        from repro.gadgets.pooling import zk_max_of
+
+        b = CircuitBuilder("max")
+        ws = [b.private_input(f"x{i}", FMT.encode(v)) for i, v in enumerate(values)]
+        m = zk_max_of(b, FMT, ws)
+        decoded = FMT.decode(m.value)
+        for v in values:
+            assert decoded >= v - FMT.resolution()
+        b.check()
+
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=12)
+    )
+    def test_ber_self_comparison_always_valid(self, bits):
+        from repro.gadgets.ber import zk_ber
+
+        b = CircuitBuilder("ber")
+        wm = [b.allocate_bit(f"w{i}", v) for i, v in enumerate(bits)]
+        ext = [b.allocate_bit(f"e{i}", v) for i, v in enumerate(bits)]
+        result = zk_ber(b, wm, ext, theta=0.0)
+        assert result.valid.value == 1
+        assert result.mismatches.value == 0
+        b.check()
+
+
+class TestDecoderFuzz:
+    @given(data=st.binary(min_size=32, max_size=32))
+    def test_g1_decoder_never_crashes(self, data):
+        """Random bytes either decode to a valid on-curve point or raise
+        PointDecodingError -- never a different exception, never an
+        off-curve point."""
+        try:
+            point = g1_from_bytes(data)
+        except PointDecodingError:
+            return
+        assert point.is_on_curve()
+
+    @given(data=st.binary(min_size=64, max_size=64))
+    def test_g2_decoder_never_crashes(self, data):
+        try:
+            point = g2_from_bytes(data)
+        except PointDecodingError:
+            return
+        assert point.is_on_curve()
+
+
+class TestWitnessConsistency:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_resynthesis_is_deterministic(self, seed):
+        """Building the same gadget twice with the same inputs yields the
+        identical constraint system and witness."""
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-1, 1, 4)
+
+        def build():
+            b = CircuitBuilder("det")
+            ws = [b.private_input(f"x{i}", FMT.encode(v)) for i, v in enumerate(values)]
+            FMT.inner_product(b, ws, ws)
+            return b
+
+        b1, b2 = build(), build()
+        assert b1.assignment == b2.assignment
+        assert b1.structure_digest() == b2.structure_digest()

@@ -1,0 +1,119 @@
+"""Tests for watermark robustness under removal attacks.
+
+The DeepSigns claims the paper repeats: robustness to fine-tuning, pruning
+and overwriting.  The fixture model is small, so thresholds are chosen to
+be meaningful but not razor-thin; EXPERIMENTS.md discusses how robustness
+scales with feature width.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import evaluate_classifier
+from repro.watermark import (
+    extract_watermark,
+    finetune_attack,
+    overwrite_attack,
+    prune_attack,
+    quantization_attack,
+    weight_noise_attack,
+)
+
+
+class TestFinetuneAttack:
+    def test_watermark_survives(self, watermarked_mlp):
+        model, keys, data = watermarked_mlp
+        attacked = finetune_attack(model, data.x_train, data.y_train, epochs=2)
+        assert extract_watermark(attacked, keys).ber <= 0.125
+
+    def test_attack_does_not_mutate_original(self, watermarked_mlp):
+        model, keys, data = watermarked_mlp
+        before = [w.copy() for w in model.get_weights()]
+        finetune_attack(model, data.x_train, data.y_train, epochs=1)
+        for a, b in zip(model.get_weights(), before):
+            np.testing.assert_allclose(a, b)
+
+    def test_attack_changes_weights(self, watermarked_mlp):
+        model, keys, data = watermarked_mlp
+        attacked = finetune_attack(model, data.x_train, data.y_train, epochs=1)
+        changed = any(
+            not np.allclose(a, b)
+            for a, b in zip(attacked.get_weights(), model.get_weights())
+        )
+        assert changed
+
+
+class TestPruneAttack:
+    @pytest.mark.parametrize("fraction", [0.1, 0.3, 0.5])
+    def test_watermark_survives_pruning(self, watermarked_mlp, fraction):
+        model, keys, _ = watermarked_mlp
+        attacked = prune_attack(model, fraction)
+        assert extract_watermark(attacked, keys).ber <= 0.125
+
+    def test_pruning_zeroes_weights(self, watermarked_mlp):
+        model, _, _ = watermarked_mlp
+        attacked = prune_attack(model, 0.5)
+        w = attacked.layers[0].params["W"]
+        assert (w == 0).mean() >= 0.45
+
+    def test_invalid_fraction(self, watermarked_mlp):
+        model, _, _ = watermarked_mlp
+        with pytest.raises(ValueError):
+            prune_attack(model, 1.5)
+
+    def test_zero_fraction_is_identity(self, watermarked_mlp):
+        model, _, _ = watermarked_mlp
+        attacked = prune_attack(model, 0.0)
+        for a, b in zip(attacked.get_weights(), model.get_weights()):
+            np.testing.assert_allclose(a, b)
+
+
+class TestNoiseAttack:
+    def test_small_noise_survives(self, watermarked_mlp):
+        model, keys, _ = watermarked_mlp
+        attacked = weight_noise_attack(model, scale=0.02, seed=3)
+        assert extract_watermark(attacked, keys).ber <= 0.125
+
+    def test_noise_changes_weights(self, watermarked_mlp):
+        model, _, _ = watermarked_mlp
+        attacked = weight_noise_attack(model, scale=0.1, seed=3)
+        assert not np.allclose(
+            attacked.layers[0].params["W"], model.layers[0].params["W"]
+        )
+
+
+class TestQuantizationAttack:
+    @pytest.mark.parametrize("bits", [4, 6, 8])
+    def test_watermark_survives_quantization(self, watermarked_mlp, bits):
+        model, keys, _ = watermarked_mlp
+        attacked = quantization_attack(model, bits)
+        assert extract_watermark(attacked, keys).ber <= 0.125
+
+    def test_quantization_reduces_distinct_values(self, watermarked_mlp):
+        model, _, _ = watermarked_mlp
+        attacked = quantization_attack(model, 4)
+        w = attacked.layers[0].params["W"]
+        assert len(np.unique(np.round(w, 10))) <= 17  # 2^4 + 1 grid points
+
+    def test_invalid_bits(self, watermarked_mlp):
+        model, _, _ = watermarked_mlp
+        with pytest.raises(ValueError):
+            quantization_attack(model, 0)
+
+
+class TestOverwriteAttack:
+    def test_owner_watermark_mostly_survives(self, watermarked_mlp):
+        """Overwriting with an adversary watermark must not erase the
+        owner's: BER stays far below the 0.5 of an unrelated model."""
+        model, keys, data = watermarked_mlp
+        attacked = overwrite_attack(
+            model, data.x_train, data.y_train, embed_layer=1, wm_bits=8
+        )
+        assert extract_watermark(attacked, keys).ber <= 0.375
+
+    def test_attacked_model_still_functional(self, watermarked_mlp):
+        model, keys, data = watermarked_mlp
+        attacked = overwrite_attack(
+            model, data.x_train, data.y_train, embed_layer=1, wm_bits=8
+        )
+        assert evaluate_classifier(attacked, data.x_test, data.y_test) > 0.25

@@ -1,0 +1,90 @@
+"""Tests for embedding configuration paths and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import mnist_like
+from repro.nn import Adam, mnist_mlp_scaled, train_classifier
+from repro.watermark import EmbedConfig, embed_watermark, extract_watermark, generate_keys
+
+
+@pytest.fixture(scope="module")
+def fresh_setup():
+    rng = np.random.default_rng(10)
+    data = mnist_like(400, 100, image_size=4, seed=11)
+    model = mnist_mlp_scaled(input_dim=16, hidden=16, rng=rng)
+    train_classifier(model, data.x_train, data.y_train, Adam(0.005),
+                     epochs=4, batch_size=32, rng=rng)
+    keys = generate_keys(model, data.x_train, data.y_train,
+                         embed_layer=1, wm_bits=8, min_triggers=4, rng=rng)
+    keys.trigger_inputs = keys.trigger_inputs[:4]
+    return model, keys, data
+
+
+class TestEmbedConfigPaths:
+    def test_no_cluster_term(self, fresh_setup):
+        """lambda_cluster = 0 disables the GMM term; projection alone must
+        still drive BER down."""
+        model, keys, data = fresh_setup
+        clone = model.copy()
+        report = embed_watermark(
+            clone, keys, data.x_train, data.y_train,
+            config=EmbedConfig(epochs=15, seed=1, lambda_projection=5.0,
+                               lambda_cluster=0.0),
+        )
+        assert report.ber_after <= report.ber_before
+
+    def test_sparse_wm_steps(self, fresh_setup):
+        """A low wm_steps_per_epoch still records watermark losses."""
+        model, keys, data = fresh_setup
+        clone = model.copy()
+        report = embed_watermark(
+            clone, keys, data.x_train, data.y_train,
+            config=EmbedConfig(epochs=2, seed=1, wm_steps_per_epoch=1),
+        )
+        assert len(report.wm_loss_history) >= 2  # at least one per epoch
+
+    def test_zero_epochs_is_noop(self, fresh_setup):
+        model, keys, data = fresh_setup
+        clone = model.copy()
+        before = extract_watermark(clone, keys).ber
+        report = embed_watermark(
+            clone, keys, data.x_train, data.y_train,
+            config=EmbedConfig(epochs=0, seed=1),
+        )
+        assert report.ber_before == report.ber_after == before
+        for a, b in zip(clone.get_weights(), model.get_weights()):
+            np.testing.assert_allclose(a, b)
+
+    def test_custom_optimizer(self, fresh_setup):
+        from repro.nn import SGD
+
+        model, keys, data = fresh_setup
+        clone = model.copy()
+        report = embed_watermark(
+            clone, keys, data.x_train, data.y_train,
+            config=EmbedConfig(epochs=3, seed=1),
+            optimizer=SGD(0.01, momentum=0.9),
+        )
+        assert len(report.task_loss_history) == 3
+
+    def test_explicit_eval_split_used(self, fresh_setup):
+        model, keys, data = fresh_setup
+        clone = model.copy()
+        report = embed_watermark(
+            clone, keys, data.x_train, data.y_train,
+            data.x_test, data.y_test,
+            config=EmbedConfig(epochs=1, seed=1),
+        )
+        assert 0.0 <= report.accuracy_after <= 1.0
+
+    def test_wm_loss_decreases_over_training(self, fresh_setup):
+        model, keys, data = fresh_setup
+        clone = model.copy()
+        report = embed_watermark(
+            clone, keys, data.x_train, data.y_train,
+            config=EmbedConfig(epochs=20, seed=1, lambda_projection=5.0),
+        )
+        first = np.mean(report.wm_loss_history[:5])
+        last = np.mean(report.wm_loss_history[-5:])
+        assert last < first

@@ -1,0 +1,107 @@
+"""Tests for DeepSigns embedding and extraction.
+
+Checks the claims the paper inherits from DeepSigns: embedding reaches
+BER 0 without accuracy loss; extraction is deterministic; unrelated models
+do not carry the watermark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.watermark import (
+    EmbedConfig,
+    detect_watermark,
+    extract_watermark,
+    generate_keys,
+)
+
+
+class TestEmbedding:
+    def test_embedding_reaches_zero_ber(self, watermarked_mlp):
+        model, keys, _ = watermarked_mlp
+        assert extract_watermark(model, keys).ber == 0.0
+
+    def test_accuracy_preserved(self, watermarked_mlp):
+        """'ZKROWNN does not result in any lapses in model accuracy' -- the
+        embedding (DeepSigns) side must hold this too (within noise)."""
+        from repro.nn import evaluate_classifier
+
+        model, keys, data = watermarked_mlp
+        acc = evaluate_classifier(model, data.x_test, data.y_test)
+        assert acc > 0.25  # well above the 0.1 chance level
+
+    def test_extraction_matches_signature(self, watermarked_mlp):
+        model, keys, _ = watermarked_mlp
+        result = extract_watermark(model, keys)
+        np.testing.assert_array_equal(result.extracted_bits, keys.signature)
+
+    def test_extraction_margins_nontrivial(self, watermarked_mlp):
+        model, keys, _ = watermarked_mlp
+        result = extract_watermark(model, keys)
+        assert np.abs(result.projected - 0.5).min() > 0.05
+
+
+class TestExtraction:
+    def test_deterministic(self, watermarked_mlp):
+        model, keys, _ = watermarked_mlp
+        r1 = extract_watermark(model, keys)
+        r2 = extract_watermark(model, keys)
+        np.testing.assert_array_equal(r1.extracted_bits, r2.extracted_bits)
+        assert r1.ber == r2.ber
+
+    def test_detect_with_zero_theta(self, watermarked_mlp):
+        model, keys, _ = watermarked_mlp
+        assert detect_watermark(model, keys, theta=0.0)
+
+    def test_unrelated_model_not_detected(self, watermarked_mlp):
+        from repro.nn import mnist_mlp_scaled
+
+        _, keys, _ = watermarked_mlp
+        fresh = mnist_mlp_scaled(input_dim=16, hidden=16,
+                                 rng=np.random.default_rng(4242))
+        result = extract_watermark(fresh, keys)
+        assert result.ber > 0.2  # far from a match
+        assert not detect_watermark(fresh, keys, theta=0.1)
+
+    def test_wrong_keys_not_detected(self, watermarked_mlp):
+        """Another owner's keys must not claim this model."""
+        model, keys, data = watermarked_mlp
+        impostor = generate_keys(
+            model, data.x_train, data.y_train,
+            embed_layer=1, wm_bits=8, min_triggers=4,
+            rng=np.random.default_rng(777),
+        )
+        result = extract_watermark(model, impostor)
+        assert result.ber > 0.0
+
+    def test_projection_mismatch_raises(self, watermarked_mlp):
+        model, keys, _ = watermarked_mlp
+        import copy
+
+        bad = copy.deepcopy(keys)
+        bad.projection = np.zeros((7, 8))  # wrong feature dim
+        with pytest.raises(ValueError):
+            extract_watermark(model, bad)
+
+    def test_matches_respects_theta(self, watermarked_mlp):
+        model, keys, _ = watermarked_mlp
+        result = extract_watermark(model, keys)
+        assert result.matches(0.0)
+        assert result.matches(0.5)
+
+
+class TestEmbedReport:
+    def test_report_records_histories(self, watermarked_mlp):
+        # The session fixture already ran embedding; re-run a short one to
+        # check report bookkeeping on a copy.
+        from repro.watermark import embed_watermark
+
+        model, keys, data = watermarked_mlp
+        clone = model.copy()
+        report = embed_watermark(
+            clone, keys, data.x_train, data.y_train,
+            config=EmbedConfig(epochs=1, seed=0),
+        )
+        assert len(report.task_loss_history) == 1
+        assert len(report.wm_loss_history) >= 1
+        assert report.succeeded == (report.ber_after == 0.0)

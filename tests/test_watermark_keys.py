@@ -1,0 +1,156 @@
+"""Tests for DeepSigns watermark key generation and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import mnist_like
+from repro.nn import mnist_mlp_scaled
+from repro.watermark.keys import (
+    WatermarkKeys,
+    activation_feature_dim,
+    generate_keys,
+)
+
+
+@pytest.fixture(scope="module")
+def model_and_data():
+    rng = np.random.default_rng(1)
+    data = mnist_like(400, 50, image_size=4, seed=2)
+    model = mnist_mlp_scaled(input_dim=16, hidden=16, rng=rng)
+    return model, data
+
+
+class TestGeneration:
+    def test_shapes(self, model_and_data):
+        model, data = model_and_data
+        keys = generate_keys(
+            model, data.x_train, data.y_train,
+            embed_layer=1, wm_bits=8, rng=np.random.default_rng(3),
+        )
+        assert keys.projection.shape == (16, 8)
+        assert keys.signature.shape == (8,)
+        assert keys.num_bits == 8
+        assert keys.feature_dim == 16
+
+    def test_triggers_come_from_target_class(self, model_and_data):
+        model, data = model_and_data
+        keys = generate_keys(
+            model, data.x_train, data.y_train,
+            embed_layer=1, wm_bits=4, target_class=3,
+            rng=np.random.default_rng(3),
+        )
+        assert keys.target_class == 3
+        # Every trigger must be a training sample of class 3.
+        class3 = data.x_train[data.y_train == 3]
+        for trig in keys.trigger_inputs:
+            assert any(np.allclose(trig, row) for row in class3)
+
+    def test_trigger_fraction_respected(self, model_and_data):
+        model, data = model_and_data
+        keys = generate_keys(
+            model, data.x_train, data.y_train,
+            embed_layer=1, wm_bits=4, trigger_fraction=0.01,
+            min_triggers=2, rng=np.random.default_rng(3),
+        )
+        # 1% of 400 = 4 triggers.
+        assert keys.num_triggers == 4
+
+    def test_signature_is_binary(self, model_and_data):
+        model, data = model_and_data
+        keys = generate_keys(
+            model, data.x_train, data.y_train,
+            embed_layer=1, wm_bits=32, rng=np.random.default_rng(3),
+        )
+        assert set(np.unique(keys.signature)) <= {0, 1}
+
+    def test_invalid_layer_rejected(self, model_and_data):
+        model, data = model_and_data
+        with pytest.raises(ValueError):
+            generate_keys(
+                model, data.x_train, data.y_train,
+                embed_layer=99, wm_bits=4,
+            )
+
+    def test_missing_class_rejected(self, model_and_data):
+        model, data = model_and_data
+        with pytest.raises(ValueError):
+            generate_keys(
+                model, data.x_train, data.y_train,
+                embed_layer=1, wm_bits=4, target_class=42,
+            )
+
+    def test_keys_differ_per_rng(self, model_and_data):
+        model, data = model_and_data
+        k1 = generate_keys(model, data.x_train, data.y_train,
+                           embed_layer=1, wm_bits=8, rng=np.random.default_rng(1))
+        k2 = generate_keys(model, data.x_train, data.y_train,
+                           embed_layer=1, wm_bits=8, rng=np.random.default_rng(2))
+        assert not np.allclose(k1.projection, k2.projection)
+
+
+class TestValidation:
+    def _valid(self):
+        return WatermarkKeys(
+            embed_layer=1,
+            target_class=0,
+            trigger_inputs=np.zeros((2, 16)),
+            projection=np.zeros((16, 8)),
+            signature=np.zeros(8, dtype=np.int64),
+        )
+
+    def test_valid_passes(self):
+        self._valid().validate()
+
+    def test_projection_signature_mismatch(self):
+        keys = self._valid()
+        keys.signature = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ValueError):
+            keys.validate()
+
+    def test_non_binary_signature(self):
+        keys = self._valid()
+        keys.signature = np.full(8, 2)
+        with pytest.raises(ValueError):
+            keys.validate()
+
+    def test_empty_triggers(self):
+        keys = self._valid()
+        keys.trigger_inputs = np.zeros((0, 16))
+        with pytest.raises(ValueError):
+            keys.validate()
+
+    def test_non_2d_projection(self):
+        keys = self._valid()
+        keys.projection = np.zeros(16)
+        with pytest.raises(ValueError):
+            keys.validate()
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, model_and_data, tmp_path):
+        model, data = model_and_data
+        keys = generate_keys(
+            model, data.x_train, data.y_train,
+            embed_layer=1, wm_bits=8, rng=np.random.default_rng(5),
+        )
+        path = tmp_path / "keys.npz"
+        keys.save(path)
+        restored = WatermarkKeys.load(path)
+        assert restored.embed_layer == keys.embed_layer
+        assert restored.target_class == keys.target_class
+        np.testing.assert_allclose(restored.projection, keys.projection)
+        np.testing.assert_array_equal(restored.signature, keys.signature)
+        np.testing.assert_allclose(restored.trigger_inputs, keys.trigger_inputs)
+
+
+class TestFeatureDim:
+    def test_dense_layer(self, model_and_data):
+        model, _ = model_and_data
+        assert activation_feature_dim(model, 1, (16,)) == 16
+
+    def test_conv_layer(self):
+        from repro.nn import cifar10_cnn_scaled
+
+        model = cifar10_cnn_scaled(image_size=12, channels=4)
+        # After the first conv (stride 2): 4 x 5 x 5.
+        assert activation_feature_dim(model, 0, (3, 12, 12)) == 4 * 5 * 5

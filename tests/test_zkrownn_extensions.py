@@ -1,0 +1,124 @@
+"""Tests for the paper's extension capabilities.
+
+Section III-B.6: "ZKROWNN still works when the watermark is embedded in
+deeper layers, at the cost of higher prover complexity."
+Section IV-A:   "The DNN benchmarks use ReLU as the activation function,
+however we provide the capability of using sigmoid."
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import FixedPointFormat
+from repro.nn import Dense, ReLU, Sequential, Sigmoid
+from repro.watermark import extract_watermark
+from repro.watermark.keys import WatermarkKeys
+from repro.zkrownn import CircuitConfig, build_extraction_circuit
+
+FMT = FixedPointFormat(frac_bits=14, total_bits=40)
+
+
+def _keys_for(model, input_dim, embed_layer, wm_bits=4, triggers=2, seed=0):
+    rng = np.random.default_rng(seed)
+    trigger_inputs = rng.uniform(0, 1, (triggers, input_dim))
+    probe = model.forward_to(trigger_inputs[:1], embed_layer)
+    feature_dim = int(np.prod(probe.shape[1:]))
+    return WatermarkKeys(
+        embed_layer=embed_layer,
+        target_class=0,
+        trigger_inputs=trigger_inputs,
+        projection=rng.standard_normal((feature_dim, wm_bits)),
+        signature=rng.integers(0, 2, wm_bits).astype(np.int64),
+    )
+
+
+class TestDeeperEmbedding:
+    def _model(self):
+        rng = np.random.default_rng(3)
+        return Sequential(
+            [Dense(8, 8, rng=rng), ReLU(), Dense(8, 8, rng=rng), ReLU(),
+             Dense(8, 4, rng=rng)],
+        )
+
+    def test_deeper_layer_builds_and_matches_float(self):
+        model = self._model()
+        keys = _keys_for(model, 8, embed_layer=3)  # after the 2nd ReLU
+        config = CircuitConfig(theta=1.0, fixed_point=FMT)
+        circuit = build_extraction_circuit(model, keys, config)
+        circuit.builder.check()
+        float_bits = extract_watermark(model, keys).extracted_bits
+        assert circuit.extracted_bits == list(float_bits)
+
+    def test_deeper_layer_costs_more_constraints(self):
+        """'at the cost of higher prover complexity'."""
+        model = self._model()
+        shallow = _keys_for(model, 8, embed_layer=1)
+        deep = _keys_for(model, 8, embed_layer=3)
+        config = CircuitConfig(theta=1.0, fixed_point=FMT)
+        c_shallow = build_extraction_circuit(model, shallow, config)
+        c_deep = build_extraction_circuit(model, deep, config)
+        assert (
+            c_deep.constraint_system.num_constraints
+            > c_shallow.constraint_system.num_constraints
+        )
+
+    def test_deeper_layer_grows_public_instance(self):
+        """More layers public -> more weights in the instance -> larger VK."""
+        model = self._model()
+        shallow = _keys_for(model, 8, embed_layer=1)
+        deep = _keys_for(model, 8, embed_layer=3)
+        config = CircuitConfig(theta=1.0, fixed_point=FMT)
+        c_shallow = build_extraction_circuit(model, shallow, config)
+        c_deep = build_extraction_circuit(model, deep, config)
+        assert c_deep.constraint_system.num_public > c_shallow.constraint_system.num_public
+
+
+class TestSigmoidActivation:
+    def _model(self):
+        rng = np.random.default_rng(4)
+        return Sequential(
+            [Dense(6, 6, rng=rng), Sigmoid(), Dense(6, 4, rng=rng)],
+        )
+
+    def test_sigmoid_feedforward_builds(self):
+        model = self._model()
+        keys = _keys_for(model, 6, embed_layer=1)
+        config = CircuitConfig(theta=1.0, fixed_point=FMT)
+        circuit = build_extraction_circuit(model, keys, config)
+        circuit.builder.check()
+
+    def test_sigmoid_activations_approximate_float(self):
+        """In-circuit sigmoid activations track the float model closely
+        enough for watermark thresholding (Chebyshev approximation)."""
+        model = self._model()
+        keys = _keys_for(model, 6, embed_layer=1)
+        config = CircuitConfig(theta=1.0, fixed_point=FMT)
+        circuit = build_extraction_circuit(model, keys, config)
+        float_bits = extract_watermark(model, keys).extracted_bits
+        # Chebyshev-vs-exact sigmoid may flip bits with tiny margins; at
+        # least 3 of 4 must agree on this fixed seed (exact agreement is
+        # asserted for the ReLU models elsewhere).
+        agreement = sum(
+            int(a == b) for a, b in zip(circuit.extracted_bits, float_bits)
+        )
+        assert agreement >= 3
+
+    def test_unsupported_layer_rejected(self):
+        from repro.nn import MaxPool2D
+
+        model = Sequential([Dense(6, 6), MaxPool2D(2, 1)])
+        keys = _keys_for(model, 6, embed_layer=0)
+        # Embed at layer 0 is fine; embedding past the pool on flat input
+        # must raise a clear error.
+        config = CircuitConfig(theta=1.0, fixed_point=FMT)
+        circuit = build_extraction_circuit(model, keys, config)
+        circuit.builder.check()
+        bad_keys = WatermarkKeys(
+            embed_layer=1,
+            target_class=0,
+            trigger_inputs=np.random.default_rng(0).uniform(0, 1, (2, 6)),
+            projection=np.zeros((6, 4)),
+            signature=np.zeros(4, dtype=np.int64),
+        )
+        with pytest.raises(TypeError, match="unsupported layer"):
+            build_extraction_circuit(model, bad_keys, config)

@@ -1,0 +1,208 @@
+"""End-to-end protocol tests: prover, verifier, claims, setup party.
+
+These are the integration tests of the whole stack -- slow (pure-Python
+pairings), so they share the session-scoped circuit/keypair fixtures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.snark import prove
+from repro.zkrownn import (
+    OwnershipClaim,
+    OwnershipProver,
+    OwnershipVerifier,
+    ProverError,
+    model_digest,
+)
+
+
+@pytest.fixture(scope="module")
+def claim_and_parts(watermarked_mlp, ownership_setup):
+    model, keys, _ = watermarked_mlp
+    config, circuit, keypair = ownership_setup
+    prover = OwnershipProver(model, keys, config)
+    claim = prover.prove_ownership(keypair.proving_key, seed=5)
+    return model, keys, config, keypair, claim
+
+
+class TestProver:
+    def test_claim_verifies(self, claim_and_parts):
+        model, _, _, keypair, claim = claim_and_parts
+        verifier = OwnershipVerifier(keypair.verifying_key)
+        report = verifier.verify(model, claim)
+        assert report.accepted, report.reason
+
+    def test_proof_is_128_bytes(self, claim_and_parts):
+        *_, claim = claim_and_parts
+        assert len(claim.proof_bytes) == 128
+
+    def test_refuses_non_owned_model(self, watermarked_mlp, ownership_setup):
+        from repro.nn import mnist_mlp_scaled
+
+        _, keys, _ = watermarked_mlp
+        config, _, keypair = ownership_setup
+        fresh = mnist_mlp_scaled(input_dim=16, hidden=16,
+                                 rng=np.random.default_rng(99))
+        prover = OwnershipProver(fresh, keys, config)
+        with pytest.raises(ProverError, match="does not extract"):
+            prover.prove_ownership(keypair.proving_key, seed=5)
+
+    def test_claim_metadata(self, claim_and_parts):
+        model, keys, config, _, claim = claim_and_parts
+        assert claim.theta == config.theta
+        assert claim.wm_bits == keys.num_bits
+        assert claim.embed_layer == keys.embed_layer
+        assert claim.model_sha256 == model_digest(model, keys.embed_layer)
+
+
+class TestVerifier:
+    def test_rejects_different_model(self, claim_and_parts):
+        model, _, _, keypair, claim = claim_and_parts
+        tampered = model.copy()
+        tampered.layers[0].params["W"][0, 0] += 0.5
+        verifier = OwnershipVerifier(keypair.verifying_key)
+        report = verifier.verify(tampered, claim)
+        assert not report.accepted
+        assert "different model" in report.reason
+
+    def test_rejects_tampered_proof(self, claim_and_parts):
+        model, _, _, keypair, claim = claim_and_parts
+        corrupted = bytearray(claim.proof_bytes)
+        corrupted[40] ^= 0xFF
+        bad_claim = OwnershipClaim(
+            proof_bytes=bytes(corrupted),
+            theta=claim.theta,
+            wm_bits=claim.wm_bits,
+            embed_layer=claim.embed_layer,
+            model_sha256=claim.model_sha256,
+            frac_bits=claim.frac_bits,
+            total_bits=claim.total_bits,
+        )
+        verifier = OwnershipVerifier(keypair.verifying_key)
+        report = verifier.verify(model, bad_claim)
+        assert not report.accepted
+
+    def test_rejects_wrong_theta_claim(self, claim_and_parts):
+        """A prover cannot relax theta after the fact: the budget is a
+        public input, so a doctored claim changes the instance."""
+        model, _, _, keypair, claim = claim_and_parts
+        relaxed = OwnershipClaim(
+            proof_bytes=claim.proof_bytes,
+            theta=0.5,
+            wm_bits=claim.wm_bits,
+            embed_layer=claim.embed_layer,
+            model_sha256=claim.model_sha256,
+            frac_bits=claim.frac_bits,
+            total_bits=claim.total_bits,
+        )
+        verifier = OwnershipVerifier(keypair.verifying_key)
+        assert not verifier.verify(model, relaxed).accepted
+
+    def test_rejects_mismatched_vk_shape(self, claim_and_parts, cubic_keypair):
+        model, _, _, _, claim = claim_and_parts
+        verifier = OwnershipVerifier(cubic_keypair.verifying_key)
+        report = verifier.verify(model, claim)
+        assert not report.accepted
+        assert "circuit shape" in report.reason
+
+
+class TestClaimSerialization:
+    def test_json_round_trip(self, claim_and_parts):
+        *_, claim = claim_and_parts
+        restored = OwnershipClaim.from_json(claim.to_json())
+        assert restored == claim
+
+    def test_file_round_trip(self, claim_and_parts, tmp_path):
+        *_, claim = claim_and_parts
+        path = tmp_path / "claim.json"
+        claim.save(path)
+        assert OwnershipClaim.load(path) == claim
+
+    def test_round_tripped_claim_verifies(self, claim_and_parts):
+        model, _, _, keypair, claim = claim_and_parts
+        restored = OwnershipClaim.from_json(claim.to_json())
+        verifier = OwnershipVerifier(keypair.verifying_key)
+        assert verifier.verify(model, restored).accepted
+
+    def test_size_is_small(self, claim_and_parts):
+        *_, claim = claim_and_parts
+        # Order of magnitude: a few hundred bytes (128 B proof + metadata).
+        assert claim.size_bytes() < 1024
+
+
+class TestModelDigest:
+    def test_deterministic(self, claim_and_parts):
+        model, keys, *_ = claim_and_parts
+        assert model_digest(model, keys.embed_layer) == model_digest(
+            model, keys.embed_layer
+        )
+
+    def test_sensitive_to_weights(self, claim_and_parts):
+        model, keys, *_ = claim_and_parts
+        other = model.copy()
+        other.layers[0].params["b"][0] += 1e-9
+        assert model_digest(model, keys.embed_layer) != model_digest(
+            other, keys.embed_layer
+        )
+
+    def test_only_covers_prefix_layers(self, claim_and_parts):
+        model, keys, *_ = claim_and_parts
+        other = model.copy()
+        other.layers[-1].params["W"][0, 0] += 1.0  # beyond embed layer
+        assert model_digest(model, keys.embed_layer) == model_digest(
+            other, keys.embed_layer
+        )
+
+
+class TestKeyReuseAcrossProofs:
+    def test_second_proof_with_same_setup(self, claim_and_parts):
+        """Setup once, prove twice (the amortization story)."""
+        model, keys, config, keypair, _ = claim_and_parts
+        prover = OwnershipProver(model, keys, config)
+        claim2 = prover.prove_ownership(keypair.proving_key, seed=77)
+        verifier = OwnershipVerifier(keypair.verifying_key)
+        assert verifier.verify(model, claim2).accepted
+
+
+class TestBatchAudit:
+    def test_verify_many_accepts_valid_claims(self, claim_and_parts):
+        model, keys, config, keypair, claim = claim_and_parts
+        prover = OwnershipProver(model, keys, config)
+        claim2 = prover.prove_ownership(keypair.proving_key, seed=88)
+        verifier = OwnershipVerifier(keypair.verifying_key)
+        reports = verifier.verify_many(
+            [(model, claim), (model, claim2)], seed=5
+        )
+        assert all(r.accepted for r in reports)
+
+    def test_verify_many_isolates_bad_claim(self, claim_and_parts):
+        model, keys, config, keypair, claim = claim_and_parts
+        corrupted = bytearray(claim.proof_bytes)
+        corrupted[33] ^= 0x02
+        bad = OwnershipClaim(
+            proof_bytes=bytes(corrupted),
+            theta=claim.theta,
+            wm_bits=claim.wm_bits,
+            embed_layer=claim.embed_layer,
+            model_sha256=claim.model_sha256,
+            frac_bits=claim.frac_bits,
+            total_bits=claim.total_bits,
+        )
+        verifier = OwnershipVerifier(keypair.verifying_key)
+        reports = verifier.verify_many([(model, claim), (model, bad)], seed=5)
+        assert [r.accepted for r in reports] == [True, False]
+
+    def test_verify_many_precheck_failure_reported(self, claim_and_parts):
+        model, keys, config, keypair, claim = claim_and_parts
+        other = model.copy()
+        other.layers[0].params["W"][0, 0] += 0.25
+        verifier = OwnershipVerifier(keypair.verifying_key)
+        reports = verifier.verify_many([(other, claim), (model, claim)], seed=5)
+        assert [r.accepted for r in reports] == [False, True]
+        assert "precheck" in reports[0].reason
+
+    def test_verify_many_empty(self, claim_and_parts):
+        *_, keypair, _ = claim_and_parts
+        verifier = OwnershipVerifier(keypair.verifying_key)
+        assert verifier.verify_many([]) == []
