@@ -62,7 +62,7 @@ class TestPairingVariants:
 
 
 class TestMsmVariants:
-    def test_pippenger_beats_naive(self, benchmark):
+    def test_pippenger_beats_naive(self, bench_json, benchmark):
         import random
         import time
 
@@ -86,6 +86,12 @@ class TestMsmVariants:
 
         t_fast, t_slow = benchmark.pedantic(run, rounds=1, iterations=1)
         assert t_fast < t_slow
+        bench_json(
+            "msm-128",
+            pippenger_seconds=t_fast,
+            naive_seconds=t_slow,
+            speedup=t_slow / t_fast,
+        )
 
 
 class TestLoopCombining:

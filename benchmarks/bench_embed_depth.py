@@ -46,7 +46,7 @@ def _keys(model, embed_layer):
     )
 
 
-def test_embed_depth_sweep(benchmark):
+def test_embed_depth_sweep(bench_json, benchmark):
     model = _model()
     config = CircuitConfig(theta=1.0, fixed_point=FMT)
     depths = [1, 3, 5]  # after each ReLU
@@ -64,6 +64,12 @@ def test_embed_depth_sweep(benchmark):
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\nembed layer -> (constraints, public inputs):", rows)
+    for depth, (constraints, publics) in rows.items():
+        bench_json(
+            f"embed-depth-{depth}",
+            num_constraints=constraints,
+            num_public_inputs=publics,
+        )
 
     constraints = [rows[d][0] for d in depths]
     publics = [rows[d][1] for d in depths]

@@ -22,7 +22,7 @@ CONFIG = CircuitConfig(
 )
 
 
-def test_figure1_protocol_flow(watermarked_small_mlp, benchmark):
+def test_figure1_protocol_flow(watermarked_small_mlp, bench_json, benchmark):
     model, keys = watermarked_small_mlp
 
     transcript, claim = benchmark.pedantic(
@@ -31,6 +31,15 @@ def test_figure1_protocol_flow(watermarked_small_mlp, benchmark):
         ),
         rounds=1,
         iterations=1,
+    )
+    bench_json(
+        "figure1-protocol",
+        proof_bytes=len(claim.proof_bytes),
+        claim_bytes=claim.size_bytes(),
+        vk_bytes=transcript.bytes_between("setup-party", "verifier-0"),
+        total_bytes=transcript.total_bytes(),
+        all_accepted=transcript.all_accepted,
+        **transcript.timings,
     )
 
     # Every independent verifier accepts the single published proof.

@@ -46,7 +46,7 @@ def robust_model():
     return model, keys, data
 
 
-def test_pruning_sweep(robust_model, benchmark):
+def test_pruning_sweep(robust_model, bench_json, benchmark):
     """BER stays 0 through half the weights being removed."""
     model, keys, _ = robust_model
     fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
@@ -59,6 +59,7 @@ def test_pruning_sweep(robust_model, benchmark):
 
     bers = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\nprune fraction -> BER:", {f: round(b, 3) for f, b in bers.items()})
+    bench_json("pruning-sweep", ber_by_fraction={str(f): b for f, b in bers.items()})
     for f in (0.1, 0.2, 0.3, 0.4, 0.5):
         assert bers[f] == 0.0, f"watermark lost at {f:.0%} pruning"
     # Monotone-ish degradation: heavier pruning never *improves* matters

@@ -39,7 +39,7 @@ def _chain_circuit(length: int, public_outputs: int = 1) -> CircuitBuilder:
 
 
 @pytest.mark.parametrize("size", [64, 256, 1024])
-def test_proof_size_constant_across_circuit_sizes(size, benchmark):
+def test_proof_size_constant_across_circuit_sizes(size, bench_json, benchmark):
     def run():
         b = _chain_circuit(size)
         kp = setup(b.cs, seed=1)
@@ -49,6 +49,7 @@ def test_proof_size_constant_across_circuit_sizes(size, benchmark):
 
     proof_bytes = benchmark.pedantic(run, rounds=1, iterations=1)
     assert proof_bytes == 128  # claim 1
+    bench_json(f"chain{size}", proof_bytes=proof_bytes, num_constraints=size)
 
 
 def test_verification_time_independent_of_circuit_size(benchmark):
@@ -92,7 +93,7 @@ def test_vk_size_linear_in_public_inputs(benchmark):
     assert sizes[64] - sizes[8] == 56 * 32
 
 
-def test_setup_and_prove_amortize_across_verifiers(benchmark):
+def test_setup_and_prove_amortize_across_verifiers(bench_json, benchmark):
     """Claim 4: setup and proof generation "only happen once per circuit";
     each additional *verifier* pays only the cheap verification, so the
     one-time costs amortize over the proof's lifetime."""
@@ -116,3 +117,9 @@ def test_setup_and_prove_amortize_across_verifiers(benchmark):
     t_setup, t_prove, t_verify = benchmark.pedantic(run, rounds=1, iterations=1)
     one_time = t_setup + t_prove
     assert t_verify < 0.2 * one_time
+    bench_json(
+        "amortize-across-verifiers",
+        setup_seconds=t_setup,
+        prove_seconds=t_prove,
+        verify_seconds_mean=t_verify,
+    )

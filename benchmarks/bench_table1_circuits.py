@@ -37,13 +37,19 @@ ROWS = [
 
 
 @pytest.mark.parametrize("name,build", ROWS, ids=[name for name, _ in ROWS])
-def test_table1_individual_circuit(name, build, bench_scale, report_collector, benchmark):
+def test_table1_individual_circuit(
+    name, build, bench_scale, report_collector, record_report, proving_engine,
+    benchmark,
+):
     report = benchmark.pedantic(
-        lambda: measure_circuit(name, lambda: build(bench_scale)),
+        lambda: measure_circuit(
+            name, lambda: build(bench_scale), engine=proving_engine
+        ),
         rounds=1,
         iterations=1,
     )
     report_collector.append(report)
+    record_report(report)
 
     assert report.verified, f"{name}: proof failed to verify"
     # Succinctness: every Groth16 proof is 2 G1 + 1 G2 = 128 bytes,

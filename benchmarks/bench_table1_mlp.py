@@ -16,15 +16,20 @@ from repro.bench.metrics import measure_circuit
 from repro.bench.table1 import BENCH_FORMAT, SCALES, build_mlp_extraction
 
 
-def test_table1_mnist_mlp(bench_scale, report_collector, benchmark):
+def test_table1_mnist_mlp(
+    bench_scale, report_collector, record_report, proving_engine, benchmark
+):
     report = benchmark.pedantic(
         lambda: measure_circuit(
-            "MNIST-MLP", lambda: build_mlp_extraction(bench_scale)
+            "MNIST-MLP",
+            lambda: build_mlp_extraction(bench_scale),
+            engine=proving_engine,
         ),
         rounds=1,
         iterations=1,
     )
     report_collector.append(report)
+    record_report(report)
 
     assert report.verified
     assert report.proof_bytes == 128

@@ -6,12 +6,21 @@ Scale selection: ``ZKROWNN_BENCH_SCALE`` environment variable, default
 
 Every measured :class:`~repro.bench.metrics.CircuitReport` is collected and
 printed as a Table-I style summary at the end of the session.
+
+Machine-readable output: each benchmark module writes a
+``BENCH_<name>.json`` file (into ``ZKROWNN_BENCH_JSON_DIR``, default the
+working directory) containing per-test wall times plus whatever richer
+entries -- proof/key sizes, constraint counts, sweep tables -- the tests
+record through the ``bench_json`` fixture.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List
+import platform
+import time
+from typing import Dict, List
 
 import pytest
 
@@ -19,6 +28,61 @@ from repro.bench.metrics import CircuitReport, format_table
 from repro.bench.table1 import SCALES
 
 _REPORTS: List[CircuitReport] = []
+_JSON_REPORTS: Dict[str, dict] = {}
+
+
+def _json_report_for(module: str) -> dict:
+    """The mutable JSON payload for one benchmark module."""
+    return _JSON_REPORTS.setdefault(
+        module,
+        {
+            "benchmark": module,
+            "scale": os.environ.get("ZKROWNN_BENCH_SCALE", "reduced"),
+            "python": platform.python_version(),
+            "test_seconds": {},
+            "entries": {},
+        },
+    )
+
+
+@pytest.fixture
+def bench_json(request):
+    """Record machine-readable fields into this module's BENCH_*.json.
+
+    Usage: ``bench_json("MNIST-MLP", proof_bytes=128, prove_seconds=3.2)``.
+    Repeated calls with one name merge their fields.
+    """
+    module = request.module.__name__.rsplit(".", 1)[-1]
+
+    def record(name: str, /, **fields):
+        entries = _json_report_for(module)["entries"]
+        entries.setdefault(name, {}).update(fields)
+
+    return record
+
+
+@pytest.fixture
+def record_report(bench_json):
+    """Serialize a CircuitReport into this module's BENCH_*.json."""
+    import dataclasses
+
+    def _record(report: CircuitReport):
+        fields = dataclasses.asdict(report)
+        bench_json(fields.pop("name"), **fields)
+
+    return _record
+
+
+def pytest_runtest_logreport(report):
+    """Every benchmark test contributes at least its wall time."""
+    if report.when != "call":
+        return
+    path = report.nodeid.split("::", 1)[0]
+    module = os.path.splitext(os.path.basename(path))[0]
+    if module.startswith("bench_"):
+        _json_report_for(module)["test_seconds"][
+            report.nodeid.split("::", 1)[-1]
+        ] = report.duration
 
 
 @pytest.fixture(scope="session")
@@ -34,15 +98,39 @@ def report_collector():
     return _REPORTS
 
 
+@pytest.fixture(scope="session")
+def proving_engine():
+    """One ProvingEngine shared by the whole benchmark session.
+
+    Table-I rows have distinct structure digests, so their timings stay
+    cold-path; circuits that recur (the amortization benchmark, repeated
+    shapes) hit the caches, which is the behavior under measurement.
+    """
+    from repro.engine import ProvingEngine
+
+    return ProvingEngine()
+
+
 def pytest_sessionfinish(session, exitstatus):
+    capman = session.config.pluginmanager.getplugin("capturemanager")
+    if capman:
+        capman.suspend_global_capture(in_=True)
     if _REPORTS:
-        capman = session.config.pluginmanager.getplugin("capturemanager")
-        if capman:
-            capman.suspend_global_capture(in_=True)
         print("\n\n# ZKROWNN Table I reproduction "
               f"(scale={os.environ.get('ZKROWNN_BENCH_SCALE', 'reduced')})\n")
         print(format_table(_REPORTS))
         print()
+    try:
+        out_dir = os.environ.get("ZKROWNN_BENCH_JSON_DIR", ".")
+        os.makedirs(out_dir, exist_ok=True)
+        for module, payload in sorted(_JSON_REPORTS.items()):
+            payload["written_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+            name = module[len("bench_"):] if module.startswith("bench_") else module
+            path = os.path.join(out_dir, f"BENCH_{name}.json")
+            with open(path, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"wrote {path}")
+    finally:
         if capman:
             capman.resume_global_capture()
 

@@ -68,8 +68,8 @@ def main():
     print(f"  VK: {party.verifying_key.size_bytes()/1e3:.1f} KB "
           "(compare the MLP example's)")
 
-    prover = OwnershipProver(model, keys, config)
-    claim = prover.prove_ownership(party.proving_key, seed=13)
+    prover = OwnershipProver(model, keys, config, engine=party.engine)
+    claim = prover.prove_ownership_cached(seed=13)
 
     verifier = OwnershipVerifier(party.verifying_key)
     result = verifier.verify(model, claim)

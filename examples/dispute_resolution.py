@@ -76,8 +76,8 @@ def main():
     party.run_ceremony(stolen, keys, config, seed=21)
 
     print("[owner] generating the ownership proof against the stolen model ...")
-    prover = OwnershipProver(stolen, keys, config)
-    claim = prover.prove_ownership(party.proving_key, seed=23)
+    prover = OwnershipProver(stolen, keys, config, engine=party.engine)
+    claim = prover.prove_ownership_cached(seed=23)
     print(f"[owner] published claim: {claim.size_bytes()} bytes")
 
     # --- Three independent verifiers -------------------------------------------

@@ -28,12 +28,13 @@ from repro.watermark import (
     generate_keys,
     prune_attack,
 )
+from repro.engine import ProvingEngine
 from repro.zkrownn import (
     CircuitConfig,
     OwnershipClaim,
-    OwnershipProver,
     OwnershipVerifier,
     TrustedSetupParty,
+    prove_ownership_with_engine,
 )
 
 
@@ -66,20 +67,33 @@ def main():
         theta=0.125, fixed_point=FixedPointFormat(frac_bits=14, total_bits=40)
     )
     print("[notary] one trusted setup for the shared circuit shape ...")
-    party = TrustedSetupParty("notary")
+    engine = ProvingEngine()
+    party = TrustedSetupParty("notary", engine=engine)
     party.run_ceremony(original, keys, config, seed=31)
 
-    print("[owner] filing one claim per hosted variant ...")
+    # All variants share the circuit shape, so only the first claim pays
+    # compilation; none pays setup again (the notary's engine already has
+    # the keypair), and later claims reuse the prepared proving key.
+    print("[owner] filing one claim per hosted variant (shared engine) ...")
     cases = []
     for name, model in variants.items():
-        claim = OwnershipProver(model, keys, config).prove_ownership(
-            party.proving_key, seed=hash(name) % 1000
+        claim, job = prove_ownership_with_engine(
+            engine, model, keys, config, seed=hash(name) % 1000
         )
         cases.append((model, claim))
-        print(f"  claim filed for {name} ({claim.size_bytes()} bytes)")
+        stage = "synthesize" if job.synthesis.resynthesized else "compile"
+        print(f"  claim filed for {name} ({claim.size_bytes()} bytes, "
+              f"{stage}+prove {sum(job.timings.values()):.2f} s)")
+    stats = engine.stats
+    print(f"[owner] engine: {stats.compile_misses} compile, "
+          f"{stats.witness_resyntheses} witness replays, "
+          f"{stats.setup_misses} setup (of {len(cases)} claims)")
 
     # --- The marketplace audits everything in one batch ------------------------
-    verifier = OwnershipVerifier(party.verifying_key)
+    # The batched happy path is already a single multi-pairing; prepare=True
+    # additionally speeds the per-claim re-verification fallback that runs
+    # when a batch fails (exercised by the forged claim below).
+    verifier = OwnershipVerifier(party.verifying_key, prepare=True)
     reports = verifier.verify_many(cases, seed=77)
     print(f"[marketplace] batch audit decisions: {[r.accepted for r in reports]}")
     assert all(r.accepted for r in reports)

@@ -71,8 +71,10 @@ def main():
                                  rng=np.random.default_rng(0))
     load_weights(published, workdir / "published_model.npz")
 
-    prover = OwnershipProver(published, loaded_keys, config)
-    claim = prover.prove_ownership(party.proving_key, seed=5)
+    # Sharing the notary's engine means the prover replays the circuit the
+    # ceremony compiled (witness-only synthesis) and reuses its keypair.
+    prover = OwnershipProver(published, loaded_keys, config, engine=party.engine)
+    claim = prover.prove_ownership_cached(seed=5)
     claim.save(workdir / "ownership_claim.json")
     print(f"claim published: {claim.size_bytes()} bytes "
           f"({len(claim.proof_bytes)}-byte proof inside)")

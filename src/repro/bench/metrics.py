@@ -3,18 +3,32 @@
 One :class:`CircuitReport` per benchmark row, with exactly the paper's
 columns: constraints, setup runtime, proving-key size, prover runtime,
 proof size, verification-key size, verifier runtime.
+
+:func:`measure_circuit` can route the pipeline through a
+:class:`~repro.engine.engine.ProvingEngine` (the timings still measure a
+cold first pass per row -- each row has its own structure digest);
+:func:`measure_amortized` measures what the engine is *for*: first-proof
+versus cached-repeat-proof latency for one circuit shape.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..circuit.builder import CircuitBuilder
+from ..engine.compiled import CompiledCircuit
+from ..engine.engine import ProvingEngine
 from ..snark.groth16 import prove, setup, verify
 
-__all__ = ["CircuitReport", "measure_circuit", "format_table"]
+__all__ = [
+    "AmortizationReport",
+    "CircuitReport",
+    "format_table",
+    "measure_amortized",
+    "measure_circuit",
+]
 
 
 @dataclass
@@ -76,28 +90,43 @@ def measure_circuit(
     build: Callable[[], CircuitBuilder],
     *,
     seed: Optional[int] = 1234,
+    engine: Optional[ProvingEngine] = None,
 ) -> CircuitReport:
     """Build, set up, prove, and verify a circuit; collect every metric.
 
     ``build`` must return a fully synthesized :class:`CircuitBuilder`
     (witness included).  The same builder is reused for setup and proving
     -- like the paper, setup and proof generation happen once per circuit.
+    With an ``engine``, the pipeline stages go through its caches (each
+    distinct circuit structure still pays a cold first pass, so the
+    reported timings keep their Table-I meaning).
     """
     builder = build()
     builder.check()
     cs = builder.cs
+    public = builder.public_values()
+
+    if engine is not None:
+        compiled = CompiledCircuit.from_builder(builder, name)
+        run_setup = lambda: engine.setup(compiled, seed=seed)
+        run_prove = lambda kp: engine.prove(compiled, builder.assignment, seed=seed)
+        run_verify = lambda kp, pf: engine.verify(compiled, public, pf)
+    else:
+        run_setup = lambda: setup(cs, seed=seed)
+        run_prove = lambda kp: prove(kp.proving_key, cs, builder.assignment,
+                                     seed=seed)
+        run_verify = lambda kp, pf: verify(kp.verifying_key, public, pf)
 
     t0 = time.perf_counter()
-    keypair = setup(cs, seed=seed)
+    keypair = run_setup()
     setup_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    proof = prove(keypair.proving_key, cs, builder.assignment, seed=seed)
+    proof = run_prove(keypair)
     prove_seconds = time.perf_counter() - t0
 
-    public = builder.public_values()
     t0 = time.perf_counter()
-    ok = verify(keypair.verifying_key, public, proof)
+    ok = run_verify(keypair, proof)
     verify_seconds = time.perf_counter() - t0
 
     return CircuitReport(
@@ -111,6 +140,87 @@ def measure_circuit(
         vk_bytes=keypair.verifying_key.size_bytes(),
         verify_seconds=verify_seconds,
         verified=ok,
+    )
+
+
+@dataclass
+class AmortizationReport:
+    """First-proof vs cached-repeat-proof latency for one circuit shape."""
+
+    name: str
+    first_seconds: float
+    repeat_seconds: List[float]
+    first_timings: Dict[str, float]
+    repeat_timings: List[Dict[str, float]]
+    verified: bool
+
+    @property
+    def mean_repeat_seconds(self) -> float:
+        return sum(self.repeat_seconds) / len(self.repeat_seconds)
+
+    @property
+    def speedup(self) -> float:
+        return self.first_seconds / self.mean_repeat_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "first_seconds": self.first_seconds,
+            "repeat_seconds": self.repeat_seconds,
+            "mean_repeat_seconds": self.mean_repeat_seconds,
+            "speedup": self.speedup,
+            "first_timings": self.first_timings,
+            "repeat_timings": self.repeat_timings,
+            "verified": self.verified,
+        }
+
+
+def measure_amortized(
+    name: str,
+    synthesize_factory: Callable[[int], Callable],
+    *,
+    repeats: int = 2,
+    seed: Optional[int] = 1234,
+    engine: Optional[ProvingEngine] = None,
+) -> AmortizationReport:
+    """Measure the staged pipeline's amortization for one circuit shape.
+
+    ``synthesize_factory(i)`` must return a synthesis function for the
+    i-th proof (0 = first; later indices may vary input values but must
+    keep the shape).  The first proof pays compile + setup + prove; each
+    repeat pays witness replay + prove only.
+    """
+    engine = engine or ProvingEngine()
+
+    t0 = time.perf_counter()
+    first_job = engine.prove_job(
+        name, synthesize_factory(0), seed=seed, setup_seed=seed
+    )
+    first_seconds = time.perf_counter() - t0
+    verified = engine.verify(
+        first_job.compiled, first_job.public_values, first_job.proof
+    )
+
+    repeat_seconds: List[float] = []
+    repeat_timings: List[Dict[str, float]] = []
+    for i in range(1, repeats + 1):
+        t0 = time.perf_counter()
+        job = engine.prove_job(
+            name, synthesize_factory(i), seed=None if seed is None else seed + i
+        )
+        repeat_seconds.append(time.perf_counter() - t0)
+        repeat_timings.append(dict(job.timings))
+        verified = verified and engine.verify(
+            job.compiled, job.public_values, job.proof
+        )
+
+    return AmortizationReport(
+        name=name,
+        first_seconds=first_seconds,
+        repeat_seconds=repeat_seconds,
+        first_timings=dict(first_job.timings),
+        repeat_timings=repeat_timings,
+        verified=verified,
     )
 
 

@@ -1,13 +1,17 @@
 """High-level circuit construction (the xJsnark role in the paper's stack).
 
 :class:`CircuitBuilder` turns gadget code written with ordinary Python
-operators into an R1CS constraint system plus witness;
+operators into an R1CS constraint system plus witness (and records the
+synthesis trace of the staged proving pipeline);
+:class:`WitnessSynthesizer` replays that trace to resynthesize a witness
+for new input values without rebuilding constraints;
 :class:`FixedPointFormat` maps real-valued neural-network arithmetic onto
 field elements.
 """
 
 from .builder import CircuitBuilder, PublicOutput
 from .fixedpoint import DEFAULT_FORMAT, FixedPointFormat
+from .trace import TraceDivergence, WitnessSynthesizer
 from .wire import Wire
 
 __all__ = [
@@ -15,5 +19,7 @@ __all__ = [
     "PublicOutput",
     "DEFAULT_FORMAT",
     "FixedPointFormat",
+    "TraceDivergence",
+    "WitnessSynthesizer",
     "Wire",
 ]

@@ -7,6 +7,20 @@ high-level language that compiles to libsnark R1CS circuits.
 and the builder records the R1CS constraints *and* synthesizes the witness
 values side by side.
 
+The builder is the *structure-recording* pass of the staged proving
+pipeline (``compile -> setup -> synthesize -> prove -> verify``):
+
+* A full build records every constraint, the witness, and a compact
+  *synthesis trace* (:attr:`trace`) -- one event per variable allocation
+  and per wire multiplication.  The engine layer freezes the result into
+  an immutable :class:`~repro.engine.compiled.CompiledCircuit`.
+* Repeat proofs for the same circuit shape replay the recorded trace with
+  new input values through :class:`~repro.circuit.trace.WitnessSynthesizer`
+  -- a witness-only pass that never touches linear combinations or
+  constraint construction, which is what makes the one-time Groth16 setup
+  (and compilation itself) amortize across proofs, the property ZKROWNN's
+  amortization argument depends on.
+
 Conventions:
 
 * Public inputs must be declared before any private input or operation that
@@ -16,9 +30,7 @@ Conventions:
 * The builder is eager: every wire carries its value, so after synthesis
   ``builder.assignment`` is the complete witness.  Re-synthesizing the same
   gadget code with different input values yields the same constraint
-  structure (checked via :meth:`structure_digest`), which is what makes the
-  one-time Groth16 setup reusable across proofs, the property ZKROWNN's
-  amortization argument depends on.
+  structure (checked via :meth:`structure_digest`).
 """
 
 from __future__ import annotations
@@ -31,7 +43,26 @@ from ..snark.errors import ConstraintViolation
 from ..snark.r1cs import ONE_INDEX, ConstraintSystem, LinearCombination
 from .wire import Wire
 
-__all__ = ["CircuitBuilder", "PublicOutput"]
+__all__ = [
+    "CircuitBuilder",
+    "PublicOutput",
+    "EV_PUBLIC",
+    "EV_PRIVATE",
+    "EV_OUTPUT",
+    "EV_HINT",
+    "EV_MUL_ALLOC",
+    "EV_MUL_FOLD",
+]
+
+# Synthesis-trace event codes.  A full build appends one event per variable
+# allocation and per `mul` call; `WitnessSynthesizer` replays the sequence
+# to resynthesize a witness without reconstructing any constraints.
+EV_PUBLIC = 0
+EV_PRIVATE = 1
+EV_OUTPUT = 2
+EV_HINT = 3
+EV_MUL_ALLOC = 4
+EV_MUL_FOLD = 5
 
 
 class PublicOutput:
@@ -52,6 +83,7 @@ class CircuitBuilder:
         self.name = name
         self.cs = ConstraintSystem()
         self.assignment: List[int] = [1]
+        self.trace = bytearray()
         self._one_wire: Optional[Wire] = None
 
     # ------------------------------------------------------------------ inputs --
@@ -67,6 +99,7 @@ class CircuitBuilder:
 
     def public_input(self, name: str, value: int) -> Wire:
         """Allocate a public (instance) variable with the given value."""
+        self.trace.append(EV_PUBLIC)
         index = self.cs.allocate_public(name)
         self.assignment.append(value % R)
         return Wire(self, LinearCombination.variable(index), value)
@@ -76,6 +109,7 @@ class CircuitBuilder:
 
     def private_input(self, name: str, value: int) -> Wire:
         """Allocate a private (witness) variable with the given value."""
+        self.trace.append(EV_PRIVATE)
         index = self.cs.allocate_private(name)
         self.assignment.append(value % R)
         return Wire(self, LinearCombination.variable(index), value)
@@ -85,6 +119,7 @@ class CircuitBuilder:
 
     def public_output(self, name: str) -> PublicOutput:
         """Reserve a public slot to be filled by :meth:`bind_output` later."""
+        self.trace.append(EV_OUTPUT)
         index = self.cs.allocate_public(name)
         self.assignment.append(0)
         return PublicOutput(index, name)
@@ -113,9 +148,12 @@ class CircuitBuilder:
     def mul(self, a: Wire, b: Wire) -> Wire:
         """Wire product: one constraint, unless either side is constant."""
         if a.is_constant():
+            self.trace.append(EV_MUL_FOLD)
             return b.scale(a.value)
         if b.is_constant():
+            self.trace.append(EV_MUL_FOLD)
             return a.scale(b.value)
+        self.trace.append(EV_MUL_ALLOC)
         value = a.value * b.value % R
         index = self.cs.allocate_private("mul")
         self.assignment.append(value)
@@ -129,6 +167,7 @@ class CircuitBuilder:
         The caller is responsible for adding constraints that pin the hint
         down -- used by bit decomposition, truncation, and division gadgets.
         """
+        self.trace.append(EV_HINT)
         index = self.cs.allocate_private(name)
         self.assignment.append(value % R)
         return Wire(self, LinearCombination.variable(index), value)

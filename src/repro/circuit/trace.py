@@ -1,0 +1,251 @@
+"""Witness-only resynthesis: replay a recorded gadget trace with new values.
+
+The second half of the staged pipeline's split.  A full
+:class:`~repro.circuit.builder.CircuitBuilder` run records the circuit
+*structure* (constraints) plus a compact synthesis trace -- one event per
+variable allocation and per wire multiplication.  Once a circuit shape has
+been compiled, repeat proofs only need a fresh witness for new input
+values, and :class:`WitnessSynthesizer` produces exactly that:
+
+* it exposes the same API as :class:`CircuitBuilder`, so the *same gadget
+  code* runs against it unchanged;
+* wires carry values only -- linear-combination arithmetic is replaced by
+  a shared absorbing null object, so the dictionary merges that dominate a
+  full build cost nothing;
+* no constraints are recorded; ``enforce``/``assert_*`` keep their witness
+  value checks (dishonest inputs still fail fast) but never build R1CS
+  rows;
+* every allocation and multiplication is checked against the recorded
+  trace, so any value-dependent divergence from the compiled structure
+  raises :class:`TraceDivergence` instead of silently producing a witness
+  that is misaligned with the circuit (and its Groth16 keys).
+
+The resulting ``assignment`` is index-compatible with the compiled
+constraint system; :func:`repro.snark.groth16.prove` re-checks satisfaction
+as a final safety net.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..field.prime import BN254_R as R
+from ..snark.errors import SnarkError
+from .builder import (
+    EV_HINT,
+    EV_MUL_ALLOC,
+    EV_MUL_FOLD,
+    EV_OUTPUT,
+    EV_PRIVATE,
+    EV_PUBLIC,
+    CircuitBuilder,
+    PublicOutput,
+)
+from .wire import Wire
+
+__all__ = ["TraceDivergence", "WitnessSynthesizer"]
+
+_EVENT_NAMES = {
+    EV_PUBLIC: "public_input",
+    EV_PRIVATE: "private_input",
+    EV_OUTPUT: "public_output",
+    EV_HINT: "alloc_hint",
+    EV_MUL_ALLOC: "mul",
+    EV_MUL_FOLD: "mul(folded)",
+}
+
+
+class TraceDivergence(SnarkError):
+    """Witness resynthesis diverged from the compiled circuit structure.
+
+    Raised when gadget code replays differently than it was compiled --
+    i.e. the circuit had value-dependent structure.  Callers (the
+    :class:`~repro.engine.engine.ProvingEngine`) fall back to a full
+    rebuild, which yields a new structure digest and therefore new keys.
+    """
+
+
+class _NullLC:
+    """Absorbing stand-in for a linear combination in witness-only mode.
+
+    All arithmetic returns the shared singleton; ``terms`` stays an empty
+    mapping so real :class:`LinearCombination` operands treat it as zero.
+    """
+
+    __slots__ = ()
+
+    terms: dict = {}
+
+    def __add__(self, other):
+        return self
+
+    def __radd__(self, other):
+        return self
+
+    def __sub__(self, other):
+        return self
+
+    def __rsub__(self, other):
+        return self
+
+    def scale(self, k: int):
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullLC()"
+
+
+_NULL_LC = _NullLC()
+
+
+class _NullConstraintSystem:
+    """Variable counters with the ConstraintSystem interface, no storage."""
+
+    __slots__ = ("num_variables", "num_public", "_private_started")
+
+    def __init__(self):
+        self.num_variables = 1
+        self.num_public = 0
+        self._private_started = False
+
+    def allocate_public(self, name: str = "") -> int:
+        if self._private_started:
+            raise ValueError(
+                "public inputs must be allocated before any private variable"
+            )
+        index = self.num_variables
+        self.num_variables += 1
+        self.num_public += 1
+        return index
+
+    def allocate_private(self, name: str = "") -> int:
+        self._private_started = True
+        index = self.num_variables
+        self.num_variables += 1
+        return index
+
+    def enforce(self, a, b, c) -> None:
+        pass
+
+    @property
+    def num_constraints(self) -> int:
+        return 0
+
+    @property
+    def num_private(self) -> int:
+        return self.num_variables - 1 - self.num_public
+
+
+class WitnessSynthesizer(CircuitBuilder):
+    """A value-only builder that replays a recorded synthesis trace.
+
+    Drop-in for :class:`CircuitBuilder` in gadget code.  Inherited helper
+    methods (``to_bits``, ``truncate``, ``is_zero``, comparisons, ...) work
+    unchanged: their linear-combination arithmetic collapses onto the null
+    LC and their ``cs.enforce`` calls hit the null constraint system, so
+    only the witness values are computed.
+    """
+
+    def __init__(self, trace: bytes, name: str = "witness"):
+        super().__init__(name)
+        self.cs = _NullConstraintSystem()
+        self._recorded = trace
+        self._cursor = 0
+
+    # ---------------------------------------------------------- trace replay --
+
+    def _advance(self, expected: int) -> None:
+        cursor = self._cursor
+        if cursor >= len(self._recorded) or self._recorded[cursor] != expected:
+            got = (
+                _EVENT_NAMES.get(self._recorded[cursor], "?")
+                if cursor < len(self._recorded)
+                else "end of trace"
+            )
+            raise TraceDivergence(
+                f"{self.name}: expected {_EVENT_NAMES[expected]} at trace "
+                f"position {cursor}, compiled circuit has {got}"
+            )
+        self._cursor = cursor + 1
+
+    def finish(self) -> None:
+        """Assert the whole recorded trace was consumed."""
+        if self._cursor != len(self._recorded):
+            raise TraceDivergence(
+                f"{self.name}: resynthesis stopped at trace position "
+                f"{self._cursor} of {len(self._recorded)}"
+            )
+
+    # ------------------------------------------------------------- core ops --
+
+    def constant(self, value: int) -> Wire:
+        return Wire(self, _NULL_LC, value)
+
+    def public_input(self, name: str, value: int) -> Wire:
+        self._advance(EV_PUBLIC)
+        self.cs.allocate_public(name)
+        self.assignment.append(value % R)
+        return Wire(self, _NULL_LC, value)
+
+    def private_input(self, name: str, value: int) -> Wire:
+        self._advance(EV_PRIVATE)
+        self.cs.allocate_private(name)
+        self.assignment.append(value % R)
+        return Wire(self, _NULL_LC, value)
+
+    def public_output(self, name: str) -> PublicOutput:
+        self._advance(EV_OUTPUT)
+        index = self.cs.allocate_public(name)
+        self.assignment.append(0)
+        return PublicOutput(index, name)
+
+    def bind_output(self, output: PublicOutput, wire: Wire) -> None:
+        if output.bound:
+            raise ValueError(f"output {output.name!r} already bound")
+        output.bound = True
+        self.assignment[output.index] = wire.value
+
+    def alloc_hint(self, name: str, value: int) -> Wire:
+        self._advance(EV_HINT)
+        self.cs.allocate_private(name)
+        self.assignment.append(value % R)
+        return Wire(self, _NULL_LC, value)
+
+    def mul(self, a: Wire, b: Wire) -> Wire:
+        cursor = self._cursor
+        if cursor >= len(self._recorded):
+            raise TraceDivergence(
+                f"{self.name}: mul past the end of the recorded trace"
+            )
+        event = self._recorded[cursor]
+        if event not in (EV_MUL_ALLOC, EV_MUL_FOLD):
+            raise TraceDivergence(
+                f"{self.name}: expected mul at trace position {cursor}, "
+                f"compiled circuit has {_EVENT_NAMES.get(event, '?')}"
+            )
+        self._cursor = cursor + 1
+        value = a.value * b.value % R
+        if event == EV_MUL_ALLOC:
+            self.cs.allocate_private("mul")
+            self.assignment.append(value)
+        return Wire(self, _NULL_LC, value)
+
+    # ------------------------------------------------------------------- export --
+
+    def structure_digest(self) -> str:
+        raise TypeError(
+            "WitnessSynthesizer records no structure; use the compiled "
+            "circuit's digest"
+        )
+
+    def check(self) -> None:
+        raise TypeError(
+            "WitnessSynthesizer records no constraints; check the assignment "
+            "against the compiled circuit's constraint system"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WitnessSynthesizer({self.name!r}, variables={self.cs.num_variables}, "
+            f"trace={self._cursor}/{len(self._recorded)})"
+        )

@@ -1,0 +1,29 @@
+"""The staged proving pipeline: compile -> setup -> synthesize -> prove -> verify.
+
+This package is the amortization seam of the reproduction.  The circuit
+layer records structure and a synthesis trace once; everything downstream
+-- Groth16 keypairs, prepared proving/verification keys, and the
+compiled circuits themselves -- is cached behind :class:`ProvingEngine`
+and keyed by structure digest, so repeat proofs for a circuit shape pay
+only witness replay plus the prove call.
+
+    engine = ProvingEngine()
+    job = engine.prove_job("mlp-16x16", synthesize_fn)    # compile + setup + prove
+    job2 = engine.prove_job("mlp-16x16", synthesize_fn2)  # replay + prove only
+    assert engine.stats.setup_misses == 1
+"""
+
+from .cache import ArtifactStore
+from .compiled import CompiledCircuit, SynthesisResult, compile_circuit, resynthesize
+from .engine import EngineStats, ProofJob, ProvingEngine
+
+__all__ = [
+    "ArtifactStore",
+    "CompiledCircuit",
+    "SynthesisResult",
+    "compile_circuit",
+    "resynthesize",
+    "EngineStats",
+    "ProofJob",
+    "ProvingEngine",
+]

@@ -1,0 +1,82 @@
+"""On-disk persistence for compiled circuits and Groth16 keypairs.
+
+The in-memory caches inside :class:`~repro.engine.engine.ProvingEngine`
+die with the process; a proving service that restarts should not re-run
+multi-minute trusted setups for shapes it has already served.  The store
+lays artifacts out by structure digest:
+
+    <root>/<digest>.r1cs   constraint system (repro.snark.serialize format)
+    <root>/<digest>.pk     proving key bytes
+    <root>/<digest>.vk     verifying key bytes
+
+Only structure travels to disk -- witnesses and synthesis traces never
+leave the prover, matching the trust story of
+:mod:`repro.snark.serialize`.  Corrupt or truncated files are treated as
+cache misses, never as errors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..snark.groth16 import Groth16Keypair
+from ..snark.keys import ProvingKey, VerifyingKey
+from ..snark.r1cs import ConstraintSystem
+from ..snark.serialize import deserialize_r1cs, serialize_r1cs
+
+__all__ = ["ArtifactStore"]
+
+
+class ArtifactStore:
+    """Digest-keyed file cache for setup artifacts."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------- keypairs --
+
+    def _pk_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.pk"
+
+    def _vk_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.vk"
+
+    def _r1cs_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.r1cs"
+
+    def has_keypair(self, digest: str) -> bool:
+        return self._pk_path(digest).is_file() and self._vk_path(digest).is_file()
+
+    def save_keypair(self, digest: str, keypair: Groth16Keypair) -> None:
+        self._pk_path(digest).write_bytes(keypair.proving_key.to_bytes())
+        self._vk_path(digest).write_bytes(keypair.verifying_key.to_bytes())
+
+    def load_keypair(self, digest: str) -> Optional[Groth16Keypair]:
+        """Load a keypair, or None on any miss or decode failure."""
+        if not self.has_keypair(digest):
+            return None
+        try:
+            pk = ProvingKey.from_bytes(self._pk_path(digest).read_bytes())
+            vk = VerifyingKey.from_bytes(self._vk_path(digest).read_bytes())
+        except (ValueError, IndexError, OSError):
+            return None
+        return Groth16Keypair(pk, vk)
+
+    # ------------------------------------------------------------- circuits --
+
+    def save_constraint_system(self, digest: str, cs: ConstraintSystem) -> None:
+        self._r1cs_path(digest).write_bytes(serialize_r1cs(cs))
+
+    def load_constraint_system(self, digest: str) -> Optional[ConstraintSystem]:
+        path = self._r1cs_path(digest)
+        if not path.is_file():
+            return None
+        try:
+            return deserialize_r1cs(path.read_bytes())
+        except Exception:
+            return None
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"

@@ -1,0 +1,149 @@
+"""Immutable compiled circuits: the output of the pipeline's compile stage.
+
+A :class:`CompiledCircuit` freezes everything the downstream stages need
+that does not depend on input values:
+
+* the R1CS constraint system (what Groth16 setup and proving consume),
+* the QAP evaluation-domain size (the circuit's QAP is determined by the
+  constraint system over this domain; setup evaluates it at its toxic
+  waste, proving divides by its vanishing polynomial),
+* the public-input layout (variable names, for instance construction and
+  auditing),
+* the structure digest (the cache key for Groth16 keypairs -- two builds
+  with the same digest can share keys),
+* the recorded synthesis trace (what
+  :class:`~repro.circuit.trace.WitnessSynthesizer` replays to produce a
+  fresh witness without recompiling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.trace import TraceDivergence, WitnessSynthesizer
+from ..field.ntt import EvaluationDomain, next_power_of_two
+from ..snark.r1cs import ConstraintSystem
+
+__all__ = ["CompiledCircuit", "SynthesisResult", "compile_circuit", "resynthesize"]
+
+#: A synthesis function: gadget code that drives a builder (full build) or a
+#: witness synthesizer (replay) and returns arbitrary auxiliary data.
+SynthesisFn = Callable[[CircuitBuilder], Any]
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """One witness for a compiled circuit."""
+
+    assignment: List[int]
+    public_values: List[int]
+    aux: Any
+    resynthesized: bool
+
+
+@dataclass(frozen=True)
+class CompiledCircuit:
+    """The value-free structure of a circuit, ready for setup and replay."""
+
+    name: str
+    cs: ConstraintSystem
+    trace: bytes
+    digest: str
+    public_layout: Tuple[str, ...]
+
+    @property
+    def num_constraints(self) -> int:
+        return self.cs.num_constraints
+
+    @property
+    def num_variables(self) -> int:
+        return self.cs.num_variables
+
+    @property
+    def num_public(self) -> int:
+        return self.cs.num_public
+
+    @property
+    def domain_size(self) -> int:
+        """Size of the QAP evaluation domain H (one slot per constraint,
+        rounded to a power of two; see :func:`repro.snark.qap.qap_domain`)."""
+        return next_power_of_two(max(self.cs.num_constraints, 2))
+
+    def qap_domain(self) -> EvaluationDomain:
+        return EvaluationDomain(self.domain_size)
+
+    @classmethod
+    def from_builder(cls, builder: CircuitBuilder, name: Optional[str] = None
+                     ) -> "CompiledCircuit":
+        """Freeze an already-synthesized builder (benchmarks, ad-hoc circuits)."""
+        return cls(
+            name=name or builder.name,
+            cs=builder.cs,
+            trace=bytes(builder.trace),
+            digest=builder.structure_digest(),
+            public_layout=tuple(
+                builder.cs.variable_names[1 : 1 + builder.cs.num_public]
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit({self.name!r}, digest={self.digest[:12]}..., "
+            f"constraints={self.num_constraints}, public={self.num_public})"
+        )
+
+
+def compile_circuit(
+    synthesize: SynthesisFn, name: str = "circuit"
+) -> Tuple[CompiledCircuit, SynthesisResult]:
+    """Full build: record structure AND synthesize the first witness.
+
+    The first witness comes for free with compilation (the builder is
+    eager), so it is returned alongside the frozen structure rather than
+    thrown away and re-derived.
+    """
+    builder = CircuitBuilder(name)
+    aux = synthesize(builder)
+    compiled = CompiledCircuit(
+        name=name,
+        cs=builder.cs,
+        trace=bytes(builder.trace),
+        digest=builder.structure_digest(),
+        public_layout=tuple(builder.cs.variable_names[1 : 1 + builder.cs.num_public]),
+    )
+    result = SynthesisResult(
+        assignment=builder.assignment,
+        public_values=builder.public_values(),
+        aux=aux,
+        resynthesized=False,
+    )
+    return compiled, result
+
+
+def resynthesize(compiled: CompiledCircuit, synthesize: SynthesisFn) -> SynthesisResult:
+    """Witness-only pass: replay the recorded trace with new input values.
+
+    Raises :class:`~repro.circuit.trace.TraceDivergence` if the gadget code
+    does not replay onto the compiled structure (value-dependent circuits).
+    """
+    synthesizer = WitnessSynthesizer(compiled.trace, compiled.name)
+    aux = synthesize(synthesizer)
+    synthesizer.finish()
+    if (
+        synthesizer.cs.num_variables != compiled.num_variables
+        or synthesizer.cs.num_public != compiled.num_public
+    ):
+        raise TraceDivergence(
+            f"{compiled.name}: resynthesis produced "
+            f"{synthesizer.cs.num_variables} variables "
+            f"({synthesizer.cs.num_public} public), compiled circuit has "
+            f"{compiled.num_variables} ({compiled.num_public} public)"
+        )
+    return SynthesisResult(
+        assignment=synthesizer.assignment,
+        public_values=synthesizer.public_values(),
+        aux=aux,
+        resynthesized=True,
+    )

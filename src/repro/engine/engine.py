@@ -1,0 +1,305 @@
+"""The staged proving pipeline behind one facade.
+
+ZKROWNN's amortization argument (Section IV) is that the expensive stages
+of Groth16 -- circuit compilation and the trusted setup -- are paid once
+per circuit *shape*, while each additional ownership claim pays only
+witness synthesis and proving.  :class:`ProvingEngine` is that lifecycle
+as an object:
+
+    compile    -- full build, once per shape (records structure + trace)
+    setup      -- Groth16 ceremony, once per structure digest
+    synthesize -- witness-only trace replay, per proof
+    prove      -- Groth16 prove against a cached prepared key, per proof
+    verify     -- pairing check against a cached prepared key
+
+Everything cacheable is cached and keyed by structure digest: compiled
+circuits (under a caller-chosen shape key), Groth16 keypairs, prepared
+proving keys (MSM bases flattened to affine), and prepared verification
+keys (fixed-G2 Miller-loop precomputation).  An optional
+:class:`~repro.engine.cache.ArtifactStore` persists keypairs across
+processes.  :class:`EngineStats` counts hits and misses so callers (and
+tests) can assert which stages actually ran.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Union
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.trace import TraceDivergence
+from ..snark.groth16 import (
+    Groth16Keypair,
+    PreparedProvingKey,
+    PreparedVerifyingKey,
+    prepare_proving_key,
+    prepare_verifying_key,
+    prove_prepared,
+    setup as groth16_setup,
+    verify_prepared,
+)
+from ..snark.keys import Proof
+from .cache import ArtifactStore
+from .compiled import CompiledCircuit, SynthesisResult, compile_circuit, resynthesize
+
+__all__ = ["EngineStats", "ProofJob", "ProvingEngine"]
+
+SynthesisFn = Callable[[CircuitBuilder], Any]
+
+
+@dataclass
+class EngineStats:
+    """Hit/miss counters for every cached stage of the pipeline."""
+
+    compile_misses: int = 0
+    compile_hits: int = 0
+    witness_resyntheses: int = 0
+    trace_divergences: int = 0
+    setup_misses: int = 0
+    setup_hits: int = 0
+    setup_disk_hits: int = 0
+    proofs: int = 0
+    verifications: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"EngineStats({parts})"
+
+
+@dataclass(frozen=True)
+class ProofJob:
+    """Everything produced by one trip through the pipeline."""
+
+    compiled: CompiledCircuit
+    keypair: Groth16Keypair
+    synthesis: SynthesisResult
+    proof: Proof
+    timings: Dict[str, float]
+    reused_circuit: bool
+    reused_keypair: bool
+
+    @property
+    def public_values(self) -> list:
+        return self.synthesis.public_values
+
+    @property
+    def aux(self) -> Any:
+        return self.synthesis.aux
+
+
+class ProvingEngine:
+    """Facade over compile / setup / synthesize / prove / verify with caching.
+
+    ``cache_dir`` enables on-disk keypair persistence; everything else is
+    in-memory.  Thread-safe for concurrent use of the caches (a proving
+    service fronting many claims), though individual proofs still run on
+    the caller's thread.
+    """
+
+    def __init__(self, *, cache_dir: Optional[str] = None):
+        self._compiled: Dict[str, CompiledCircuit] = {}
+        self._keypairs: Dict[str, Groth16Keypair] = {}
+        self._prepared_pk: Dict[str, PreparedProvingKey] = {}
+        self._prepared_vk: Dict[str, PreparedVerifyingKey] = {}
+        self._store = ArtifactStore(cache_dir) if cache_dir else None
+        self._lock = threading.RLock()
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------ compile + witness --
+
+    def compiled_for(self, key: str) -> Optional[CompiledCircuit]:
+        with self._lock:
+            return self._compiled.get(key)
+
+    def synthesize(
+        self, key: str, synthesize: SynthesisFn, *, name: Optional[str] = None
+    ) -> tuple:
+        """Compile on first sight of ``key``; replay the trace afterwards.
+
+        Returns ``(compiled, result)``.  A :class:`TraceDivergence` during
+        replay (value-dependent structure) falls back to a full rebuild and
+        replaces the cached circuit -- the new digest then misses the
+        keypair cache, which is exactly right: the old keys are unusable.
+        """
+        with self._lock:
+            compiled = self._compiled.get(key)
+        if compiled is not None:
+            try:
+                result = resynthesize(compiled, synthesize)
+            except TraceDivergence:
+                with self._lock:
+                    self.stats.trace_divergences += 1
+            else:
+                with self._lock:
+                    self.stats.compile_hits += 1
+                    self.stats.witness_resyntheses += 1
+                return compiled, result
+        compiled, result = compile_circuit(synthesize, name or key)
+        with self._lock:
+            self.stats.compile_misses += 1
+            self._compiled[key] = compiled
+        return compiled, result
+
+    # ----------------------------------------------------------------- setup --
+
+    def setup(
+        self, compiled: CompiledCircuit, *, seed: Optional[int] = None
+    ) -> Groth16Keypair:
+        """Groth16 setup, once per structure digest (memory, then disk)."""
+        digest = compiled.digest
+        with self._lock:
+            keypair = self._keypairs.get(digest)
+        if keypair is not None:
+            with self._lock:
+                self.stats.setup_hits += 1
+            return keypair
+        if self._store is not None:
+            keypair = self._store.load_keypair(digest)
+            if keypair is not None:
+                with self._lock:
+                    self.stats.setup_disk_hits += 1
+                    self._keypairs[digest] = keypair
+                return keypair
+        keypair = groth16_setup(compiled.cs, seed=seed)
+        with self._lock:
+            self.stats.setup_misses += 1
+            self._keypairs[digest] = keypair
+        if self._store is not None:
+            self._store.save_keypair(digest, keypair)
+            self._store.save_constraint_system(digest, compiled.cs)
+        return keypair
+
+    # ----------------------------------------------------------------- prove --
+
+    def _prepared_proving_key(
+        self, compiled: CompiledCircuit, keypair: Groth16Keypair
+    ) -> PreparedProvingKey:
+        digest = compiled.digest
+        with self._lock:
+            prepared = self._prepared_pk.get(digest)
+        if prepared is None or prepared.pk is not keypair.proving_key:
+            prepared = prepare_proving_key(keypair.proving_key)
+            with self._lock:
+                self._prepared_pk[digest] = prepared
+        return prepared
+
+    def prove(
+        self,
+        compiled: CompiledCircuit,
+        synthesis: Union[SynthesisResult, Sequence[int]],
+        *,
+        seed: Optional[int] = None,
+        setup_seed: Optional[int] = None,
+    ) -> Proof:
+        """Prove a witness against the cached keypair for this circuit."""
+        keypair = self.setup(compiled, seed=setup_seed)
+        prepared = self._prepared_proving_key(compiled, keypair)
+        assignment = (
+            synthesis.assignment
+            if isinstance(synthesis, SynthesisResult)
+            else synthesis
+        )
+        proof = prove_prepared(prepared, compiled.cs, assignment, seed=seed)
+        with self._lock:
+            self.stats.proofs += 1
+        return proof
+
+    # ---------------------------------------------------------------- verify --
+
+    def verify(
+        self,
+        compiled: CompiledCircuit,
+        public_values: Sequence[int],
+        proof: Proof,
+    ) -> bool:
+        """Pairing check against the prepared verification key.
+
+        Requires a keypair for this circuit (from :meth:`setup` or the
+        disk store) -- minting a fresh one here would silently reject
+        every valid proof.
+        """
+        digest = compiled.digest
+        with self._lock:
+            keypair = self._keypairs.get(digest)
+        if keypair is None and self._store is not None:
+            keypair = self._store.load_keypair(digest)
+            if keypair is not None:
+                with self._lock:
+                    self.stats.setup_disk_hits += 1
+                    self._keypairs[digest] = keypair
+        if keypair is None:
+            raise ValueError(
+                f"no keypair cached for circuit {compiled.name!r} "
+                f"(digest {digest[:12]}...); run setup first"
+            )
+        with self._lock:
+            prepared = self._prepared_vk.get(digest)
+        if prepared is None or prepared.vk is not keypair.verifying_key:
+            prepared = prepare_verifying_key(keypair.verifying_key)
+            with self._lock:
+                self._prepared_vk[digest] = prepared
+        with self._lock:
+            self.stats.verifications += 1
+        return verify_prepared(prepared, public_values, proof)
+
+    # --------------------------------------------------------------- one-shot --
+
+    def prove_job(
+        self,
+        key: str,
+        synthesize: SynthesisFn,
+        *,
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+        setup_seed: Optional[int] = None,
+        witness_check: Optional[Callable[[SynthesisResult], None]] = None,
+    ) -> ProofJob:
+        """One trip through the full pipeline, with per-stage timings.
+
+        On a shape-cache hit this is witness replay + prove only: the
+        compile and setup stages cost a dictionary lookup each.
+        ``witness_check`` runs between synthesize and setup so callers can
+        reject a witness (by raising) before paying for the proof.
+        """
+        timings: Dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        had_circuit = self.compiled_for(key) is not None
+        compiled, synthesis = self.synthesize(key, synthesize, name=name)
+        stage = "synthesize_seconds" if synthesis.resynthesized else "compile_seconds"
+        timings[stage] = time.perf_counter() - t0
+        if witness_check is not None:
+            witness_check(synthesis)
+
+        with self._lock:
+            had_keypair = compiled.digest in self._keypairs or (
+                self._store is not None and self._store.has_keypair(compiled.digest)
+            )
+        t0 = time.perf_counter()
+        keypair = self.setup(compiled, seed=setup_seed)
+        timings["setup_seconds"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        proof = self.prove(compiled, synthesis, seed=seed)
+        timings["prove_seconds"] = time.perf_counter() - t0
+
+        return ProofJob(
+            compiled=compiled,
+            keypair=keypair,
+            synthesis=synthesis,
+            proof=proof,
+            timings=timings,
+            reused_circuit=had_circuit and synthesis.resynthesized,
+            reused_keypair=had_keypair,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProvingEngine(circuits={len(self._compiled)}, "
+            f"keypairs={len(self._keypairs)}, stats={self.stats!r})"
+        )

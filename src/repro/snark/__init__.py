@@ -18,10 +18,13 @@ from .errors import (
 )
 from .groth16 import (
     Groth16Keypair,
+    PreparedProvingKey,
     PreparedVerifyingKey,
     SimulationTrapdoor,
+    prepare_proving_key,
     prepare_verifying_key,
     prove,
+    prove_prepared,
     setup,
     setup_with_trapdoor,
     simulate_proof,
@@ -42,10 +45,13 @@ __all__ = [
     "SnarkError",
     "UnsatisfiedWitness",
     "Groth16Keypair",
+    "PreparedProvingKey",
     "PreparedVerifyingKey",
     "SimulationTrapdoor",
+    "prepare_proving_key",
     "prepare_verifying_key",
     "prove",
+    "prove_prepared",
     "setup",
     "setup_with_trapdoor",
     "simulate_proof",

@@ -43,13 +43,16 @@ from .r1cs import ConstraintSystem
 
 __all__ = [
     "Groth16Keypair",
+    "PreparedProvingKey",
     "PreparedVerifyingKey",
     "SimulationTrapdoor",
     "setup",
     "setup_with_trapdoor",
     "simulate_proof",
+    "prepare_proving_key",
     "prepare_verifying_key",
     "prove",
+    "prove_prepared",
     "verify",
     "verify_batch",
     "verify_prepared",
@@ -234,6 +237,35 @@ def _g1_affine(p: G1Point) -> Optional[Tuple[int, int]]:
     return None if p.is_infinity() else (p.x, p.y)
 
 
+@dataclass(frozen=True)
+class PreparedProvingKey:
+    """A proving key with its MSM bases pre-converted to affine tuples.
+
+    ``prove`` spends a noticeable slice of each call flattening the query
+    vectors from :class:`G1Point` objects into the ``(x, y)`` tuples the
+    Pippenger MSM consumes.  A prover issuing many proofs under one key
+    (the amortized ZKROWNN lifecycle) does the conversion once; the
+    :class:`~repro.engine.engine.ProvingEngine` caches one of these per
+    structure digest.
+    """
+
+    pk: ProvingKey
+    points_a: List[Optional[Tuple[int, int]]]
+    points_b1: List[Optional[Tuple[int, int]]]
+    points_k: List[Optional[Tuple[int, int]]]
+    points_h: List[Optional[Tuple[int, int]]]
+
+
+def prepare_proving_key(pk: ProvingKey) -> PreparedProvingKey:
+    return PreparedProvingKey(
+        pk=pk,
+        points_a=[_g1_affine(p) for p in pk.a_query],
+        points_b1=[_g1_affine(p) for p in pk.b_g1_query],
+        points_k=[_g1_affine(p) for p in pk.k_query],
+        points_h=[_g1_affine(p) for p in pk.h_query],
+    )
+
+
 def prove(
     pk: ProvingKey,
     cs: ConstraintSystem,
@@ -246,6 +278,18 @@ def prove(
     The assignment must satisfy ``cs`` (checked up front -- a SNARK proof
     for an unsatisfied system would verify as garbage otherwise).
     """
+    return prove_prepared(prepare_proving_key(pk), cs, assignment, seed=seed)
+
+
+def prove_prepared(
+    ppk: PreparedProvingKey,
+    cs: ConstraintSystem,
+    assignment: Sequence[int],
+    *,
+    seed: Optional[int] = None,
+) -> Proof:
+    """`prove` against a prepared key (MSM bases already affine)."""
+    pk = ppk.pk
     cs.check_satisfied(assignment)
     if len(pk.a_query) != cs.num_variables:
         raise UnsatisfiedWitness(
@@ -256,28 +300,24 @@ def prove(
     r, s = rng.scalar(), rng.scalar()
 
     z = [v % R for v in assignment]
-    points_a = [_g1_affine(p) for p in pk.a_query]
-    points_b1 = [_g1_affine(p) for p in pk.b_g1_query]
 
     # A = alpha + sum z_j u_j(tau) + r*delta   (in G1)
-    a_acc = msm_g1(points_a, z)
+    a_acc = msm_g1(ppk.points_a, z)
     a_acc = jac_add(a_acc, pk.alpha_g1.to_jacobian())
     a_acc = jac_add(a_acc, jac_scalar_mul(pk.delta_g1.to_jacobian(), r))
     proof_a = G1Point.from_jacobian(a_acc)
 
     # B = beta + sum z_j v_j(tau) + s*delta    (in G2, and mirrored in G1)
     proof_b2 = msm_g2(pk.b_g2_query, z) + pk.beta_g2 + pk.delta_g2 * s
-    b1_acc = msm_g1(points_b1, z)
+    b1_acc = msm_g1(ppk.points_b1, z)
     b1_acc = jac_add(b1_acc, pk.beta_g1.to_jacobian())
     b1_acc = jac_add(b1_acc, jac_scalar_mul(pk.delta_g1.to_jacobian(), s))
 
     # C = sum_private z_j K_j + sum h_i H_i + s*A + r*B1 - r*s*delta
     h_coeffs = compute_h(cs, z)
     private_z = z[pk.num_public + 1 :]
-    points_k = [_g1_affine(p) for p in pk.k_query]
-    points_h = [_g1_affine(p) for p in pk.h_query]
-    c_acc = msm_g1(points_k, private_z)
-    c_acc = jac_add(c_acc, msm_g1(points_h, h_coeffs[: len(pk.h_query)]))
+    c_acc = msm_g1(ppk.points_k, private_z)
+    c_acc = jac_add(c_acc, msm_g1(ppk.points_h, h_coeffs[: len(pk.h_query)]))
     c_acc = jac_add(c_acc, jac_scalar_mul(a_acc, s))
     c_acc = jac_add(c_acc, jac_scalar_mul(b1_acc, r))
     c_acc = jac_add(

@@ -2,8 +2,11 @@
 
 The paper's primary contribution, assembled from the substrates below it:
 
-* :func:`build_extraction_circuit` -- Algorithm 1 as an R1CS circuit;
+* :func:`build_extraction_circuit` -- Algorithm 1 as an R1CS circuit
+  (full build); :func:`extraction_synthesizer` feeds the same gadget
+  trace to the staged pipeline in :mod:`repro.engine`;
 * :class:`OwnershipProver` / :class:`OwnershipVerifier` -- P and V;
+  :func:`prove_ownership_with_engine` is the amortized repeat-claim path;
 * :class:`TrustedSetupParty` / :func:`run_ownership_protocol` -- Figure 1;
 * :class:`OwnershipClaim` -- the ~hundreds-of-bytes artifact that travels.
 """
@@ -12,11 +15,18 @@ from .artifacts import OwnershipClaim, model_digest
 from .circuit import (
     CircuitConfig,
     ExtractionCircuit,
+    ExtractionOutputs,
     build_extraction_circuit,
+    extraction_synthesizer,
     public_inputs_for,
+    resynthesize_extraction_witness,
 )
-from .planning import CircuitCostEstimate, estimate_extraction_cost
-from .prover import OwnershipProver, ProverError
+from .planning import (
+    CircuitCostEstimate,
+    estimate_extraction_cost,
+    extraction_structure_key,
+)
+from .prover import OwnershipProver, ProverError, prove_ownership_with_engine
 from .protocol import ProtocolTranscript, TrustedSetupParty, run_ownership_protocol
 from .verifier import OwnershipVerifier, VerificationReport
 
@@ -25,12 +35,17 @@ __all__ = [
     "model_digest",
     "CircuitConfig",
     "ExtractionCircuit",
+    "ExtractionOutputs",
     "build_extraction_circuit",
+    "extraction_synthesizer",
     "public_inputs_for",
+    "resynthesize_extraction_witness",
     "CircuitCostEstimate",
     "estimate_extraction_cost",
+    "extraction_structure_key",
     "OwnershipProver",
     "ProverError",
+    "prove_ownership_with_engine",
     "ProtocolTranscript",
     "TrustedSetupParty",
     "run_ownership_protocol",

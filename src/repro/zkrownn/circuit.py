@@ -38,6 +38,7 @@ import numpy as np
 from ..circuit.builder import CircuitBuilder, PublicOutput
 from ..circuit.fixedpoint import FixedPointFormat
 from ..circuit.wire import Wire
+from ..engine.compiled import CompiledCircuit, SynthesisResult, resynthesize
 from ..gadgets.activation import zk_relu_vector, zk_sigmoid_vector
 from ..gadgets.ber import mismatch_budget
 from ..gadgets.conv import WireTensor3, zk_conv3d
@@ -48,8 +49,9 @@ from ..nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sigmoid
 from ..nn.model import Sequential
 from ..watermark.keys import WatermarkKeys
 
-__all__ = ["CircuitConfig", "ExtractionCircuit", "build_extraction_circuit",
-           "public_inputs_for"]
+__all__ = ["CircuitConfig", "ExtractionCircuit", "ExtractionOutputs",
+           "build_extraction_circuit", "extraction_synthesizer",
+           "public_inputs_for", "resynthesize_extraction_witness"]
 
 DEFAULT_EXTRACTION_FORMAT = FixedPointFormat(frac_bits=16, total_bits=48)
 
@@ -254,23 +256,33 @@ def _allocate_weight_wires(
     return wires
 
 
-def build_extraction_circuit(
+@dataclass(frozen=True)
+class ExtractionOutputs:
+    """What one synthesis pass of Algorithm 1 yields beyond the witness."""
+
+    valid_output: PublicOutput
+    extracted_bits: List[int]
+    num_weights: int
+
+
+def _synthesize_extraction(
+    builder: CircuitBuilder,
     model: Sequential,
     keys: WatermarkKeys,
-    config: Optional[CircuitConfig] = None,
-) -> ExtractionCircuit:
-    """Synthesize Algorithm 1 for a model + owner keys.
+    config: CircuitConfig,
+) -> ExtractionOutputs:
+    """Drive Algorithm 1 through a builder (full build or witness replay).
 
-    The circuit is fixed by (architecture up to l_wm, trigger count,
-    watermark width, theta); re-synthesizing with different key *values*
-    reuses existing Groth16 keys (same structure digest).
+    This is the single definition of the extraction circuit's gadget
+    trace; ``builder`` decides the pipeline stage.  A
+    :class:`~repro.circuit.builder.CircuitBuilder` records constraints and
+    witness (the compile stage); a
+    :class:`~repro.circuit.trace.WitnessSynthesizer` replays the recorded
+    trace with this call's input values only (the synthesize stage).
     """
-    config = config or CircuitConfig()
     fmt = config.fixed_point
     keys.validate()
     layers = model.layers[: keys.embed_layer + 1]
-
-    builder = CircuitBuilder("zkrownn-extraction")
 
     # -- public phase: output placeholder, BER budget, model weights.
     valid_out = builder.public_output("valid")
@@ -359,12 +371,68 @@ def build_extraction_circuit(
     result = builder.and_(valid_ber, check)
     builder.bind_output(valid_out, result)
 
-    return ExtractionCircuit(
-        builder=builder,
-        config=config,
+    return ExtractionOutputs(
         valid_output=valid_out,
+        extracted_bits=[w.value for w in extracted],
         num_weights=sum(
             arr.size for _, arr in _model_weights_in_order(model, keys.embed_layer)
         ),
-        extracted_bits=[w.value for w in extracted],
     )
+
+
+def build_extraction_circuit(
+    model: Sequential,
+    keys: WatermarkKeys,
+    config: Optional[CircuitConfig] = None,
+) -> ExtractionCircuit:
+    """Synthesize Algorithm 1 for a model + owner keys (full build).
+
+    The circuit is fixed by (architecture up to l_wm, trigger count,
+    watermark width, theta); re-synthesizing with different key *values*
+    reuses existing Groth16 keys (same structure digest).  Repeat proofs
+    should go through :class:`~repro.engine.engine.ProvingEngine`, which
+    replaces this full build with a witness-only trace replay.
+    """
+    config = config or CircuitConfig()
+    builder = CircuitBuilder("zkrownn-extraction")
+    outputs = _synthesize_extraction(builder, model, keys, config)
+    return ExtractionCircuit(
+        builder=builder,
+        config=config,
+        valid_output=outputs.valid_output,
+        num_weights=outputs.num_weights,
+        extracted_bits=outputs.extracted_bits,
+    )
+
+
+def extraction_synthesizer(
+    model: Sequential,
+    keys: WatermarkKeys,
+    config: Optional[CircuitConfig] = None,
+):
+    """Algorithm 1 as a synthesis function for the proving engine.
+
+    Returns a closure over (model, keys, config) suitable for
+    :meth:`ProvingEngine.synthesize` /:meth:`ProvingEngine.prove_job`;
+    its auxiliary result is an :class:`ExtractionOutputs`.
+    """
+    resolved = config or CircuitConfig()
+
+    def synthesize(builder: CircuitBuilder) -> ExtractionOutputs:
+        return _synthesize_extraction(builder, model, keys, resolved)
+
+    return synthesize
+
+
+def resynthesize_extraction_witness(
+    compiled: CompiledCircuit,
+    model: Sequential,
+    keys: WatermarkKeys,
+    config: Optional[CircuitConfig] = None,
+) -> SynthesisResult:
+    """Witness-only pass: new input values over an already-compiled circuit.
+
+    Raises :class:`~repro.circuit.trace.TraceDivergence` if (model, keys)
+    do not match the compiled shape.
+    """
+    return resynthesize(compiled, extraction_synthesizer(model, keys, config))

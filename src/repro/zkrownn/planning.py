@@ -1,4 +1,4 @@
-"""Pre-setup cost planning for extraction circuits.
+"""Pre-setup planning for extraction circuits: cost estimates and cache keys.
 
 The Groth16 trusted setup is the expensive, coordinated step of the
 protocol (per Table I: minutes of compute and hundreds of MB of proving
@@ -10,10 +10,18 @@ logic as :func:`repro.zkrownn.circuit.build_extraction_circuit`, but
 evaluates the analytic cost formulas instead of allocating wires --
 O(layers) instead of O(constraints).  The estimate is exact (asserted
 against real builds in ``tests/test_zkrownn_planning.py``).
+
+:func:`extraction_structure_key` condenses the same shape walk into the
+:class:`~repro.engine.engine.ProvingEngine` cache key: everything that
+determines the circuit *structure* (architecture up to the embedding
+layer, trigger/watermark shape, circuit config) without any weight or key
+values, so the key is O(layers) to compute and stable across models of
+one shape.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -25,7 +33,11 @@ from ..nn.model import Sequential
 from ..watermark.keys import WatermarkKeys
 from .circuit import CircuitConfig, _model_weights_in_order
 
-__all__ = ["CircuitCostEstimate", "estimate_extraction_cost"]
+__all__ = [
+    "CircuitCostEstimate",
+    "estimate_extraction_cost",
+    "extraction_structure_key",
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +123,45 @@ def _spatial_feedforward_cost(
     if flat_dim is None:
         flat_dim = channels * height * width
     return total, flat_dim
+
+
+def extraction_structure_key(
+    model: Sequential,
+    keys: WatermarkKeys,
+    config: Optional[CircuitConfig] = None,
+) -> str:
+    """Shape key for the proving-engine caches, cheap to compute.
+
+    Two (model, keys, config) triples with the same key synthesize the
+    same gadget trace, so they share a compiled circuit and Groth16
+    keypair; the engine double-checks via the structure digest after the
+    first full build.  Conservatively includes every
+    :class:`CircuitConfig` field -- ``theta`` only moves a public-input
+    *value*, but a changed config should read as a changed circuit.
+    """
+    config = config or CircuitConfig()
+    h = hashlib.sha256()
+    h.update(b"zkrownn-extraction|v1|")
+    for i, layer in enumerate(model.layers[: keys.embed_layer + 1]):
+        h.update(f"{i}:{type(layer).__name__}".encode())
+        for name in sorted(layer.params):
+            h.update(f":{name}{tuple(layer.params[name].shape)}".encode())
+        for attr in ("stride", "pool", "kernel"):
+            if hasattr(layer, attr):
+                h.update(f":{attr}={getattr(layer, attr)}".encode())
+        h.update(b";")
+    h.update(
+        f"triggers={tuple(keys.trigger_inputs.shape)}"
+        f"|proj={tuple(keys.projection.shape)}"
+        f"|bits={keys.num_bits}|layer={keys.embed_layer}".encode()
+    )
+    h.update(
+        f"|theta={config.theta}|frac={config.fixed_point.frac_bits}"
+        f"|total={config.fixed_point.total_bits}"
+        f"|sigmoid={config.sigmoid_degree}"
+        f"|public={config.weights_public}".encode()
+    )
+    return h.hexdigest()
 
 
 def estimate_extraction_cost(

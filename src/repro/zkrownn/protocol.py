@@ -1,11 +1,17 @@
 """The full Figure-1 protocol: setup party, prover, verifiers, transcripts.
 
-Simulates the paper's deployment story end to end:
+Simulates the paper's deployment story end to end, on top of the staged
+proving pipeline (``compile -> setup -> synthesize -> prove -> verify``):
 
-1. a :class:`TrustedSetupParty` runs Groth16 setup for the circuit shape
-   and publishes the verification key ("a trusted third party or V run a
-   setup procedure"); the toxic waste is destroyed with the party object;
-2. the model owner proves once;
+1. a :class:`TrustedSetupParty` compiles the circuit shape and runs the
+   Groth16 ceremony for it, publishing the verification key ("a trusted
+   third party or V run a setup procedure"); the toxic waste is destroyed
+   with the party object;
+2. the model owner proves -- the first claim for a shape pays witness
+   synthesis only (the compiled circuit is replayed, never rebuilt), and
+   later claims through the same :class:`~repro.engine.engine.ProvingEngine`
+   also skip setup entirely, which is the paper's Section-IV amortization
+   argument realized in code;
 3. any number of independent verifiers check the same claim -- public
    verifiability, the property the paper contrasts against interactive ZK.
 
@@ -20,13 +26,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..engine.engine import ProvingEngine
 from ..nn.model import Sequential
-from ..snark.groth16 import Groth16Keypair, setup
+from ..snark.groth16 import Groth16Keypair
 from ..snark.keys import ProvingKey, VerifyingKey
 from ..watermark.keys import WatermarkKeys
 from .artifacts import OwnershipClaim
-from .circuit import CircuitConfig, build_extraction_circuit
-from .prover import OwnershipProver
+from .circuit import CircuitConfig, extraction_synthesizer
+from .planning import extraction_structure_key
+from .prover import prove_ownership_with_engine
 from .verifier import OwnershipVerifier, VerificationReport
 
 __all__ = ["TrustedSetupParty", "ProtocolTranscript", "run_ownership_protocol"]
@@ -49,6 +57,8 @@ class ProtocolTranscript:
     messages: List[Message] = field(default_factory=list)
     timings: Dict[str, float] = field(default_factory=dict)
     reports: List[VerificationReport] = field(default_factory=list)
+    reused_circuit: bool = False
+    reused_keypair: bool = False
 
     def record(self, sender: str, receiver: str, description: str, num_bytes: int):
         self.messages.append(Message(sender, receiver, description, num_bytes))
@@ -71,13 +81,17 @@ class ProtocolTranscript:
 class TrustedSetupParty:
     """Runs the one-time Groth16 ceremony for a circuit shape.
 
-    The sampled toxic waste lives only inside :func:`repro.snark.setup`'s
-    stack frame; this object retains only the public outputs.  ``seed``
-    exists for reproducible tests -- a real ceremony must not use it.
+    The party owns a :class:`~repro.engine.engine.ProvingEngine` (or
+    shares one injected by the protocol): repeat ceremonies for a shape it
+    has already served are cache hits, not new ceremonies.  The sampled
+    toxic waste lives only inside :func:`repro.snark.setup`'s stack frame;
+    this object retains only the public outputs.  ``seed`` exists for
+    reproducible tests -- a real ceremony must not use it.
     """
 
-    def __init__(self, name: str = "setup-party"):
+    def __init__(self, name: str = "setup-party", engine: Optional[ProvingEngine] = None):
         self.name = name
+        self.engine = engine or ProvingEngine()
         self._keypair: Optional[Groth16Keypair] = None
 
     def run_ceremony(
@@ -89,8 +103,14 @@ class TrustedSetupParty:
         seed: Optional[int] = None,
     ) -> Groth16Keypair:
         """Setup for the extraction circuit of (model shape, key shape)."""
-        circuit = build_extraction_circuit(model, keys, config or CircuitConfig())
-        self._keypair = setup(circuit.constraint_system, seed=seed)
+        config = config or CircuitConfig()
+        shape_key = extraction_structure_key(model, keys, config)
+        compiled, _ = self.engine.synthesize(
+            shape_key,
+            extraction_synthesizer(model, keys, config),
+            name="zkrownn-extraction",
+        )
+        self._keypair = self.engine.setup(compiled, seed=seed)
         return self._keypair
 
     @property
@@ -113,6 +133,7 @@ def run_ownership_protocol(
     config: Optional[CircuitConfig] = None,
     num_verifiers: int = 3,
     seed: Optional[int] = None,
+    engine: Optional[ProvingEngine] = None,
 ) -> Tuple[ProtocolTranscript, OwnershipClaim]:
     """Run the complete Figure-1 flow and return its transcript.
 
@@ -120,12 +141,21 @@ def run_ownership_protocol(
     the same claim (the non-interactivity the paper emphasizes: "the proof
     is generated once and can be verified by third parties without further
     interaction").
+
+    The setup party and prover share one :class:`ProvingEngine` (a fresh
+    one per call unless ``engine`` is passed), so within a run the prover
+    replays the circuit the ceremony compiled instead of rebuilding it --
+    and across runs with a shared engine, setup and compilation are
+    skipped outright (the amortized repeat-claim path; see the
+    ``bench_amortization`` benchmark).
     """
     config = config or CircuitConfig()
+    engine = engine or ProvingEngine()
     transcript = ProtocolTranscript()
 
-    # 1. Trusted setup (once per circuit).
-    party = TrustedSetupParty()
+    # 1. Trusted setup (once per circuit shape; a cache hit if this
+    #    engine has already served the shape).
+    party = TrustedSetupParty(engine=engine)
     t0 = time.perf_counter()
     party.run_ceremony(suspect_model, owner_keys, config, seed=seed)
     transcript.timings["setup_seconds"] = time.perf_counter() - t0
@@ -133,11 +163,17 @@ def run_ownership_protocol(
     vk_bytes = party.verifying_key.size_bytes()
     transcript.record(party.name, "prover", "proving key", pk_bytes)
 
-    # 2. The owner proves once.
-    prover = OwnershipProver(suspect_model, owner_keys, config)
+    # 2. The owner proves (witness replay + prove; compile/setup cached).
     t0 = time.perf_counter()
-    claim = prover.prove_ownership(party.proving_key, seed=seed)
+    claim, job = prove_ownership_with_engine(
+        engine, suspect_model, owner_keys, config, seed=seed
+    )
     transcript.timings["prove_seconds"] = time.perf_counter() - t0
+    transcript.timings["witness_seconds"] = job.timings.get(
+        "synthesize_seconds", job.timings.get("compile_seconds", 0.0)
+    )
+    transcript.reused_circuit = job.reused_circuit
+    transcript.reused_keypair = job.reused_keypair
 
     # 3. Verifiers: each receives the VK (from the setup party) and the
     #    claim (from the prover), then checks independently.

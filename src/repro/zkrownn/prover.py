@@ -6,24 +6,35 @@ M' carries their watermark.  :class:`OwnershipProver` synthesizes the
 Algorithm-1 circuit against M', generates the Groth16 proof, and packages
 a publishable :class:`~repro.zkrownn.artifacts.OwnershipClaim`.
 
-Setup and proof generation happen once per circuit; the paper's
-amortization argument (Section IV) is exactly this object's lifecycle.
+Compilation and setup happen once per circuit *shape*; the paper's
+amortization argument (Section IV) is realized by routing proofs through
+a :class:`~repro.engine.engine.ProvingEngine` (``prove_ownership_cached``
+or :func:`prove_ownership_with_engine`): the first claim for a shape
+compiles and runs setup, every later claim replays the recorded gadget
+trace and proves against the cached prepared key.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
+from ..engine.engine import ProofJob, ProvingEngine
 from ..snark.errors import ConstraintViolation
 from ..snark.groth16 import Groth16Keypair, prove, setup
 from ..snark.keys import Proof, ProvingKey
 from ..nn.model import Sequential
 from ..watermark.keys import WatermarkKeys
 from .artifacts import OwnershipClaim, model_digest
-from .circuit import CircuitConfig, ExtractionCircuit, build_extraction_circuit
+from .circuit import (
+    CircuitConfig,
+    ExtractionCircuit,
+    build_extraction_circuit,
+    extraction_synthesizer,
+)
+from .planning import extraction_structure_key
 
-__all__ = ["OwnershipProver", "ProverError"]
+__all__ = ["OwnershipProver", "ProverError", "prove_ownership_with_engine"]
 
 
 class ProverError(Exception):
@@ -36,12 +47,15 @@ class OwnershipProver:
 
     ``model`` is the *suspect* model M' being proven against (for a
     dispute, the allegedly-stolen network); ``keys`` are the owner's
-    private watermark material.
+    private watermark material.  With an ``engine``, repeat proofs for
+    one circuit shape skip compilation and setup
+    (:meth:`prove_ownership_cached`).
     """
 
     model: Sequential
     keys: WatermarkKeys
     config: CircuitConfig = CircuitConfig()
+    engine: Optional[ProvingEngine] = None
 
     def synthesize(self) -> ExtractionCircuit:
         """Build the extraction circuit + witness against the model.
@@ -94,14 +108,93 @@ class OwnershipProver:
             circuit.assignment,
             seed=seed,
         )
-        fmt = self.config.fixed_point
-        return OwnershipClaim(
-            proof_bytes=proof.to_bytes(),
-            theta=self.config.theta,
-            wm_bits=self.keys.num_bits,
-            embed_layer=self.keys.embed_layer,
-            model_sha256=model_digest(self.model, self.keys.embed_layer),
-            frac_bits=fmt.frac_bits,
-            total_bits=fmt.total_bits,
-            sigmoid_degree=self.config.sigmoid_degree,
+        return _claim_for(self.model, self.keys, self.config, proof)
+
+    def prove_ownership_cached(
+        self,
+        *,
+        require_valid: bool = True,
+        seed: Optional[int] = None,
+        setup_seed: Optional[int] = None,
+    ) -> OwnershipClaim:
+        """Generate a claim through the staged pipeline.
+
+        The first call for this circuit shape compiles the circuit and
+        runs setup; later calls (same :class:`ProvingEngine`, same shape)
+        replay the recorded trace and prove against cached keys.  Uses
+        ``self.engine``, creating a private one on first use if none was
+        injected.
+        """
+        if self.engine is None:
+            self.engine = ProvingEngine()
+        claim, _ = prove_ownership_with_engine(
+            self.engine,
+            self.model,
+            self.keys,
+            self.config,
+            require_valid=require_valid,
+            seed=seed,
+            setup_seed=setup_seed,
         )
+        return claim
+
+
+def _claim_for(
+    model: Sequential,
+    keys: WatermarkKeys,
+    config: CircuitConfig,
+    proof: Proof,
+) -> OwnershipClaim:
+    """Package a proof with the public parameters a verifier needs."""
+    fmt = config.fixed_point
+    return OwnershipClaim(
+        proof_bytes=proof.to_bytes(),
+        theta=config.theta,
+        wm_bits=keys.num_bits,
+        embed_layer=keys.embed_layer,
+        model_sha256=model_digest(model, keys.embed_layer),
+        frac_bits=fmt.frac_bits,
+        total_bits=fmt.total_bits,
+        sigmoid_degree=config.sigmoid_degree,
+    )
+
+
+def prove_ownership_with_engine(
+    engine: ProvingEngine,
+    model: Sequential,
+    keys: WatermarkKeys,
+    config: Optional[CircuitConfig] = None,
+    *,
+    require_valid: bool = True,
+    seed: Optional[int] = None,
+    setup_seed: Optional[int] = None,
+) -> Tuple[OwnershipClaim, ProofJob]:
+    """One ownership claim through the staged proving pipeline.
+
+    Returns the publishable claim plus the underlying
+    :class:`~repro.engine.engine.ProofJob` (compiled circuit, keypair,
+    per-stage timings, cache-reuse flags) for callers that distribute the
+    verification key or report amortization.
+    """
+    config = config or CircuitConfig()
+    shape_key = extraction_structure_key(model, keys, config)
+
+    def check_extracts(synthesis) -> None:
+        if require_valid and synthesis.assignment[synthesis.aux.valid_output.index] != 1:
+            raise ProverError(
+                "watermark does not extract from this model within theta; "
+                "refusing to publish a non-ownership proof"
+            )
+
+    try:
+        job = engine.prove_job(
+            shape_key,
+            extraction_synthesizer(model, keys, config),
+            name="zkrownn-extraction",
+            seed=seed,
+            setup_seed=setup_seed,
+            witness_check=check_extracts,
+        )
+    except (ConstraintViolation, OverflowError) as exc:
+        raise ProverError(f"witness synthesis failed: {exc}") from exc
+    return _claim_for(model, keys, config, job.proof), job

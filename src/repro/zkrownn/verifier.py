@@ -22,7 +22,13 @@ from typing import List, Optional, Sequence, Tuple
 from ..circuit.fixedpoint import FixedPointFormat
 from ..nn.model import Sequential
 from ..snark.errors import MalformedProof
-from ..snark.groth16 import verify_batch, verify_with_precheck
+from ..snark.groth16 import (
+    PreparedVerifyingKey,
+    prepare_verifying_key,
+    verify_batch,
+    verify_prepared,
+    verify_with_precheck,
+)
 from ..snark.keys import VerifyingKey
 from .artifacts import OwnershipClaim, model_digest
 from .circuit import CircuitConfig, public_inputs_for
@@ -43,9 +49,31 @@ class VerificationReport:
 
 @dataclass
 class OwnershipVerifier:
-    """A third-party verifier for ownership claims."""
+    """A third-party verifier for ownership claims.
+
+    ``prepare=True`` precomputes the Miller-loop coefficients of the key's
+    fixed G2 points once (the pipeline's cached-verify stage): a verifier
+    expecting a stream of *individual* :meth:`verify` calls under one key
+    roughly halves per-claim pairing time.  It does not change
+    :meth:`verify_many`'s batched happy path (already a single
+    multi-pairing), only its per-claim fallback.  One-shot verifiers keep
+    the default and pay nothing up front.
+    """
 
     verifying_key: VerifyingKey
+    prepare: bool = False
+    _prepared: Optional[PreparedVerifyingKey] = field(
+        default=None, repr=False, init=False, compare=False
+    )
+
+    def _pairing_check(self, instance: Sequence[int], claim: OwnershipClaim) -> bool:
+        """Point validation + pairing equation, prepared when requested."""
+        if not self.prepare:
+            return verify_with_precheck(self.verifying_key, instance, claim.proof)
+        if self._prepared is None:
+            self._prepared = prepare_verifying_key(self.verifying_key)
+        claim.proof.validate_points()
+        return verify_prepared(self._prepared, instance, claim.proof)
 
     def verify(self, model: Sequential, claim: OwnershipClaim) -> VerificationReport:
         """Check an ownership claim against the model the verifier holds."""
@@ -74,7 +102,7 @@ class OwnershipVerifier:
                 f"expected, instance has {len(instance)})",
             )
         try:
-            ok = verify_with_precheck(self.verifying_key, instance, claim.proof)
+            ok = self._pairing_check(instance, claim)
         except MalformedProof as exc:
             return VerificationReport(accepted=False, reason=f"malformed proof: {exc}")
         if not ok:

@@ -1,0 +1,259 @@
+"""Tests for the staged pipeline's split: trace recording + witness replay.
+
+The contract under test: a full CircuitBuilder pass records structure and
+a synthesis trace; WitnessSynthesizer replays the trace with new input
+values and produces an assignment *identical* to what a fresh full build
+with those values would produce -- without constructing any constraints.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder, TraceDivergence, WitnessSynthesizer
+from repro.circuit.fixedpoint import FixedPointFormat
+from repro.engine import CompiledCircuit, compile_circuit, resynthesize
+from repro.nn import cifar10_cnn_scaled, mnist_mlp_scaled
+from repro.snark.errors import ConstraintViolation
+from repro.snark.serialize import serialize_r1cs
+from repro.watermark.keys import WatermarkKeys
+from repro.zkrownn import (
+    CircuitConfig,
+    build_extraction_circuit,
+    resynthesize_extraction_witness,
+    extraction_structure_key,
+    extraction_synthesizer,
+)
+
+
+def _gadget_rich(builder, x_val: int, y_val: int):
+    """A circuit touching every builder helper the gadget library uses."""
+    out = builder.public_output("o")
+    x = builder.private_input("x", x_val)
+    y = builder.private_input("y", y_val)
+    p = builder.mul(x, y)
+    q = builder.mul(p, builder.constant(3))  # constant fold
+    builder.to_bits(q, 16)
+    ge = builder.greater_equal(x, y, 20)
+    z = builder.is_zero(x - y)
+    d = builder.div_floor_const(q, 10, 24)
+    builder.truncate(q, 2, 24)
+    sel = builder.select(ge, x, y)
+    builder.assert_boolean(z)
+    builder.bind_output(out, sel + z + d - d)
+    return out
+
+
+class TestTraceRecording:
+    def test_full_build_records_trace(self):
+        b = CircuitBuilder("t")
+        _gadget_rich(b, 7, 5)
+        assert len(b.trace) > 0
+        # One event per allocated variable beyond ONE, plus one per folded mul.
+        from repro.circuit.builder import EV_MUL_FOLD
+
+        folds = sum(1 for e in b.trace if e == EV_MUL_FOLD)
+        assert len(b.trace) - folds == b.cs.num_variables - 1
+
+    def test_same_values_same_trace(self):
+        b1, b2 = CircuitBuilder("t"), CircuitBuilder("t")
+        _gadget_rich(b1, 7, 5)
+        _gadget_rich(b2, 9, 9)
+        assert bytes(b1.trace) == bytes(b2.trace)
+        assert b1.structure_digest() == b2.structure_digest()
+
+
+class TestWitnessReplay:
+    def test_replay_matches_fresh_full_build(self):
+        full = CircuitBuilder("t")
+        _gadget_rich(full, 7, 5)
+
+        reference = CircuitBuilder("t")
+        _gadget_rich(reference, 9, 4)
+
+        replay = WitnessSynthesizer(bytes(full.trace), "t")
+        _gadget_rich(replay, 9, 4)
+        replay.finish()
+
+        assert replay.assignment == reference.assignment
+        assert replay.public_values() == reference.public_values()
+        # The replayed witness satisfies the *compiled* constraints.
+        full.cs.check_satisfied(replay.assignment)
+
+    def test_replay_builds_no_constraints(self):
+        full = CircuitBuilder("t")
+        _gadget_rich(full, 7, 5)
+        replay = WitnessSynthesizer(bytes(full.trace), "t")
+        _gadget_rich(replay, 2, 3)
+        assert replay.cs.num_constraints == 0
+        assert replay.cs.num_variables == full.cs.num_variables
+        assert replay.cs.num_public == full.cs.num_public
+
+    def test_replay_detects_structural_divergence(self):
+        full = CircuitBuilder("t")
+        _gadget_rich(full, 7, 5)
+        replay = WitnessSynthesizer(bytes(full.trace), "t")
+        with pytest.raises(TraceDivergence):
+            # public_output first in the recorded trace, private here.
+            replay.private_input("x", 1)
+
+    def test_replay_detects_truncated_synthesis(self):
+        full = CircuitBuilder("t")
+        _gadget_rich(full, 7, 5)
+        replay = WitnessSynthesizer(bytes(full.trace), "t")
+        replay.public_output("o")  # stop early
+        with pytest.raises(TraceDivergence):
+            replay.finish()
+
+    def test_replay_detects_overlong_synthesis(self):
+        full = CircuitBuilder("t")
+        full.public_input("a", 1)
+        replay = WitnessSynthesizer(bytes(full.trace), "t")
+        replay.public_input("a", 2)
+        with pytest.raises(TraceDivergence):
+            replay.private_input("extra", 3)
+
+    def test_replay_keeps_value_checks(self):
+        full = CircuitBuilder("t")
+        full.to_bits(full.private_input("x", 5), 8)
+        replay = WitnessSynthesizer(bytes(full.trace), "t")
+        with pytest.raises(ConstraintViolation):
+            replay.to_bits(replay.private_input("x", 1 << 20), 8)
+
+    def test_structure_apis_are_blocked(self):
+        replay = WitnessSynthesizer(b"", "t")
+        with pytest.raises(TypeError):
+            replay.structure_digest()
+        with pytest.raises(TypeError):
+            replay.check()
+
+
+class TestCompiledCircuit:
+    def test_compile_returns_first_witness(self):
+        compiled, result = compile_circuit(lambda b: _gadget_rich(b, 7, 5), "t")
+        assert not result.resynthesized
+        assert len(result.assignment) == compiled.num_variables
+        compiled.cs.check_satisfied(result.assignment)
+        assert compiled.digest
+        assert compiled.public_layout[0] == "o"
+        assert compiled.domain_size >= compiled.num_constraints
+
+    def test_resynthesize_roundtrip(self):
+        compiled, _ = compile_circuit(lambda b: _gadget_rich(b, 7, 5), "t")
+        result = resynthesize(compiled, lambda b: _gadget_rich(b, 11, 2))
+        assert result.resynthesized
+        compiled.cs.check_satisfied(result.assignment)
+
+    def test_from_builder_matches_compile(self):
+        builder = CircuitBuilder("t")
+        _gadget_rich(builder, 7, 5)
+        frozen = CompiledCircuit.from_builder(builder)
+        compiled, _ = compile_circuit(lambda b: _gadget_rich(b, 1, 2), "t")
+        assert frozen.digest == compiled.digest
+        assert frozen.trace == compiled.trace
+
+
+# ----------------------------------------------------- extraction circuits --
+
+
+FMT = FixedPointFormat(frac_bits=12, total_bits=32)
+
+
+def _mlp_fixture(model_seed: int = 0, key_seed: int = 1):
+    rng = np.random.default_rng(model_seed)
+    model = mnist_mlp_scaled(input_dim=8, hidden=4, rng=rng)
+    krng = np.random.default_rng(key_seed)
+    triggers = krng.uniform(0, 1, (2, 8))
+    keys = WatermarkKeys(
+        embed_layer=1,
+        target_class=0,
+        trigger_inputs=triggers,
+        projection=krng.standard_normal((4, 4)),
+        signature=krng.integers(0, 2, 4).astype(np.int64),
+    )
+    return model, keys, CircuitConfig(theta=1.0, fixed_point=FMT)
+
+
+def _cnn_fixture(model_seed: int = 0, key_seed: int = 1):
+    rng = np.random.default_rng(model_seed)
+    model = cifar10_cnn_scaled(image_size=9, channels=2, rng=rng)
+    krng = np.random.default_rng(key_seed)
+    triggers = krng.uniform(0, 1, (1, 3, 9, 9))
+    probe = model.forward_to(triggers[:1], 1)
+    feature_dim = int(np.prod(probe.shape[1:]))
+    keys = WatermarkKeys(
+        embed_layer=1,
+        target_class=0,
+        trigger_inputs=triggers,
+        projection=krng.standard_normal((feature_dim, 4)),
+        signature=krng.integers(0, 2, 4).astype(np.int64),
+    )
+    return model, keys, CircuitConfig(theta=1.0, fixed_point=FMT)
+
+
+class TestExtractionResynthesis:
+    def test_same_digest_means_byte_identical_r1cs(self):
+        """Same structure digest => byte-identical serialized constraint
+        system, across synthesis runs with different weight values."""
+        model_a, keys, config = _mlp_fixture(model_seed=0)
+        model_b, _, _ = _mlp_fixture(model_seed=42)
+        circuit_a = build_extraction_circuit(model_a, keys, config)
+        circuit_b = build_extraction_circuit(model_b, keys, config)
+        assert (
+            circuit_a.builder.structure_digest()
+            == circuit_b.builder.structure_digest()
+        )
+        assert serialize_r1cs(circuit_a.constraint_system) == serialize_r1cs(
+            circuit_b.constraint_system
+        )
+
+    def test_mlp_resynthesis_matches_full_build(self):
+        model, keys, config = _mlp_fixture()
+        compiled, _ = compile_circuit(
+            extraction_synthesizer(model, keys, config), "mlp"
+        )
+        other_model, _, _ = _mlp_fixture(model_seed=7)
+        result = resynthesize_extraction_witness(compiled, other_model, keys, config)
+        reference = build_extraction_circuit(other_model, keys, config)
+        assert result.assignment == reference.assignment
+        assert result.public_values == reference.public_inputs
+        assert result.aux.extracted_bits == reference.extracted_bits
+        compiled.cs.check_satisfied(result.assignment)
+
+    def test_cnn_resynthesis_matches_full_build(self):
+        model, keys, config = _cnn_fixture()
+        compiled, _ = compile_circuit(
+            extraction_synthesizer(model, keys, config), "cnn"
+        )
+        other_model, _, _ = _cnn_fixture(model_seed=7)
+        result = resynthesize_extraction_witness(compiled, other_model, keys, config)
+        reference = build_extraction_circuit(other_model, keys, config)
+        assert result.assignment == reference.assignment
+        assert result.public_values == reference.public_inputs
+        compiled.cs.check_satisfied(result.assignment)
+
+    def test_shape_mismatch_diverges(self):
+        model, keys, config = _mlp_fixture()
+        compiled, _ = compile_circuit(
+            extraction_synthesizer(model, keys, config), "mlp"
+        )
+        wider = mnist_mlp_scaled(input_dim=8, hidden=6,
+                                 rng=np.random.default_rng(3))
+        krng = np.random.default_rng(1)
+        wider_keys = WatermarkKeys(
+            embed_layer=1,
+            target_class=0,
+            trigger_inputs=krng.uniform(0, 1, (2, 8)),
+            projection=krng.standard_normal((6, 4)),
+            signature=krng.integers(0, 2, 4).astype(np.int64),
+        )
+        with pytest.raises(TraceDivergence):
+            resynthesize_extraction_witness(compiled, wider, wider_keys, config)
+
+    def test_structure_key_tracks_shape_and_config(self):
+        model, keys, config = _mlp_fixture()
+        other_model, _, _ = _mlp_fixture(model_seed=9)
+        assert extraction_structure_key(model, keys, config) == \
+            extraction_structure_key(other_model, keys, config)
+        changed = CircuitConfig(theta=1.0, fixed_point=FMT, sigmoid_degree=7)
+        assert extraction_structure_key(model, keys, config) != \
+            extraction_structure_key(model, keys, changed)
