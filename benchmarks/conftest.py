@@ -32,13 +32,26 @@ _JSON_REPORTS: Dict[str, dict] = {}
 
 
 def _json_report_for(module: str) -> dict:
-    """The mutable JSON payload for one benchmark module."""
+    """The mutable JSON payload for one benchmark module.
+
+    Besides scale and interpreter, every payload records the kernel and
+    backend configuration the numbers were produced under -- without it,
+    artifact comparisons across CI runs are meaningless.
+    """
     return _JSON_REPORTS.setdefault(
         module,
         {
             "benchmark": module,
             "scale": os.environ.get("ZKROWNN_BENCH_SCALE", "reduced"),
             "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            # Environment-level defaults; benchmarks that construct their
+            # own backends record the actual one per entry.
+            "backend_env": os.environ.get("ZKROWNN_BACKEND", "serial"),
+            "workers_env": os.environ.get("ZKROWNN_WORKERS"),
+            "msm_kernel": "glv+signed-window+batch-affine",
+            "ntt_kernel": "cached-twiddle-registry",
             "test_seconds": {},
             "entries": {},
         },

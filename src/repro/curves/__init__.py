@@ -17,10 +17,12 @@ from .bn254 import (
 )
 from .g1 import G1Point
 from .g2 import G2Point, psi
+from .glv import GLV_BETA, GLV_LAMBDA, glv_decompose, glv_endomorphism
 from .msm import (
     FixedBaseTableG1,
     FixedBaseTableG2,
     msm_g1,
+    msm_g1_unsigned,
     msm_g2,
     naive_msm_g1,
     naive_msm_g2,
@@ -46,9 +48,14 @@ __all__ = [
     "G1Point",
     "G2Point",
     "psi",
+    "GLV_BETA",
+    "GLV_LAMBDA",
+    "glv_decompose",
+    "glv_endomorphism",
     "FixedBaseTableG1",
     "FixedBaseTableG2",
     "msm_g1",
+    "msm_g1_unsigned",
     "msm_g2",
     "naive_msm_g1",
     "naive_msm_g2",

@@ -12,8 +12,9 @@ The public, hashable, immutable view is :class:`G1Point` (affine).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ..field.prime import batch_inverse_ints
 from .bn254 import CURVE_B, G1_GENERATOR, P, R
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "jac_scalar_mul",
     "jac_is_infinity",
     "jac_to_affine",
+    "jac_to_affine_many",
     "affine_to_jac",
 ]
 
@@ -142,6 +144,29 @@ def jac_to_affine(pt: JacobianPoint) -> Optional[Tuple[int, int]]:
     z_inv = pow(z, -1, P)
     z2 = z_inv * z_inv % P
     return (x * z2 % P, y * z2 * z_inv % P)
+
+
+def jac_to_affine_many(
+    pts: Sequence[JacobianPoint],
+) -> List[Optional[Tuple[int, int]]]:
+    """Normalize many Jacobian points with a single modular inversion.
+
+    The per-point :func:`jac_to_affine` costs one ``pow(z, -1, P)`` each;
+    Montgomery's trick turns N inversions into one plus ~3N multiplications.
+    Used by the trusted setup (thousands of key points), fixed-base table
+    construction, and proof-point normalization.
+    """
+    zs = [pt[2] for pt in pts if pt[2] != 0]
+    invs = iter(batch_inverse_ints(zs, P))
+    out: List[Optional[Tuple[int, int]]] = []
+    for x, y, z in pts:
+        if z == 0:
+            out.append(None)
+            continue
+        z_inv = next(invs)
+        z2 = z_inv * z_inv % P
+        out.append((x * z2 % P, y * z2 * z_inv % P))
+    return out
 
 
 def affine_to_jac(affine: Optional[Tuple[int, int]]) -> JacobianPoint:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from ..field.tower import FROB_GAMMA, Fp2Element
+from ..field.tower import FROB_GAMMA, Fp2Element, fp2_batch_inverse
 from .bn254 import G2_COFACTOR, G2_GENERATOR, R, TWIST_B
 
 __all__ = [
@@ -23,10 +23,13 @@ __all__ = [
     "G2_INFINITY_JAC",
     "g2_jac_double",
     "g2_jac_add",
+    "g2_jac_add_mixed",
     "g2_jac_scalar_mul",
     "g2_jac_is_infinity",
     "g2_to_jacobian",
     "g2_from_jacobian",
+    "g2_jac_to_affine_many",
+    "g2_batch_affine_add",
 ]
 
 # Frobenius constants for psi: x -> conj(x) * xi^((p-1)/3),
@@ -213,6 +216,94 @@ def g2_jac_add(p: G2Jacobian, q: G2Jacobian) -> G2Jacobian:
     zs = z1 + z2
     z3 = (zs.square() - z1z1 - z2z2) * h
     return (x3, y3, z3)
+
+
+def g2_jac_add_mixed(
+    p: G2Jacobian, q_affine: Tuple[Fp2Element, Fp2Element]
+) -> G2Jacobian:
+    """Mixed addition: Jacobian ``p`` plus affine ``q`` (madd-2007-bl)."""
+    if p[2].is_zero():
+        return (q_affine[0], q_affine[1], _ONE)
+    x1, y1, z1 = p
+    x2, y2 = q_affine
+    z1z1 = z1.square()
+    u2 = x2 * z1z1
+    s2 = y2 * z1 * z1z1
+    h = u2 - x1
+    rr = s2 - y1
+    if h.is_zero():
+        if rr.is_zero():
+            return g2_jac_double(p)
+        return G2_INFINITY_JAC
+    hh = h.square()
+    i = hh + hh
+    i = i + i
+    j = h * i
+    rr2 = rr + rr
+    v = x1 * i
+    x3 = rr2.square() - j - v - v
+    y1j = y1 * j
+    y3 = rr2 * (v - x3) - y1j - y1j
+    zh = z1 + h
+    z3 = zh.square() - z1z1 - hh
+    return (x3, y3, z3)
+
+
+def g2_jac_to_affine_many(pts) -> list:
+    """Normalize many Jacobian G2 points with one base-field inversion.
+
+    Returns affine ``(x, y)`` Fp2 pairs (``None`` for infinity); the G2
+    analogue of :func:`repro.curves.g1.jac_to_affine_many`.
+    """
+    zs = [pt[2] for pt in pts if not pt[2].is_zero()]
+    invs = iter(fp2_batch_inverse(zs))
+    out = []
+    for x, y, z in pts:
+        if z.is_zero():
+            out.append(None)
+            continue
+        z_inv = next(invs)
+        z2 = z_inv.square()
+        out.append((x * z2, y * z2 * z_inv))
+    return out
+
+
+def g2_batch_affine_add(ps, qs) -> list:
+    """Element-wise affine G2 addition with one shared inversion.
+
+    ``ps`` and ``qs`` are parallel lists of affine ``(x, y)`` Fp2 pairs;
+    returns the affine sums (``None`` where ``P + Q`` is infinity).  Handles
+    the doubling case (``P == Q``) via the tangent slope.
+    """
+    n = len(ps)
+    dens = [None] * n
+    kinds = [0] * n  # 0 = add, 1 = double, 2 = infinity result
+    for i in range(n):
+        x1, y1 = ps[i]
+        x2, y2 = qs[i]
+        if x1 != x2:
+            dens[i] = x2 - x1
+        elif (y1 + y2).is_zero():
+            kinds[i] = 2
+            dens[i] = _ONE
+        else:
+            kinds[i] = 1
+            dens[i] = y1 + y1
+    invs = fp2_batch_inverse(dens)
+    out = [None] * n
+    for i in range(n):
+        if kinds[i] == 2:
+            continue
+        x1, y1 = ps[i]
+        if kinds[i] == 1:
+            x2 = x1
+            slope = x1.square().scale(3) * invs[i]
+        else:
+            x2, y2 = qs[i]
+            slope = (y2 - y1) * invs[i]
+        x3 = slope.square() - x1 - x2
+        out[i] = (x3, slope * (x1 - x3) - y1)
+    return out
 
 
 def g2_jac_scalar_mul(pt: G2Jacobian, k: int) -> G2Jacobian:

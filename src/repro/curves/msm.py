@@ -4,21 +4,37 @@ Groth16 cost structure:
 
 * the trusted setup computes thousands of ``scalar * G`` products for a
   *fixed* base (the group generator) -- served by the comb-style
-  :class:`FixedBaseTableG1` / :class:`FixedBaseTableG2`;
+  :class:`FixedBaseTableG1` / :class:`FixedBaseTableG2`, whose tables are
+  built with batch-affine addition (one shared inversion per digit);
 * the prover computes a handful of large *variable-base* MSMs
-  ``sum_i  s_i * P_i`` -- served by Pippenger bucketing
-  (:func:`msm_g1` / :func:`msm_g2`).
+  ``sum_i  s_i * P_i`` -- served by :func:`msm_g1` / :func:`msm_g2`.
 
-Both are classic textbook algorithms; the naive double-and-add versions are
-kept (``naive_msm_g1``) as the reference the fast paths are property-tested
-against, and as the baseline for the MSM ablation benchmark.
+The G1 hot path stacks three classic optimizations on top of textbook
+Pippenger bucketing:
+
+1. **GLV splitting** (:mod:`repro.curves.glv`): every 254-bit scalar
+   becomes two ~127-bit halves via the curve's cube-root-of-unity
+   endomorphism, halving the number of digit windows;
+2. **signed digits**: base-``2^c`` digits recoded into ``[-2^(c-1),
+   2^(c-1)]`` so negative digits reuse the (free) point negation and the
+   bucket count halves;
+3. **batch-affine buckets**: bucket contents are summed with plain affine
+   addition whose slope denominators are inverted together (Montgomery's
+   trick, :func:`~repro.field.prime.batch_inverse_ints`), ~6 modular
+   multiplications per add versus ~12 for a Jacobian mixed add.
+
+The PR-1 unsigned-window Jacobian path is kept as :func:`msm_g1_unsigned`
+-- the baseline the kernel benchmark measures against -- and the naive
+double-and-add versions (:func:`naive_msm_g1`) remain the reference the
+fast paths are property-tested against.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from .bn254 import R
+from ..field.prime import batch_inverse_ints
+from .bn254 import P, R
 from .g1 import (
     G1_INFINITY_JAC,
     JacobianPoint,
@@ -26,20 +42,25 @@ from .g1 import (
     jac_add_mixed,
     jac_double,
     jac_scalar_mul,
-    jac_to_affine,
+    jac_to_affine_many,
 )
 from .g2 import (
     G2_INFINITY_JAC,
     G2Jacobian,
     G2Point,
+    g2_batch_affine_add,
     g2_from_jacobian,
     g2_jac_add,
+    g2_jac_add_mixed,
     g2_jac_double,
+    g2_jac_to_affine_many,
     g2_to_jacobian,
 )
+from .glv import glv_decompose, glv_endomorphism
 
 __all__ = [
     "msm_g1",
+    "msm_g1_unsigned",
     "msm_g2",
     "naive_msm_g1",
     "naive_msm_g2",
@@ -53,8 +74,34 @@ AffinePoint = Optional[Tuple[int, int]]
 SCALAR_BITS = 254
 
 
-def pippenger_window_size(n: int) -> int:
-    """Bucket-window width heuristic: roughly log2(n) - 2, clamped."""
+def pippenger_window_size(n: int, *, signed: bool = True) -> int:
+    """Bucket-window width for an MSM over ``n`` (point, scalar) pairs.
+
+    ``signed=True`` is the GLV + signed-digit path (``n`` counts the
+    *split* half-scalar pairs, so callers pass ~2x the input length); its
+    breakpoints were re-measured on that path, where cheap batch-affine
+    bucket adds shift the optimum up by roughly one window width compared
+    to the unsigned Jacobian path (see ``benchmarks/bench_msm_kernels.py``).
+    ``signed=False`` keeps the PR-1 heuristic used by the unsigned
+    reference path and the G2 MSM.
+    """
+    if signed:
+        # Breakpoints measured on _signed_window_msm (see
+        # bench_msm_kernels): best c was 5 at 32 pairs, 6 at 128, 7 at 512,
+        # 9 at 2048, 10 at 8192.
+        if n < 8:
+            return 3
+        if n < 64:
+            return 5
+        if n < 256:
+            return 6
+        if n < 1024:
+            return 7
+        if n < 4096:
+            return 9
+        if n < 32768:
+            return 10
+        return 12
     if n < 4:
         return 1
     if n < 32:
@@ -68,11 +115,224 @@ def pippenger_window_size(n: int) -> int:
     return 11
 
 
+# -- batch-affine primitives ---------------------------------------------------
+
+
+def _batch_affine_add(
+    ps: Sequence[Tuple[int, int]], qs: Sequence[Tuple[int, int]]
+) -> List[AffinePoint]:
+    """Element-wise affine addition ``ps[i] + qs[i]`` with one inversion.
+
+    All inputs must be finite points; the output is ``None`` where the sum
+    is the point at infinity.  Equal points take the tangent (doubling)
+    slope -- the group has odd order, so ``y`` is never zero there.
+
+    Two passes: the forward pass classifies each pair and folds its slope
+    denominator into one running product; the backward pass peels off the
+    individual inverses (Montgomery's trick) and finishes the chord/tangent
+    formulas in place, ~6 modular multiplications per addition.
+    """
+    p = P
+    dens: List[int] = []
+    nums: List[Optional[int]] = []
+    prefix: List[int] = []
+    da, na, pa = dens.append, nums.append, prefix.append
+    acc = 1
+    for (x1, y1), (x2, y2) in zip(ps, qs):
+        # Inputs are canonical (< P), so the chord denominator x2 - x1 needs
+        # no reduction: it is zero exactly when the x-coordinates collide,
+        # and a negative representative multiplies correctly mod P.
+        d = x2 - x1
+        if d:
+            num: Optional[int] = y2 - y1
+        elif (y1 + y2) % p == 0:
+            num = None
+            d = 1
+        else:
+            num = 3 * x1 * x1
+            d = 2 * y1
+        da(d)
+        na(num)
+        pa(acc)
+        acc = acc * d % p
+    inv = pow(acc, -1, p)
+    out: List[AffinePoint] = []
+    oa = out.append
+    for d, num, pre, p1, q1 in zip(
+        reversed(dens), reversed(nums), reversed(prefix), reversed(ps), reversed(qs)
+    ):
+        inv_i = inv * pre % p
+        inv = inv * d % p
+        if num is None:
+            oa(None)
+            continue
+        slope = num * inv_i % p
+        x1, y1 = p1
+        x3 = (slope * slope - x1 - q1[0]) % p
+        oa((x3, (slope * (x1 - x3) - y1) % p))
+    out.reverse()
+    return out
+
+
+def _reduce_buckets(buckets: List[List[Tuple[int, int]]]) -> List[AffinePoint]:
+    """Sum each bucket's points, batching every round's additions together.
+
+    Tree reduction over *all* buckets (typically every window's at once):
+    each round pairs up the remaining points in every bucket and performs
+    the whole round's additions with a single shared inversion, so ``m``
+    scattered points cost ``O(log(max bucket load))`` inversions instead of
+    ``m``.  Mutates ``buckets``; returns one affine point (or ``None``) per
+    bucket.
+    """
+    pairs_p: List[Tuple[int, int]] = []
+    pairs_q: List[Tuple[int, int]] = []
+    active: List[Tuple[int, int]] = []  # (bucket index, pair count)
+    while True:
+        del pairs_p[:]
+        del pairs_q[:]
+        del active[:]
+        for b, lst in enumerate(buckets):
+            k = len(lst) >> 1
+            if k:
+                active.append((b, k))
+                pairs_p.extend(lst[0 : 2 * k : 2])
+                pairs_q.extend(lst[1 : 2 * k : 2])
+        if not active:
+            break
+        sums = _batch_affine_add(pairs_p, pairs_q)
+        idx = 0
+        for b, k in active:
+            lst = buckets[b]
+            merged = [s for s in sums[idx : idx + k] if s is not None]
+            idx += k
+            if len(lst) & 1:
+                merged.append(lst[-1])
+            buckets[b] = merged
+    return [lst[0] if lst else None for lst in buckets]
+
+
+def _signed_window_msm(
+    points: Sequence[Tuple[int, int]], scalars: Sequence[int], c: int
+) -> JacobianPoint:
+    """Pippenger over non-negative scalars with signed windows + batch affine.
+
+    Window independence is exploited twice: every window's buckets join one
+    global tree reduction (maximally wide inversion batches), and the
+    per-window suffix sums advance in lockstep so each of their steps is a
+    single batched affine addition across windows.  Only the final
+    positional combine (``c`` doublings + 1 addition per window) runs in
+    Jacobian coordinates.
+    """
+    half = 1 << (c - 1)
+    full = 1 << c
+    mask = full - 1
+    # Scatter every (pair, window) digit into its bucket: buckets are laid
+    # out flat as window * (half + 1) + |digit|.  One spare window beyond
+    # bit_length // c absorbs the worst-case recoding carry.
+    windows = max(s.bit_length() for s in scalars) // c + 2
+    stride = half + 1
+    grids: List[List[Tuple[int, int]]] = [[] for _ in range(windows * stride)]
+    for p, s in zip(points, scalars):
+        neg_p: Optional[Tuple[int, int]] = None
+        base = 0
+        while s:
+            d = s & mask
+            s >>= c
+            if d > half:
+                d -= full
+                s += 1
+            if d > 0:
+                grids[base + d].append(p)
+            elif d:
+                if neg_p is None:
+                    neg_p = (p[0], P - p[1])
+                grids[base - d].append(neg_p)
+            base += stride
+    sums = _reduce_buckets(grids)
+    # Suffix-sum trick per window (sum_b b * bucket[b]), all windows in
+    # lockstep: step b performs `running += bucket[b]` as one batched
+    # affine addition of width `windows`, and the running value after each
+    # step is recorded -- `window_sum = sum_b running_b`, so the recorded
+    # points feed one final (wide, log-depth) tree reduction instead of a
+    # second sequential sweep.
+    running: List[AffinePoint] = [None] * windows
+    runnings: List[List[Tuple[int, int]]] = [[] for _ in range(windows)]
+    idxs: List[int] = []
+    ps: List[Tuple[int, int]] = []
+    qs: List[Tuple[int, int]] = []
+    for b in range(half, 0, -1):
+        del idxs[:], ps[:], qs[:]
+        for w in range(windows):
+            pt = sums[w * stride + b]
+            if pt is None:
+                continue
+            r = running[w]
+            if r is None:
+                running[w] = pt
+            else:
+                idxs.append(w)
+                ps.append(r)
+                qs.append(pt)
+        if ps:
+            for w, r2 in zip(idxs, _batch_affine_add(ps, qs)):
+                running[w] = r2
+        for w in range(windows):
+            r = running[w]
+            if r is not None:
+                runnings[w].append(r)
+    window_sum = _reduce_buckets(runnings)
+    # Positional combine: total = sum_w 2^(c*w) * window_sum[w].
+    total = G1_INFINITY_JAC
+    for w in range(windows - 1, -1, -1):
+        if total[2] != 0:
+            for _ in range(c):
+                total = jac_double(total)
+        pt = window_sum[w]
+        if pt is not None:
+            total = jac_add_mixed(total, pt)
+    return total
+
+
 def msm_g1(points: Sequence[AffinePoint], scalars: Sequence[int]) -> JacobianPoint:
-    """Pippenger MSM over G1: sum of ``scalars[i] * points[i]``.
+    """GLV + signed-window Pippenger MSM over G1.
 
     ``points`` are affine ``(x, y)`` tuples (``None`` = infinity, skipped);
-    returns a Jacobian point.
+    returns a Jacobian point.  Each surviving pair is split into two
+    half-width pairs via the GLV endomorphism; negative halves flip the
+    point's sign so every bucketed scalar is non-negative.
+    """
+    if len(points) != len(scalars):
+        raise ValueError("points and scalars must have equal length")
+    split_points: List[Tuple[int, int]] = []
+    split_scalars: List[int] = []
+    for p, s in zip(points, scalars):
+        if p is None:
+            continue
+        s %= R
+        if s == 0:
+            continue
+        k1, k2 = glv_decompose(s)
+        if k1:
+            split_points.append(p if k1 > 0 else (p[0], P - p[1]))
+            split_scalars.append(k1 if k1 > 0 else -k1)
+        if k2:
+            q = glv_endomorphism(p)
+            split_points.append(q if k2 > 0 else (q[0], P - q[1]))
+            split_scalars.append(k2 if k2 > 0 else -k2)
+    if not split_points:
+        return G1_INFINITY_JAC
+    c = pippenger_window_size(len(split_points))
+    return _signed_window_msm(split_points, split_scalars, c)
+
+
+def msm_g1_unsigned(
+    points: Sequence[AffinePoint], scalars: Sequence[int]
+) -> JacobianPoint:
+    """The PR-1 Pippenger MSM: unsigned windows, Jacobian bucket adds.
+
+    Kept verbatim as the baseline ``bench_msm_kernels`` measures the GLV +
+    signed-window path against, and as a second fast implementation for
+    differential property tests.
     """
     if len(points) != len(scalars):
         raise ValueError("points and scalars must have equal length")
@@ -83,7 +343,7 @@ def msm_g1(points: Sequence[AffinePoint], scalars: Sequence[int]) -> JacobianPoi
     ]
     if not pairs:
         return G1_INFINITY_JAC
-    c = pippenger_window_size(len(pairs))
+    c = pippenger_window_size(len(pairs), signed=False)
     mask = (1 << c) - 1
     windows = (SCALAR_BITS + c - 1) // c
     total = G1_INFINITY_JAC
@@ -109,7 +369,7 @@ def msm_g1(points: Sequence[AffinePoint], scalars: Sequence[int]) -> JacobianPoi
 
 
 def msm_g2(points: Sequence[G2Point], scalars: Sequence[int]) -> G2Point:
-    """Pippenger MSM over G2 (same structure as :func:`msm_g1`)."""
+    """Pippenger MSM over G2 (unsigned windows; G2 is never the hot path)."""
     if len(points) != len(scalars):
         raise ValueError("points and scalars must have equal length")
     pairs = [
@@ -119,7 +379,7 @@ def msm_g2(points: Sequence[G2Point], scalars: Sequence[int]) -> G2Point:
     ]
     if not pairs:
         return G2Point.infinity()
-    c = pippenger_window_size(len(pairs))
+    c = pippenger_window_size(len(pairs), signed=False)
     mask = (1 << c) - 1
     windows = (SCALAR_BITS + c - 1) // c
     total = G2_INFINITY_JAC
@@ -167,22 +427,32 @@ class FixedBaseTableG1:
     so each subsequent scalar multiplication costs only ``ceil(254/w)`` mixed
     additions.  Used by the trusted setup, which multiplies the generator by
     thousands of evaluation scalars.
+
+    The table is built in affine coordinates: the per-window bases come from
+    one Jacobian doubling chain batch-normalized at the end, and every
+    digit's row entries are produced by a single batched affine addition
+    across all windows -- ``2^w - 2`` shared inversions total, instead of a
+    Jacobian add plus a dedicated inversion per table entry.
     """
 
     def __init__(self, base_affine: Tuple[int, int], window: int = 8):
         self.window = window
         self.windows = (SCALAR_BITS + window - 1) // window
-        self.table: List[List[AffinePoint]] = []
+        bases_jac: List[JacobianPoint] = []
         base_jac: JacobianPoint = (base_affine[0], base_affine[1], 1)
         for _ in range(self.windows):
-            row_jac: List[JacobianPoint] = [G1_INFINITY_JAC]
-            acc = G1_INFINITY_JAC
-            for _ in range((1 << window) - 1):
-                acc = jac_add(acc, base_jac)
-                row_jac.append(acc)
-            self.table.append([jac_to_affine(pt) for pt in row_jac])
+            bases_jac.append(base_jac)
             for _ in range(window):
                 base_jac = jac_double(base_jac)
+        bases = jac_to_affine_many(bases_jac)
+        rows: List[List[AffinePoint]] = [[None, b] for b in bases]
+        accs = list(bases)
+        # digit d = 2 .. 2^w - 1: one batched add of `base` into every row.
+        for _ in range((1 << window) - 2):
+            accs = _batch_affine_add(accs, bases)
+            for row, acc in zip(rows, accs):
+                row.append(acc)
+        self.table: List[List[AffinePoint]] = rows
 
     def mul(self, scalar: int) -> JacobianPoint:
         """Return ``scalar * base`` as a Jacobian point."""
@@ -202,32 +472,52 @@ class FixedBaseTableG1:
 
 
 class FixedBaseTableG2:
-    """Comb-method fixed-base multiplier for G2."""
+    """Comb-method fixed-base multiplier for G2.
+
+    Rows hold affine ``(x, y)`` Fp2 pairs built with batched affine
+    additions (one Fp2 inversion per digit, shared across windows);
+    :meth:`mul` accumulates them with mixed Jacobian additions.
+    """
 
     def __init__(self, base: G2Point, window: int = 6):
         self.window = window
         self.windows = (SCALAR_BITS + window - 1) // window
-        self.table: List[List[G2Jacobian]] = []
+        bases_jac: List[G2Jacobian] = []
         base_jac = g2_to_jacobian(base)
         for _ in range(self.windows):
-            row: List[G2Jacobian] = [G2_INFINITY_JAC]
-            acc = G2_INFINITY_JAC
-            for _ in range((1 << window) - 1):
-                acc = g2_jac_add(acc, base_jac)
-                row.append(acc)
-            self.table.append(row)
+            bases_jac.append(base_jac)
             for _ in range(window):
                 base_jac = g2_jac_double(base_jac)
+        bases = g2_jac_to_affine_many(bases_jac)
+        rows: List[List[Optional[tuple]]] = [[None, b] for b in bases]
+        accs = list(bases)
+        for _ in range((1 << window) - 2):
+            accs = g2_batch_affine_add(accs, bases)
+            for row, acc in zip(rows, accs):
+                row.append(acc)
+        self.table: List[List[Optional[tuple]]] = rows
 
-    def mul(self, scalar: int) -> G2Point:
+    def mul_jacobian(self, scalar: int) -> G2Jacobian:
         s = scalar % R
         acc = G2_INFINITY_JAC
         mask = (1 << self.window) - 1
         for i in range(self.windows):
             digit = (s >> (i * self.window)) & mask
             if digit:
-                acc = g2_jac_add(acc, self.table[i][digit])
-        return g2_from_jacobian(acc)
+                entry = self.table[i][digit]
+                if entry is not None:
+                    acc = g2_jac_add_mixed(acc, entry)
+        return acc
+
+    def mul(self, scalar: int) -> G2Point:
+        return g2_from_jacobian(self.mul_jacobian(scalar))
 
     def mul_many(self, scalars: Sequence[int]) -> List[G2Point]:
-        return [self.mul(s) for s in scalars]
+        """Batch scalar multiplication with one shared final normalization."""
+        jacs = [self.mul_jacobian(s) for s in scalars]
+        out: List[G2Point] = []
+        for aff in g2_jac_to_affine_many(jacs):
+            out.append(
+                G2Point.infinity() if aff is None else G2Point(aff[0], aff[1])
+            )
+        return out

@@ -23,7 +23,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from ..circuit.builder import CircuitBuilder
 from ..circuit.trace import TraceDivergence, WitnessSynthesizer
-from ..field.ntt import EvaluationDomain, next_power_of_two
+from ..field.ntt import EvaluationDomain, get_domain, next_power_of_two
 from ..snark.r1cs import ConstraintSystem
 
 __all__ = ["CompiledCircuit", "SynthesisResult", "compile_circuit", "resynthesize"]
@@ -72,7 +72,7 @@ class CompiledCircuit:
         return next_power_of_two(max(self.cs.num_constraints, 2))
 
     def qap_domain(self) -> EvaluationDomain:
-        return EvaluationDomain(self.domain_size)
+        return get_domain(self.domain_size)
 
     @classmethod
     def from_builder(cls, builder: CircuitBuilder, name: Optional[str] = None

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from ..circuit.builder import CircuitBuilder
 from ..circuit.trace import TraceDivergence
+from ..parallel import ComputeBackend, get_backend
 from ..snark.groth16 import (
     Groth16Keypair,
     PreparedProvingKey,
@@ -61,6 +62,7 @@ class EngineStats:
     setup_hits: int = 0
     setup_disk_hits: int = 0
     proofs: int = 0
+    proof_batches: int = 0
     verifications: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -97,17 +99,28 @@ class ProvingEngine:
 
     ``cache_dir`` enables on-disk keypair persistence; everything else is
     in-memory.  Thread-safe for concurrent use of the caches (a proving
-    service fronting many claims), though individual proofs still run on
-    the caller's thread.
+    service fronting many claims).
+
+    ``backend`` chooses where the prover's parallelizable kernels run: by
+    default the environment is consulted (``ZKROWNN_BACKEND`` /
+    ``ZKROWNN_WORKERS``, falling back to the serial backend); pass a
+    :class:`~repro.parallel.backend.ComputeBackend` to pin it.  Proofs are
+    byte-identical across backends given equal seeds.
     """
 
-    def __init__(self, *, cache_dir: Optional[str] = None):
+    def __init__(
+        self,
+        *,
+        cache_dir: Optional[str] = None,
+        backend: Optional[ComputeBackend] = None,
+    ):
         self._compiled: Dict[str, CompiledCircuit] = {}
         self._keypairs: Dict[str, Groth16Keypair] = {}
         self._prepared_pk: Dict[str, PreparedProvingKey] = {}
         self._prepared_vk: Dict[str, PreparedVerifyingKey] = {}
         self._store = ArtifactStore(cache_dir) if cache_dir else None
         self._lock = threading.RLock()
+        self.backend = backend if backend is not None else get_backend()
         self.stats = EngineStats()
 
     # ------------------------------------------------------ compile + witness --
@@ -204,10 +217,46 @@ class ProvingEngine:
             if isinstance(synthesis, SynthesisResult)
             else synthesis
         )
-        proof = prove_prepared(prepared, compiled.cs, assignment, seed=seed)
+        proof = prove_prepared(
+            prepared, compiled.cs, assignment, seed=seed, backend=self.backend
+        )
         with self._lock:
             self.stats.proofs += 1
         return proof
+
+    def prove_batch(
+        self,
+        compiled: CompiledCircuit,
+        syntheses: Sequence[Union[SynthesisResult, Sequence[int]]],
+        *,
+        seeds: Optional[Sequence[Optional[int]]] = None,
+        setup_seed: Optional[int] = None,
+    ) -> list:
+        """Prove many claims for one circuit through the compute backend.
+
+        All claims share the cached keypair and prepared key; with a
+        process backend the key material crosses into each worker once and
+        the claims prove concurrently.  ``seeds`` (one per claim) make the
+        proofs deterministic -- and therefore identical across backends;
+        ``None`` entries use fresh entropy.
+        """
+        if seeds is None:
+            seeds = [None] * len(syntheses)
+        if len(seeds) != len(syntheses):
+            raise ValueError("need exactly one seed (or None) per claim")
+        keypair = self.setup(compiled, seed=setup_seed)
+        prepared = self._prepared_proving_key(compiled, keypair)
+        assignments = [
+            s.assignment if isinstance(s, SynthesisResult) else s
+            for s in syntheses
+        ]
+        proofs = self.backend.prove_batch(
+            prepared, compiled.cs, assignments, list(seeds)
+        )
+        with self._lock:
+            self.stats.proofs += len(proofs)
+            self.stats.proof_batches += 1
+        return proofs
 
     # ---------------------------------------------------------------- verify --
 

@@ -30,6 +30,7 @@ __all__ = [
     "BN254_R",
     "BN254_X",
     "batch_inverse",
+    "batch_inverse_ints",
     "tonelli_shanks",
 ]
 
@@ -293,25 +294,38 @@ def tonelli_shanks(n: int, p: int) -> Union[int, None]:
     return r
 
 
+def batch_inverse_ints(values: Sequence[int], modulus: int) -> List[int]:
+    """Invert many raw integers mod ``modulus`` with one modular inversion.
+
+    Montgomery's trick on plain integers: the hot form used by the curve
+    layer (batch-affine MSM buckets, point normalization), where wrapping
+    every coordinate in a :class:`FieldElement` would dominate the savings.
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    prefix: List[int] = [0] * n
+    acc = 1
+    for i, v in enumerate(values):
+        if v == 0:
+            raise ZeroDivisionError("batch_inverse saw a zero element")
+        prefix[i] = acc
+        acc = acc * v % modulus
+    inv = pow(acc, -1, modulus)
+    out: List[int] = [0] * n
+    for i in range(n - 1, -1, -1):
+        out[i] = inv * prefix[i] % modulus
+        inv = inv * values[i] % modulus
+    return out
+
+
 def batch_inverse(elements: Sequence[FieldElement]) -> List[FieldElement]:
     """Invert many elements with one modular inversion (Montgomery's trick)."""
     if not elements:
         return []
     field = elements[0].field
-    p = field.modulus
-    prefix: List[int] = []
-    acc = 1
-    for e in elements:
-        if e.value == 0:
-            raise ZeroDivisionError("batch_inverse saw a zero element")
-        prefix.append(acc)
-        acc = acc * e.value % p
-    inv = pow(acc, -1, p)
-    out: List[FieldElement] = [field.zero] * len(elements)
-    for i in range(len(elements) - 1, -1, -1):
-        out[i] = FieldElement(field, inv * prefix[i])
-        inv = inv * elements[i].value % p
-    return out
+    raw = batch_inverse_ints([e.value for e in elements], field.modulus)
+    return [FieldElement(field, v) for v in raw]
 
 
 #: BN254 base field (curve coordinates live here).

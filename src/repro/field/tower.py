@@ -20,7 +20,14 @@ from typing import Tuple
 
 from .prime import BN254_P as P
 
-__all__ = ["Fp2Element", "Fp6Element", "Fp12Element", "XI", "FROB_GAMMA"]
+__all__ = [
+    "Fp2Element",
+    "Fp6Element",
+    "Fp12Element",
+    "XI",
+    "FROB_GAMMA",
+    "fp2_batch_inverse",
+]
 
 
 class Fp2Element:
@@ -119,6 +126,29 @@ class Fp2Element:
 
     def __repr__(self) -> str:
         return f"Fp2({self.c0}, {self.c1})"
+
+
+def fp2_batch_inverse(elements) -> list:
+    """Invert many Fp2 elements with one base-field inversion.
+
+    Montgomery's trick works over any field; here each product step costs
+    one Fp2 multiplication and the single inversion at the end is an
+    :meth:`Fp2Element.inverse`.  Used by batch-affine G2 table building.
+    """
+    n = len(elements)
+    if n == 0:
+        return []
+    prefix = [None] * n
+    acc = Fp2Element.one()
+    for i, e in enumerate(elements):
+        prefix[i] = acc
+        acc = acc * e
+    inv = acc.inverse()
+    out = [None] * n
+    for i in range(n - 1, -1, -1):
+        out[i] = inv * prefix[i]
+        inv = inv * elements[i]
+    return out
 
 
 #: The Fp6/Fp12 tower non-residue.

@@ -1,0 +1,22 @@
+"""Compute backends: serial by default, multi-process for large workloads.
+
+The prover's inner loops (MSM, batched claim proving) are embarrassingly
+parallel; this package abstracts *where* they run.  :class:`SerialBackend`
+is the zero-dependency default; :class:`ProcessBackend` fans chunks out to
+a ``multiprocessing`` pool.  Selection is explicit (engine config) or via
+the ``ZKROWNN_BACKEND`` / ``ZKROWNN_WORKERS`` environment variables.
+"""
+
+from .backend import (
+    ComputeBackend,
+    ProcessBackend,
+    SerialBackend,
+    get_backend,
+)
+
+__all__ = [
+    "ComputeBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "get_backend",
+]

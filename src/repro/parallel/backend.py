@@ -1,0 +1,182 @@
+"""Executor abstraction over the prover's parallelizable kernels.
+
+Two implementations:
+
+* :class:`SerialBackend` -- direct calls on the caller's thread; the
+  default, and the reference the process backend must match bit-for-bit.
+* :class:`ProcessBackend` -- ``multiprocessing`` pool using the ``fork``
+  start method where available (cheap, copy-on-write key material) and
+  falling back to ``spawn`` elsewhere; MSMs are split into per-worker
+  chunks whose Jacobian partial sums are reduced in the parent, and
+  multi-claim proving ships the prepared key once per worker via the pool
+  initializer.
+
+Proofs and MSM results are *identical* across backends: chunking only
+changes the Jacobian representative, which normalization collapses, and
+per-claim randomness comes from per-claim seeds, not worker state.
+
+Selection: pass a backend to :class:`~repro.engine.engine.ProvingEngine`,
+or set ``ZKROWNN_BACKEND=process`` (and optionally ``ZKROWNN_WORKERS=N``)
+and call :func:`get_backend`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence
+
+from ..curves.g1 import G1_INFINITY_JAC, JacobianPoint, jac_add
+from ..curves.msm import msm_g1, msm_g2
+from . import workers
+
+__all__ = ["ComputeBackend", "SerialBackend", "ProcessBackend", "get_backend"]
+
+
+class ComputeBackend:
+    """Interface for the prover's parallelizable operations."""
+
+    name: str = "abstract"
+
+    def msm_g1(self, points: Sequence, scalars: Sequence[int]) -> JacobianPoint:
+        raise NotImplementedError
+
+    def msm_g2(self, points: Sequence, scalars: Sequence[int]):
+        raise NotImplementedError
+
+    def prove_batch(
+        self,
+        ppk,
+        cs,
+        assignments: Sequence[Sequence[int]],
+        seeds: Sequence[Optional[int]],
+    ) -> List:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for serial)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ComputeBackend):
+    """Everything on the caller's thread -- the default."""
+
+    name = "serial"
+
+    def msm_g1(self, points, scalars):
+        return msm_g1(points, scalars)
+
+    def msm_g2(self, points, scalars):
+        return msm_g2(points, scalars)
+
+    def prove_batch(self, ppk, cs, assignments, seeds):
+        from ..snark.groth16 import prove_prepared
+
+        return [
+            prove_prepared(ppk, cs, assignment, seed=seed)
+            for assignment, seed in zip(assignments, seeds)
+        ]
+
+
+class ProcessBackend(ComputeBackend):
+    """Fan work out to a ``multiprocessing`` pool.
+
+    ``min_msm_chunk`` guards against paying pickling latency on MSMs too
+    small to win from parallelism; below ``2 * min_msm_chunk`` pairs the
+    call runs serially.
+    """
+
+    name = "process"
+
+    def __init__(self, workers_count: Optional[int] = None, *, min_msm_chunk: int = 1024):
+        self.workers = workers_count or os.cpu_count() or 2
+        self.min_msm_chunk = min_msm_chunk
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            self._ctx = multiprocessing.get_context("spawn")
+        self._pool = None
+
+    # -- pool management ------------------------------------------------------
+
+    def _msm_pool(self):
+        if self._pool is None:
+            self._pool = self._ctx.Pool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- kernels --------------------------------------------------------------
+
+    def msm_g1(self, points, scalars):
+        n = len(points)
+        if len(scalars) != n:
+            raise ValueError("points and scalars must have equal length")
+        if n < 2 * self.min_msm_chunk or self.workers < 2:
+            return msm_g1(points, scalars)
+        chunk = (n + self.workers - 1) // self.workers
+        jobs = [
+            (points[i : i + chunk], scalars[i : i + chunk])
+            for i in range(0, n, chunk)
+        ]
+        total = G1_INFINITY_JAC
+        for partial in self._msm_pool().map(workers.msm_chunk_g1, jobs):
+            total = jac_add(total, partial)
+        return total
+
+    def msm_g2(self, points, scalars):
+        # G2 MSMs in Groth16 are single-digit percent of prove time; the
+        # Fp2-object pickling cost outweighs fan-out.
+        return msm_g2(points, scalars)
+
+    def prove_batch(self, ppk, cs, assignments, seeds):
+        if len(assignments) < 2 or self.workers < 2:
+            return SerialBackend().prove_batch(ppk, cs, assignments, seeds)
+        # Dedicated pool per batch: the initializer pickles the prepared key
+        # once per worker, after which each task ships only its assignment.
+        pool = self._ctx.Pool(
+            min(self.workers, len(assignments)),
+            initializer=workers.init_prove_worker,
+            initargs=(ppk, cs),
+        )
+        try:
+            return pool.map(workers.prove_task, list(zip(assignments, seeds)))
+        finally:
+            pool.terminate()
+            pool.join()
+
+    def __repr__(self) -> str:
+        return f"ProcessBackend(workers={self.workers})"
+
+
+def get_backend(
+    name: Optional[str] = None, workers_count: Optional[int] = None
+) -> ComputeBackend:
+    """Build a backend by name, falling back to the environment.
+
+    ``name`` defaults to ``$ZKROWNN_BACKEND`` (then ``"serial"``);
+    ``workers_count`` defaults to ``$ZKROWNN_WORKERS`` (then CPU count).
+    """
+    name = (name or os.environ.get("ZKROWNN_BACKEND") or "serial").lower()
+    if workers_count is None:
+        env_workers = os.environ.get("ZKROWNN_WORKERS")
+        workers_count = int(env_workers) if env_workers else None
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(workers_count)
+    raise ValueError(
+        f"unknown backend {name!r}: expected 'serial' or 'process'"
+    )

@@ -1,0 +1,38 @@
+"""Module-level worker functions for :class:`~repro.parallel.backend.ProcessBackend`.
+
+Everything here must be importable by name in a freshly spawned
+interpreter (the ``spawn`` start method pickles functions by reference),
+so no closures or lambdas.  Heavy per-batch state -- the prepared proving
+key and constraint system -- is shipped once per worker through the pool
+initializer instead of once per task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_PROVE_STATE: Dict[str, object] = {}
+
+
+def init_prove_worker(ppk, cs) -> None:
+    """Pool initializer: pin the (large) shared proving inputs in the worker."""
+    _PROVE_STATE["ppk"] = ppk
+    _PROVE_STATE["cs"] = cs
+
+
+def prove_task(args: Tuple[Sequence[int], Optional[int]]):
+    """Prove one assignment against the worker's pinned prepared key."""
+    from ..snark.groth16 import prove_prepared
+
+    assignment, seed = args
+    return prove_prepared(
+        _PROVE_STATE["ppk"], _PROVE_STATE["cs"], assignment, seed=seed
+    )
+
+
+def msm_chunk_g1(args) -> Tuple[int, int, int]:
+    """One MSM chunk; returns a Jacobian triple of plain ints (picklable)."""
+    from ..curves.msm import msm_g1
+
+    points, scalars = args
+    return msm_g1(points, scalars)

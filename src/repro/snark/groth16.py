@@ -24,7 +24,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..curves.bn254 import R
-from ..curves.g1 import G1Point, jac_add, jac_scalar_mul
+from ..curves.g1 import (
+    G1Point,
+    JacobianPoint,
+    jac_add,
+    jac_scalar_mul,
+    jac_to_affine_many,
+)
 from ..curves.g2 import G2Point
 from ..curves.msm import FixedBaseTableG1, FixedBaseTableG2, msm_g1, msm_g2
 from ..curves.pairing import (
@@ -127,6 +133,14 @@ def setup(cs: ConstraintSystem, *, seed: Optional[int] = None) -> Groth16Keypair
     return keypair
 
 
+def _g1_points_from_jacs(jacs: Sequence[JacobianPoint]) -> List[G1Point]:
+    """Normalize many Jacobian points to :class:`G1Point` with one inversion."""
+    return [
+        G1Point.infinity() if aff is None else G1Point(aff[0], aff[1])
+        for aff in jac_to_affine_many(jacs)
+    ]
+
+
 def setup_with_trapdoor(
     cs: ConstraintSystem, *, seed: Optional[int] = None
 ) -> Tuple[Groth16Keypair, SimulationTrapdoor]:
@@ -142,35 +156,56 @@ def setup_with_trapdoor(
 
     table_g1, table_g2 = _generator_tables()
 
-    def g1_mul(scalar: int) -> G1Point:
-        return G1Point.from_jacobian(table_g1.mul(scalar))
+    # All G1 products are accumulated in Jacobian form and normalized with a
+    # single batched inversion at the end -- thousands of points, one pow.
+    g1_mul = table_g1.mul
 
     # Query vectors.
-    a_query = [g1_mul(qap.u[j]) for j in range(m)]
-    b_g1_query = [g1_mul(qap.v[j]) for j in range(m)]
-    b_g2_query = [table_g2.mul(qap.v[j]) for j in range(m)]
+    a_jac = [g1_mul(qap.u[j]) for j in range(m)]
+    b_g1_jac = [g1_mul(qap.v[j]) for j in range(m)]
+    b_g2_query = table_g2.mul_many([qap.v[j] for j in range(m)])
 
     # k_j = (beta*u_j + alpha*v_j + w_j) scaled by 1/gamma (public, in VK)
     # or 1/delta (private, in PK).
     def k_scalar(j: int) -> int:
         return (beta * qap.u[j] + alpha * qap.v[j] + qap.w[j]) % R
 
-    ic = [g1_mul(k_scalar(j) * gamma_inv % R) for j in range(ell + 1)]
-    k_query = [g1_mul(k_scalar(j) * delta_inv % R) for j in range(ell + 1, m)]
+    ic_jac = [g1_mul(k_scalar(j) * gamma_inv % R) for j in range(ell + 1)]
+    k_jac = [g1_mul(k_scalar(j) * delta_inv % R) for j in range(ell + 1, m)]
 
     # h_query[i] = [tau^i * t(tau) / delta]_1 for i < |H| - 1.
     t_over_delta = qap.t_at_tau * delta_inv % R
-    h_query: List[G1Point] = []
+    h_jac: List[JacobianPoint] = []
     power = t_over_delta
     for _ in range(qap.domain_size - 1):
-        h_query.append(g1_mul(power))
+        h_jac.append(g1_mul(power))
         power = power * tau % R
 
+    all_points = _g1_points_from_jacs(
+        a_jac
+        + b_g1_jac
+        + ic_jac
+        + k_jac
+        + h_jac
+        + [g1_mul(alpha), g1_mul(beta), g1_mul(delta)]
+    )
+    offset = 0
+    a_query = all_points[offset : offset + m]
+    offset += m
+    b_g1_query = all_points[offset : offset + m]
+    offset += m
+    ic = all_points[offset : offset + ell + 1]
+    offset += ell + 1
+    k_query = all_points[offset : offset + len(k_jac)]
+    offset += len(k_jac)
+    h_query = all_points[offset : offset + len(h_jac)]
+    alpha_g1, beta_g1, delta_g1 = all_points[-3:]
+
     proving_key = ProvingKey(
-        alpha_g1=g1_mul(alpha),
-        beta_g1=g1_mul(beta),
+        alpha_g1=alpha_g1,
+        beta_g1=beta_g1,
         beta_g2=table_g2.mul(beta),
-        delta_g1=g1_mul(delta),
+        delta_g1=delta_g1,
         delta_g2=table_g2.mul(delta),
         a_query=a_query,
         b_g1_query=b_g1_query,
@@ -287,8 +322,14 @@ def prove_prepared(
     assignment: Sequence[int],
     *,
     seed: Optional[int] = None,
+    backend=None,
 ) -> Proof:
-    """`prove` against a prepared key (MSM bases already affine)."""
+    """`prove` against a prepared key (MSM bases already affine).
+
+    ``backend`` (a :class:`~repro.parallel.backend.ComputeBackend`) routes
+    the large G1 MSMs; ``None`` keeps them on the calling thread.  The
+    resulting proof is identical either way.
+    """
     pk = ppk.pk
     cs.check_satisfied(assignment)
     if len(pk.a_query) != cs.num_variables:
@@ -296,34 +337,36 @@ def prove_prepared(
             "proving key was generated for a different circuit "
             f"({len(pk.a_query)} variables vs {cs.num_variables})"
         )
+    g1_msm = msm_g1 if backend is None else backend.msm_g1
+    g2_msm = msm_g2 if backend is None else backend.msm_g2
     rng = _Randomness(seed)
     r, s = rng.scalar(), rng.scalar()
 
     z = [v % R for v in assignment]
 
     # A = alpha + sum z_j u_j(tau) + r*delta   (in G1)
-    a_acc = msm_g1(ppk.points_a, z)
+    a_acc = g1_msm(ppk.points_a, z)
     a_acc = jac_add(a_acc, pk.alpha_g1.to_jacobian())
     a_acc = jac_add(a_acc, jac_scalar_mul(pk.delta_g1.to_jacobian(), r))
-    proof_a = G1Point.from_jacobian(a_acc)
 
     # B = beta + sum z_j v_j(tau) + s*delta    (in G2, and mirrored in G1)
-    proof_b2 = msm_g2(pk.b_g2_query, z) + pk.beta_g2 + pk.delta_g2 * s
-    b1_acc = msm_g1(ppk.points_b1, z)
+    proof_b2 = g2_msm(pk.b_g2_query, z) + pk.beta_g2 + pk.delta_g2 * s
+    b1_acc = g1_msm(ppk.points_b1, z)
     b1_acc = jac_add(b1_acc, pk.beta_g1.to_jacobian())
     b1_acc = jac_add(b1_acc, jac_scalar_mul(pk.delta_g1.to_jacobian(), s))
 
     # C = sum_private z_j K_j + sum h_i H_i + s*A + r*B1 - r*s*delta
     h_coeffs = compute_h(cs, z)
     private_z = z[pk.num_public + 1 :]
-    c_acc = msm_g1(ppk.points_k, private_z)
-    c_acc = jac_add(c_acc, msm_g1(ppk.points_h, h_coeffs[: len(pk.h_query)]))
+    c_acc = g1_msm(ppk.points_k, private_z)
+    c_acc = jac_add(c_acc, g1_msm(ppk.points_h, h_coeffs[: len(pk.h_query)]))
     c_acc = jac_add(c_acc, jac_scalar_mul(a_acc, s))
     c_acc = jac_add(c_acc, jac_scalar_mul(b1_acc, r))
     c_acc = jac_add(
         c_acc, jac_scalar_mul(pk.delta_g1.to_jacobian(), (-r * s) % R)
     )
-    proof_c = G1Point.from_jacobian(c_acc)
+    # Both G1 proof points normalized with one shared inversion.
+    proof_a, proof_c = _g1_points_from_jacs([a_acc, c_acc])
 
     return Proof(proof_a, proof_b2, proof_c)
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from ..field.ntt import EvaluationDomain, next_power_of_two
+from ..field.ntt import EvaluationDomain, get_domain, next_power_of_two
 from ..field.prime import BN254_R as R
 from .r1cs import ConstraintSystem
 
@@ -55,8 +55,10 @@ def qap_domain(cs: ConstraintSystem) -> EvaluationDomain:
 
     One extra slot beyond the constraint count guards the degenerate case of
     a constraint count that is exactly a power of two with h of full degree.
+    Served from the process-wide registry, so repeated proofs for circuits
+    of one size share the precomputed twiddle and coset-power tables.
     """
-    return EvaluationDomain(next_power_of_two(max(cs.num_constraints, 2)))
+    return get_domain(next_power_of_two(max(cs.num_constraints, 2)))
 
 
 def _lagrange_basis_at(domain: EvaluationDomain, tau: int) -> List[int]:

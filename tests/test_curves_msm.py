@@ -78,12 +78,17 @@ class TestPippengerG2:
 
 
 class TestWindowHeuristic:
-    def test_monotone(self):
-        sizes = [pippenger_window_size(n) for n in (1, 10, 100, 1000, 10**5)]
+    @pytest.mark.parametrize("signed", [True, False])
+    def test_monotone(self, signed):
+        sizes = [
+            pippenger_window_size(n, signed=signed)
+            for n in (1, 10, 100, 1000, 10**5)
+        ]
         assert sizes == sorted(sizes)
 
     def test_small_inputs(self):
-        assert pippenger_window_size(1) == 1
+        assert pippenger_window_size(1, signed=False) == 1
+        assert pippenger_window_size(1) >= 1
 
 
 class TestFixedBaseG1:

@@ -1,0 +1,161 @@
+"""Tests for the compute-backend subsystem and engine batch proving."""
+
+import os
+
+import pytest
+
+from repro.curves.bn254 import R
+from repro.curves.g1 import G1Point, jac_to_affine_many
+from repro.curves.msm import naive_msm_g1
+from repro.engine import ProvingEngine
+from repro.parallel import (
+    ComputeBackend,
+    ProcessBackend,
+    SerialBackend,
+    get_backend,
+)
+
+G = G1Point.generator()
+
+
+def _inputs(rng, n):
+    points = [
+        None if i % 17 == 5 else _affine(G * rng.randrange(1, 4000))
+        for i in range(n)
+    ]
+    scalars = [0 if i % 13 == 3 else rng.randrange(2 * R) for i in range(n)]
+    return points, scalars
+
+
+def _affine(p: G1Point):
+    return None if p.is_infinity() else (p.x, p.y)
+
+
+class TestBackendSelection:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("ZKROWNN_BACKEND", raising=False)
+        assert get_backend().name == "serial"
+
+    def test_env_selects_process(self, monkeypatch):
+        monkeypatch.setenv("ZKROWNN_BACKEND", "process")
+        monkeypatch.setenv("ZKROWNN_WORKERS", "3")
+        backend = get_backend()
+        assert isinstance(backend, ProcessBackend)
+        assert backend.workers == 3
+        backend.close()
+
+    def test_explicit_name_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("ZKROWNN_BACKEND", "process")
+        assert get_backend("serial").name == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            get_backend("gpu")
+
+    def test_engine_uses_env_backend(self, monkeypatch):
+        monkeypatch.setenv("ZKROWNN_BACKEND", "serial")
+        engine = ProvingEngine()
+        assert engine.backend.name == "serial"
+
+
+class TestSerialBackend:
+    def test_msm_matches_naive(self, rng):
+        points, scalars = _inputs(rng, 40)
+        got = SerialBackend().msm_g1(points, scalars)
+        expected = naive_msm_g1(points, scalars)
+        assert jac_to_affine_many([got]) == jac_to_affine_many([expected])
+
+
+class TestProcessBackend:
+    @pytest.fixture(scope="class")
+    def backend(self):
+        backend = ProcessBackend(2, min_msm_chunk=8)
+        yield backend
+        backend.close()
+
+    def test_chunked_msm_matches_naive(self, backend, rng):
+        points, scalars = _inputs(rng, 64)
+        got = backend.msm_g1(points, scalars)
+        expected = naive_msm_g1(points, scalars)
+        assert jac_to_affine_many([got]) == jac_to_affine_many([expected])
+
+    def test_small_msm_stays_serial(self, rng):
+        backend = ProcessBackend(2, min_msm_chunk=10**6)
+        try:
+            points, scalars = _inputs(rng, 16)
+            got = backend.msm_g1(points, scalars)
+            expected = naive_msm_g1(points, scalars)
+            assert jac_to_affine_many([got]) == jac_to_affine_many([expected])
+            assert backend._pool is None  # never spun up
+        finally:
+            backend.close()
+
+    def test_length_mismatch(self, backend):
+        with pytest.raises(ValueError):
+            backend.msm_g1([_affine(G)], [1, 2])
+
+
+def _chain_synthesizer(depth, x=3):
+    def synthesize(b):
+        out = b.public_output("y")
+        w = b.private_input("x", x)
+        acc = w
+        for _ in range(depth):
+            acc = b.mul(acc, w)
+        b.bind_output(out, acc + 1)
+
+    return synthesize
+
+
+class TestProveBatch:
+    def test_serial_and_process_proofs_byte_identical(self):
+        seeds = [11, 22, 33]
+        serial_engine = ProvingEngine(backend=SerialBackend())
+        compiled, synthesis = serial_engine.synthesize(
+            "chain", _chain_synthesizer(8)
+        )
+        serial_proofs = serial_engine.prove_batch(
+            compiled, [synthesis] * 3, seeds=seeds, setup_seed=5
+        )
+
+        backend = ProcessBackend(2)
+        process_engine = ProvingEngine(backend=backend)
+        compiled_p, synthesis_p = process_engine.synthesize(
+            "chain", _chain_synthesizer(8)
+        )
+        try:
+            process_proofs = process_engine.prove_batch(
+                compiled_p, [synthesis_p] * 3, seeds=seeds, setup_seed=5
+            )
+        finally:
+            backend.close()
+
+        assert [p.to_bytes() for p in serial_proofs] == [
+            p.to_bytes() for p in process_proofs
+        ]
+        for proof in serial_proofs:
+            assert serial_engine.verify(compiled, synthesis.public_values, proof)
+
+    def test_prove_batch_updates_stats(self):
+        engine = ProvingEngine(backend=SerialBackend())
+        compiled, synthesis = engine.synthesize("chain", _chain_synthesizer(4))
+        proofs = engine.prove_batch(
+            compiled, [synthesis, synthesis], seeds=[1, 2], setup_seed=3
+        )
+        assert len(proofs) == 2
+        assert engine.stats.proofs == 2
+        assert engine.stats.proof_batches == 1
+
+    def test_prove_batch_seed_count_mismatch(self):
+        engine = ProvingEngine(backend=SerialBackend())
+        compiled, synthesis = engine.synthesize("chain", _chain_synthesizer(4))
+        with pytest.raises(ValueError):
+            engine.prove_batch(compiled, [synthesis], seeds=[1, 2])
+
+    def test_prove_batch_accepts_raw_assignments(self):
+        engine = ProvingEngine(backend=SerialBackend())
+        compiled, synthesis = engine.synthesize("chain", _chain_synthesizer(4))
+        proofs = engine.prove_batch(
+            compiled, [synthesis.assignment], seeds=[7], setup_seed=3
+        )
+        assert engine.verify(compiled, synthesis.public_values, proofs[0])
