@@ -1,0 +1,153 @@
+"""Proof-service throughput: batched scheduler vs sequential claims.
+
+The service subsystem's pitch is that many concurrent same-shape claims
+cost one compile + one setup + one batched backend dispatch instead of N
+sequential trips through the pipeline.  Measured here:
+
+* ``sequential`` -- N claims via back-to-back ``prove_job`` calls on a
+  fresh engine (first call pays compile + setup, the rest are cached);
+* ``batched``    -- the same N claims submitted to a paused
+  :class:`~repro.service.scheduler.ProofScheduler` and dispatched as one
+  batch through the streaming ``prove_stream`` path.
+
+Also measured: the wire-format overhead of a claim round trip (encode +
+decode of request/claim frames), which bounds what the HTTP surface adds
+on top of proving.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.circuit import FixedPointFormat
+from repro.engine import ProvingEngine
+from repro.nn import mnist_mlp_scaled
+from repro.service import (
+    ClaimRegistry,
+    JobState,
+    ProofScheduler,
+    ProofTask,
+    wire,
+)
+from repro.watermark.keys import WatermarkKeys
+from repro.zkrownn import (
+    CircuitConfig,
+    extraction_structure_key,
+    extraction_synthesizer,
+)
+
+FMT = FixedPointFormat(frac_bits=14, total_bits=40)
+NUM_CLAIMS = 3
+
+
+def _model(seed: int, scale):
+    return mnist_mlp_scaled(
+        input_dim=scale.mlp_input, hidden=scale.mlp_hidden,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _keys(model, scale, seed: int = 1) -> WatermarkKeys:
+    rng = np.random.default_rng(seed)
+    triggers = rng.uniform(0, 1, (scale.mlp_triggers, scale.mlp_input))
+    probe = model.forward_to(triggers[:1], 1)
+    feature_dim = int(np.prod(probe.shape[1:]))
+    return WatermarkKeys(
+        embed_layer=1,
+        target_class=0,
+        trigger_inputs=triggers,
+        projection=rng.standard_normal((feature_dim, scale.wm_bits)),
+        signature=rng.integers(0, 2, scale.wm_bits).astype(np.int64),
+    )
+
+
+def test_batched_claims_vs_sequential(bench_scale, bench_json, tmp_path):
+    """One scheduled batch amortizes compile/setup across N claims."""
+    scale = bench_scale
+    config = CircuitConfig(theta=1.0, fixed_point=FMT)
+    keys = _keys(_model(5, scale), scale)
+    models = [_model(5 + i, scale) for i in range(NUM_CLAIMS)]
+    shape_key = extraction_structure_key(models[0], keys, config)
+
+    # -- sequential: N prove_job round trips --------------------------------
+    sequential_engine = ProvingEngine()
+    t0 = time.perf_counter()
+    for i, model in enumerate(models):
+        sequential_engine.prove_job(
+            shape_key,
+            extraction_synthesizer(model, keys, config),
+            seed=50 + i,
+            setup_seed=9,
+        )
+    sequential_seconds = time.perf_counter() - t0
+
+    # -- batched: one scheduler dispatch ------------------------------------
+    engine = ProvingEngine()
+    registry = ClaimRegistry(tmp_path / "bench-registry")
+    scheduler = ProofScheduler(engine, registry, max_batch=NUM_CLAIMS)
+    for i, model in enumerate(models):
+        scheduler.submit(
+            ProofTask(
+                claim_id=f"bench-{i}",
+                shape_key=shape_key,
+                synthesize=extraction_synthesizer(model, keys, config),
+                model=model,
+                keys=keys,
+                config=config,
+                seed=50 + i,
+                setup_seed=9,
+            )
+        )
+    t0 = time.perf_counter()
+    scheduler.start()
+    try:
+        for i in range(NUM_CLAIMS):
+            assert scheduler.wait(f"bench-{i}", timeout=1200) == JobState.DONE
+        batched_seconds = time.perf_counter() - t0
+    finally:
+        scheduler.stop()
+
+    # The batch must actually have amortized: one compile, one setup, one
+    # backend dispatch for all claims.
+    assert scheduler.stats.batches == 1
+    assert engine.stats.setup_misses == 1
+    assert engine.stats.compile_misses == 1
+    assert engine.stats.proof_batches == 1
+
+    bench_json(
+        "service-throughput",
+        num_claims=NUM_CLAIMS,
+        sequential_seconds=sequential_seconds,
+        batched_seconds=batched_seconds,
+        batched_speedup=sequential_seconds / batched_seconds,
+        scheduler_stats=scheduler.stats.as_dict(),
+        engine_stats=engine.stats.as_dict(),
+        backend=engine.backend.name,
+    )
+    print(f"\n{NUM_CLAIMS} same-shape claims: sequential {sequential_seconds:.2f}s, "
+          f"batched {batched_seconds:.2f}s "
+          f"({sequential_seconds / batched_seconds:.2f}x)")
+
+
+def test_wire_round_trip_overhead(bench_scale, bench_json):
+    """Frame encode/decode cost is negligible next to proving."""
+    scale = bench_scale
+    model = _model(5, scale)
+    keys = _keys(model, scale)
+    request = wire.ClaimRequest(model=model, keys=keys,
+                                config=CircuitConfig(theta=1.0, fixed_point=FMT))
+    rounds = 50
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        frame = wire.encode_claim_request(request)
+        wire.decode_claim_request(frame)
+    per_round_trip = (time.perf_counter() - t0) / rounds
+    bench_json(
+        "wire-overhead",
+        request_frame_bytes=len(wire.encode_claim_request(request)),
+        request_round_trip_seconds=per_round_trip,
+    )
+    # A request round trip must stay far below one second even on slow CI.
+    assert per_round_trip < 1.0

@@ -1,0 +1,117 @@
+"""The proof service end to end: claim server + client in one process.
+
+The deployment shape of a production ZKROWNN: a proving service accepts
+ownership-claim requests over HTTP, schedules them in same-shape batches
+through the cached proving engine, stores proved claims durably, and
+serves verification to any third party.  This example:
+
+1. trains + watermarks a tiny MLP (the claimant's model);
+2. starts a :class:`~repro.service.server.ProofServer` over a fresh
+   registry directory;
+3. submits two claims for the same model shape via
+   :class:`~repro.service.client.ServiceClient` -- the second rides the
+   engine's compile/setup caches (asserted from ``/stats``);
+4. fetches the ~460-byte claim artifact and verifies it both server-side
+   (``POST /verify``) and trustlessly client-side (fetch claim + VK,
+   check locally);
+5. restarts the server over the same registry and shows the claim is
+   still there -- the dispute-resolution story.
+
+Run:  python examples/proof_service.py
+
+Doubles as the CI service smoke test: it exits non-zero if any step --
+including the cache-hit assertion -- fails.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuit import FixedPointFormat
+from repro.datasets import mnist_like
+from repro.nn import Adam, mnist_mlp_scaled, train_classifier
+from repro.service import ClaimRegistry, ProofServer, ProofService, ServiceClient
+from repro.watermark import EmbedConfig, embed_watermark, generate_keys
+from repro.zkrownn import CircuitConfig
+
+
+def train_claimant_model(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    data = mnist_like(600, 150, image_size=4, seed=1)
+    model = mnist_mlp_scaled(input_dim=16, hidden=16, rng=rng)
+    train_classifier(model, data.x_train, data.y_train, Adam(0.005),
+                     epochs=5, batch_size=32, rng=rng)
+    keys = generate_keys(model, data.x_train, data.y_train,
+                         embed_layer=1, wm_bits=8, min_triggers=4, rng=rng)
+    keys.trigger_inputs = keys.trigger_inputs[:4]
+    report = embed_watermark(
+        model, keys, data.x_train, data.y_train,
+        config=EmbedConfig(epochs=20, seed=3, lambda_projection=5.0),
+    )
+    assert report.ber_after == 0.0, "embedding must converge"
+    return model, keys
+
+
+def main():
+    registry_root = Path(tempfile.mkdtemp(prefix="zkrownn-service-"))
+    print(f"registry at {registry_root}")
+
+    print("[1/5] training + watermarking the claimant's model ...")
+    model, keys = train_claimant_model()
+    config = CircuitConfig(
+        theta=0.0, fixed_point=FixedPointFormat(frac_bits=14, total_bits=40)
+    )
+
+    print("[2/5] starting the proof service ...")
+    server = ProofServer(ProofService(ClaimRegistry(registry_root))).start()
+    client = ServiceClient(server.url)
+    print(f"      {server.url}  health: {client.health()['status']}")
+
+    print("[3/5] submitting two same-shape claims ...")
+    first = client.submit_claim(model, keys, config, seed=5, setup_seed=99)
+    status = client.wait(first["claim_id"], timeout=600)
+    assert status["state"] == "done", status
+    print(f"      claim 1 proved in "
+          f"{status['timings']['batch_prove_seconds']:.1f}s (cold: compile + setup)")
+
+    second = client.submit_claim(model, keys, config, seed=6, setup_seed=99)
+    status2 = client.wait(second["claim_id"], timeout=600)
+    assert status2["state"] == "done", status2
+    print(f"      claim 2 proved in "
+          f"{status2['timings']['batch_prove_seconds']:.1f}s (warm caches)")
+
+    stats = client.stats()
+    engine = stats["engine"]
+    assert engine["compile_hits"] >= 1, f"expected a compile cache hit: {engine}"
+    assert engine["setup_hits"] >= 1, f"expected a setup cache hit: {engine}"
+    assert engine["setup_misses"] == 1, f"setup must run once: {engine}"
+    print(f"      /stats confirms the cache hit: compile_hits="
+          f"{engine['compile_hits']}, setup_hits={engine['setup_hits']}, "
+          f"setup_misses={engine['setup_misses']}")
+
+    print("[4/5] fetching + verifying the claim ...")
+    claim = client.fetch_claim(first["claim_id"])
+    print(f"      claim artifact: {claim.size_bytes()} bytes "
+          f"({len(claim.proof_bytes)}-byte proof)")
+    remote = client.verify_remote(first["claim_id"])
+    assert remote["accepted"], remote
+    print(f"      server-side verify: {remote['accepted']}")
+    local = client.verify_local(first["claim_id"], model)
+    assert local.accepted, local.reason
+    print("      trustless client-side verify (claim + VK fetched): True")
+
+    print("[5/5] restarting the server over the same registry ...")
+    server.stop()
+    server2 = ProofServer(ProofService(ClaimRegistry(registry_root))).start()
+    client2 = ServiceClient(server2.url)
+    survived = client2.fetch_claim(first["claim_id"])
+    assert survived.proof_bytes == claim.proof_bytes
+    assert client2.verify_remote(first["claim_id"])["accepted"]
+    print("      claim survived the restart and still verifies")
+    server2.stop()
+    print("proof service example: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

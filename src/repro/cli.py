@@ -9,6 +9,15 @@ Subcommands:
   ``python -m repro.bench.table1``).
 * ``cost``   -- print analytic paper-scale constraint counts.
 * ``inspect`` -- decode an ownership-claim file.
+
+Proof-service subcommands (see ``repro.service``):
+
+* ``serve``  -- run the ownership-claim server over a persistent registry.
+* ``submit`` -- submit a claim request to a running server (``--demo``
+  trains + watermarks a tiny model first; otherwise pass a wire-encoded
+  model file and a watermark-keys ``.npz``).
+* ``status`` -- poll one claim's job state.
+* ``verify-remote`` -- ask the server to verify a proved claim.
 """
 
 from __future__ import annotations
@@ -133,6 +142,126 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_model_and_keys(seed: int):
+    """The tiny trained + watermarked MLP every demo path uses."""
+    import numpy as np
+
+    from .datasets import mnist_like
+    from .nn import Adam, mnist_mlp_scaled, train_classifier
+    from .watermark import EmbedConfig, embed_watermark, generate_keys
+
+    rng = np.random.default_rng(seed)
+    data = mnist_like(600, 150, image_size=4, seed=seed)
+    model = mnist_mlp_scaled(input_dim=16, hidden=16, rng=rng)
+    train_classifier(
+        model, data.x_train, data.y_train, Adam(0.005), epochs=5, rng=rng
+    )
+    keys = generate_keys(
+        model, data.x_train, data.y_train,
+        embed_layer=1, wm_bits=8, min_triggers=4, rng=rng,
+    )
+    keys.trigger_inputs = keys.trigger_inputs[:4]
+    embed_watermark(
+        model, keys, data.x_train, data.y_train,
+        config=EmbedConfig(epochs=20, seed=seed, lambda_projection=5.0),
+    )
+    return model, keys
+
+
+def _service_config(args: argparse.Namespace):
+    from .circuit import FixedPointFormat
+    from .zkrownn import CircuitConfig
+
+    return CircuitConfig(
+        theta=args.theta,
+        fixed_point=FixedPointFormat(
+            frac_bits=args.frac_bits, total_bits=args.total_bits
+        ),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .engine import ProvingEngine
+    from .parallel import get_backend
+    from .service import ClaimRegistry, ProofServer, ProofService
+
+    engine = ProvingEngine(
+        cache_dir=args.cache_dir,
+        backend=get_backend(args.backend) if args.backend else None,
+    )
+    service = ProofService(
+        ClaimRegistry(args.registry),
+        engine=engine,
+        max_batch=args.max_batch,
+        scheduler_workers=args.workers,
+    )
+    server = ProofServer(service, host=args.host, port=args.port)
+    print(f"proof service listening on {server.url}")
+    print(f"  registry: {args.registry}  backend: {engine.backend.name}  "
+          f"max_batch: {args.max_batch}")
+    server.serve_forever()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, wire
+    from .watermark import WatermarkKeys
+
+    if args.demo:
+        print("training + watermarking a demo model ...")
+        model, keys = _demo_model_and_keys(args.seed if args.seed is not None else 0)
+    else:
+        if not (args.model and args.keys):
+            print("submit needs either --demo or both --model and --keys",
+                  file=sys.stderr)
+            return 2
+        with open(args.model, "rb") as fh:
+            model = wire.decode_model(fh.read())
+        keys = WatermarkKeys.load(args.keys)
+
+    client = ServiceClient(args.url)
+    submitted = client.submit_claim(
+        model,
+        keys,
+        _service_config(args),
+        priority=args.priority,
+        seed=args.seed,
+        setup_seed=args.setup_seed,
+    )
+    print(f"claim id: {submitted['claim_id']}")
+    print(f"state:    {submitted['state']}"
+          + (" (resubmission)" if submitted.get("resubmission") else ""))
+    if not args.wait:
+        return 0
+    status = client.wait(submitted["claim_id"], timeout=args.timeout)
+    print(f"final:    {status['state']}")
+    if status["state"] != "done":
+        print(f"error:    {status['error']}")
+        return 1
+    for key, value in sorted(status.get("timings", {}).items()):
+        print(f"  {key:>22}: {value:8.3f}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import ServiceClient
+
+    status = ServiceClient(args.url).status(args.claim_id)
+    print(_json.dumps(status, indent=2, sort_keys=True))
+    return 0 if status["state"] != "failed" else 1
+
+
+def _cmd_verify_remote(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    report = ServiceClient(args.url).verify_remote(args.claim_id)
+    print(f"accepted: {report['accepted']}")
+    print(f"reason:   {report['reason']}")
+    return 0 if report["accepted"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="zkrownn",
@@ -163,6 +292,57 @@ def main(argv: Optional[List[str]] = None) -> int:
     inspect = sub.add_parser("inspect", help="inspect an ownership claim file")
     inspect.add_argument("claim", help="path to a claim .json")
     inspect.set_defaults(func=_cmd_inspect)
+
+    def add_url(p):
+        p.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="proof-service base URL")
+
+    def add_config(p):
+        p.add_argument("--theta", type=float, default=0.0)
+        p.add_argument("--frac-bits", type=int, default=14)
+        p.add_argument("--total-bits", type=int, default=40)
+
+    serve = sub.add_parser("serve", help="run the ownership-claim proof service")
+    serve.add_argument("--registry", required=True,
+                       help="directory for the persistent claim registry")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--backend", choices=["serial", "process"], default=None,
+                       help="compute backend (default: ZKROWNN_BACKEND or serial)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="scheduler proving threads")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="max same-shape claims per proving batch")
+    serve.add_argument("--cache-dir", default=None,
+                       help="ProvingEngine keypair cache directory")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a claim to a proof service")
+    add_url(submit)
+    submit.add_argument("--demo", action="store_true",
+                        help="train + watermark a tiny model and claim it")
+    submit.add_argument("--model", help="wire-encoded model file (.model)")
+    submit.add_argument("--keys", help="watermark keys .npz")
+    add_config(submit)
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--setup-seed", type=int, default=None)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the claim is proved")
+    submit.add_argument("--timeout", type=float, default=600.0)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="poll a claim's job state")
+    add_url(status)
+    status.add_argument("claim_id")
+    status.set_defaults(func=_cmd_status)
+
+    verify_remote = sub.add_parser(
+        "verify-remote", help="server-side verification of a proved claim"
+    )
+    add_url(verify_remote)
+    verify_remote.add_argument("claim_id")
+    verify_remote.set_defaults(func=_cmd_verify_remote)
 
     args = parser.parse_args(argv)
     return args.func(args)

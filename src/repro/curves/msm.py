@@ -60,6 +60,7 @@ from .glv import glv_decompose, glv_endomorphism
 
 __all__ = [
     "msm_g1",
+    "msm_g1_multi",
     "msm_g1_unsigned",
     "msm_g2",
     "naive_msm_g1",
@@ -211,6 +212,32 @@ def _reduce_buckets(buckets: List[List[Tuple[int, int]]]) -> List[AffinePoint]:
     return [lst[0] if lst else None for lst in buckets]
 
 
+def _signed_digits(s: int, c: int) -> List[Tuple[int, int]]:
+    """Signed base-``2^c`` recoding of a non-negative scalar.
+
+    Returns ``(window, digit)`` pairs with ``digit`` in ``[-2^(c-1),
+    2^(c-1)] \\ {0}``, windows ascending -- exactly the digits the scatter
+    loop of :func:`_signed_window_msm` derives inline.  Factored out so
+    :func:`msm_g1_multi` can recode each scalar once and replay the digits
+    against several point sets.
+    """
+    half = 1 << (c - 1)
+    full = 1 << c
+    mask = full - 1
+    out: List[Tuple[int, int]] = []
+    w = 0
+    while s:
+        d = s & mask
+        s >>= c
+        if d > half:
+            d -= full
+            s += 1
+        if d:
+            out.append((w, d))
+        w += 1
+    return out
+
+
 def _signed_window_msm(
     points: Sequence[Tuple[int, int]], scalars: Sequence[int], c: int
 ) -> JacobianPoint:
@@ -248,6 +275,21 @@ def _signed_window_msm(
                     neg_p = (p[0], P - p[1])
                 grids[base - d].append(neg_p)
             base += stride
+    return _combine_windows(grids, windows, c)
+
+
+def _combine_windows(
+    grids: List[List[Tuple[int, int]]], windows: int, c: int
+) -> JacobianPoint:
+    """Reduce scattered signed-window buckets to one Jacobian point.
+
+    ``grids`` is the flat ``window * (half + 1) + |digit|`` bucket layout
+    produced by the scatter loops of :func:`_signed_window_msm` and
+    :func:`msm_g1_multi`; the reduction (global bucket tree, lockstep
+    suffix sums, positional combine) is identical for both.
+    """
+    half = 1 << (c - 1)
+    stride = half + 1
     sums = _reduce_buckets(grids)
     # Suffix-sum trick per window (sum_b b * bucket[b]), all windows in
     # lockstep: step b performs `running += bucket[b]` as one batched
@@ -323,6 +365,73 @@ def msm_g1(points: Sequence[AffinePoint], scalars: Sequence[int]) -> JacobianPoi
         return G1_INFINITY_JAC
     c = pippenger_window_size(len(split_points))
     return _signed_window_msm(split_points, split_scalars, c)
+
+
+def msm_g1_multi(
+    points_lists: Sequence[Sequence[AffinePoint]], scalars: Sequence[int]
+) -> List[JacobianPoint]:
+    """Several MSMs sharing ONE scalar vector (and its recoding work).
+
+    Groth16's A and B1 commitments multiply *different* point sets by the
+    *same* witness vector; decomposing and recoding each scalar once and
+    replaying the digits against every point set saves the whole
+    non-arithmetic half of the second MSM (GLV splits, signed-digit
+    carries, window bookkeeping).  Point-set-specific work -- applying the
+    endomorphism, sign flips, bucket scatter, reduction -- still runs per
+    set, so results equal ``[msm_g1(ps, scalars) for ps in points_lists]``
+    exactly.
+
+    ``None`` entries (infinity) may appear in any point set independently;
+    they are skipped at scatter time, after the shared recoding.
+    """
+    for points in points_lists:
+        if len(points) != len(scalars):
+            raise ValueError("points and scalars must have equal length")
+    if not points_lists:
+        return []
+    # Shared phase: one GLV split per scalar, then (once the split count
+    # fixes the window width) one signed recoding per half-scalar.
+    splits: List[Tuple[int, bool, bool]] = []  # (input index, use endo, negate)
+    magnitudes: List[int] = []
+    for i, s in enumerate(scalars):
+        s %= R
+        if s == 0:
+            continue
+        k1, k2 = glv_decompose(s)
+        if k1:
+            splits.append((i, False, k1 < 0))
+            magnitudes.append(abs(k1))
+        if k2:
+            splits.append((i, True, k2 < 0))
+            magnitudes.append(abs(k2))
+    if not splits:
+        return [G1_INFINITY_JAC] * len(points_lists)
+    c = pippenger_window_size(len(splits))
+    digit_lists = [_signed_digits(k, c) for k in magnitudes]
+    windows = max(d[-1][0] for d in digit_lists) + 1
+    half = 1 << (c - 1)
+    stride = half + 1
+    results: List[JacobianPoint] = []
+    for points in points_lists:
+        grids: List[List[Tuple[int, int]]] = [[] for _ in range(windows * stride)]
+        for (i, endo, negate), digits in zip(splits, digit_lists):
+            p = points[i]
+            if p is None:
+                continue
+            if endo:
+                p = glv_endomorphism(p)
+            if negate:
+                p = (p[0], P - p[1])
+            neg_p: Optional[Tuple[int, int]] = None
+            for w, d in digits:
+                if d > 0:
+                    grids[w * stride + d].append(p)
+                else:
+                    if neg_p is None:
+                        neg_p = (p[0], P - p[1])
+                    grids[w * stride - d].append(neg_p)
+        results.append(_combine_windows(grids, windows, c))
+    return results
 
 
 def msm_g1_unsigned(

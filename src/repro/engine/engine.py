@@ -23,10 +23,11 @@ tests) can assert which stages actually ran.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Union
 
 from ..circuit.builder import CircuitBuilder
 from ..circuit.trace import TraceDivergence
@@ -227,31 +228,82 @@ class ProvingEngine:
     def prove_batch(
         self,
         compiled: CompiledCircuit,
-        syntheses: Sequence[Union[SynthesisResult, Sequence[int]]],
+        syntheses: Union[
+            Sequence[Union[SynthesisResult, Sequence[int]]],
+            Iterable[Union[SynthesisResult, Sequence[int]]],
+        ],
         *,
-        seeds: Optional[Sequence[Optional[int]]] = None,
+        seeds: Optional[Iterable[Optional[int]]] = None,
         setup_seed: Optional[int] = None,
     ) -> list:
         """Prove many claims for one circuit through the compute backend.
 
         All claims share the cached keypair and prepared key; with a
-        process backend the key material crosses into each worker once and
-        the claims prove concurrently.  ``seeds`` (one per claim) make the
-        proofs deterministic -- and therefore identical across backends;
-        ``None`` entries use fresh entropy.
+        process backend the key material crosses into each worker once
+        (and stays pinned there across batches, keyed by circuit digest)
+        and the claims prove concurrently.  ``seeds`` (one per claim) make
+        the proofs deterministic -- and therefore identical across
+        backends; ``None`` entries use fresh entropy.
+
+        ``syntheses`` may be a lazy generator (of
+        :class:`~repro.engine.compiled.SynthesisResult`\\ s or raw
+        assignments): witness synthesis then pipelines with proving
+        dispatch instead of materializing every assignment up front --
+        the streaming path a proving service wants.  With a sequence,
+        ``seeds`` must match its length; with a generator, ``seeds`` is
+        zipped lazily and must not run short.
         """
-        if seeds is None:
-            seeds = [None] * len(syntheses)
-        if len(seeds) != len(syntheses):
-            raise ValueError("need exactly one seed (or None) per claim")
+        if isinstance(syntheses, Sequence):
+            if seeds is None:
+                seeds = [None] * len(syntheses)
+            else:
+                seeds = list(seeds)
+                if len(seeds) != len(syntheses):
+                    raise ValueError("need exactly one seed (or None) per claim")
+        elif seeds is None:
+            seeds = itertools.repeat(None)
+
+        def pairs():
+            seed_iter = iter(seeds)
+            for s in syntheses:
+                try:
+                    seed = next(seed_iter)
+                except StopIteration:
+                    # zip() would silently drop the remaining claims here.
+                    raise ValueError(
+                        "seed iterable ran short of the claim count"
+                    ) from None
+                yield (
+                    s.assignment if isinstance(s, SynthesisResult) else s,
+                    seed,
+                )
+
+        return self.prove_stream(compiled, pairs(), setup_seed=setup_seed)
+
+    def prove_stream(
+        self,
+        compiled: CompiledCircuit,
+        pairs: Iterable[tuple],
+        *,
+        setup_seed: Optional[int] = None,
+    ) -> list:
+        """Prove a lazy stream of ``(synthesis_or_assignment, seed)`` pairs.
+
+        The backend pulls the iterator as proving capacity frees up, so a
+        generator that synthesizes witnesses on demand overlaps synthesis
+        (caller side) with proving (worker side).  Order is preserved.
+        """
         keypair = self.setup(compiled, seed=setup_seed)
         prepared = self._prepared_proving_key(compiled, keypair)
-        assignments = [
-            s.assignment if isinstance(s, SynthesisResult) else s
-            for s in syntheses
-        ]
-        proofs = self.backend.prove_batch(
-            prepared, compiled.cs, assignments, list(seeds)
+        assignment_pairs = (
+            (
+                s.assignment if isinstance(s, SynthesisResult) else s,
+                seed,
+            )
+            for s, seed in pairs
+        )
+        proofs = self.backend.prove_stream(
+            prepared, compiled.cs, assignment_pairs, key_id=compiled.digest
         )
         with self._lock:
             self.stats.proofs += len(proofs)

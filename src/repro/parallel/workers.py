@@ -2,32 +2,41 @@
 
 Everything here must be importable by name in a freshly spawned
 interpreter (the ``spawn`` start method pickles functions by reference),
-so no closures or lambdas.  Heavy per-batch state -- the prepared proving
+so no closures or lambdas.  Heavy shared state -- the prepared proving
 key and constraint system -- is shipped once per worker through the pool
-initializer instead of once per task.
+initializer and pinned in a *keyed* cache, so a pool that outlives one
+batch (the proof service serving many batches for one circuit digest)
+never re-receives its key material.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-_PROVE_STATE: Dict[str, object] = {}
+#: Worker-side prepared-key cache: key id -> (prepared key, constraint system).
+#: Keys arrive via :func:`init_prove_worker` (pool initializer); with the
+#: ``fork`` start method the parent's already-warm cache is also inherited
+#: for free by any pool forked afterwards.
+_PROVE_STATE: Dict[str, Tuple[object, object]] = {}
 
 
-def init_prove_worker(ppk, cs) -> None:
+def init_prove_worker(key_id: str, ppk, cs) -> None:
     """Pool initializer: pin the (large) shared proving inputs in the worker."""
-    _PROVE_STATE["ppk"] = ppk
-    _PROVE_STATE["cs"] = cs
+    _PROVE_STATE[key_id] = (ppk, cs)
 
 
-def prove_task(args: Tuple[Sequence[int], Optional[int]]):
+def prove_task(args: Tuple[str, Sequence[int], Optional[int]]):
     """Prove one assignment against the worker's pinned prepared key."""
     from ..snark.groth16 import prove_prepared
 
-    assignment, seed = args
-    return prove_prepared(
-        _PROVE_STATE["ppk"], _PROVE_STATE["cs"], assignment, seed=seed
-    )
+    key_id, assignment, seed = args
+    try:
+        ppk, cs = _PROVE_STATE[key_id]
+    except KeyError:  # pragma: no cover - defensive; initializer always ran
+        raise RuntimeError(
+            f"worker has no prepared key cached under {key_id!r}"
+        ) from None
+    return prove_prepared(ppk, cs, assignment, seed=seed)
 
 
 def msm_chunk_g1(args) -> Tuple[int, int, int]:

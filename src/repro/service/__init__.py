@@ -1,0 +1,66 @@
+"""The ZKROWNN proof service: ownership claims over the wire.
+
+The deployment shape the paper assumes but the in-process API cannot
+serve: many claimants submit models + watermark keys to a proving
+service, a scheduler batches same-shape claims through the cached
+:class:`~repro.engine.engine.ProvingEngine`, claims persist in a
+content-addressed registry for later dispute resolution, and any
+verifier fetches the ~hundreds-of-bytes claim plus verification key to
+check independently.
+
+Layers (each usable on its own):
+
+* :mod:`repro.service.wire` -- canonical, versioned, length-prefixed
+  binary frames for requests, claims, proofs, verifying keys, models;
+* :mod:`repro.service.registry` -- the durable
+  :class:`~repro.service.registry.ClaimRegistry` with audit log;
+* :mod:`repro.service.scheduler` -- the
+  :class:`~repro.service.scheduler.ProofScheduler` (priorities,
+  per-shape batching, streaming witness synthesis);
+* :mod:`repro.service.server` / :mod:`repro.service.client` -- the
+  stdlib HTTP JSON API and its
+  :class:`~repro.service.client.ServiceClient`.
+"""
+
+from .client import ServiceClient, ServiceError
+from .registry import ClaimRecord, ClaimRegistry
+from .scheduler import JobState, ProofScheduler, ProofTask
+from .server import ProofServer, ProofService
+from .wire import (
+    ClaimRequest,
+    WireFormatError,
+    decode_claim,
+    decode_claim_request,
+    decode_model,
+    decode_proof,
+    decode_verifying_key,
+    encode_claim,
+    encode_claim_request,
+    encode_model,
+    encode_proof,
+    encode_verifying_key,
+)
+
+__all__ = [
+    "ClaimRecord",
+    "ClaimRegistry",
+    "ClaimRequest",
+    "JobState",
+    "ProofScheduler",
+    "ProofServer",
+    "ProofService",
+    "ProofTask",
+    "ServiceClient",
+    "ServiceError",
+    "WireFormatError",
+    "decode_claim",
+    "decode_claim_request",
+    "decode_model",
+    "decode_proof",
+    "decode_verifying_key",
+    "encode_claim",
+    "encode_claim_request",
+    "encode_model",
+    "encode_proof",
+    "encode_verifying_key",
+]

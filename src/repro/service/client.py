@@ -1,0 +1,186 @@
+"""A thin stdlib client for the proof service's HTTP API.
+
+The client side of the deployment story: a model owner submits a claim
+request (model + watermark keys + circuit config, wire-encoded) and
+polls for the proved claim; any third party fetches the claim + VK pair
+and can also verify locally, without trusting the service's ``/verify``.
+
+Uses only ``urllib`` -- the same no-new-dependencies constraint as the
+rest of the repo.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from ..nn.model import Sequential
+from ..snark.keys import VerifyingKey
+from ..watermark.keys import WatermarkKeys
+from ..zkrownn.artifacts import OwnershipClaim
+from ..zkrownn.circuit import CircuitConfig
+from ..zkrownn.verifier import OwnershipVerifier, VerificationReport
+from . import wire
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level or service-level failure, with the server's message."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talks to one proof service base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ----------------------------------------------------------- transport --
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[bytes] = None,
+        content_type: str = "application/octet-stream",
+    ) -> bytes:
+        request = Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": content_type} if body is not None else {},
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}: {detail}", status=exc.code
+            ) from exc
+        except URLError as exc:
+            raise ServiceError(f"{method} {path} failed: {exc.reason}") from exc
+
+    def _json(self, method: str, path: str, **kwargs) -> Dict:
+        return json.loads(self._request(method, path, **kwargs).decode())
+
+    # -------------------------------------------------------------- submit --
+
+    def submit_claim(
+        self,
+        model: Sequential,
+        keys: WatermarkKeys,
+        config: Optional[CircuitConfig] = None,
+        *,
+        priority: int = 0,
+        seed: Optional[int] = None,
+        setup_seed: Optional[int] = None,
+    ) -> Dict:
+        """Submit an ownership-claim request; returns ``{claim_id, state}``."""
+        frame = wire.encode_claim_request(
+            wire.ClaimRequest(
+                model=model,
+                keys=keys,
+                config=config or CircuitConfig(),
+                priority=priority,
+                seed=seed,
+                setup_seed=setup_seed,
+            )
+        )
+        return self._json("POST", "/claims", body=frame)
+
+    # -------------------------------------------------------------- status --
+
+    def status(self, claim_id: str) -> Dict:
+        return self._json("GET", f"/claims/{claim_id}")
+
+    def wait(
+        self, claim_id: str, *, timeout: float = 120.0, poll_seconds: float = 0.2
+    ) -> Dict:
+        """Poll until the claim job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(claim_id)
+            if status["state"] in ("done", "failed", "revoked"):
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"claim {claim_id} still {status['state']!r} after {timeout}s"
+                )
+            time.sleep(poll_seconds)
+
+    def list_claims(
+        self,
+        *,
+        model_digest: Optional[str] = None,
+        state: Optional[str] = None,
+    ) -> List[Dict]:
+        query = []
+        if model_digest:
+            query.append(f"model_digest={model_digest}")
+        if state:
+            query.append(f"state={state}")
+        suffix = "?" + "&".join(query) if query else ""
+        return self._json("GET", f"/claims{suffix}")["claims"]
+
+    # --------------------------------------------------------------- fetch --
+
+    def fetch_claim(self, claim_id: str) -> OwnershipClaim:
+        return wire.decode_claim(self._request("GET", f"/claims/{claim_id}/proof"))
+
+    def fetch_verifying_key(self, claim_id: str) -> VerifyingKey:
+        return wire.decode_verifying_key(
+            self._request("GET", f"/claims/{claim_id}/vk")
+        )
+
+    # -------------------------------------------------------------- verify --
+
+    def verify_remote(self, claim_id: str) -> Dict:
+        """Ask the *service* to verify (convenient, but trusts the service)."""
+        return self._json(
+            "POST",
+            "/verify",
+            body=json.dumps({"claim_id": claim_id}).encode(),
+            content_type="application/json",
+        )
+
+    def verify_local(self, claim_id: str, model: Sequential) -> VerificationReport:
+        """Trustless check: fetch claim + VK, verify against OUR model copy."""
+        claim = self.fetch_claim(claim_id)
+        vk = self.fetch_verifying_key(claim_id)
+        return OwnershipVerifier(vk).verify(model, claim)
+
+    # --------------------------------------------------------------- admin --
+
+    def revoke(self, claim_id: str, reason: str = "") -> Dict:
+        return self._json(
+            "POST",
+            f"/claims/{claim_id}/revoke",
+            body=json.dumps({"reason": reason}).encode(),
+            content_type="application/json",
+        )
+
+    def audit(self, claim_id: str) -> List[Dict]:
+        return self._json("GET", f"/claims/{claim_id}/audit")["audit"]
+
+    def health(self) -> Dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._json("GET", "/stats")
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.base_url!r})"

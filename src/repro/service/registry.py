@@ -1,0 +1,261 @@
+"""The durable claim registry: ownership claims that outlive the process.
+
+A dispute over model ownership can surface months after a claim was
+proved; the registry is the service's long-term memory.  It is a plain
+directory tree (no database dependency), content-addressed, and safe for
+the scheduler's worker threads and the HTTP handler threads to share::
+
+    <root>/claims/<claim_id>.json    record metadata (state, digests, timings)
+    <root>/claims/<claim_id>.claim   wire frame of the proved claim
+    <root>/vks/<circuit_digest>.vk   verifying key bytes (one per circuit shape)
+    <root>/models/<model_digest>.model
+                                     wire frame of the claimed model
+    <root>/audit.log                 append-only JSONL audit trail
+
+``claim_id`` is assigned at submission from the *content* of the request
+(model digest, watermark-key digest, circuit config, seeds), so an
+identical resubmission maps to the same record instead of a duplicate
+proving job.  Models and verifying keys are keyed by their own content
+digests and shared across claims.
+
+Every mutation appends an audit event; :meth:`ClaimRegistry.audit_entries`
+replays the trail for dispute resolution ("when was this claim proved,
+with which key, and who revoked it?").
+
+All writes go through a temp file + ``os.replace`` so a crash mid-write
+leaves either the old record or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = ["ClaimRecord", "ClaimRegistry", "RegistryError"]
+
+
+class RegistryError(KeyError):
+    """Raised when a claim, model, or key is not in the registry."""
+
+
+@dataclass
+class ClaimRecord:
+    """One claim's lifecycle, as stored on disk."""
+
+    claim_id: str
+    model_digest: str
+    state: str = "queued"  # JobState values, plus "revoked"
+    priority: int = 0
+    shape_key: str = ""
+    circuit_digest: str = ""
+    error: str = ""
+    revoked_reason: str = ""
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @staticmethod
+    def from_json(payload: str) -> "ClaimRecord":
+        return ClaimRecord(**json.loads(payload))
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+class ClaimRegistry:
+    """Directory-backed persistent store for ownership claims.
+
+    Thread-safe; every public method takes the registry lock.  Reopening
+    the same root restores all records -- the restart story a proving
+    service needs.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._claims_dir = self.root / "claims"
+        self._vks_dir = self.root / "vks"
+        self._models_dir = self.root / "models"
+        for d in (self._claims_dir, self._vks_dir, self._models_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self._audit_path = self.root / "audit.log"
+        self._lock = threading.RLock()
+        self._records: Dict[str, ClaimRecord] = {}
+        self._load()
+
+    def _load(self) -> None:
+        for path in sorted(self._claims_dir.glob("*.json")):
+            try:
+                record = ClaimRecord.from_json(path.read_text())
+            except (ValueError, TypeError, KeyError):
+                continue  # torn/foreign file: skip, never crash the service
+            self._records[record.claim_id] = record
+
+    # ------------------------------------------------------------- records --
+
+    def _write(self, record: ClaimRecord) -> None:
+        record.updated_at = time.time()
+        _atomic_write(
+            self._claims_dir / f"{record.claim_id}.json",
+            record.to_json().encode(),
+        )
+        self._records[record.claim_id] = record
+
+    def register(self, record: ClaimRecord) -> ClaimRecord:
+        """Insert a new record (idempotent: an existing id is returned as-is)."""
+        with self._lock:
+            existing = self._records.get(record.claim_id)
+            if existing is not None:
+                return existing
+            record.created_at = time.time()
+            self._write(record)
+            self.audit("registered", claim_id=record.claim_id,
+                       model_digest=record.model_digest)
+            return record
+
+    def get(self, claim_id: str) -> ClaimRecord:
+        with self._lock:
+            record = self._records.get(claim_id)
+            if record is None:
+                raise RegistryError(f"unknown claim {claim_id!r}")
+            return record
+
+    def __contains__(self, claim_id: str) -> bool:
+        with self._lock:
+            return claim_id in self._records
+
+    def update(self, claim_id: str, **fields) -> ClaimRecord:
+        """Mutate record fields (state transitions, timings, errors)."""
+        with self._lock:
+            record = self.get(claim_id)
+            for name, value in fields.items():
+                if not hasattr(record, name):
+                    raise AttributeError(f"ClaimRecord has no field {name!r}")
+                setattr(record, name, value)
+            self._write(record)
+            if "state" in fields:
+                self.audit("state", claim_id=claim_id, state=record.state,
+                           error=record.error)
+            return record
+
+    def list(
+        self,
+        *,
+        model_digest: Optional[str] = None,
+        state: Optional[str] = None,
+    ) -> List[ClaimRecord]:
+        """All records, newest first, optionally filtered."""
+        with self._lock:
+            records = sorted(
+                self._records.values(), key=lambda r: r.created_at, reverse=True
+            )
+        if model_digest is not None:
+            records = [r for r in records if r.model_digest == model_digest]
+        if state is not None:
+            records = [r for r in records if r.state == state]
+        return records
+
+    def revoke(self, claim_id: str, reason: str = "") -> ClaimRecord:
+        """Mark a claim revoked (e.g. lost a dispute); bytes are retained
+        so the audit trail stays replayable."""
+        with self._lock:
+            record = self.get(claim_id)
+            record.state = "revoked"
+            record.revoked_reason = reason
+            self._write(record)
+            self.audit("revoked", claim_id=claim_id, reason=reason)
+            return record
+
+    # ------------------------------------------------------- claim payloads --
+
+    def store_claim_bytes(self, claim_id: str, frame: bytes) -> None:
+        with self._lock:
+            _atomic_write(self._claims_dir / f"{claim_id}.claim", frame)
+
+    def claim_bytes(self, claim_id: str) -> bytes:
+        path = self._claims_dir / f"{claim_id}.claim"
+        if not path.is_file():
+            raise RegistryError(f"no proved claim stored for {claim_id!r}")
+        return path.read_bytes()
+
+    # ------------------------------------------------- verifying keys/models --
+
+    def store_verifying_key(self, circuit_digest: str, vk_bytes: bytes) -> None:
+        with self._lock:
+            path = self._vks_dir / f"{circuit_digest}.vk"
+            if not path.is_file():
+                _atomic_write(path, vk_bytes)
+
+    def verifying_key_bytes(self, circuit_digest: str) -> bytes:
+        path = self._vks_dir / f"{circuit_digest}.vk"
+        if not path.is_file():
+            raise RegistryError(
+                f"no verifying key stored for circuit {circuit_digest!r}"
+            )
+        return path.read_bytes()
+
+    def store_model_bytes(self, model_digest: str, frame: bytes) -> None:
+        with self._lock:
+            path = self._models_dir / f"{model_digest}.model"
+            if not path.is_file():
+                _atomic_write(path, frame)
+
+    def model_bytes(self, model_digest: str) -> bytes:
+        path = self._models_dir / f"{model_digest}.model"
+        if not path.is_file():
+            raise RegistryError(f"no model stored under digest {model_digest!r}")
+        return path.read_bytes()
+
+    # ---------------------------------------------------------------- audit --
+
+    def audit(self, event: str, **fields) -> None:
+        """Append one event to the audit log (JSONL, append-only)."""
+        entry = {"at": time.time(), "event": event, **fields}
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            with open(self._audit_path, "a") as fh:
+                fh.write(line)
+
+    def audit_entries(self, claim_id: Optional[str] = None) -> Iterator[dict]:
+        """Replay the audit trail, oldest first."""
+        if not self._audit_path.is_file():
+            return
+        with open(self._audit_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if claim_id is None or entry.get("claim_id") == claim_id:
+                    yield entry
+
+    # ---------------------------------------------------------------- stats --
+
+    def counts(self) -> Dict[str, int]:
+        """Record counts by state (for ``/stats``)."""
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for record in self._records.values():
+                counts[record.state] = counts.get(record.state, 0) + 1
+            counts["total"] = len(self._records)
+            return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"ClaimRegistry({str(self.root)!r}, claims={len(self)})"

@@ -1,0 +1,368 @@
+"""The proof scheduler: a job queue that understands circuit shapes.
+
+The expensive stages of a Groth16 claim are per *shape*, not per claim
+(the engine caches compiled circuits and keypairs), and the compute
+backend proves a whole batch against one prepared key in a single
+dispatch.  The scheduler exploits both: queued jobs are grouped by their
+engine shape key, and each worker pass drains up to ``max_batch``
+same-shape jobs into ONE ``prove_batch`` call -- concurrent requests for
+one model architecture amortize compile + setup and share the backend's
+worker pool (which itself stays warm across batches, keyed by circuit
+digest).
+
+Witnesses are synthesized lazily through the engine's streaming path:
+the generator handed to :meth:`~repro.engine.engine.ProvingEngine.prove_stream`
+replays each job's trace only when the backend pulls it, so synthesis of
+claim *i+1* overlaps the proving of claim *i*.
+
+Job lifecycle: ``queued -> proving -> done | failed`` (plus ``revoked``
+applied later by the registry).  Every transition is mirrored to the
+:class:`~repro.service.registry.ClaimRegistry`, which is the durable
+record; the scheduler's own state is in-memory and rebuilt empty on
+restart (queued-but-unproved jobs must be resubmitted -- the registry
+shows them still ``queued``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..circuit.trace import TraceDivergence
+from ..engine.engine import ProvingEngine
+from ..snark.errors import ConstraintViolation
+from ..zkrownn.artifacts import OwnershipClaim, model_digest
+from ..zkrownn.circuit import CircuitConfig
+from . import wire
+from .registry import ClaimRegistry
+
+__all__ = ["JobState", "ProofScheduler", "ProofTask", "SchedulerStats"]
+
+
+class JobState:
+    """String states a claim job moves through (stored in the registry)."""
+
+    QUEUED = "queued"
+    PROVING = "proving"
+    DONE = "done"
+    FAILED = "failed"
+    REVOKED = "revoked"
+
+    TERMINAL = (DONE, FAILED, REVOKED)
+
+
+@dataclass
+class ProofTask:
+    """One proving job as the scheduler sees it.
+
+    ``model`` / ``keys`` / ``config`` describe an ownership claim and are
+    what gets packaged into the registry on success; tasks without them
+    (generic circuits) still batch and prove but store no claim.
+    """
+
+    claim_id: str
+    shape_key: str
+    synthesize: Callable  # SynthesisFn for the engine
+    model: object = None
+    keys: object = None
+    config: CircuitConfig = field(default_factory=CircuitConfig)
+    priority: int = 0
+    seed: Optional[int] = None
+    setup_seed: Optional[int] = None
+    require_valid: bool = True
+    submitted_at: float = field(default_factory=time.monotonic)
+    sequence: int = 0  # FIFO tiebreaker within a priority level
+
+
+@dataclass
+class SchedulerStats:
+    """Counters for ``/stats`` and the batching tests."""
+
+    submitted: int = 0
+    batches: int = 0
+    batched_jobs: int = 0
+    largest_batch: int = 0
+    done: int = 0
+    failed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class ProofScheduler:
+    """Thread-based scheduler feeding batches into a :class:`ProvingEngine`.
+
+    Not started automatically: call :meth:`start` (tests and the batching
+    guarantee rely on being able to enqueue several jobs before the first
+    dispatch).  ``workers`` proving threads may run distinct shapes
+    concurrently; jobs for one shape are always drained by a single
+    thread per pass, so same-shape concurrency becomes batching instead
+    of contention.
+    """
+
+    def __init__(
+        self,
+        engine: ProvingEngine,
+        registry: ClaimRegistry,
+        *,
+        max_batch: int = 8,
+        workers: int = 1,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.engine = engine
+        self.registry = registry
+        self.max_batch = max_batch
+        self.workers = workers
+        self.stats = SchedulerStats()
+        self.processed_order: List[str] = []  # claim ids in dispatch order
+        self._queue: List[ProofTask] = []
+        self._states: Dict[str, str] = {}
+        self._errors: Dict[str, str] = {}
+        self._cv = threading.Condition()
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self._sequence = 0
+
+    # ------------------------------------------------------------ lifecycle --
+
+    def start(self) -> "ProofScheduler":
+        with self._cv:
+            if self._running:
+                return self
+            self._running = True
+            self._threads = [
+                threading.Thread(
+                    target=self._worker, name=f"proof-scheduler-{i}", daemon=True
+                )
+                for i in range(self.workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Stop accepting dispatches; in-flight batches finish."""
+        with self._cv:
+            self._running = False
+            self._cv.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    # --------------------------------------------------------------- submit --
+
+    def submit(self, task: ProofTask) -> str:
+        """Enqueue a job; returns its claim id immediately."""
+        with self._cv:
+            if task.claim_id in self._states and self._states[
+                task.claim_id
+            ] not in (JobState.FAILED,):
+                return task.claim_id  # idempotent resubmission
+            self._sequence += 1
+            task.sequence = self._sequence
+            self._queue.append(task)
+            self._states[task.claim_id] = JobState.QUEUED
+            self._errors.pop(task.claim_id, None)
+            self.stats.submitted += 1
+            self._cv.notify_all()
+        return task.claim_id
+
+    def state(self, claim_id: str) -> Optional[str]:
+        with self._cv:
+            return self._states.get(claim_id)
+
+    def error(self, claim_id: str) -> str:
+        with self._cv:
+            return self._errors.get(claim_id, "")
+
+    def wait(self, claim_id: str, *, timeout: float = 60.0) -> str:
+        """Block until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            while True:
+                state = self._states.get(claim_id)
+                if state in JobState.TERMINAL:
+                    return state
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"claim {claim_id!r} still {state!r} after {timeout}s"
+                    )
+                self._cv.wait(remaining)
+
+    def pending(self) -> int:
+        with self._cv:
+            return len(self._queue)
+
+    # --------------------------------------------------------------- worker --
+
+    def _take_batch(self) -> List[ProofTask]:
+        """Pop the best job plus every queued job sharing its shape.
+
+        Priority (desc) then submission order picks the head; the drain
+        keeps submission order within the shape so seeded runs are
+        deterministic.
+        """
+        head = max(self._queue, key=lambda t: (t.priority, -t.sequence))
+        batch = [t for t in self._queue if t.shape_key == head.shape_key]
+        batch.sort(key=lambda t: t.sequence)
+        batch = batch[: self.max_batch]
+        taken = set(id(t) for t in batch)
+        self._queue = [t for t in self._queue if id(t) not in taken]
+        return batch
+
+    def _worker(self) -> None:
+        while True:
+            with self._cv:
+                while self._running and not self._queue:
+                    self._cv.wait()
+                if not self._running:
+                    return
+                batch = self._take_batch()
+                for task in batch:
+                    self._states[task.claim_id] = JobState.PROVING
+                    self.processed_order.append(task.claim_id)
+                self.stats.batches += 1
+                self.stats.batched_jobs += len(batch)
+                self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            for task in batch:
+                self._mirror(task.claim_id, JobState.PROVING)
+            try:
+                self._prove_batch(batch)
+            except Exception as exc:  # noqa: BLE001 - a batch must never kill the worker
+                self._fail_tasks(batch, f"batch proving failed: {exc}")
+
+    def _mirror(self, claim_id: str, state: str, *, error: str = "",
+                **fields) -> None:
+        """Best-effort registry update (the registry may lag, never block)."""
+        try:
+            self.registry.update(claim_id, state=state, error=error, **fields)
+        except KeyError:
+            pass  # direct scheduler use without registered records
+
+    def _finish(self, task: ProofTask, state: str, *, error: str = "",
+                **fields) -> None:
+        self._mirror(task.claim_id, state, error=error, **fields)
+        with self._cv:
+            self._states[task.claim_id] = state
+            if error:
+                self._errors[task.claim_id] = error
+            if state == JobState.DONE:
+                self.stats.done += 1
+            else:
+                self.stats.failed += 1
+            self._cv.notify_all()
+
+    def _fail_tasks(self, tasks: List[ProofTask], error: str) -> None:
+        for task in tasks:
+            with self._cv:
+                already = self._states.get(task.claim_id)
+            if already not in JobState.TERMINAL:
+                self._finish(task, JobState.FAILED, error=error)
+
+    # -------------------------------------------------------------- proving --
+
+    def _synthesize(self, task: ProofTask):
+        """(compiled, synthesis) for one task, with the validity check."""
+        compiled, synthesis = self.engine.synthesize(
+            task.shape_key, task.synthesize, name="zkrownn-extraction"
+        )
+        if task.require_valid and synthesis.assignment[
+            synthesis.aux.valid_output.index
+        ] != 1:
+            raise ValueError(
+                "watermark does not extract from this model within theta; "
+                "refusing to prove a non-ownership claim"
+            )
+        return compiled, synthesis
+
+    def _prove_batch(self, batch: List[ProofTask]) -> None:
+        # The batch head compiles (or cache-hits) the shape; later tasks
+        # replay the trace lazily inside the generator below.
+        head_task = batch[0]
+        t0 = time.perf_counter()
+        try:
+            compiled, head_synthesis = self._synthesize(head_task)
+        except (ConstraintViolation, TraceDivergence, OverflowError,
+                ValueError) as exc:
+            self._finish(head_task, JobState.FAILED,
+                         error=f"witness synthesis failed: {exc}")
+            rest = batch[1:]
+            if rest:
+                self._prove_batch(rest)
+            return
+        head_elapsed = time.perf_counter() - t0
+
+        proved: List[ProofTask] = []
+        synth_seconds: List[float] = []
+
+        def pairs():
+            proved.append(head_task)
+            synth_seconds.append(head_elapsed)
+            yield head_synthesis, head_task.seed
+            for task in batch[1:]:
+                t1 = time.perf_counter()
+                try:
+                    _, synthesis = self._synthesize(task)
+                except (ConstraintViolation, TraceDivergence, OverflowError,
+                        ValueError) as exc:
+                    self._finish(task, JobState.FAILED,
+                                 error=f"witness synthesis failed: {exc}")
+                    continue
+                proved.append(task)
+                synth_seconds.append(time.perf_counter() - t1)
+                yield synthesis, task.seed
+
+        t0 = time.perf_counter()
+        proofs = self.engine.prove_stream(
+            compiled, pairs(), setup_seed=head_task.setup_seed
+        )
+        prove_elapsed = time.perf_counter() - t0
+
+        keypair = self.engine.setup(compiled)  # cached: resolved, not re-run
+        vk_bytes = keypair.verifying_key.to_bytes()
+        self.registry.store_verifying_key(compiled.digest, vk_bytes)
+
+        for task, proof, synth_s in zip(proved, proofs, synth_seconds):
+            if task.model is not None and task.keys is not None:
+                claim = self._package(task, proof)
+                self.registry.store_claim_bytes(
+                    task.claim_id, wire.encode_claim(claim)
+                )
+                self.registry.audit(
+                    "proved", claim_id=task.claim_id,
+                    circuit_digest=compiled.digest,
+                    batch_size=len(proved),
+                )
+            self._finish(
+                task, JobState.DONE,
+                circuit_digest=compiled.digest,
+                timings={
+                    "synthesize_seconds": synth_s,
+                    "batch_prove_seconds": prove_elapsed,
+                    "batch_size": float(len(proved)),
+                },
+            )
+
+    @staticmethod
+    def _package(task: ProofTask, proof) -> OwnershipClaim:
+        fmt = task.config.fixed_point
+        return OwnershipClaim(
+            proof_bytes=proof.to_bytes(),
+            theta=task.config.theta,
+            wm_bits=task.keys.num_bits,
+            embed_layer=task.keys.embed_layer,
+            model_sha256=model_digest(task.model, task.keys.embed_layer),
+            frac_bits=fmt.frac_bits,
+            total_bits=fmt.total_bits,
+            sigmoid_degree=task.config.sigmoid_degree,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProofScheduler(pending={self.pending()}, "
+            f"stats={self.stats.as_dict()})"
+        )

@@ -1,0 +1,448 @@
+"""The proof service's HTTP face: stdlib-only JSON API over the scheduler.
+
+Endpoints (all JSON unless noted)::
+
+    POST /claims              submit a wire-encoded ClaimRequest (binary body)
+    GET  /claims              list claim records (?model_digest=, ?state=)
+    GET  /claims/<id>         one claim's record / job status
+    GET  /claims/<id>/proof   the proved claim as a binary wire frame
+    GET  /claims/<id>/vk      the circuit's verifying key as a wire frame
+    GET  /claims/<id>/audit   the claim's audit trail
+    POST /claims/<id>/revoke  mark a claim revoked ({"reason": ...})
+    POST /verify              verify server-side ({"claim_id": ...} or a
+                              binary claim frame)
+    GET  /healthz             liveness + queue depth
+    GET  /stats               engine + scheduler + registry counters
+
+Submission is asynchronous: ``POST /claims`` returns ``202 Accepted``
+with the content-addressed claim id; clients poll ``GET /claims/<id>``
+(or use :meth:`~repro.service.client.ServiceClient.wait`) until the job
+is ``done``, then fetch the ~200-byte claim frame.  An identical
+resubmission returns the existing record instead of re-proving --
+content addressing makes submission idempotent.
+
+:class:`ProofService` is the transport-free core (used directly by the
+in-process example and the tests); :class:`ProofServer` binds it to a
+``ThreadingHTTPServer``, one OS thread per in-flight request, which is
+plenty for an API whose hot path is "append to a queue" -- the actual
+proving happens on scheduler threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..engine.engine import ProvingEngine
+from ..zkrownn.artifacts import model_digest
+from ..zkrownn.planning import extraction_structure_key
+from ..zkrownn.circuit import extraction_synthesizer
+from ..zkrownn.verifier import OwnershipVerifier
+from . import wire
+from .registry import ClaimRecord, ClaimRegistry, RegistryError
+from .scheduler import JobState, ProofScheduler, ProofTask
+
+__all__ = ["ProofServer", "ProofService", "SERVICE_VERSION"]
+
+SERVICE_VERSION = "1"
+
+
+class ProofService:
+    """Transport-independent service core: submit / status / fetch / verify.
+
+    Owns the proving engine, scheduler, and registry unless injected.
+    ``start()`` spins up the scheduler threads; ``close()`` drains them.
+    """
+
+    def __init__(
+        self,
+        registry: ClaimRegistry,
+        *,
+        engine: Optional[ProvingEngine] = None,
+        scheduler: Optional[ProofScheduler] = None,
+        max_batch: int = 8,
+        scheduler_workers: int = 1,
+    ):
+        self.registry = registry
+        self.engine = engine if engine is not None else ProvingEngine()
+        self.scheduler = scheduler if scheduler is not None else ProofScheduler(
+            self.engine,
+            registry,
+            max_batch=max_batch,
+            workers=scheduler_workers,
+        )
+        self.started_at = time.time()
+
+    def start(self) -> "ProofService":
+        self.scheduler.start()
+        return self
+
+    def close(self) -> None:
+        self.scheduler.stop()
+        self.engine.backend.close()
+
+    # --------------------------------------------------------------- submit --
+
+    def submit(self, request_frame: bytes) -> Dict:
+        """Decode, content-address, register, and enqueue one claim request."""
+        request = wire.decode_claim_request(request_frame)
+        mdigest = model_digest(request.model, request.keys.embed_layer)
+        shape_key = extraction_structure_key(
+            request.model, request.keys, request.config
+        )
+        # Content address: the canonical re-encoding of the request, so a
+        # byte-identical resubmission maps onto the existing record.
+        canonical = wire.encode_claim_request(request)
+        claim_id = hashlib.sha256(canonical).hexdigest()
+
+        if claim_id in self.registry:
+            record = self.registry.get(claim_id)
+            if record.state != JobState.FAILED:
+                return {
+                    "claim_id": claim_id,
+                    "state": record.state,
+                    "resubmission": True,
+                }
+        self.registry.store_model_bytes(mdigest, wire.encode_model(request.model))
+        record = self.registry.register(
+            ClaimRecord(
+                claim_id=claim_id,
+                model_digest=mdigest,
+                state=JobState.QUEUED,
+                priority=request.priority,
+                shape_key=shape_key,
+            )
+        )
+        if record.state == JobState.FAILED:
+            # Retry of a failed claim: register() returned the old record,
+            # so reset it -- status/wait must see 'queued', not the stale
+            # terminal state, while the job sits in the queue.
+            self.registry.update(claim_id, state=JobState.QUEUED, error="")
+        self.scheduler.submit(
+            ProofTask(
+                claim_id=claim_id,
+                shape_key=shape_key,
+                synthesize=extraction_synthesizer(
+                    request.model, request.keys, request.config
+                ),
+                model=request.model,
+                keys=request.keys,
+                config=request.config,
+                priority=request.priority,
+                seed=request.seed,
+                setup_seed=request.setup_seed,
+            )
+        )
+        return {"claim_id": claim_id, "state": JobState.QUEUED,
+                "resubmission": False}
+
+    # --------------------------------------------------------------- status --
+
+    def status(self, claim_id: str) -> Dict:
+        record = self.registry.get(claim_id)
+        payload = {
+            "claim_id": record.claim_id,
+            "state": record.state,
+            "model_digest": record.model_digest,
+            "circuit_digest": record.circuit_digest,
+            "priority": record.priority,
+            "error": record.error,
+            "revoked_reason": record.revoked_reason,
+            "created_at": record.created_at,
+            "updated_at": record.updated_at,
+            "timings": record.timings,
+        }
+        live = self.scheduler.state(claim_id)
+        if live is not None and live != record.state:
+            payload["scheduler_state"] = live
+        return payload
+
+    def claim_frame(self, claim_id: str) -> bytes:
+        record = self.registry.get(claim_id)
+        if record.state == JobState.REVOKED:
+            raise RegistryError(f"claim {claim_id!r} has been revoked")
+        return self.registry.claim_bytes(claim_id)
+
+    def verifying_key_frame(self, claim_id: str) -> bytes:
+        record = self.registry.get(claim_id)
+        if not record.circuit_digest:
+            raise RegistryError(f"claim {claim_id!r} has no circuit yet")
+        return wire.encode_frame(
+            wire.MSG_VERIFYING_KEY,
+            self.registry.verifying_key_bytes(record.circuit_digest),
+        )
+
+    # --------------------------------------------------------------- verify --
+
+    def verify_by_id(self, claim_id: str) -> Dict:
+        """Server-side verification of a stored claim against its stored model."""
+        record = self.registry.get(claim_id)
+        if record.state == JobState.REVOKED:
+            return {"accepted": False,
+                    "reason": f"claim revoked: {record.revoked_reason}"}
+        if record.state != JobState.DONE:
+            return {"accepted": False,
+                    "reason": f"claim is {record.state}, not proved"}
+        claim = wire.decode_claim(self.registry.claim_bytes(claim_id))
+        report = self._verify_claim(claim, record.circuit_digest)
+        self.registry.audit("verified", claim_id=claim_id,
+                            accepted=report["accepted"])
+        return report
+
+    def verify_frame(self, claim_frame: bytes) -> Dict:
+        """Verify a caller-supplied claim frame against registry state.
+
+        The claim names its model by digest; any stored circuit that has
+        proved a claim for that model supplies the candidate verifying
+        key.  Accepting requires some (model, VK) pair to check out.
+        """
+        claim = wire.decode_claim(claim_frame)
+        digests = []
+        for record in self.registry.list(model_digest=claim.model_sha256,
+                                         state=JobState.DONE):
+            if record.circuit_digest and record.circuit_digest not in digests:
+                digests.append(record.circuit_digest)
+        if not digests:
+            return {"accepted": False,
+                    "reason": "no proved claims registered for this model"}
+        last = {"accepted": False, "reason": "no candidate verifying key"}
+        for circuit_digest in digests:
+            last = self._verify_claim(claim, circuit_digest)
+            if last["accepted"]:
+                return last
+        return last
+
+    def _verify_claim(self, claim, circuit_digest: str) -> Dict:
+        try:
+            model = wire.decode_model(
+                self.registry.model_bytes(claim.model_sha256)
+            )
+            vk = wire.decode_verifying_key(
+                wire.encode_frame(
+                    wire.MSG_VERIFYING_KEY,
+                    self.registry.verifying_key_bytes(circuit_digest),
+                )
+            )
+        except RegistryError as exc:
+            return {"accepted": False, "reason": str(exc)}
+        report = OwnershipVerifier(vk).verify(model, claim)
+        return {"accepted": report.accepted, "reason": report.reason}
+
+    # --------------------------------------------------------------- revoke --
+
+    def revoke(self, claim_id: str, reason: str = "") -> Dict:
+        record = self.registry.revoke(claim_id, reason)
+        return {"claim_id": claim_id, "state": record.state,
+                "revoked_reason": record.revoked_reason}
+
+    # ---------------------------------------------------------------- stats --
+
+    def health(self) -> Dict:
+        return {
+            "status": "ok",
+            "service_version": SERVICE_VERSION,
+            "wire_version": wire.WIRE_VERSION,
+            "uptime_seconds": time.time() - self.started_at,
+            "queue_depth": self.scheduler.pending(),
+        }
+
+    def stats(self) -> Dict:
+        return {
+            "engine": self.engine.stats.as_dict(),
+            "scheduler": self.scheduler.stats.as_dict(),
+            "registry": self.registry.counts(),
+            "backend": self.engine.backend.name,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+
+# -- HTTP layer ----------------------------------------------------------------
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the bound :class:`ProofService`."""
+
+    service: ProofService  # injected by ProofServer via subclassing
+    server_version = "zkrownn-proof-service/" + SERVICE_VERSION
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers --------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # quiet by default; the registry audit log is the record
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, body: bytes, status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", "0"))
+        return self.rfile.read(length) if length else b""
+
+    def _route(self) -> Tuple[str, Dict]:
+        parsed = urlparse(self.path)
+        query = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        return parsed.path.rstrip("/") or "/", query
+
+    # -- verbs ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path, query = self._route()
+        try:
+            if path == "/healthz":
+                return self._send_json(self.service.health())
+            if path == "/stats":
+                return self._send_json(self.service.stats())
+            if path == "/claims":
+                records = self.service.registry.list(
+                    model_digest=query.get("model_digest"),
+                    state=query.get("state"),
+                )
+                return self._send_json(
+                    {"claims": [self.service.status(r.claim_id) for r in records]}
+                )
+            parts = path.strip("/").split("/")
+            if len(parts) >= 2 and parts[0] == "claims":
+                claim_id = parts[1]
+                if len(parts) == 2:
+                    return self._send_json(self.service.status(claim_id))
+                if parts[2] == "proof":
+                    return self._send_bytes(self.service.claim_frame(claim_id))
+                if parts[2] == "vk":
+                    return self._send_bytes(
+                        self.service.verifying_key_frame(claim_id)
+                    )
+                if parts[2] == "audit":
+                    return self._send_json(
+                        {"audit": list(
+                            self.service.registry.audit_entries(claim_id)
+                        )}
+                    )
+            self._error(404, f"no route for GET {path}")
+        except RegistryError as exc:
+            self._error(404, str(exc))
+        except Exception as exc:  # noqa: BLE001 - surface, never hang the socket
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path, _ = self._route()
+        try:
+            body = self._body()
+            if path == "/claims":
+                return self._send_json(self.service.submit(body), status=202)
+            if path == "/verify":
+                content_type = self.headers.get("Content-Type", "")
+                if content_type.startswith("application/json"):
+                    payload = json.loads(body.decode() or "{}")
+                    claim_id = payload.get("claim_id")
+                    if not claim_id:
+                        return self._error(400, "verify needs a claim_id")
+                    return self._send_json(self.service.verify_by_id(claim_id))
+                return self._send_json(self.service.verify_frame(body))
+            parts = path.strip("/").split("/")
+            if len(parts) == 3 and parts[0] == "claims" and parts[2] == "revoke":
+                payload = json.loads(body.decode() or "{}")
+                return self._send_json(
+                    self.service.revoke(parts[1], payload.get("reason", ""))
+                )
+            self._error(404, f"no route for POST {path}")
+        except wire.WireFormatError as exc:
+            self._error(400, f"bad wire frame: {exc}")
+        except RegistryError as exc:
+            self._error(404, str(exc))
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+
+class ProofServer:
+    """A :class:`ProofService` bound to a listening socket.
+
+    ``port=0`` picks a free port (tests).  ``start()`` serves on a
+    daemon thread and returns immediately; ``stop()`` shuts down the
+    HTTP loop and the service's scheduler.
+    """
+
+    def __init__(
+        self,
+        service: ProofService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        handler = type("BoundHandler", (_ServiceHandler,), {"service": service})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self, *, start_service: bool = True) -> "ProofServer":
+        """Serve on a daemon thread.  ``start_service=False`` leaves the
+        scheduler paused (submissions queue; tests and drain-then-start
+        deployments dispatch later via ``service.start()``)."""
+        if start_service:
+            self.service.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="proof-server-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.service.close()
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the CLI's ``serve`` subcommand)."""
+        self.service.start()
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self._httpd.server_close()
+            self.service.close()
+
+    def __enter__(self) -> "ProofServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,451 @@
+"""The service wire protocol: canonical binary frames.
+
+Everything that crosses the proof service's trust boundary travels in one
+frame format::
+
+    magic "ZKRW" | u8 version | u8 msg type | u32 payload length
+    | payload | u32 CRC-32 (over version..payload)
+
+Frames are length-prefixed (a stream reader knows exactly how many bytes
+to take), versioned (decoders reject frames from a future protocol), and
+checksummed (bit flips are rejected before any payload parsing).  Payload
+encodings are *canonical* -- one byte string per value, so encode/decode
+round trips are byte-exact and content addresses
+(:meth:`~repro.zkrownn.artifacts.OwnershipClaim.content_id`) are stable
+across processes.
+
+Cryptographic payloads reuse the repo's existing encoders rather than
+inventing new ones: proofs and verifying keys serialize through
+:mod:`repro.snark.keys` (which uses the compressed point encodings of
+:mod:`repro.curves.serialize`), and constraint systems -- when they
+travel for audits -- through :mod:`repro.snark.serialize`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, ReLU, Sigmoid
+from ..nn.model import Sequential
+from ..circuit.fixedpoint import FixedPointFormat
+from ..snark.errors import MalformedProof
+from ..snark.keys import Proof, VerifyingKey
+from ..watermark.keys import WatermarkKeys
+from ..zkrownn.artifacts import ClaimFormatError, OwnershipClaim
+from ..zkrownn.circuit import CircuitConfig
+
+__all__ = [
+    "MSG_CLAIM",
+    "MSG_CLAIM_REQUEST",
+    "MSG_MODEL",
+    "MSG_PROOF",
+    "MSG_VERIFYING_KEY",
+    "WIRE_VERSION",
+    "ClaimRequest",
+    "WireFormatError",
+    "decode_claim",
+    "decode_claim_request",
+    "decode_frame",
+    "decode_model",
+    "decode_proof",
+    "decode_verifying_key",
+    "encode_claim",
+    "encode_claim_request",
+    "encode_frame",
+    "encode_model",
+    "encode_proof",
+    "encode_verifying_key",
+]
+
+_MAGIC = b"ZKRW"
+WIRE_VERSION = 1
+
+MSG_CLAIM_REQUEST = 1
+MSG_CLAIM = 2
+MSG_VERIFYING_KEY = 3
+MSG_PROOF = 4
+MSG_MODEL = 5
+
+_HEADER = struct.Struct(">4sBBI")
+_CRC = struct.Struct(">I")
+
+
+class WireFormatError(ValueError):
+    """Raised on malformed, corrupted, or foreign wire bytes."""
+
+
+# -- frame layer ---------------------------------------------------------------
+
+
+def encode_frame(msg_type: int, payload: bytes) -> bytes:
+    """Wrap a payload in a versioned, checksummed frame."""
+    header = _HEADER.pack(_MAGIC, WIRE_VERSION, msg_type, len(payload))
+    crc = zlib.crc32(header[4:] + payload) & 0xFFFFFFFF
+    return header + payload + _CRC.pack(crc)
+
+
+def decode_frame(
+    data: bytes, expected_type: Optional[int] = None
+) -> Tuple[int, bytes]:
+    """Unwrap a frame; returns ``(msg_type, payload)``.
+
+    Rejects bad magic, future versions, truncation, trailing bytes, and
+    checksum mismatches -- all as :class:`WireFormatError`, before any
+    payload bytes are interpreted.
+    """
+    if len(data) < _HEADER.size + _CRC.size:
+        raise WireFormatError(f"frame truncated at {len(data)} bytes")
+    magic, version, msg_type, length = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise WireFormatError("not a ZKRW frame (bad magic)")
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}")
+    expected_len = _HEADER.size + length + _CRC.size
+    if len(data) != expected_len:
+        raise WireFormatError(
+            f"frame is {len(data)} bytes, header declares {expected_len}"
+        )
+    payload = data[_HEADER.size : _HEADER.size + length]
+    (crc,) = _CRC.unpack_from(data, _HEADER.size + length)
+    if zlib.crc32(data[4 : _HEADER.size + length]) & 0xFFFFFFFF != crc:
+        raise WireFormatError("frame checksum mismatch (corrupted bytes)")
+    if expected_type is not None and msg_type != expected_type:
+        raise WireFormatError(
+            f"expected message type {expected_type}, frame carries {msg_type}"
+        )
+    return msg_type, payload
+
+
+# -- primitive codecs ----------------------------------------------------------
+
+_DTYPE_CODES = {"f": (1, ">f8"), "i": (2, ">i8"), "b": (3, "|b1"), "u": (2, ">i8")}
+_CODE_DTYPES = {1: ">f8", 2: ">i8", 3: "|b1"}
+
+
+def _pack_array(arr: np.ndarray) -> bytes:
+    """Canonical ndarray encoding: dtype code, shape, big-endian data."""
+    kind = arr.dtype.kind
+    if kind not in _DTYPE_CODES:
+        raise WireFormatError(f"unsupported array dtype {arr.dtype}")
+    code, wire_dtype = _DTYPE_CODES[kind]
+    data = np.ascontiguousarray(arr).astype(wire_dtype).tobytes()
+    return (
+        struct.pack(">BB", code, arr.ndim)
+        + struct.pack(f">{arr.ndim}I", *arr.shape)
+        + struct.pack(">I", len(data))
+        + data
+    )
+
+
+def _unpack_array(data: bytes, offset: int) -> Tuple[np.ndarray, int]:
+    try:
+        code, ndim = struct.unpack_from(">BB", data, offset)
+        offset += 2
+        shape = struct.unpack_from(f">{ndim}I", data, offset)
+        offset += 4 * ndim
+        (nbytes,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        raw = data[offset : offset + nbytes]
+        if len(raw) != nbytes:
+            raise WireFormatError("array data truncated")
+        offset += nbytes
+        wire_dtype = _CODE_DTYPES[code]
+    except (struct.error, KeyError) as exc:
+        raise WireFormatError(f"malformed array encoding: {exc}") from exc
+    arr = np.frombuffer(raw, dtype=wire_dtype).reshape(shape)
+    # Native byte order for downstream numpy work.
+    native = {1: np.float64, 2: np.int64, 3: np.bool_}[code]
+    return arr.astype(native), offset
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack(">H", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    raw = data[offset : offset + length]
+    if len(raw) != length:
+        raise WireFormatError("string truncated")
+    return raw.decode("utf-8"), offset + length
+
+
+def _pack_opt_int(value: Optional[int]) -> bytes:
+    """Optional arbitrary-size integer (seeds): presence byte + length."""
+    if value is None:
+        return b"\x00"
+    sign = 1 if value >= 0 else 2
+    raw = abs(value).to_bytes((abs(value).bit_length() + 7) // 8 or 1, "big")
+    return struct.pack(">BH", sign, len(raw)) + raw
+
+
+def _unpack_opt_int(data: bytes, offset: int) -> Tuple[Optional[int], int]:
+    (flag,) = struct.unpack_from(">B", data, offset)
+    offset += 1
+    if flag == 0:
+        return None, offset
+    if flag not in (1, 2):
+        raise WireFormatError(f"bad optional-int flag {flag}")
+    (length,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    raw = data[offset : offset + length]
+    if len(raw) != length:
+        raise WireFormatError("optional int truncated")
+    value = int.from_bytes(raw, "big")
+    return (value if flag == 1 else -value), offset + length
+
+
+# -- model codec ---------------------------------------------------------------
+
+_LAYER_DENSE = 1
+_LAYER_RELU = 2
+_LAYER_SIGMOID = 3
+_LAYER_FLATTEN = 4
+_LAYER_CONV2D = 5
+_LAYER_MAXPOOL2D = 6
+
+
+def _pack_model(model: Sequential) -> bytes:
+    """Architecture + weights, canonically -- unlike the ``.npz``
+    checkpoint convention (weights only, architecture is code), a service
+    request must carry both."""
+    parts = [_pack_str(model.name), struct.pack(">H", len(model.layers))]
+    for layer in model.layers:
+        if isinstance(layer, Dense):
+            parts.append(struct.pack(">BII", _LAYER_DENSE,
+                                     layer.in_features, layer.out_features))
+            parts.append(_pack_array(layer.params["W"]))
+            parts.append(_pack_array(layer.params["b"]))
+        elif isinstance(layer, ReLU):
+            parts.append(struct.pack(">B", _LAYER_RELU))
+        elif isinstance(layer, Sigmoid):
+            parts.append(struct.pack(">B", _LAYER_SIGMOID))
+        elif isinstance(layer, Flatten):
+            parts.append(struct.pack(">B", _LAYER_FLATTEN))
+        elif isinstance(layer, Conv2D):
+            parts.append(struct.pack(
+                ">BIIII", _LAYER_CONV2D, layer.in_channels,
+                layer.out_channels, layer.kernel, layer.stride,
+            ))
+            parts.append(_pack_array(layer.params["W"]))
+            parts.append(_pack_array(layer.params["b"]))
+        elif isinstance(layer, MaxPool2D):
+            parts.append(struct.pack(">BII", _LAYER_MAXPOOL2D,
+                                     layer.pool, layer.stride))
+        else:
+            raise WireFormatError(
+                f"layer type {type(layer).__name__} has no wire encoding"
+            )
+    return b"".join(parts)
+
+
+def _unpack_model(data: bytes, offset: int) -> Tuple[Sequential, int]:
+    name, offset = _unpack_str(data, offset)
+    (num_layers,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    rng = np.random.default_rng(0)  # weights are overwritten below
+    layers: List[Layer] = []
+    for _ in range(num_layers):
+        (code,) = struct.unpack_from(">B", data, offset)
+        offset += 1
+        if code == _LAYER_DENSE:
+            in_f, out_f = struct.unpack_from(">II", data, offset)
+            offset += 8
+            layer = Dense(in_f, out_f, rng=rng)
+            layer.params["W"], offset = _unpack_array(data, offset)
+            layer.params["b"], offset = _unpack_array(data, offset)
+        elif code == _LAYER_RELU:
+            layer = ReLU()
+        elif code == _LAYER_SIGMOID:
+            layer = Sigmoid()
+        elif code == _LAYER_FLATTEN:
+            layer = Flatten()
+        elif code == _LAYER_CONV2D:
+            in_c, out_c, kernel, stride = struct.unpack_from(">IIII", data, offset)
+            offset += 16
+            layer = Conv2D(in_c, out_c, kernel, stride, rng=rng)
+            layer.params["W"], offset = _unpack_array(data, offset)
+            layer.params["b"], offset = _unpack_array(data, offset)
+        elif code == _LAYER_MAXPOOL2D:
+            pool, stride = struct.unpack_from(">II", data, offset)
+            offset += 8
+            layer = MaxPool2D(pool, stride)
+        else:
+            raise WireFormatError(f"unknown layer code {code}")
+        layers.append(layer)
+    return Sequential(layers, name=name), offset
+
+
+def encode_model(model: Sequential) -> bytes:
+    return encode_frame(MSG_MODEL, _pack_model(model))
+
+
+def decode_model(frame: bytes) -> Sequential:
+    _, payload = decode_frame(frame, MSG_MODEL)
+    try:
+        model, offset = _unpack_model(payload, 0)
+    except (struct.error, ValueError) as exc:
+        raise WireFormatError(f"malformed model payload: {exc}") from exc
+    if offset != len(payload):
+        raise WireFormatError("trailing bytes after model payload")
+    return model
+
+
+# -- watermark keys + circuit config ------------------------------------------
+
+
+def _pack_keys(keys: WatermarkKeys) -> bytes:
+    return (
+        struct.pack(">II", keys.embed_layer, keys.target_class)
+        + _pack_array(keys.trigger_inputs)
+        + _pack_array(keys.projection)
+        + _pack_array(keys.signature)
+    )
+
+
+def _unpack_keys(data: bytes, offset: int) -> Tuple[WatermarkKeys, int]:
+    embed_layer, target_class = struct.unpack_from(">II", data, offset)
+    offset += 8
+    triggers, offset = _unpack_array(data, offset)
+    projection, offset = _unpack_array(data, offset)
+    signature, offset = _unpack_array(data, offset)
+    keys = WatermarkKeys(
+        embed_layer=embed_layer,
+        target_class=target_class,
+        trigger_inputs=triggers,
+        projection=projection,
+        signature=signature,
+    )
+    keys.validate()
+    return keys, offset
+
+
+def _pack_config(config: CircuitConfig) -> bytes:
+    return struct.pack(
+        ">dHHHB",
+        config.theta,
+        config.fixed_point.frac_bits,
+        config.fixed_point.total_bits,
+        config.sigmoid_degree,
+        1 if config.weights_public else 0,
+    )
+
+
+def _unpack_config(data: bytes, offset: int) -> Tuple[CircuitConfig, int]:
+    theta, frac, total, sigmoid, public = struct.unpack_from(">dHHHB", data, offset)
+    config = CircuitConfig(
+        theta=theta,
+        fixed_point=FixedPointFormat(frac_bits=frac, total_bits=total),
+        sigmoid_degree=sigmoid,
+        weights_public=bool(public),
+    )
+    return config, offset + struct.calcsize(">dHHHB")
+
+
+# -- claim request -------------------------------------------------------------
+
+
+@dataclass
+class ClaimRequest:
+    """Everything a claimant ships to the proof service.
+
+    ``priority`` orders the scheduler queue (higher first).  ``seed`` /
+    ``setup_seed`` exist for reproducible runs and tests -- a production
+    deployment omits both and takes fresh entropy (and shared setups per
+    circuit shape).
+    """
+
+    model: Sequential
+    keys: WatermarkKeys
+    config: CircuitConfig = field(default_factory=CircuitConfig)
+    priority: int = 0
+    seed: Optional[int] = None
+    setup_seed: Optional[int] = None
+
+
+def encode_claim_request(request: ClaimRequest) -> bytes:
+    if not -128 <= request.priority <= 127:
+        raise WireFormatError(
+            f"priority {request.priority} outside the wire range [-128, 127]"
+        )
+    payload = (
+        _pack_model(request.model)
+        + _pack_keys(request.keys)
+        + _pack_config(request.config)
+        + struct.pack(">b", request.priority)
+        + _pack_opt_int(request.seed)
+        + _pack_opt_int(request.setup_seed)
+    )
+    return encode_frame(MSG_CLAIM_REQUEST, payload)
+
+
+def decode_claim_request(frame: bytes) -> ClaimRequest:
+    _, payload = decode_frame(frame, MSG_CLAIM_REQUEST)
+    try:
+        model, offset = _unpack_model(payload, 0)
+        keys, offset = _unpack_keys(payload, offset)
+        config, offset = _unpack_config(payload, offset)
+        (priority,) = struct.unpack_from(">b", payload, offset)
+        offset += 1
+        seed, offset = _unpack_opt_int(payload, offset)
+        setup_seed, offset = _unpack_opt_int(payload, offset)
+    except (struct.error, ValueError) as exc:
+        if isinstance(exc, WireFormatError):
+            raise
+        raise WireFormatError(f"malformed claim request: {exc}") from exc
+    if offset != len(payload):
+        raise WireFormatError("trailing bytes after claim request")
+    return ClaimRequest(
+        model=model,
+        keys=keys,
+        config=config,
+        priority=priority,
+        seed=seed,
+        setup_seed=setup_seed,
+    )
+
+
+# -- claims, proofs, verifying keys -------------------------------------------
+
+
+def encode_claim(claim: OwnershipClaim) -> bytes:
+    return encode_frame(MSG_CLAIM, claim.to_bytes())
+
+
+def decode_claim(frame: bytes) -> OwnershipClaim:
+    _, payload = decode_frame(frame, MSG_CLAIM)
+    try:
+        return OwnershipClaim.from_bytes(payload)
+    except ClaimFormatError as exc:
+        raise WireFormatError(str(exc)) from exc
+
+
+def encode_proof(proof: Proof) -> bytes:
+    return encode_frame(MSG_PROOF, proof.to_bytes())
+
+
+def decode_proof(frame: bytes) -> Proof:
+    _, payload = decode_frame(frame, MSG_PROOF)
+    try:
+        return Proof.from_bytes(payload)
+    except (ValueError, MalformedProof) as exc:
+        raise WireFormatError(str(exc)) from exc
+
+
+def encode_verifying_key(vk: VerifyingKey) -> bytes:
+    return encode_frame(MSG_VERIFYING_KEY, vk.to_bytes())
+
+
+def decode_verifying_key(frame: bytes) -> VerifyingKey:
+    _, payload = decode_frame(frame, MSG_VERIFYING_KEY)
+    try:
+        return VerifyingKey.from_bytes(payload)
+    except (ValueError, struct.error, IndexError) as exc:
+        raise WireFormatError(f"malformed verifying key: {exc}") from exc

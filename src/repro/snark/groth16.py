@@ -32,7 +32,13 @@ from ..curves.g1 import (
     jac_to_affine_many,
 )
 from ..curves.g2 import G2Point
-from ..curves.msm import FixedBaseTableG1, FixedBaseTableG2, msm_g1, msm_g2
+from ..curves.msm import (
+    FixedBaseTableG1,
+    FixedBaseTableG2,
+    msm_g1,
+    msm_g1_multi,
+    msm_g2,
+)
 from ..curves.pairing import (
     G2Precomputed,
     final_exponentiation,
@@ -338,20 +344,23 @@ def prove_prepared(
             f"({len(pk.a_query)} variables vs {cs.num_variables})"
         )
     g1_msm = msm_g1 if backend is None else backend.msm_g1
+    g1_msm_multi = msm_g1_multi if backend is None else backend.msm_g1_multi
     g2_msm = msm_g2 if backend is None else backend.msm_g2
     rng = _Randomness(seed)
     r, s = rng.scalar(), rng.scalar()
 
     z = [v % R for v in assignment]
 
+    # The A and B1 commitments multiply different bases by the SAME witness
+    # vector; the shared-scalar multi-MSM decomposes and recodes z once.
+    a_acc, b1_acc = g1_msm_multi([ppk.points_a, ppk.points_b1], z)
+
     # A = alpha + sum z_j u_j(tau) + r*delta   (in G1)
-    a_acc = g1_msm(ppk.points_a, z)
     a_acc = jac_add(a_acc, pk.alpha_g1.to_jacobian())
     a_acc = jac_add(a_acc, jac_scalar_mul(pk.delta_g1.to_jacobian(), r))
 
     # B = beta + sum z_j v_j(tau) + s*delta    (in G2, and mirrored in G1)
     proof_b2 = g2_msm(pk.b_g2_query, z) + pk.beta_g2 + pk.delta_g2 * s
-    b1_acc = g1_msm(ppk.points_b1, z)
     b1_acc = jac_add(b1_acc, pk.beta_g1.to_jacobian())
     b1_acc = jac_add(b1_acc, jac_scalar_mul(pk.delta_g1.to_jacobian(), s))
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import struct
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Union
@@ -26,7 +27,11 @@ import numpy as np
 from ..nn.model import Sequential
 from ..snark.keys import Proof
 
-__all__ = ["OwnershipClaim", "model_digest"]
+__all__ = ["ClaimFormatError", "OwnershipClaim", "model_digest"]
+
+
+class ClaimFormatError(ValueError):
+    """Raised on malformed ownership-claim bytes."""
 
 
 def model_digest(model: Sequential, upto_layer: int) -> str:
@@ -85,3 +90,62 @@ class OwnershipClaim:
     @staticmethod
     def load(path: Union[str, Path]) -> "OwnershipClaim":
         return OwnershipClaim.from_json(Path(path).read_text())
+
+    # -- canonical binary form (the service wire protocol's payload) ---------
+
+    def to_bytes(self) -> bytes:
+        """Canonical binary encoding: byte-exact round trip, no JSON float
+        or key-order ambiguity.  The proof keeps its compressed-point
+        encoding from :mod:`repro.curves.serialize`; the model digest
+        travels as raw 32 bytes.  This is what the service registry stores
+        and what :func:`content_id` below hashes.
+        """
+        try:
+            digest = bytes.fromhex(self.model_sha256)
+        except ValueError as exc:
+            raise ClaimFormatError(f"model digest is not hex: {exc}") from exc
+        if len(digest) != 32:
+            raise ClaimFormatError("model digest must be 32 bytes of hex")
+        return (
+            struct.pack(">I", len(self.proof_bytes))
+            + self.proof_bytes
+            + struct.pack(
+                ">dII32sHHH",
+                self.theta,
+                self.wm_bits,
+                self.embed_layer,
+                digest,
+                self.frac_bits,
+                self.total_bits,
+                self.sigmoid_degree,
+            )
+        )
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "OwnershipClaim":
+        if len(data) < 4:
+            raise ClaimFormatError("claim blob truncated before proof length")
+        (proof_len,) = struct.unpack_from(">I", data, 0)
+        tail = struct.calcsize(">dII32sHHH")
+        if len(data) != 4 + proof_len + tail:
+            raise ClaimFormatError(
+                f"claim blob is {len(data)} bytes, expected {4 + proof_len + tail}"
+            )
+        proof_bytes = data[4 : 4 + proof_len]
+        theta, wm_bits, embed_layer, digest, frac, total, sigmoid = (
+            struct.unpack_from(">dII32sHHH", data, 4 + proof_len)
+        )
+        return OwnershipClaim(
+            proof_bytes=proof_bytes,
+            theta=theta,
+            wm_bits=wm_bits,
+            embed_layer=embed_layer,
+            model_sha256=digest.hex(),
+            frac_bits=frac,
+            total_bits=total,
+            sigmoid_degree=sigmoid,
+        )
+
+    def content_id(self) -> str:
+        """SHA-256 of the canonical bytes: the claim's content address."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()

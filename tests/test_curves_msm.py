@@ -131,3 +131,67 @@ class TestFixedBaseG2:
 
     def test_mul_many(self, table):
         assert table.mul_many([5])[0] == H * 5
+
+
+class TestSharedScalarMultiMsm:
+    """msm_g1_multi: several point sets, one scalar vector, one recoding."""
+
+    def _inputs(self, rng, n, *, none_every=0):
+        points = []
+        for i in range(n):
+            if none_every and i % none_every == 1:
+                points.append(None)
+            else:
+                points.append(_affine(G * rng.randrange(1, 5000)))
+        return points
+
+    @pytest.mark.parametrize("n", [1, 2, 7, 40, 200])
+    def test_matches_independent_msms(self, n, rng):
+        from repro.curves.msm import msm_g1_multi
+
+        scalars = [rng.randrange(2 * R) for _ in range(n)]
+        lists = [self._inputs(rng, n), self._inputs(rng, n)]
+        got = [G1Point.from_jacobian(p) for p in msm_g1_multi(lists, scalars)]
+        want = [G1Point.from_jacobian(msm_g1(ps, scalars)) for ps in lists]
+        assert got == want
+
+    def test_independent_infinity_patterns(self, rng):
+        # The point sets may have None entries at DIFFERENT positions; the
+        # shared recoding must not couple them.
+        from repro.curves.msm import msm_g1_multi
+
+        n = 60
+        scalars = [0 if i % 9 == 4 else rng.randrange(R) for i in range(n)]
+        lists = [
+            self._inputs(rng, n, none_every=7),
+            self._inputs(rng, n, none_every=5),
+            self._inputs(rng, n, none_every=3),
+        ]
+        got = [G1Point.from_jacobian(p) for p in msm_g1_multi(lists, scalars)]
+        want = [G1Point.from_jacobian(naive_msm_g1(ps, scalars)) for ps in lists]
+        assert got == want
+
+    def test_all_zero_scalars(self, rng):
+        from repro.curves.msm import msm_g1_multi
+
+        points = self._inputs(rng, 8)
+        results = msm_g1_multi([points, points], [0] * 8)
+        assert all(G1Point.from_jacobian(p).is_infinity() for p in results)
+
+    def test_empty_and_length_mismatch(self, rng):
+        from repro.curves.msm import msm_g1_multi
+
+        assert msm_g1_multi([], []) == []
+        with pytest.raises(ValueError):
+            msm_g1_multi([[_affine(G)]], [1, 2])
+
+    def test_single_list_equals_msm_g1(self, rng):
+        from repro.curves.msm import msm_g1_multi
+
+        n = 90
+        points = self._inputs(rng, n)
+        scalars = [rng.randrange(R) for _ in range(n)]
+        (got,) = msm_g1_multi([points], scalars)
+        assert G1Point.from_jacobian(got) == G1Point.from_jacobian(
+            msm_g1(points, scalars)
+        )

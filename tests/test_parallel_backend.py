@@ -159,3 +159,183 @@ class TestProveBatch:
             compiled, [synthesis.assignment], seeds=[7], setup_seed=3
         )
         assert engine.verify(compiled, synthesis.public_values, proofs[0])
+
+
+class TestStreamingProve:
+    """prove_batch with generators: synthesis pipelines with dispatch."""
+
+    def test_generator_matches_sequence_path(self):
+        engine = ProvingEngine(backend=SerialBackend())
+        compiled, synthesis = engine.synthesize("chain", _chain_synthesizer(6))
+        expected = engine.prove_batch(
+            compiled, [synthesis] * 3, seeds=[4, 5, 6], setup_seed=9
+        )
+        streamed = engine.prove_batch(
+            compiled,
+            (synthesis for _ in range(3)),
+            seeds=iter([4, 5, 6]),
+            setup_seed=9,
+        )
+        assert [p.to_bytes() for p in streamed] == [p.to_bytes() for p in expected]
+
+    def test_generator_default_seeds_are_fresh(self):
+        engine = ProvingEngine(backend=SerialBackend())
+        compiled, synthesis = engine.synthesize("chain", _chain_synthesizer(6))
+        proofs = engine.prove_batch(
+            compiled, (synthesis for _ in range(2)), setup_seed=9
+        )
+        assert len(proofs) == 2
+        assert proofs[0].to_bytes() != proofs[1].to_bytes()
+
+    def test_stream_is_pulled_lazily(self):
+        # The backend must not materialize the whole generator before the
+        # first proof: with a serial backend, synthesis i happens only
+        # after proof i-1 completed.
+        engine = ProvingEngine(backend=SerialBackend())
+        compiled, synthesis = engine.synthesize("chain", _chain_synthesizer(6))
+        events = []
+
+        def gen():
+            for i in range(3):
+                events.append(("synth", i))
+                yield synthesis, i + 1
+
+        proofs = engine.prove_stream(compiled, gen(), setup_seed=9)
+        assert len(proofs) == 3
+        assert events == [("synth", 0), ("synth", 1), ("synth", 2)]
+
+    def test_process_stream_matches_serial(self):
+        serial_engine = ProvingEngine(backend=SerialBackend())
+        compiled, synthesis = serial_engine.synthesize(
+            "chain", _chain_synthesizer(8)
+        )
+        expected = serial_engine.prove_batch(
+            compiled, [synthesis] * 3, seeds=[1, 2, 3], setup_seed=5
+        )
+
+        backend = ProcessBackend(2)
+        engine = ProvingEngine(backend=backend)
+        compiled_p, synthesis_p = engine.synthesize("chain", _chain_synthesizer(8))
+        try:
+            streamed = engine.prove_batch(
+                compiled_p,
+                (synthesis_p for _ in range(3)),
+                seeds=iter([1, 2, 3]),
+                setup_seed=5,
+            )
+        finally:
+            backend.close()
+        assert [p.to_bytes() for p in streamed] == [p.to_bytes() for p in expected]
+
+
+class TestPersistentProvePools:
+    """ProcessBackend keeps per-digest prove pools warm across batches."""
+
+    def test_pool_survives_across_batches(self):
+        backend = ProcessBackend(2)
+        engine = ProvingEngine(backend=backend)
+        compiled, synthesis = engine.synthesize("chain", _chain_synthesizer(8))
+        try:
+            engine.prove_batch(compiled, [synthesis] * 2, seeds=[1, 2], setup_seed=5)
+            assert backend.prove_pool_keys() == [compiled.digest]
+            pool_before = backend._prove_pools[compiled.digest]
+            engine.prove_batch(compiled, [synthesis] * 2, seeds=[3, 4], setup_seed=5)
+            # Same warm pool object: no re-fork for the second batch.
+            assert backend._prove_pools[compiled.digest] is pool_before
+            assert backend.prove_pool_keys() == [compiled.digest]
+        finally:
+            backend.close()
+        assert backend.prove_pool_keys() == []
+
+    def test_lru_eviction_bounds_pools(self):
+        backend = ProcessBackend(2, max_prove_pools=1)
+        engine = ProvingEngine(backend=backend)
+        try:
+            digests = []
+            for depth in (6, 7):
+                compiled, synthesis = engine.synthesize(
+                    f"chain-{depth}", _chain_synthesizer(depth)
+                )
+                engine.prove_batch(
+                    compiled, [synthesis] * 2, seeds=[1, 2], setup_seed=5
+                )
+                digests.append(compiled.digest)
+            # Only the most recent digest's pool is warm.
+            assert backend.prove_pool_keys() == [digests[-1]]
+        finally:
+            backend.close()
+
+    def test_anonymous_key_uses_ephemeral_pool(self):
+        from repro.snark.groth16 import prepare_proving_key
+
+        backend = ProcessBackend(2)
+        engine = ProvingEngine(backend=SerialBackend())
+        compiled, synthesis = engine.synthesize("chain", _chain_synthesizer(8))
+        keypair = engine.setup(compiled, seed=5)
+        ppk = prepare_proving_key(keypair.proving_key)
+        try:
+            proofs = backend.prove_batch(
+                ppk, compiled.cs, [synthesis.assignment] * 2, [7, 8]
+            )
+            assert backend.prove_pool_keys() == []  # nothing cached
+            expected = SerialBackend().prove_batch(
+                ppk, compiled.cs, [synthesis.assignment] * 2, [7, 8]
+            )
+            assert [p.to_bytes() for p in proofs] == [
+                p.to_bytes() for p in expected
+            ]
+        finally:
+            backend.close()
+
+
+class TestStreamSeedExhaustion:
+    def test_short_seed_iterable_raises_instead_of_truncating(self):
+        engine = ProvingEngine(backend=SerialBackend())
+        compiled, synthesis = engine.synthesize("chain", _chain_synthesizer(6))
+        with pytest.raises(ValueError, match="ran short"):
+            engine.prove_batch(
+                compiled,
+                (synthesis for _ in range(3)),
+                seeds=iter([1, 2]),
+                setup_seed=9,
+            )
+
+
+class TestConcurrentProvePools:
+    def test_busy_pool_is_not_evicted_under_cap_pressure(self):
+        import threading
+
+        backend = ProcessBackend(2, max_prove_pools=1)
+        engine = ProvingEngine(backend=backend)
+        shapes = {}
+        for depth in (6, 9):
+            shapes[depth] = engine.synthesize(
+                f"chain-{depth}", _chain_synthesizer(depth)
+            )
+        results = {}
+
+        def run(depth):
+            compiled, synthesis = shapes[depth]
+            proofs = engine.prove_batch(
+                compiled, [synthesis] * 2, seeds=[depth, depth + 1],
+                setup_seed=5,
+            )
+            results[depth] = all(
+                engine.verify(compiled, synthesis.public_values, p)
+                for p in proofs
+            )
+
+        try:
+            threads = [
+                threading.Thread(target=run, args=(d,)) for d in (6, 9)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            # Both concurrent batches completed despite max_prove_pools=1:
+            # eviction skipped the busy pool instead of killing it.
+            assert results == {6: True, 9: True}
+            assert len(backend.prove_pool_keys()) <= 2
+        finally:
+            backend.close()

@@ -1,0 +1,251 @@
+"""End-to-end proof-service tests over real localhost HTTP.
+
+The acceptance path of the service subsystem: a claim submitted through
+:class:`ServiceClient` must yield a proof byte-identical to the direct
+``ProvingEngine.prove_job`` path, verify via ``POST /verify``, survive a
+server restart in the registry, and share compile/setup (and one
+scheduled batch) with a concurrent same-shape submission.
+"""
+
+import pytest
+
+from repro.circuit import FixedPointFormat
+from repro.engine import ProvingEngine
+from repro.service import (
+    ClaimRegistry,
+    ProofServer,
+    ProofService,
+    ServiceClient,
+    ServiceError,
+)
+from repro.zkrownn import CircuitConfig
+
+
+@pytest.fixture(scope="module")
+def claim_setup(watermarked_mlp):
+    model, keys, _ = watermarked_mlp
+    config = CircuitConfig(
+        theta=0.0, fixed_point=FixedPointFormat(frac_bits=14, total_bits=40)
+    )
+    return model, keys, config
+
+
+class TestEndToEnd:
+    def test_submit_prove_fetch_verify_restart(self, tmp_path, claim_setup):
+        model, keys, config = claim_setup
+        root = tmp_path / "registry"
+        server = ProofServer(ProofService(ClaimRegistry(root))).start()
+        try:
+            client = ServiceClient(server.url)
+            health = client.health()
+            assert health["status"] == "ok"
+
+            # -- submit and prove claim 1 --------------------------------
+            submitted = client.submit_claim(
+                model, keys, config, seed=5, setup_seed=99
+            )
+            claim_id = submitted["claim_id"]
+            assert submitted["state"] == "queued"
+            status = client.wait(claim_id, timeout=300)
+            assert status["state"] == "done", status
+            assert status["timings"]["batch_prove_seconds"] > 0
+
+            # -- fetch: the ~hundreds-of-bytes artifact ------------------
+            claim = client.fetch_claim(claim_id)
+            assert len(claim.proof_bytes) == 128
+
+            # -- byte-identical to the direct in-process engine path -----
+            from repro.zkrownn import (
+                extraction_structure_key,
+                extraction_synthesizer,
+            )
+
+            direct = ProvingEngine().prove_job(
+                extraction_structure_key(model, keys, config),
+                extraction_synthesizer(model, keys, config),
+                seed=5,
+                setup_seed=99,
+            )
+            assert direct.proof.to_bytes() == claim.proof_bytes
+
+            # -- verify: server-side and trustless client-side -----------
+            assert client.verify_remote(claim_id)["accepted"]
+            assert client.verify_local(claim_id, model).accepted
+
+            # -- second same-shape claim: compile + setup are cache hits --
+            second = client.submit_claim(
+                model, keys, config, seed=6, setup_seed=99
+            )
+            assert client.wait(second["claim_id"], timeout=300)["state"] == "done"
+            stats = client.stats()
+            assert stats["engine"]["compile_misses"] == 1
+            assert stats["engine"]["compile_hits"] >= 1
+            assert stats["engine"]["setup_misses"] == 1
+            assert stats["engine"]["setup_hits"] >= 1
+            assert stats["scheduler"]["done"] == 2
+
+            # -- idempotent resubmission (content addressing) ------------
+            again = client.submit_claim(model, keys, config, seed=5, setup_seed=99)
+            assert again["claim_id"] == claim_id
+            assert again["resubmission"] is True
+
+            # -- audit trail reaches the HTTP surface --------------------
+            events = [e["event"] for e in client.audit(claim_id)]
+            assert "registered" in events and "proved" in events
+        finally:
+            server.stop()
+
+        # -- restart: a new server over the same registry still serves the
+        # claim, its verifying key, and verification -----------------------
+        server2 = ProofServer(ProofService(ClaimRegistry(root))).start()
+        try:
+            client2 = ServiceClient(server2.url)
+            reloaded = client2.fetch_claim(claim_id)
+            assert reloaded.proof_bytes == claim.proof_bytes
+            assert client2.verify_remote(claim_id)["accepted"]
+            assert client2.verify_local(claim_id, model).accepted
+            assert client2.status(claim_id)["state"] == "done"
+
+            # -- revocation: bytes retained, verification refused ---------
+            client2.revoke(claim_id, "test dispute lost")
+            assert client2.status(claim_id)["state"] == "revoked"
+            assert not client2.verify_remote(claim_id)["accepted"]
+            with pytest.raises(ServiceError) as excinfo:
+                client2.fetch_claim(claim_id)
+            assert excinfo.value.status == 404
+        finally:
+            server2.stop()
+
+    def test_concurrent_same_shape_submissions_share_one_batch(
+        self, tmp_path, claim_setup
+    ):
+        model, keys, config = claim_setup
+        service = ProofService(ClaimRegistry(tmp_path / "reg2"))
+        # HTTP up, scheduler paused: both submissions are queued together,
+        # so the first dispatch must drain them as ONE batch.
+        server = ProofServer(service).start(start_service=False)
+        try:
+            client = ServiceClient(server.url)
+            first = client.submit_claim(model, keys, config, seed=21)
+            second = client.submit_claim(model, keys, config, seed=22)
+            assert first["claim_id"] != second["claim_id"]
+            assert client.health()["queue_depth"] == 2
+
+            service.start()
+            for submitted in (first, second):
+                assert client.wait(
+                    submitted["claim_id"], timeout=300
+                )["state"] == "done"
+
+            stats = client.stats()
+            # One scheduled batch served both claims...
+            assert stats["scheduler"]["batches"] == 1
+            assert stats["scheduler"]["largest_batch"] == 2
+            # ...over one compile and one setup (the cache hit).
+            assert stats["engine"]["compile_misses"] == 1
+            assert stats["engine"]["compile_hits"] == 1
+            assert stats["engine"]["setup_misses"] == 1
+            assert stats["engine"]["proof_batches"] == 1
+            # Distinct seeds -> distinct proofs for the same statement.
+            a = client.fetch_claim(first["claim_id"])
+            b = client.fetch_claim(second["claim_id"])
+            assert a.proof_bytes != b.proof_bytes
+            assert a.model_sha256 == b.model_sha256
+
+            listed = client.list_claims(model_digest=a.model_sha256, state="done")
+            assert len(listed) == 2
+        finally:
+            server.stop()
+
+
+class TestHttpSurface:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        server = ProofServer(ProofService(ClaimRegistry(tmp_path / "reg"))).start()
+        yield server
+        server.stop()
+
+    def test_unknown_claim_is_404(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("no-such-claim")
+        assert excinfo.value.status == 404
+
+    def test_garbage_submission_is_400(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/claims", body=b"this is not a frame")
+        assert excinfo.value.status == 400
+
+    def test_corrupted_frame_is_400(self, server, claim_setup):
+        from repro.service import wire
+
+        model, keys, config = claim_setup
+        frame = bytearray(wire.encode_claim_request(
+            wire.ClaimRequest(model=model, keys=keys, config=config)
+        ))
+        frame[len(frame) // 2] ^= 0x40
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/claims", body=bytes(frame))
+        assert excinfo.value.status == 400
+
+    def test_verify_without_claim_id_is_400(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                "POST", "/verify", body=b"{}",
+                content_type="application/json",
+            )
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_is_404(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("GET", "/not-a-route")
+        assert excinfo.value.status == 404
+
+    def test_stats_and_health_shapes(self, server):
+        client = ServiceClient(server.url)
+        stats = client.stats()
+        assert set(stats) >= {"engine", "scheduler", "registry", "backend"}
+        assert client.health()["queue_depth"] == 0
+
+
+class TestFailedResubmission:
+    def test_resubmitting_a_failed_claim_resets_it_to_queued(
+        self, tmp_path, claim_setup
+    ):
+        import numpy as np
+
+        from repro.nn import mnist_mlp_scaled
+        from repro.service import wire
+
+        _, keys, config = claim_setup
+        # Same architecture, fresh random weights: watermark extraction
+        # fails, so the claim ends up 'failed'.
+        imposter = mnist_mlp_scaled(
+            input_dim=16, hidden=16, rng=np.random.default_rng(424242)
+        )
+        frame = wire.encode_claim_request(
+            wire.ClaimRequest(model=imposter, keys=keys, config=config)
+        )
+        service = ProofService(ClaimRegistry(tmp_path / "reg3"))
+        try:
+            service.start()
+            first = service.submit(frame)
+            assert service.scheduler.wait(
+                first["claim_id"], timeout=300
+            ) == "failed"
+            assert service.status(first["claim_id"])["state"] == "failed"
+        finally:
+            service.close()
+
+        # Scheduler now stopped: a resubmission must read back as QUEUED,
+        # not as the stale terminal failure.
+        again = service.submit(frame)
+        assert again["claim_id"] == first["claim_id"]
+        assert again["resubmission"] is False
+        status = service.status(first["claim_id"])
+        assert status["state"] == "queued"
+        assert status["error"] == ""

@@ -1,0 +1,150 @@
+"""ClaimRegistry tests: persistence, lifecycle, audit trail."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service import ClaimRecord, ClaimRegistry
+from repro.service.registry import RegistryError
+
+
+def _record(claim_id="c" * 64, model_digest="m" * 64, **kwargs):
+    return ClaimRecord(claim_id=claim_id, model_digest=model_digest, **kwargs)
+
+
+class TestRecords:
+    def test_register_get_round_trip(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record(priority=3, shape_key="shape-a"))
+        record = registry.get("c" * 64)
+        assert record.model_digest == "m" * 64
+        assert record.priority == 3
+        assert record.state == "queued"
+        assert record.created_at > 0
+
+    def test_register_is_idempotent(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        first = registry.register(_record())
+        registry.update(first.claim_id, state="done")
+        again = registry.register(_record())
+        assert again.state == "done"  # existing record wins
+        assert len(registry) == 1
+
+    def test_get_unknown_raises(self, tmp_path):
+        with pytest.raises(RegistryError):
+            ClaimRegistry(tmp_path).get("nope")
+
+    def test_update_rejects_unknown_field(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record())
+        with pytest.raises(AttributeError):
+            registry.update("c" * 64, no_such_field=1)
+
+    def test_list_filters(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record(claim_id="a" * 64, model_digest="m1"))
+        registry.register(_record(claim_id="b" * 64, model_digest="m2"))
+        registry.update("b" * 64, state="done")
+        assert {r.claim_id for r in registry.list()} == {"a" * 64, "b" * 64}
+        assert [r.claim_id for r in registry.list(model_digest="m1")] == ["a" * 64]
+        assert [r.claim_id for r in registry.list(state="done")] == ["b" * 64]
+
+    def test_revoke_keeps_bytes_for_audit(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record())
+        registry.store_claim_bytes("c" * 64, b"claim-frame-bytes")
+        record = registry.revoke("c" * 64, "lost the dispute")
+        assert record.state == "revoked"
+        assert record.revoked_reason == "lost the dispute"
+        assert registry.claim_bytes("c" * 64) == b"claim-frame-bytes"
+
+
+class TestPersistence:
+    def test_restart_restores_everything(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record(shape_key="shape-z"))
+        registry.update("c" * 64, state="done", circuit_digest="d" * 64,
+                        timings={"batch_prove_seconds": 1.5})
+        registry.store_claim_bytes("c" * 64, b"the-claim")
+        registry.store_verifying_key("d" * 64, b"the-vk")
+        registry.store_model_bytes("m" * 64, b"the-model")
+        del registry
+
+        reopened = ClaimRegistry(tmp_path)  # simulated restart
+        record = reopened.get("c" * 64)
+        assert record.state == "done"
+        assert record.circuit_digest == "d" * 64
+        assert record.timings == {"batch_prove_seconds": 1.5}
+        assert reopened.claim_bytes("c" * 64) == b"the-claim"
+        assert reopened.verifying_key_bytes("d" * 64) == b"the-vk"
+        assert reopened.model_bytes("m" * 64) == b"the-model"
+
+    def test_torn_record_is_skipped_not_fatal(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record())
+        (tmp_path / "claims" / "torn.json").write_text("{not json")
+        reopened = ClaimRegistry(tmp_path)
+        assert len(reopened) == 1
+
+    def test_missing_payloads_raise(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record())
+        with pytest.raises(RegistryError):
+            registry.claim_bytes("c" * 64)
+        with pytest.raises(RegistryError):
+            registry.verifying_key_bytes("none")
+        with pytest.raises(RegistryError):
+            registry.model_bytes("none")
+
+
+class TestAudit:
+    def test_trail_records_lifecycle(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record())
+        registry.update("c" * 64, state="proving")
+        registry.update("c" * 64, state="done")
+        registry.revoke("c" * 64, "dispute")
+        events = [e["event"] for e in registry.audit_entries("c" * 64)]
+        assert events == ["registered", "state", "state", "revoked"]
+
+    def test_trail_survives_restart_and_filters(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record(claim_id="a" * 64))
+        registry.register(_record(claim_id="b" * 64))
+        reopened = ClaimRegistry(tmp_path)
+        assert len(list(reopened.audit_entries())) == 2
+        assert len(list(reopened.audit_entries("a" * 64))) == 1
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.audit("custom", claim_id="x")
+        with open(tmp_path / "audit.log", "a") as fh:
+            fh.write("not-json\n")
+        registry.audit("custom2", claim_id="x")
+        assert len(list(registry.audit_entries())) == 2
+
+    def test_entries_are_json_lines(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.audit("ev", claim_id="x", extra=1)
+        line = (tmp_path / "audit.log").read_text().strip()
+        entry = json.loads(line)
+        assert entry["event"] == "ev" and entry["extra"] == 1
+
+
+class TestConcurrency:
+    def test_parallel_registration_is_consistent(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+
+        def register(i):
+            registry.register(_record(claim_id=f"{i:064d}"))
+            registry.update(f"{i:064d}", state="done")
+
+        threads = [threading.Thread(target=register, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(registry) == 16
+        assert registry.counts()["done"] == 16
+        assert registry.counts()["total"] == 16

@@ -1,0 +1,263 @@
+"""ProofScheduler tests: batching, priorities, failure containment.
+
+Fast tests use tiny generic chain circuits (no claim packaging); the
+end-of-file integration test drives real ownership claims from the
+session-scoped watermarked MLP through scheduler + registry.
+"""
+
+import pytest
+
+from repro.circuit import FixedPointFormat
+from repro.engine import ProvingEngine
+from repro.service import (
+    ClaimRecord,
+    ClaimRegistry,
+    JobState,
+    ProofScheduler,
+    ProofTask,
+)
+from repro.service import wire
+
+
+def _chain_synthesizer(depth, x=3):
+    def synthesize(b):
+        out = b.public_output("y")
+        w = b.private_input("x", x)
+        acc = w
+        for _ in range(depth):
+            acc = b.mul(acc, w)
+        b.bind_output(out, acc + 1)
+
+    return synthesize
+
+
+def _task(claim_id, shape="chain-8", depth=8, priority=0, seed=None):
+    return ProofTask(
+        claim_id=claim_id,
+        shape_key=shape,
+        synthesize=_chain_synthesizer(depth),
+        priority=priority,
+        seed=seed,
+        require_valid=False,
+    )
+
+
+@pytest.fixture
+def scheduler(tmp_path):
+    registry = ClaimRegistry(tmp_path)
+    sched = ProofScheduler(ProvingEngine(), registry, max_batch=8)
+    yield sched
+    sched.stop(timeout=5.0)
+
+
+class TestBatching:
+    def test_same_shape_jobs_share_one_batch(self, scheduler):
+        # Enqueue BEFORE starting: both jobs must land in one dispatch.
+        scheduler.submit(_task("job-a", seed=1))
+        scheduler.submit(_task("job-b", seed=2))
+        scheduler.start()
+        assert scheduler.wait("job-a", timeout=30) == JobState.DONE
+        assert scheduler.wait("job-b", timeout=30) == JobState.DONE
+        assert scheduler.stats.batches == 1
+        assert scheduler.stats.batched_jobs == 2
+        assert scheduler.stats.largest_batch == 2
+        # One compile, one setup, one backend dispatch for the pair.
+        assert scheduler.engine.stats.compile_misses == 1
+        assert scheduler.engine.stats.compile_hits == 1
+        assert scheduler.engine.stats.setup_misses == 1
+        assert scheduler.engine.stats.proof_batches == 1
+        assert scheduler.engine.stats.proofs == 2
+
+    def test_different_shapes_get_separate_batches(self, scheduler):
+        scheduler.submit(_task("job-a", shape="chain-6", depth=6))
+        scheduler.submit(_task("job-b", shape="chain-9", depth=9))
+        scheduler.start()
+        scheduler.wait("job-a", timeout=30)
+        scheduler.wait("job-b", timeout=30)
+        assert scheduler.stats.batches == 2
+        assert scheduler.stats.largest_batch == 1
+
+    def test_max_batch_caps_a_dispatch(self, tmp_path):
+        sched = ProofScheduler(
+            ProvingEngine(), ClaimRegistry(tmp_path), max_batch=2
+        )
+        try:
+            for i in range(3):
+                sched.submit(_task(f"job-{i}", seed=i))
+            sched.start()
+            for i in range(3):
+                assert sched.wait(f"job-{i}", timeout=30) == JobState.DONE
+            assert sched.stats.batches == 2
+            assert sched.stats.largest_batch == 2
+        finally:
+            sched.stop(timeout=5.0)
+
+    def test_idempotent_resubmission(self, scheduler):
+        scheduler.submit(_task("job-a", seed=1))
+        scheduler.submit(_task("job-a", seed=1))
+        assert scheduler.pending() == 1
+        assert scheduler.stats.submitted == 1
+
+
+class TestPriorities:
+    def test_high_priority_shape_dispatches_first(self, scheduler):
+        scheduler.submit(_task("low", shape="chain-6", depth=6, priority=0))
+        scheduler.submit(_task("high", shape="chain-9", depth=9, priority=5))
+        scheduler.start()
+        scheduler.wait("low", timeout=30)
+        scheduler.wait("high", timeout=30)
+        assert scheduler.processed_order.index("high") < (
+            scheduler.processed_order.index("low")
+        )
+
+    def test_fifo_within_a_priority(self, scheduler):
+        for name in ("first", "second", "third"):
+            scheduler.submit(_task(name, seed=1))
+        scheduler.start()
+        for name in ("first", "second", "third"):
+            scheduler.wait(name, timeout=30)
+        assert scheduler.processed_order == ["first", "second", "third"]
+
+
+class TestFailures:
+    def test_synthesis_failure_marks_failed_not_batch(self, scheduler):
+        def broken(b):
+            raise OverflowError("weights do not fit the fixed-point format")
+
+        scheduler.submit(_task("good", seed=1))
+        scheduler.submit(
+            ProofTask(
+                claim_id="bad",
+                shape_key="chain-8",
+                synthesize=broken,
+                require_valid=False,
+            )
+        )
+        scheduler.start()
+        assert scheduler.wait("good", timeout=30) == JobState.DONE
+        assert scheduler.wait("bad", timeout=30) == JobState.FAILED
+        assert "synthesis failed" in scheduler.error("bad")
+
+    def test_head_failure_still_proves_the_rest(self, scheduler):
+        def broken(b):
+            raise OverflowError("boom")
+
+        # The failing job is submitted FIRST, so it heads the batch and
+        # the scheduler must fall through to compiling from a later job.
+        scheduler.submit(
+            ProofTask(claim_id="bad", shape_key="chain-8",
+                      synthesize=broken, require_valid=False)
+        )
+        scheduler.submit(_task("good", seed=1))
+        scheduler.start()
+        assert scheduler.wait("bad", timeout=30) == JobState.FAILED
+        assert scheduler.wait("good", timeout=30) == JobState.DONE
+
+    def test_wait_timeout_raises(self, scheduler):
+        scheduler.start()
+        with pytest.raises(TimeoutError):
+            scheduler.wait("never-submitted", timeout=0.2)
+
+
+class TestOwnershipClaimBatch:
+    """Real extraction circuits end to end through scheduler + registry."""
+
+    def test_batch_proves_stores_and_mirrors(self, tmp_path, watermarked_mlp):
+        from repro.zkrownn import (
+            CircuitConfig,
+            extraction_structure_key,
+            extraction_synthesizer,
+            model_digest,
+        )
+
+        model, keys, _ = watermarked_mlp
+        config = CircuitConfig(
+            theta=0.0, fixed_point=FixedPointFormat(frac_bits=14, total_bits=40)
+        )
+        shape_key = extraction_structure_key(model, keys, config)
+        registry = ClaimRegistry(tmp_path)
+        scheduler = ProofScheduler(ProvingEngine(), registry, max_batch=8)
+        mdigest = model_digest(model, keys.embed_layer)
+        try:
+            for i, claim_id in enumerate(("claim-1", "claim-2")):
+                registry.register(
+                    ClaimRecord(claim_id=claim_id, model_digest=mdigest)
+                )
+                scheduler.submit(
+                    ProofTask(
+                        claim_id=claim_id,
+                        shape_key=shape_key,
+                        synthesize=extraction_synthesizer(model, keys, config),
+                        model=model,
+                        keys=keys,
+                        config=config,
+                        seed=100 + i,
+                        setup_seed=7,
+                    )
+                )
+            scheduler.start()
+            assert scheduler.wait("claim-1", timeout=300) == JobState.DONE
+            assert scheduler.wait("claim-2", timeout=300) == JobState.DONE
+
+            # One batch, one compile, one setup for both claims.
+            assert scheduler.stats.batches == 1
+            assert scheduler.engine.stats.setup_misses == 1
+            assert scheduler.engine.stats.proof_batches == 1
+
+            # Registry mirrors: record state, timings, claim frame, VK.
+            for claim_id in ("claim-1", "claim-2"):
+                record = registry.get(claim_id)
+                assert record.state == JobState.DONE
+                assert record.circuit_digest
+                assert record.timings["batch_size"] == 2.0
+                claim = wire.decode_claim(registry.claim_bytes(claim_id))
+                assert claim.model_sha256 == mdigest
+                vk = wire.decode_verifying_key(
+                    wire.encode_frame(
+                        wire.MSG_VERIFYING_KEY,
+                        registry.verifying_key_bytes(record.circuit_digest),
+                    )
+                )
+                # The stored VK verifies the stored claim.
+                from repro.zkrownn import OwnershipVerifier
+
+                assert OwnershipVerifier(vk).verify(model, claim).accepted
+            events = [e["event"] for e in registry.audit_entries("claim-1")]
+            assert events[-1] == "proved" or "proved" in events
+        finally:
+            scheduler.stop(timeout=5.0)
+
+    def test_invalid_watermark_fails_cleanly(self, tmp_path, watermarked_mlp):
+        import numpy as np
+
+        from repro.nn import mnist_mlp_scaled
+        from repro.zkrownn import CircuitConfig, extraction_structure_key, \
+            extraction_synthesizer
+
+        _, keys, _ = watermarked_mlp
+        # Same architecture, fresh random weights: the watermark will not
+        # extract, so a require_valid job must fail, not publish.
+        imposter = mnist_mlp_scaled(
+            input_dim=16, hidden=16, rng=np.random.default_rng(987654)
+        )
+        config = CircuitConfig(
+            theta=0.0, fixed_point=FixedPointFormat(frac_bits=14, total_bits=40)
+        )
+        registry = ClaimRegistry(tmp_path)
+        scheduler = ProofScheduler(ProvingEngine(), registry, max_batch=4)
+        try:
+            scheduler.submit(
+                ProofTask(
+                    claim_id="imposter",
+                    shape_key=extraction_structure_key(imposter, keys, config),
+                    synthesize=extraction_synthesizer(imposter, keys, config),
+                    model=imposter,
+                    keys=keys,
+                    config=config,
+                )
+            )
+            scheduler.start()
+            assert scheduler.wait("imposter", timeout=300) == JobState.FAILED
+            assert "does not extract" in scheduler.error("imposter")
+        finally:
+            scheduler.stop(timeout=5.0)
