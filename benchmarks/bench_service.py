@@ -131,6 +131,80 @@ def test_batched_claims_vs_sequential(bench_scale, bench_json, tmp_path):
           f"({sequential_seconds / batched_seconds:.2f}x)")
 
 
+def test_restart_recovery(bench_scale, bench_json, tmp_path):
+    """Crash-safety cost: recovery re-enqueue time and the warm restart.
+
+    A service is "killed" with N queued claims (scheduler never started),
+    then a fresh service over the same registry root recovers and proves
+    them.  A second kill/restart cycle with one more same-shape claim
+    measures the durable-setup path: the restarted engine must load the
+    keypair from the shared disk cache and perform zero fresh setups.
+    """
+    from repro.service import ProofService
+
+    scale = bench_scale
+    config = CircuitConfig(theta=1.0, fixed_point=FMT)
+    model = _model(5, scale)
+    keys = _keys(model, scale)
+    root = tmp_path / "recovery-registry"
+
+    def request_frame(seed):
+        return wire.encode_claim_request(wire.ClaimRequest(
+            model=model, keys=keys, config=config, seed=seed, setup_seed=9,
+        ))
+
+    # -- killed with N queued claims ----------------------------------------
+    service1 = ProofService(ClaimRegistry(root))
+    claim_ids = [
+        service1.submit(request_frame(70 + i))["claim_id"]
+        for i in range(NUM_CLAIMS)
+    ]
+    # (no start(): the process dies before the scheduler dispatches)
+
+    # -- cold restart: recover + prove --------------------------------------
+    service2 = ProofService(ClaimRegistry(root))
+    t0 = time.perf_counter()
+    service2.start()
+    recovery_seconds = time.perf_counter() - t0
+    try:
+        assert set(service2.recovered_claims) == set(claim_ids)
+        for claim_id in claim_ids:
+            assert service2.scheduler.wait(claim_id, timeout=1200) == JobState.DONE
+        cold_prove_seconds = time.perf_counter() - t0
+        assert service2.engine.stats.setup_misses == 1
+    finally:
+        service2.close()
+
+    # -- killed again with one more claim; warm restart ---------------------
+    service3 = ProofService(ClaimRegistry(root))
+    extra_id = service3.submit(request_frame(99))["claim_id"]
+
+    service4 = ProofService(ClaimRegistry(root))
+    t0 = time.perf_counter()
+    service4.start()
+    try:
+        assert extra_id in service4.recovered_claims
+        assert service4.scheduler.wait(extra_id, timeout=1200) == JobState.DONE
+        warm_prove_seconds = time.perf_counter() - t0
+        # The whole point of the shared cache: no setup ran this process.
+        assert service4.engine.stats.setup_misses == 0
+        assert service4.engine.stats.setup_disk_hits >= 1
+    finally:
+        service4.close()
+
+    bench_json(
+        "restart-recovery",
+        num_recovered=NUM_CLAIMS,
+        recovery_enqueue_seconds=recovery_seconds,
+        cold_restart_prove_seconds=cold_prove_seconds,
+        warm_restart_prove_seconds=warm_prove_seconds,
+        warm_setup_disk_hits=service4.engine.stats.setup_disk_hits,
+    )
+    print(f"\nrecovered {NUM_CLAIMS} queued claims in {recovery_seconds * 1e3:.1f}ms; "
+          f"cold restart proved in {cold_prove_seconds:.2f}s, "
+          f"warm restart (disk setup) in {warm_prove_seconds:.2f}s")
+
+
 def test_wire_round_trip_overhead(bench_scale, bench_json):
     """Frame encode/decode cost is negligible next to proving."""
     scale = bench_scale

@@ -19,10 +19,19 @@ serves verification to any third party.  This example:
 
 Run:  python examples/proof_service.py
 
+``--restart-demo`` runs the crash-safety scenario instead: a server is
+killed while holding queued claims, and the restarted server re-enqueues
+them from their persisted request frames (no resubmission), proves them,
+publishes the verifying key to the key-transparency log, and -- killed
+and restarted once more with a fresh same-shape claim -- re-proves with
+ZERO fresh Groth16 setups, because the engine's disk cache shares the
+registry root.
+
 Doubles as the CI service smoke test: it exits non-zero if any step --
-including the cache-hit assertion -- fails.
+including the cache-hit and zero-setup assertions -- fails.
 """
 
+import argparse
 import tempfile
 from pathlib import Path
 
@@ -113,5 +122,74 @@ def main():
     print("proof service example: all checks passed")
 
 
+def restart_demo():
+    """Kill a server with queued claims; watch the restart recover them."""
+    registry_root = Path(tempfile.mkdtemp(prefix="zkrownn-restart-"))
+    print(f"registry at {registry_root}")
+
+    print("[1/4] training + watermarking the claimant's model ...")
+    model, keys = train_claimant_model()
+    config = CircuitConfig(
+        theta=0.0, fixed_point=FixedPointFormat(frac_bits=14, total_bits=40)
+    )
+
+    print("[2/4] submitting two claims, then killing the server unproved ...")
+    server = ProofServer(
+        ProofService(ClaimRegistry(registry_root))
+    ).start(start_service=False)  # HTTP up, scheduler never dispatches
+    client = ServiceClient(server.url)
+    first = client.submit_claim(model, keys, config, seed=11, setup_seed=99)
+    second = client.submit_claim(model, keys, config, seed=12, setup_seed=99)
+    assert client.health()["queue_depth"] == 2
+    server.stop()
+    print("      server killed with 2 claims queued (persisted frames on disk)")
+
+    print("[3/4] restarting: recovery re-enqueues and proves, no resubmission ...")
+    server2 = ProofServer(ProofService(ClaimRegistry(registry_root))).start()
+    client2 = ServiceClient(server2.url)
+    assert client2.health()["recovered_claims"] == 2, client2.health()
+    for submitted in (first, second):
+        status = client2.wait(submitted["claim_id"], timeout=600)
+        assert status["state"] == "done", status
+    stats = client2.stats()["engine"]
+    assert stats["setup_misses"] == 1, f"one cold setup expected: {stats}"
+    digest = client2.status(first["claim_id"])["circuit_digest"]
+    assert client2.verify_local(
+        first["claim_id"], model, circuit_digest=digest
+    ).accepted
+    log = client2.key_log()
+    assert [e["circuit_digest"] for e in log] == [digest], log
+    print(f"      both claims proved after recovery; VK {digest[:12]}... "
+          "published to the key-transparency log")
+    server2.stop()
+
+    print("[4/4] killing + restarting again: known shape, ZERO fresh setups ...")
+    server3 = ProofServer(
+        ProofService(ClaimRegistry(registry_root))
+    ).start(start_service=False)
+    third = ServiceClient(server3.url).submit_claim(
+        model, keys, config, seed=13, setup_seed=99
+    )
+    server3.stop()
+    server4 = ProofServer(ProofService(ClaimRegistry(registry_root))).start()
+    client4 = ServiceClient(server4.url)
+    assert client4.wait(third["claim_id"], timeout=600)["state"] == "done"
+    stats4 = client4.stats()["engine"]
+    assert stats4["setup_misses"] == 0, f"setup must come from disk: {stats4}"
+    assert stats4["setup_disk_hits"] >= 1, stats4
+    assert client4.verify_local(third["claim_id"], model).accepted
+    print("      recovered claim proved from the shared setup cache "
+          f"(setup_disk_hits={stats4['setup_disk_hits']}, setup_misses=0)")
+    server4.stop()
+    print("restart-recovery demo: all checks passed")
+
+
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--restart-demo", action="store_true",
+        help="run the crash-safety scenario (kill with queued claims, "
+             "restart, recover, zero-setup re-prove)",
+    )
+    args = parser.parse_args()
+    restart_demo() if args.restart_demo else main()

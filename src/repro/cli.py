@@ -18,6 +18,8 @@ Proof-service subcommands (see ``repro.service``):
   model file and a watermark-keys ``.npz``).
 * ``status`` -- poll one claim's job state.
 * ``verify-remote`` -- ask the server to verify a proved claim.
+* ``verify-local`` -- trustless verification: fetch the claim and a
+  digest-pinned verifying key, check against a local model copy.
 """
 
 from __future__ import annotations
@@ -181,12 +183,19 @@ def _service_config(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from .engine import ProvingEngine
     from .parallel import get_backend
     from .service import ClaimRegistry, ProofServer, ProofService
 
+    # The setup cache defaults to living inside the registry root, so a
+    # plain `zkrownn serve --registry DIR` is crash-safe end to end: a
+    # restarted service recovers queued claims AND re-proves known shapes
+    # without re-running Groth16 setup.
+    cache_dir = args.cache_dir or str(Path(args.registry) / "engine-cache")
     engine = ProvingEngine(
-        cache_dir=args.cache_dir,
+        cache_dir=cache_dir,
         backend=get_backend(args.backend) if args.backend else None,
     )
     service = ProofService(
@@ -197,8 +206,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     server = ProofServer(service, host=args.host, port=args.port)
     print(f"proof service listening on {server.url}")
-    print(f"  registry: {args.registry}  backend: {engine.backend.name}  "
-          f"max_batch: {args.max_batch}")
+    print(f"  registry: {args.registry}  cache: {cache_dir}  "
+          f"backend: {engine.backend.name}  max_batch: {args.max_batch}")
     server.serve_forever()
     return 0
 
@@ -262,6 +271,35 @@ def _cmd_verify_remote(args: argparse.Namespace) -> int:
     return 0 if report["accepted"] else 1
 
 
+def _cmd_verify_local(args: argparse.Namespace) -> int:
+    """Trustless verification: fetch claim + digest-pinned VK, check here."""
+    from .service import ServiceClient, wire
+
+    if args.demo:
+        print("rebuilding the demo model locally ...")
+        model, _ = _demo_model_and_keys(args.seed)
+    elif args.model:
+        with open(args.model, "rb") as fh:
+            model = wire.decode_model(fh.read())
+    else:
+        print("verify-local needs either --demo or --model", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.url)
+    digest = args.circuit_digest or client.status(args.claim_id).get(
+        "circuit_digest", ""
+    )
+    if not digest:
+        print("claim has no circuit digest yet (still queued/proving?)",
+              file=sys.stderr)
+        return 1
+    report = client.verify_local(args.claim_id, model, circuit_digest=digest)
+    print(f"pinned circuit: {digest}")
+    print(f"accepted:       {report.accepted}")
+    print(f"reason:         {report.reason}")
+    return 0 if report.accepted else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="zkrownn",
@@ -314,7 +352,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--max-batch", type=int, default=8,
                        help="max same-shape claims per proving batch")
     serve.add_argument("--cache-dir", default=None,
-                       help="ProvingEngine keypair cache directory")
+                       help="ProvingEngine keypair cache directory "
+                            "(default: <registry>/engine-cache)")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser("submit", help="submit a claim to a proof service")
@@ -343,6 +382,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_url(verify_remote)
     verify_remote.add_argument("claim_id")
     verify_remote.set_defaults(func=_cmd_verify_remote)
+
+    verify_local = sub.add_parser(
+        "verify-local",
+        help="trustless verification: fetch claim + digest-pinned VK, "
+             "check against a local model copy",
+    )
+    add_url(verify_local)
+    verify_local.add_argument("claim_id")
+    verify_local.add_argument("--model", help="wire-encoded model file (.model)")
+    verify_local.add_argument("--demo", action="store_true",
+                              help="rebuild the demo model locally")
+    verify_local.add_argument("--seed", type=int, default=0,
+                              help="demo model seed (with --demo)")
+    verify_local.add_argument(
+        "--circuit-digest", default=None,
+        help="pin the verifying key to this circuit digest "
+             "(default: the digest the claim record names)",
+    )
+    verify_local.set_defaults(func=_cmd_verify_local)
 
     args = parser.parse_args(argv)
     return args.func(args)

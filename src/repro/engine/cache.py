@@ -17,8 +17,9 @@ cache misses, never as errors.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from ..snark.groth16 import Groth16Keypair
 from ..snark.keys import ProvingKey, VerifyingKey
@@ -46,12 +47,20 @@ class ArtifactStore:
     def _r1cs_path(self, digest: str) -> Path:
         return self.root / f"{digest}.r1cs"
 
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        # A crash mid-write must leave the old artifact or the new one,
+        # never a torn file the next load would half-decode.
+        tmp = path.parent / (path.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
     def has_keypair(self, digest: str) -> bool:
         return self._pk_path(digest).is_file() and self._vk_path(digest).is_file()
 
     def save_keypair(self, digest: str, keypair: Groth16Keypair) -> None:
-        self._pk_path(digest).write_bytes(keypair.proving_key.to_bytes())
-        self._vk_path(digest).write_bytes(keypair.verifying_key.to_bytes())
+        self._atomic_write(self._pk_path(digest), keypair.proving_key.to_bytes())
+        self._atomic_write(self._vk_path(digest), keypair.verifying_key.to_bytes())
 
     def load_keypair(self, digest: str) -> Optional[Groth16Keypair]:
         """Load a keypair, or None on any miss or decode failure."""
@@ -64,10 +73,22 @@ class ArtifactStore:
             return None
         return Groth16Keypair(pk, vk)
 
+    def vk_digests(self) -> List[str]:
+        """Structure digests with a stored verifying key (for publication
+        into a service registry's VK store)."""
+        return sorted(p.stem for p in self.root.glob("*.vk"))
+
+    def load_vk_bytes(self, digest: str) -> Optional[bytes]:
+        path = self._vk_path(digest)
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
     # ------------------------------------------------------------- circuits --
 
     def save_constraint_system(self, digest: str, cs: ConstraintSystem) -> None:
-        self._r1cs_path(digest).write_bytes(serialize_r1cs(cs))
+        self._atomic_write(self._r1cs_path(digest), serialize_r1cs(cs))
 
     def load_constraint_system(self, digest: str) -> Optional[ConstraintSystem]:
         path = self._r1cs_path(digest)

@@ -124,6 +124,15 @@ class ProvingEngine:
         self.backend = backend if backend is not None else get_backend()
         self.stats = EngineStats()
 
+    @property
+    def artifact_store(self) -> Optional[ArtifactStore]:
+        """The on-disk setup cache, when ``cache_dir`` was given.
+
+        The proof service unifies this with the registry's VK store so a
+        restarted service re-proves known shapes with zero fresh setups.
+        """
+        return self._store
+
     # ------------------------------------------------------ compile + witness --
 
     def compiled_for(self, key: str) -> Optional[CompiledCircuit]:

@@ -23,20 +23,23 @@ Layers (each usable on its own):
 """
 
 from .client import ServiceClient, ServiceError
-from .registry import ClaimRecord, ClaimRegistry
+from .registry import ClaimRecord, ClaimRegistry, RegistryError
 from .scheduler import JobState, ProofScheduler, ProofTask
 from .server import ProofServer, ProofService
 from .wire import (
     ClaimRequest,
+    PersistedRequest,
     WireFormatError,
     decode_claim,
     decode_claim_request,
     decode_model,
+    decode_persisted_request,
     decode_proof,
     decode_verifying_key,
     encode_claim,
     encode_claim_request,
     encode_model,
+    encode_persisted_request,
     encode_proof,
     encode_verifying_key,
 )
@@ -46,21 +49,25 @@ __all__ = [
     "ClaimRegistry",
     "ClaimRequest",
     "JobState",
+    "PersistedRequest",
     "ProofScheduler",
     "ProofServer",
     "ProofService",
     "ProofTask",
+    "RegistryError",
     "ServiceClient",
     "ServiceError",
     "WireFormatError",
     "decode_claim",
     "decode_claim_request",
     "decode_model",
+    "decode_persisted_request",
     "decode_proof",
     "decode_verifying_key",
     "encode_claim",
     "encode_claim_request",
     "encode_model",
+    "encode_persisted_request",
     "encode_proof",
     "encode_verifying_key",
 ]

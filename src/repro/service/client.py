@@ -146,6 +146,21 @@ class ServiceClient:
             self._request("GET", f"/claims/{claim_id}/vk")
         )
 
+    def fetch_vk_by_digest(self, circuit_digest: str) -> VerifyingKey:
+        """Fetch a verifying key by circuit digest (``GET /vks/<digest>``).
+
+        The shape-keyed distribution path for auditors checking many
+        claims of one architecture: one VK fetch serves them all, and the
+        digest pins *which* circuit the proof must satisfy.
+        """
+        return wire.decode_verifying_key(
+            self._request("GET", f"/vks/{circuit_digest}")
+        )
+
+    def key_log(self) -> List[Dict]:
+        """The service's signed key-transparency log (one entry per VK)."""
+        return self._json("GET", "/vks")["key_log"]
+
     # -------------------------------------------------------------- verify --
 
     def verify_remote(self, claim_id: str) -> Dict:
@@ -157,10 +172,31 @@ class ServiceClient:
             content_type="application/json",
         )
 
-    def verify_local(self, claim_id: str, model: Sequential) -> VerificationReport:
-        """Trustless check: fetch claim + VK, verify against OUR model copy."""
+    def verify_local(
+        self,
+        claim_id: str,
+        model: Sequential,
+        *,
+        circuit_digest: Optional[str] = None,
+    ) -> VerificationReport:
+        """Trustless check: fetch claim + VK, verify against OUR model copy.
+
+        Passing ``circuit_digest`` pins the verifying key: it is fetched
+        from the shape-keyed ``/vks/<digest>`` endpoint and the claim's
+        record must name the same digest, so the service cannot swap in a
+        different circuit's key for this verification.
+        """
         claim = self.fetch_claim(claim_id)
-        vk = self.fetch_verifying_key(claim_id)
+        if circuit_digest is not None:
+            recorded = self.status(claim_id).get("circuit_digest", "")
+            if recorded != circuit_digest:
+                raise ServiceError(
+                    f"claim {claim_id} was proved under circuit "
+                    f"{recorded!r}, not the pinned {circuit_digest!r}"
+                )
+            vk = self.fetch_vk_by_digest(circuit_digest)
+        else:
+            vk = self.fetch_verifying_key(claim_id)
         return OwnershipVerifier(vk).verify(model, claim)
 
     # --------------------------------------------------------------- admin --

@@ -16,11 +16,21 @@ replays each job's trace only when the backend pulls it, so synthesis of
 claim *i+1* overlaps the proving of claim *i*.
 
 Job lifecycle: ``queued -> proving -> done | failed`` (plus ``revoked``
-applied later by the registry).  Every transition is mirrored to the
+applied later by the registry, and ``yielded`` when another replica's
+registry lease wins the claim).  Every transition is mirrored to the
 :class:`~repro.service.registry.ClaimRegistry`, which is the durable
-record; the scheduler's own state is in-memory and rebuilt empty on
-restart (queued-but-unproved jobs must be resubmitted -- the registry
-shows them still ``queued``).
+record; the scheduler's own queue is in-memory and rebuilt empty on
+restart -- :meth:`~repro.service.server.ProofService.start` re-enqueues
+still-``queued`` registry records from their persisted request frames,
+so a killed server resumes proving without resubmission.
+
+Before a dispatched task transitions to ``proving``, the scheduler must
+win the claim's registry lease (:meth:`ClaimRegistry.acquire`, an
+``O_EXCL`` compare-and-set).  Tasks whose lease is held by another
+replica are *yielded*: dropped from this scheduler with local state
+``yielded``, never mirrored -- the owning replica's transitions are the
+durable record.  Leases are released (and the persisted request frame
+discarded) when a task reaches ``done`` or ``failed``.
 """
 
 from __future__ import annotations
@@ -49,8 +59,11 @@ class JobState:
     DONE = "done"
     FAILED = "failed"
     REVOKED = "revoked"
+    # Local-only: another replica holds the claim's proving lease; poll
+    # the registry (or the HTTP status endpoint) for the real outcome.
+    YIELDED = "yielded"
 
-    TERMINAL = (DONE, FAILED, REVOKED)
+    TERMINAL = (DONE, FAILED, REVOKED, YIELDED)
 
 
 @dataclass
@@ -86,6 +99,7 @@ class SchedulerStats:
     largest_batch: int = 0
     done: int = 0
     failed: int = 0
+    yielded: int = 0  # lost the registry lease to another replica
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -203,16 +217,41 @@ class ProofScheduler:
         """Pop the best job plus every queued job sharing its shape.
 
         Priority (desc) then submission order picks the head; the drain
-        keeps submission order within the shape so seeded runs are
-        deterministic.
+        is sorted the same way -- priority desc, then submission order --
+        so when ``max_batch`` truncates it, the head (and any other
+        high-priority job) is never cut out of the very batch it
+        selected in favor of earlier-submitted low-priority jobs.
         """
         head = max(self._queue, key=lambda t: (t.priority, -t.sequence))
         batch = [t for t in self._queue if t.shape_key == head.shape_key]
-        batch.sort(key=lambda t: t.sequence)
+        batch.sort(key=lambda t: (-t.priority, t.sequence))
         batch = batch[: self.max_batch]
         taken = set(id(t) for t in batch)
         self._queue = [t for t in self._queue if id(t) not in taken]
         return batch
+
+    def _own_task(self, task: ProofTask) -> bool:
+        """Win the registry lease for a registered claim (CAS).
+
+        Tasks with no registry record (generic circuits driven straight
+        through the scheduler) have nothing to contend for.  Acquiring is
+        not enough on its own: another replica may have proved the claim
+        and *released* its lease already, so after winning we re-read the
+        durable record -- a claim already in a terminal state is yielded,
+        never proved twice.
+        """
+        if task.claim_id not in self.registry:
+            return True
+        if not self.registry.acquire(task.claim_id):
+            return False
+        try:
+            state = self.registry.reload(task.claim_id).state
+        except KeyError:
+            state = None
+        if state in (JobState.DONE, JobState.FAILED, JobState.REVOKED):
+            self.registry.release(task.claim_id)
+            return False
+        return True
 
     def _worker(self) -> None:
         while True:
@@ -222,18 +261,33 @@ class ProofScheduler:
                 if not self._running:
                     return
                 batch = self._take_batch()
-                for task in batch:
+            # Lease acquisition does file I/O: outside the queue lock.
+            owned: List[ProofTask] = []
+            yielded: List[ProofTask] = []
+            for task in batch:
+                (owned if self._own_task(task) else yielded).append(task)
+            with self._cv:
+                for task in yielded:
+                    self._states[task.claim_id] = JobState.YIELDED
+                    self.stats.yielded += 1
+                for task in owned:
                     self._states[task.claim_id] = JobState.PROVING
                     self.processed_order.append(task.claim_id)
-                self.stats.batches += 1
-                self.stats.batched_jobs += len(batch)
-                self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
-            for task in batch:
+                if owned:
+                    self.stats.batches += 1
+                    self.stats.batched_jobs += len(owned)
+                    self.stats.largest_batch = max(
+                        self.stats.largest_batch, len(owned)
+                    )
+                self._cv.notify_all()
+            if not owned:
+                continue
+            for task in owned:
                 self._mirror(task.claim_id, JobState.PROVING)
             try:
-                self._prove_batch(batch)
+                self._prove_batch(owned)
             except Exception as exc:  # noqa: BLE001 - a batch must never kill the worker
-                self._fail_tasks(batch, f"batch proving failed: {exc}")
+                self._fail_tasks(owned, f"batch proving failed: {exc}")
 
     def _mirror(self, claim_id: str, state: str, *, error: str = "",
                 **fields) -> None:
@@ -246,6 +300,11 @@ class ProofScheduler:
     def _finish(self, task: ProofTask, state: str, *, error: str = "",
                 **fields) -> None:
         self._mirror(task.claim_id, state, error=error, **fields)
+        if state in (JobState.DONE, JobState.FAILED):
+            # Terminal: the persisted request frame (prover secrets) has
+            # served its recovery purpose, and the proving lease is free.
+            self.registry.discard_request_bytes(task.claim_id)
+            self.registry.release(task.claim_id)
         with self._cv:
             self._states[task.claim_id] = state
             if error:
@@ -264,6 +323,14 @@ class ProofScheduler:
                 self._finish(task, JobState.FAILED, error=error)
 
     # -------------------------------------------------------------- proving --
+
+    def _refresh_lease(self, task: ProofTask) -> None:
+        """Extend our proving lease at task boundaries within a batch, so
+        a long batch does not silently outlive the lease and invite a
+        takeover mid-prove.  (A single proof longer than the lease is
+        still uncovered -- see the ROADMAP note on lease renewal.)"""
+        if task.claim_id in self.registry:
+            self.registry.acquire(task.claim_id)
 
     def _synthesize(self, task: ProofTask):
         """(compiled, synthesis) for one task, with the validity check."""
@@ -304,6 +371,7 @@ class ProofScheduler:
             synth_seconds.append(head_elapsed)
             yield head_synthesis, head_task.seed
             for task in batch[1:]:
+                self._refresh_lease(task)
                 t1 = time.perf_counter()
                 try:
                     _, synthesis = self._synthesize(task)

@@ -11,6 +11,8 @@ Endpoints (all JSON unless noted)::
     POST /claims/<id>/revoke  mark a claim revoked ({"reason": ...})
     POST /verify              verify server-side ({"claim_id": ...} or a
                               binary claim frame)
+    GET  /vks                 the signed key-transparency log (JSON)
+    GET  /vks/<digest>        one circuit's verifying key as a wire frame
     GET  /healthz             liveness + queue depth
     GET  /stats               engine + scheduler + registry counters
 
@@ -35,7 +37,7 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..engine.engine import ProvingEngine
@@ -56,7 +58,16 @@ class ProofService:
     """Transport-independent service core: submit / status / fetch / verify.
 
     Owns the proving engine, scheduler, and registry unless injected.
-    ``start()`` spins up the scheduler threads; ``close()`` drains them.
+    ``start()`` publishes disk-cached verifying keys into the registry,
+    re-enqueues still-pending claims from their persisted request frames
+    (restart recovery), then spins up the scheduler threads; ``close()``
+    drains them.
+
+    Unless an ``engine`` is injected, the engine's on-disk
+    :class:`~repro.engine.cache.ArtifactStore` lives under the registry
+    root (``cache_dir`` overrides the location), so a restarted service
+    re-proves known shapes with zero fresh Groth16 setups and its
+    published VKs stay in lockstep with the registry's VK store.
     """
 
     def __init__(
@@ -67,9 +78,14 @@ class ProofService:
         scheduler: Optional[ProofScheduler] = None,
         max_batch: int = 8,
         scheduler_workers: int = 1,
+        cache_dir: Optional[str] = None,
     ):
         self.registry = registry
-        self.engine = engine if engine is not None else ProvingEngine()
+        if engine is None:
+            engine = ProvingEngine(
+                cache_dir=cache_dir or str(registry.root / "engine-cache")
+            )
+        self.engine = engine
         self.scheduler = scheduler if scheduler is not None else ProofScheduler(
             self.engine,
             registry,
@@ -77,8 +93,11 @@ class ProofService:
             workers=scheduler_workers,
         )
         self.started_at = time.time()
+        self.recovered_claims: List[str] = []
 
     def start(self) -> "ProofService":
+        self._publish_cached_vks()
+        self.recovered_claims = self._recover_pending()
         self.scheduler.start()
         return self
 
@@ -86,10 +105,97 @@ class ProofService:
         self.scheduler.stop()
         self.engine.backend.close()
 
+    # ------------------------------------------------------------- recovery --
+
+    def _publish_cached_vks(self) -> None:
+        """Unify the engine's disk cache with the registry's VK store.
+
+        Every verifying key the engine has ever set up (this process or a
+        previous one sharing the cache directory) becomes fetchable via
+        ``GET /vks/<circuit_digest>`` -- with a key-transparency log entry
+        on first publication.
+        """
+        store = self.engine.artifact_store
+        if store is None:
+            return
+        for digest in store.vk_digests():
+            vk_bytes = store.load_vk_bytes(digest)
+            if vk_bytes:
+                self.registry.store_verifying_key(digest, vk_bytes)
+
+    def _recover_pending(self) -> List[str]:
+        """Re-enqueue claims the previous process died holding.
+
+        ``queued`` records, and ``proving`` records whose lease expired
+        with their owner (a crash mid-batch), are rebuilt from their
+        persisted request frames -- no resubmission needed.  Records with
+        no recoverable frame are marked ``failed`` with a clear error
+        rather than silently stranded.  Runs before the scheduler starts,
+        so recovered same-shape claims land in one batch.
+        """
+        recovered: List[str] = []
+        # Oldest first to keep submission order; claim_id breaks the tie
+        # deterministically when created_at stamps collide on a coarse
+        # clock.
+        pending = sorted(
+            self.registry.list(), key=lambda r: (r.created_at, r.claim_id)
+        )
+        for record in pending:
+            if record.state == JobState.QUEUED:
+                pass
+            elif record.state == JobState.PROVING:
+                owner = self.registry.lease_owner(record.claim_id)
+                if owner is not None and owner != self.registry.owner_token:
+                    continue  # a live replica is proving it right now
+            else:
+                continue
+            try:
+                persisted = wire.decode_persisted_request(
+                    self.registry.request_bytes(record.claim_id)
+                )
+                if persisted.claim_id != record.claim_id:
+                    raise wire.WireFormatError(
+                        f"frame is for claim {persisted.claim_id!r}"
+                    )
+            except (RegistryError, wire.WireFormatError) as exc:
+                self.registry.update(
+                    record.claim_id, state=JobState.FAILED,
+                    error=f"unrecoverable after restart: {exc}",
+                )
+                continue
+            if record.state == JobState.PROVING:
+                self.registry.release(record.claim_id)
+                self.registry.update(
+                    record.claim_id, state=JobState.QUEUED, error=""
+                )
+            self.scheduler.submit(
+                self._task_for(record.claim_id, persisted.request)
+            )
+            self.registry.audit("recovered", claim_id=record.claim_id)
+            recovered.append(record.claim_id)
+        return recovered
+
     # --------------------------------------------------------------- submit --
 
+    def _task_for(self, claim_id: str, request: wire.ClaimRequest) -> ProofTask:
+        return ProofTask(
+            claim_id=claim_id,
+            shape_key=extraction_structure_key(
+                request.model, request.keys, request.config
+            ),
+            synthesize=extraction_synthesizer(
+                request.model, request.keys, request.config
+            ),
+            model=request.model,
+            keys=request.keys,
+            config=request.config,
+            priority=request.priority,
+            seed=request.seed,
+            setup_seed=request.setup_seed,
+        )
+
     def submit(self, request_frame: bytes) -> Dict:
-        """Decode, content-address, register, and enqueue one claim request."""
+        """Decode, content-address, register, persist, and enqueue one claim."""
         request = wire.decode_claim_request(request_frame)
         mdigest = model_digest(request.model, request.keys.embed_layer)
         shape_key = extraction_structure_key(
@@ -100,8 +206,34 @@ class ProofService:
         canonical = wire.encode_claim_request(request)
         claim_id = hashlib.sha256(canonical).hexdigest()
 
-        if claim_id in self.registry:
-            record = self.registry.get(claim_id)
+        # Freshen from the shared root first: another replica may have
+        # registered (or proved) this claim since our in-memory load.
+        try:
+            record = self.registry.reload(claim_id)
+        except RegistryError:
+            record = None
+        if record is not None:
+            if record.state in (JobState.QUEUED, JobState.PROVING):
+                active_here = self.scheduler.state(claim_id) in (
+                    JobState.QUEUED, JobState.PROVING,
+                )
+                if not active_here and \
+                        self.registry.lease_owner(claim_id) is None:
+                    # Stranded: the owner died (lease expired) and nobody
+                    # holds the job.  A resubmission rescues it instead
+                    # of bouncing off the stale pending state forever.
+                    if record.state == JobState.PROVING:
+                        self.registry.update(
+                            claim_id, state=JobState.QUEUED, error=""
+                        )
+                    self.registry.store_request_bytes(
+                        claim_id,
+                        wire.encode_persisted_request(claim_id, request),
+                    )
+                    self.scheduler.submit(self._task_for(claim_id, request))
+                    self.registry.audit("rescued", claim_id=claim_id)
+                    return {"claim_id": claim_id, "state": JobState.QUEUED,
+                            "resubmission": True}
             if record.state != JobState.FAILED:
                 return {
                     "claim_id": claim_id,
@@ -123,28 +255,18 @@ class ProofService:
             # so reset it -- status/wait must see 'queued', not the stale
             # terminal state, while the job sits in the queue.
             self.registry.update(claim_id, state=JobState.QUEUED, error="")
-        self.scheduler.submit(
-            ProofTask(
-                claim_id=claim_id,
-                shape_key=shape_key,
-                synthesize=extraction_synthesizer(
-                    request.model, request.keys, request.config
-                ),
-                model=request.model,
-                keys=request.keys,
-                config=request.config,
-                priority=request.priority,
-                seed=request.seed,
-                setup_seed=request.setup_seed,
-            )
+        # Persist the canonical frame FIRST: once a client has been told
+        # "queued", a crash must not lose the job.
+        self.registry.store_request_bytes(
+            claim_id, wire.encode_persisted_request(claim_id, request)
         )
+        self.scheduler.submit(self._task_for(claim_id, request))
         return {"claim_id": claim_id, "state": JobState.QUEUED,
                 "resubmission": False}
 
     # --------------------------------------------------------------- status --
 
-    def status(self, claim_id: str) -> Dict:
-        record = self.registry.get(claim_id)
+    def record_payload(self, record: ClaimRecord) -> Dict:
         payload = {
             "claim_id": record.claim_id,
             "state": record.state,
@@ -153,14 +275,26 @@ class ProofService:
             "priority": record.priority,
             "error": record.error,
             "revoked_reason": record.revoked_reason,
+            "owner_token": record.owner_token,
             "created_at": record.created_at,
             "updated_at": record.updated_at,
             "timings": record.timings,
         }
-        live = self.scheduler.state(claim_id)
+        live = self.scheduler.state(record.claim_id)
         if live is not None and live != record.state:
             payload["scheduler_state"] = live
         return payload
+
+    def status(self, claim_id: str) -> Dict:
+        try:
+            # Re-read from disk: with replicas sharing the root, another
+            # process may have moved this claim since we last touched it.
+            # (Single-claim polls only -- the /claims listing serves the
+            # in-memory snapshots rather than N file reads per request.)
+            record = self.registry.reload(claim_id)
+        except RegistryError:
+            record = self.registry.get(claim_id)
+        return self.record_payload(record)
 
     def claim_frame(self, claim_id: str) -> bytes:
         record = self.registry.get(claim_id)
@@ -176,6 +310,17 @@ class ProofService:
             wire.MSG_VERIFYING_KEY,
             self.registry.verifying_key_bytes(record.circuit_digest),
         )
+
+    def verifying_key_frame_by_digest(self, circuit_digest: str) -> bytes:
+        """VK distribution for auditors: keyed by circuit shape, not claim."""
+        return wire.encode_frame(
+            wire.MSG_VERIFYING_KEY,
+            self.registry.verifying_key_bytes(circuit_digest),
+        )
+
+    def key_log(self) -> Dict:
+        """The signed key-transparency log of every published VK."""
+        return {"key_log": self.registry.key_log_entries()}
 
     # --------------------------------------------------------------- verify --
 
@@ -249,6 +394,8 @@ class ProofService:
             "wire_version": wire.WIRE_VERSION,
             "uptime_seconds": time.time() - self.started_at,
             "queue_depth": self.scheduler.pending(),
+            "owner_token": self.registry.owner_token,
+            "recovered_claims": len(self.recovered_claims),
         }
 
     def stats(self) -> Dict:
@@ -295,8 +442,28 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self._send_json({"error": message}, status=status)
 
     def _body(self) -> bytes:
+        """Read exactly ``Content-Length`` bytes (or fail loudly).
+
+        ``rfile.read(n)`` may return fewer bytes than asked on a slow
+        socket; a single read would hand a truncated body to the wire
+        decoder.  Loop until complete, and raise (-> 400) if the peer
+        hangs up early rather than decoding a short frame.
+        """
         length = int(self.headers.get("Content-Length", "0"))
-        return self.rfile.read(length) if length else b""
+        if length <= 0:
+            return b""
+        chunks: List[bytes] = []
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(remaining)
+            if not chunk:
+                raise ValueError(
+                    f"request body truncated: got {length - remaining} "
+                    f"of {length} bytes"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
 
     def _route(self) -> Tuple[str, Dict]:
         parsed = urlparse(self.path)
@@ -318,9 +485,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     state=query.get("state"),
                 )
                 return self._send_json(
-                    {"claims": [self.service.status(r.claim_id) for r in records]}
+                    {"claims": [self.service.record_payload(r) for r in records]}
                 )
+            if path == "/vks":
+                return self._send_json(self.service.key_log())
             parts = path.strip("/").split("/")
+            if len(parts) == 2 and parts[0] == "vks":
+                return self._send_bytes(
+                    self.service.verifying_key_frame_by_digest(parts[1])
+                )
             if len(parts) >= 2 and parts[0] == "claims":
                 claim_id = parts[1]
                 if len(parts) == 2:

@@ -43,21 +43,25 @@ __all__ = [
     "MSG_CLAIM",
     "MSG_CLAIM_REQUEST",
     "MSG_MODEL",
+    "MSG_PERSISTED_REQUEST",
     "MSG_PROOF",
     "MSG_VERIFYING_KEY",
     "WIRE_VERSION",
     "ClaimRequest",
+    "PersistedRequest",
     "WireFormatError",
     "decode_claim",
     "decode_claim_request",
     "decode_frame",
     "decode_model",
+    "decode_persisted_request",
     "decode_proof",
     "decode_verifying_key",
     "encode_claim",
     "encode_claim_request",
     "encode_frame",
     "encode_model",
+    "encode_persisted_request",
     "encode_proof",
     "encode_verifying_key",
 ]
@@ -70,6 +74,7 @@ MSG_CLAIM = 2
 MSG_VERIFYING_KEY = 3
 MSG_PROOF = 4
 MSG_MODEL = 5
+MSG_PERSISTED_REQUEST = 6
 
 _HEADER = struct.Struct(">4sBBI")
 _CRC = struct.Struct(">I")
@@ -370,12 +375,12 @@ class ClaimRequest:
     setup_seed: Optional[int] = None
 
 
-def encode_claim_request(request: ClaimRequest) -> bytes:
+def _pack_claim_request(request: ClaimRequest) -> bytes:
     if not -128 <= request.priority <= 127:
         raise WireFormatError(
             f"priority {request.priority} outside the wire range [-128, 127]"
         )
-    payload = (
+    return (
         _pack_model(request.model)
         + _pack_keys(request.keys)
         + _pack_config(request.config)
@@ -383,13 +388,11 @@ def encode_claim_request(request: ClaimRequest) -> bytes:
         + _pack_opt_int(request.seed)
         + _pack_opt_int(request.setup_seed)
     )
-    return encode_frame(MSG_CLAIM_REQUEST, payload)
 
 
-def decode_claim_request(frame: bytes) -> ClaimRequest:
-    _, payload = decode_frame(frame, MSG_CLAIM_REQUEST)
+def _unpack_claim_request(payload: bytes, offset: int) -> Tuple[ClaimRequest, int]:
     try:
-        model, offset = _unpack_model(payload, 0)
+        model, offset = _unpack_model(payload, offset)
         keys, offset = _unpack_keys(payload, offset)
         config, offset = _unpack_config(payload, offset)
         (priority,) = struct.unpack_from(">b", payload, offset)
@@ -400,9 +403,7 @@ def decode_claim_request(frame: bytes) -> ClaimRequest:
         if isinstance(exc, WireFormatError):
             raise
         raise WireFormatError(f"malformed claim request: {exc}") from exc
-    if offset != len(payload):
-        raise WireFormatError("trailing bytes after claim request")
-    return ClaimRequest(
+    request = ClaimRequest(
         model=model,
         keys=keys,
         config=config,
@@ -410,6 +411,58 @@ def decode_claim_request(frame: bytes) -> ClaimRequest:
         seed=seed,
         setup_seed=setup_seed,
     )
+    return request, offset
+
+
+def encode_claim_request(request: ClaimRequest) -> bytes:
+    return encode_frame(MSG_CLAIM_REQUEST, _pack_claim_request(request))
+
+
+def decode_claim_request(frame: bytes) -> ClaimRequest:
+    _, payload = decode_frame(frame, MSG_CLAIM_REQUEST)
+    request, offset = _unpack_claim_request(payload, 0)
+    if offset != len(payload):
+        raise WireFormatError("trailing bytes after claim request")
+    return request
+
+
+# -- persisted request ---------------------------------------------------------
+
+
+@dataclass
+class PersistedRequest:
+    """A claim request as the registry stores it for restart recovery.
+
+    The full canonical frame -- model, watermark keys, circuit config,
+    priority, seeds -- bound to the content-addressed ``claim_id`` it was
+    registered under, so a restarted service can re-enqueue still-queued
+    claims without resubmission and detect a frame filed under the wrong
+    record.  Watermark keys are prover secrets: these frames live in the
+    registry's permission-gated ``requests/`` directory (mode 0600) and
+    are discarded once the claim reaches a terminal state.
+    """
+
+    claim_id: str
+    request: ClaimRequest
+
+
+def encode_persisted_request(claim_id: str, request: ClaimRequest) -> bytes:
+    payload = _pack_str(claim_id) + _pack_claim_request(request)
+    return encode_frame(MSG_PERSISTED_REQUEST, payload)
+
+
+def decode_persisted_request(frame: bytes) -> PersistedRequest:
+    _, payload = decode_frame(frame, MSG_PERSISTED_REQUEST)
+    try:
+        claim_id, offset = _unpack_str(payload, 0)
+    except (struct.error, ValueError) as exc:
+        if isinstance(exc, WireFormatError):
+            raise
+        raise WireFormatError(f"malformed persisted request: {exc}") from exc
+    request, offset = _unpack_claim_request(payload, offset)
+    if offset != len(payload):
+        raise WireFormatError("trailing bytes after persisted request")
+    return PersistedRequest(claim_id=claim_id, request=request)
 
 
 # -- claims, proofs, verifying keys -------------------------------------------

@@ -209,7 +209,58 @@ class TestHttpSurface:
         client = ServiceClient(server.url)
         stats = client.stats()
         assert set(stats) >= {"engine", "scheduler", "registry", "backend"}
-        assert client.health()["queue_depth"] == 0
+        health = client.health()
+        assert health["queue_depth"] == 0
+        assert health["recovered_claims"] == 0
+        assert health["owner_token"]
+
+    def test_empty_key_log(self, server):
+        assert ServiceClient(server.url).key_log() == []
+
+    def test_unknown_vk_digest_is_404(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.fetch_vk_by_digest("f" * 64)
+        assert excinfo.value.status == 404
+
+
+class TestBodyReads:
+    """``_body`` must loop to Content-Length, never decode a short read."""
+
+    class _ChunkedRFile:
+        """Delivers a body at most ``chunk`` bytes per read (slow socket)."""
+
+        def __init__(self, data: bytes, chunk: int = 3):
+            self._data = data
+            self._chunk = chunk
+
+        def read(self, n: int) -> bytes:
+            take = min(n, self._chunk, len(self._data))
+            out, self._data = self._data[:take], self._data[take:]
+            return out
+
+    def _handler(self, rfile, content_length: int):
+        from repro.service.server import _ServiceHandler
+
+        handler = _ServiceHandler.__new__(_ServiceHandler)  # no socket
+        handler.headers = {"Content-Length": str(content_length)}
+        handler.rfile = rfile
+        return handler
+
+    def test_chunked_body_is_reassembled(self):
+        body = bytes(range(256)) * 5
+        handler = self._handler(self._ChunkedRFile(body, chunk=7), len(body))
+        assert handler._body() == body
+
+    def test_truncated_body_raises_not_decodes(self):
+        body = b"only-half-arrived"
+        handler = self._handler(self._ChunkedRFile(body), len(body) + 100)
+        with pytest.raises(ValueError, match="truncated"):
+            handler._body()
+
+    def test_empty_body(self):
+        handler = self._handler(self._ChunkedRFile(b""), 0)
+        assert handler._body() == b""
 
 
 class TestFailedResubmission:

@@ -148,3 +148,254 @@ class TestConcurrency:
         assert len(registry) == 16
         assert registry.counts()["done"] == 16
         assert registry.counts()["total"] == 16
+
+    def test_reads_never_see_torn_multi_field_updates(self, tmp_path):
+        """get/list return snapshots: a reader can never observe a
+        half-applied multi-field update (the PR-3 bug returned the live
+        mutated record)."""
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record())
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                # state and error always move together; observing a
+                # mismatched pair means a torn read.
+                registry.update("c" * 64, state=f"s-{i}", error=f"e-{i}")
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                for record in [registry.get("c" * 64)] + registry.list():
+                    if record.state.split("-")[-1] != record.error.split("-")[-1]:
+                        torn.append((record.state, record.error))
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        import time as _time
+
+        _time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert torn == []
+
+    def test_returned_records_are_copies(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record())
+        snapshot = registry.get("c" * 64)
+        snapshot.state = "mutated-by-caller"
+        snapshot.timings["injected"] = 1.0
+        fresh = registry.get("c" * 64)
+        assert fresh.state == "queued"
+        assert fresh.timings == {}
+
+
+class TestSchemaEvolution:
+    def test_unknown_fields_survive_the_round_trip(self, tmp_path):
+        """A record written by a newer schema version (extra fields) must
+        load, keep its extras, and write them back -- not be dropped as
+        torn/foreign (the PR-3 bug)."""
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record())
+        path = tmp_path / "claims" / ("c" * 64 + ".json")
+        data = json.loads(path.read_text())
+        data["from_the_future"] = {"new": "field"}
+        data["another_new_field"] = 7
+        path.write_text(json.dumps(data))
+
+        reopened = ClaimRegistry(tmp_path)
+        assert len(reopened) == 1
+        record = reopened.get("c" * 64)
+        assert record.extra == {
+            "from_the_future": {"new": "field"},
+            "another_new_field": 7,
+        }
+        # A rewrite by this (older) version preserves the foreign fields.
+        reopened.update("c" * 64, state="done")
+        rewritten = json.loads(path.read_text())
+        assert rewritten["from_the_future"] == {"new": "field"}
+        assert rewritten["another_new_field"] == 7
+        assert rewritten["state"] == "done"
+
+    def test_owner_token_field_loads_from_disk(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record())
+        registry.update("c" * 64, owner_token="replica-a")
+        reopened = ClaimRegistry(tmp_path)
+        assert reopened.get("c" * 64).owner_token == "replica-a"
+
+    def test_skipped_records_are_logged_not_silent(self, tmp_path, caplog):
+        registry = ClaimRegistry(tmp_path)
+        registry.register(_record())
+        (tmp_path / "claims" / "torn.json").write_text("{not json")
+        with caplog.at_level("WARNING", logger="repro.service.registry"):
+            reopened = ClaimRegistry(tmp_path)
+        assert len(reopened) == 1
+        assert any("torn.json" in message for message in caplog.messages)
+
+
+class TestOwnershipLeases:
+    def test_exactly_one_replica_acquires(self, tmp_path):
+        a = ClaimRegistry(tmp_path, owner_token="replica-a")
+        b = ClaimRegistry(tmp_path, owner_token="replica-b")
+        assert a.acquire("claim-x") is True
+        assert b.acquire("claim-x") is False
+        assert a.lease_owner("claim-x") == "replica-a"
+        assert b.lease_owner("claim-x") == "replica-a"
+
+    def test_reacquire_by_owner_refreshes(self, tmp_path):
+        a = ClaimRegistry(tmp_path, owner_token="replica-a")
+        assert a.acquire("claim-x")
+        assert a.acquire("claim-x")  # idempotent for the holder
+
+    def test_release_frees_the_claim(self, tmp_path):
+        a = ClaimRegistry(tmp_path, owner_token="replica-a")
+        b = ClaimRegistry(tmp_path, owner_token="replica-b")
+        assert a.acquire("claim-x")
+        a.release("claim-x")
+        assert a.lease_owner("claim-x") is None
+        assert b.acquire("claim-x") is True
+
+    def test_release_by_non_owner_is_a_no_op(self, tmp_path):
+        a = ClaimRegistry(tmp_path, owner_token="replica-a")
+        b = ClaimRegistry(tmp_path, owner_token="replica-b")
+        assert a.acquire("claim-x")
+        b.release("claim-x")
+        assert a.lease_owner("claim-x") == "replica-a"
+
+    def test_expired_lease_can_be_taken_over(self, tmp_path):
+        import time as _time
+
+        a = ClaimRegistry(tmp_path, owner_token="replica-a")
+        b = ClaimRegistry(tmp_path, owner_token="replica-b")
+        assert a.acquire("claim-x", lease_seconds=0.05)
+        _time.sleep(0.1)
+        assert a.lease_owner("claim-x") is None  # expired
+        assert b.acquire("claim-x") is True
+        assert b.lease_owner("claim-x") == "replica-b"
+
+    def test_contended_acquisition_has_exactly_one_winner(self, tmp_path):
+        """Threaded CAS: for each of N claims, exactly one of two
+        registries sharing the root wins."""
+        a = ClaimRegistry(tmp_path, owner_token="replica-a")
+        b = ClaimRegistry(tmp_path, owner_token="replica-b")
+        claims = [f"claim-{i}" for i in range(24)]
+        wins = {"replica-a": set(), "replica-b": set()}
+
+        def contend(registry, name):
+            for claim_id in claims:
+                if registry.acquire(claim_id):
+                    wins[name].add(claim_id)
+
+        threads = [
+            threading.Thread(target=contend, args=(a, "replica-a")),
+            threading.Thread(target=contend, args=(b, "replica-b")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert wins["replica-a"] | wins["replica-b"] == set(claims)
+        assert wins["replica-a"] & wins["replica-b"] == set()
+
+    def test_acquire_records_the_owner_on_the_record(self, tmp_path):
+        registry = ClaimRegistry(tmp_path, owner_token="replica-a")
+        registry.register(_record())
+        assert registry.acquire("c" * 64)
+        assert registry.get("c" * 64).owner_token == "replica-a"
+
+    def test_register_sees_records_written_by_another_replica(self, tmp_path):
+        """A replica must not overwrite a record another replica created
+        (and possibly already proved) after this replica loaded."""
+        b = ClaimRegistry(tmp_path, owner_token="replica-b")  # loads empty
+        a = ClaimRegistry(tmp_path, owner_token="replica-a")
+        a.register(_record())
+        a.update("c" * 64, state="done", circuit_digest="d" * 64)
+
+        returned = b.register(_record())  # same claim id, fresh record
+        assert returned.state == "done"  # the existing record wins
+        assert returned.circuit_digest == "d" * 64
+        assert a.reload("c" * 64).state == "done"  # nothing was clobbered
+
+
+class TestPersistedRequests:
+    def test_store_read_discard(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.store_request_bytes("claim-x", b"request-frame")
+        assert registry.has_request("claim-x")
+        assert registry.request_bytes("claim-x") == b"request-frame"
+        registry.discard_request_bytes("claim-x")
+        assert not registry.has_request("claim-x")
+        with pytest.raises(RegistryError):
+            registry.request_bytes("claim-x")
+        registry.discard_request_bytes("claim-x")  # idempotent
+
+    def test_frames_survive_restart(self, tmp_path):
+        ClaimRegistry(tmp_path).store_request_bytes("claim-x", b"frame")
+        assert ClaimRegistry(tmp_path).request_bytes("claim-x") == b"frame"
+
+    def test_frames_are_permission_gated(self, tmp_path):
+        import os
+        import stat
+
+        registry = ClaimRegistry(tmp_path)
+        registry.store_request_bytes("claim-x", b"prover-secrets")
+        mode = stat.S_IMODE(os.stat(tmp_path / "requests" / "claim-x.req").st_mode)
+        assert mode == 0o600
+        dir_mode = stat.S_IMODE(os.stat(tmp_path / "requests").st_mode)
+        assert dir_mode == 0o700
+
+
+class TestKeyTransparencyLog:
+    def test_publication_appends_a_verifiable_entry(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        assert registry.store_verifying_key("d" * 64, b"vk-bytes") is True
+        entries = registry.key_log_entries()
+        assert len(entries) == 1
+        assert entries[0]["circuit_digest"] == "d" * 64
+        assert registry.verify_key_log() == 1
+
+    def test_republication_is_excluded_and_not_logged(self, tmp_path):
+        a = ClaimRegistry(tmp_path)
+        b = ClaimRegistry(tmp_path)
+        assert a.store_verifying_key("d" * 64, b"vk-bytes") is True
+        assert b.store_verifying_key("d" * 64, b"other-bytes") is False
+        assert a.verifying_key_bytes("d" * 64) == b"vk-bytes"  # first wins
+        assert len(a.key_log_entries()) == 1
+
+    def test_chain_links_multiple_entries(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.store_verifying_key("a" * 64, b"vk-a")
+        registry.store_verifying_key("b" * 64, b"vk-b")
+        entries = registry.key_log_entries()
+        assert [e["seq"] for e in entries] == [0, 1]
+        assert entries[1]["prev"] == entries[0]["entry_hash"]
+        assert registry.verify_key_log() == 2
+        assert registry.vk_digests() == ["a" * 64, "b" * 64]
+
+    def test_tampered_entry_is_detected(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.store_verifying_key("d" * 64, b"vk-bytes")
+        log_path = tmp_path / "keylog.jsonl"
+        entry = json.loads(log_path.read_text())
+        entry["circuit_digest"] = "e" * 64
+        log_path.write_text(json.dumps(entry) + "\n")
+        with pytest.raises(RegistryError, match="hash mismatch"):
+            registry.verify_key_log()
+
+    def test_swapped_vk_bytes_are_detected(self, tmp_path):
+        registry = ClaimRegistry(tmp_path)
+        registry.store_verifying_key("d" * 64, b"vk-bytes")
+        (tmp_path / "vks" / ("d" * 64 + ".vk")).write_bytes(b"swapped")
+        with pytest.raises(RegistryError, match="does not match"):
+            registry.verify_key_log()
+
+    def test_log_survives_restart_and_verifies(self, tmp_path):
+        ClaimRegistry(tmp_path).store_verifying_key("d" * 64, b"vk-bytes")
+        assert ClaimRegistry(tmp_path).verify_key_log() == 1

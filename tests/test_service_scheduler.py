@@ -118,6 +118,27 @@ class TestPriorities:
             scheduler.wait(name, timeout=30)
         assert scheduler.processed_order == ["first", "second", "third"]
 
+    def test_late_high_priority_head_is_in_the_first_batch(self, tmp_path):
+        """Regression: with max_batch smaller than the same-shape queue
+        depth, the sequence-ordered drain used to cut the late-submitted
+        high-priority head out of the very batch it selected, proving
+        lower-priority jobs first while the head sat queued."""
+        sched = ProofScheduler(
+            ProvingEngine(), ClaimRegistry(tmp_path), max_batch=2
+        )
+        try:
+            for name in ("low-0", "low-1", "low-2"):
+                sched.submit(_task(name, seed=1, priority=0))
+            sched.submit(_task("high", seed=2, priority=5))  # submitted LAST
+            sched.start()
+            for name in ("low-0", "low-1", "low-2", "high"):
+                assert sched.wait(name, timeout=60) == JobState.DONE
+            # The head must lead the first dispatched batch for its shape.
+            assert sched.processed_order[0] == "high"
+            assert "high" in sched.processed_order[: sched.max_batch]
+        finally:
+            sched.stop(timeout=5.0)
+
 
 class TestFailures:
     def test_synthesis_failure_marks_failed_not_batch(self, scheduler):
@@ -157,6 +178,50 @@ class TestFailures:
         scheduler.start()
         with pytest.raises(TimeoutError):
             scheduler.wait("never-submitted", timeout=0.2)
+
+
+class TestReplicaContention:
+    """Two schedulers over two registries sharing one root: the CAS
+    lease must pick exactly one prover per claim."""
+
+    def test_each_claim_is_proved_by_exactly_one_scheduler(self, tmp_path):
+        registry_a = ClaimRegistry(tmp_path, owner_token="replica-a")
+        claim_ids = [f"claim-{i}" for i in range(3)]
+        for claim_id in claim_ids:
+            registry_a.register(
+                ClaimRecord(claim_id=claim_id, model_digest="m" * 64)
+            )
+        registry_b = ClaimRegistry(tmp_path, owner_token="replica-b")
+        sched_a = ProofScheduler(ProvingEngine(), registry_a, max_batch=8)
+        sched_b = ProofScheduler(ProvingEngine(), registry_b, max_batch=8)
+        try:
+            for i, claim_id in enumerate(claim_ids):
+                sched_a.submit(_task(claim_id, seed=i))
+                sched_b.submit(_task(claim_id, seed=i))
+            sched_a.start()
+            sched_b.start()
+            outcomes = {}
+            for claim_id in claim_ids:
+                state_a = sched_a.wait(claim_id, timeout=60)
+                state_b = sched_b.wait(claim_id, timeout=60)
+                outcomes[claim_id] = (state_a, state_b)
+            for claim_id, (state_a, state_b) in outcomes.items():
+                assert {state_a, state_b} == {JobState.DONE, JobState.YIELDED}, (
+                    f"{claim_id}: expected one winner and one yield, "
+                    f"got {state_a}/{state_b}"
+                )
+                # The durable record reflects exactly one proving run.
+                proving_events = [
+                    e for e in registry_a.audit_entries(claim_id)
+                    if e["event"] == "state" and e["state"] == JobState.PROVING
+                ]
+                assert len(proving_events) == 1
+                assert registry_a.reload(claim_id).state == JobState.DONE
+            assert sched_a.stats.done + sched_b.stats.done == len(claim_ids)
+            assert sched_a.stats.yielded + sched_b.stats.yielded == len(claim_ids)
+        finally:
+            sched_a.stop(timeout=5.0)
+            sched_b.stop(timeout=5.0)
 
 
 class TestOwnershipClaimBatch:
