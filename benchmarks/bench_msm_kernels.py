@@ -1,4 +1,5 @@
-"""MSM kernel ablation: naive vs PR-1 Pippenger vs GLV+signed-window vs parallel.
+"""MSM kernel ablation: naive vs PR-1 Pippenger vs GLV+signed-window vs
+field backends vs parallel.
 
 The prover's wall time is dominated by variable-base G1 MSMs, so this
 benchmark isolates exactly that kernel across its implementations:
@@ -7,6 +8,9 @@ benchmark isolates exactly that kernel across its implementations:
 * ``msm_g1_unsigned``   -- the PR-1 Pippenger path (unsigned windows,
   Jacobian bucket adds), kept verbatim as the baseline,
 * ``msm_g1``            -- GLV + signed windows + batch-affine buckets,
+  under each selectable *field backend* (stdlib residues, Montgomery
+  form, gmpy2 when importable),
+* ``msm_g2`` vs ``msm_g2_unsigned`` -- the signed-window G2 port,
 * ``ProcessBackend.msm_g1`` -- the same kernel chunked across workers.
 
 Every row lands in ``BENCH_msm_kernels.json`` together with the window
@@ -18,10 +22,14 @@ prepared key.
 Honest-measurement note: in pure CPython the batched-affine add costs ~6
 modular multiplications against ~12 for a Jacobian mixed add, and Python's
 big-int ``%`` dominates both, so the serial GLV path lands around 1.6-1.8x
-over the PR-1 baseline at n=4096 (the ~2.5x of compiled-language provers
-needs the multiplication itself to get cheaper -- gmpy2/numpy backends are
-ROADMAP follow-ups).  The process backend stacks its near-linear factor on
-top of that.
+over the PR-1 baseline at n=4096.  A pure-Python *Montgomery* multiply
+trades that one C-level ``divmod`` for two extra big-int multiplications
+and measures ~10-15% slower per operation on CPython 3.11 -- which is why
+the Montgomery backend's gate below is the unsigned PR-1 baseline (beaten
+~1.5x) rather than the plain-residue GLV path, and why the stdlib default
+keeps canonical residues.  The real multiplication-cost lever is gmpy2:
+when importable, the same kernel over ``mpz`` residues is asserted to beat
+the stdlib path outright.
 """
 
 from __future__ import annotations
@@ -32,13 +40,21 @@ import time
 
 import pytest
 
-from repro.curves.bn254 import R
+from repro.curves.bn254 import P, R
 from repro.curves.g1 import G1Point, jac_add, jac_to_affine_many
 from repro.curves.msm import (
     msm_g1,
     msm_g1_unsigned,
+    msm_g2,
+    msm_g2_unsigned,
     naive_msm_g1,
     pippenger_window_size,
+)
+from repro.field.backend import (
+    available_field_backends,
+    get_field_ops,
+    gmpy2_available,
+    set_field_backend,
 )
 from repro.parallel import ProcessBackend, SerialBackend
 
@@ -108,6 +124,96 @@ def test_msm_kernel_ablation(bench_scale, bench_json):
                 f"{t_glv:.3f}s vs {t_unsigned:.3f}s"
             )
         bench_json(f"msm-n{n}", **entry)
+
+
+def test_field_backend_ablation(bench_scale, bench_json):
+    """stdlib vs Montgomery vs gmpy2 field backends on the GLV MSM kernel.
+
+    All backends must produce identical results; the perf gates are the
+    honest ones (see the module docstring): the Montgomery stdlib kernel
+    must beat the PR-1 unsigned baseline at every measured size, the
+    default stdlib path must not regress against it either, and gmpy2 --
+    when importable -- must beat the stdlib path outright at n >= 1024.
+    """
+    n = _sizes(bench_scale)[-1]
+    points, scalars = _inputs(n)
+    t_unsigned, r_unsigned = _best_of(lambda: msm_g1_unsigned(points, scalars))
+    reference = jac_to_affine_many([r_unsigned])
+
+    times = {}
+    prev = set_field_backend("python")
+    try:
+        for name in available_field_backends():
+            set_field_backend(name)
+            # Mirror the prover's prepared-key boundary: bases and scalars
+            # are wrapped to backend natives once, outside the timed region.
+            ops_p, ops_r = get_field_ops(P), get_field_ops(R)
+            native_points = [(ops_p.wrap(x), ops_p.wrap(y)) for x, y in points]
+            native_scalars = ops_r.wrap_many(scalars)
+            t, r = _best_of(lambda: msm_g1(native_points, native_scalars))
+            assert jac_to_affine_many([r]) == reference, (
+                f"field backend {name!r} disagrees with the unsigned reference"
+            )
+            times[name] = t
+    finally:
+        set_field_backend(prev)
+
+    entry = {
+        "n": n,
+        "unsigned_seconds": t_unsigned,
+        "gmpy2_available": gmpy2_available(),
+        "speedup_montgomery_vs_unsigned": t_unsigned / times["montgomery"],
+        "speedup_python_vs_montgomery": times["montgomery"] / times["python"],
+    }
+    for name, t in times.items():
+        entry[f"{name}_seconds"] = t
+    if "gmpy2" in times:
+        entry["speedup_gmpy2_vs_python"] = times["python"] / times["gmpy2"]
+    bench_json(f"field-backend-n{n}", **entry)
+
+    assert times["montgomery"] < t_unsigned, (
+        f"Montgomery stdlib kernel slower than the unsigned PR-1 baseline "
+        f"at n={n}: {times['montgomery']:.3f}s vs {t_unsigned:.3f}s"
+    )
+    assert times["python"] < t_unsigned, (
+        f"default stdlib kernel slower than the unsigned PR-1 baseline "
+        f"at n={n}: {times['python']:.3f}s vs {t_unsigned:.3f}s"
+    )
+    if "gmpy2" in times and n >= 1024:
+        assert times["gmpy2"] < times["python"], (
+            f"gmpy2 field backend slower than stdlib at n={n}: "
+            f"{times['gmpy2']:.3f}s vs {times['python']:.3f}s"
+        )
+
+
+def test_msm_g2_signed_vs_unsigned(bench_scale, bench_json):
+    """The signed-window G2 port vs the retired unsigned Jacobian path."""
+    from repro.curves.g2 import G2Point
+
+    n = 128 if bench_scale.name == "tiny" else 256
+    rng = random.Random(11)
+    g2 = G2Point.generator()
+    points = []
+    acc = g2
+    for _ in range(n):
+        points.append(acc)
+        acc = acc + g2
+    scalars = [rng.randrange(R) for _ in range(n)]
+    t_unsigned, r_unsigned = _best_of(lambda: msm_g2_unsigned(points, scalars))
+    t_signed, r_signed = _best_of(lambda: msm_g2(points, scalars))
+    assert r_signed == r_unsigned
+    bench_json(
+        f"msm-g2-n{n}",
+        n=n,
+        unsigned_seconds=t_unsigned,
+        signed_seconds=t_signed,
+        speedup_signed_vs_unsigned=t_unsigned / t_signed,
+        signed_window=pippenger_window_size(n),
+    )
+    assert t_signed < t_unsigned, (
+        f"signed-window G2 MSM slower than the unsigned baseline at n={n}: "
+        f"{t_signed:.3f}s vs {t_unsigned:.3f}s"
+    )
 
 
 def test_msm_parallel_backend(bench_scale, bench_json):

@@ -31,6 +31,12 @@ _REPORTS: List[CircuitReport] = []
 _JSON_REPORTS: Dict[str, dict] = {}
 
 
+def _active_field_backend() -> str:
+    from repro.field.backend import active_field_backend
+
+    return active_field_backend()
+
+
 def _json_report_for(module: str) -> dict:
     """The mutable JSON payload for one benchmark module.
 
@@ -50,6 +56,8 @@ def _json_report_for(module: str) -> dict:
             # own backends record the actual one per entry.
             "backend_env": os.environ.get("ZKROWNN_BACKEND", "serial"),
             "workers_env": os.environ.get("ZKROWNN_WORKERS"),
+            "field_backend_env": os.environ.get("ZKROWNN_FIELD_BACKEND", "auto"),
+            "field_backend": _active_field_backend(),
             "msm_kernel": "glv+signed-window+batch-affine",
             "ntt_kernel": "cached-twiddle-registry",
             "test_seconds": {},

@@ -24,6 +24,7 @@ from .msm import (
     msm_g1,
     msm_g1_unsigned,
     msm_g2,
+    msm_g2_unsigned,
     naive_msm_g1,
     naive_msm_g2,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "msm_g1",
     "msm_g1_unsigned",
     "msm_g2",
+    "msm_g2_unsigned",
     "naive_msm_g1",
     "naive_msm_g2",
     "final_exponentiation",

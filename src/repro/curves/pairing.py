@@ -24,13 +24,14 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
 
+from ..field.backend import get_field_ops
 from ..field.prime import BN254_P as P
 from ..field.prime import BN254_R as R
 from ..field.prime import BN254_X as X
 from ..field.tower import Fp2Element, Fp6Element, Fp12Element
 from .bn254 import ATE_LOOP_COUNT, OPTIMAL_ATE_LOOP_COUNT
 from .g1 import G1Point
-from .g2 import G2Point, psi
+from .g2 import G2Point, g2_wrap, psi
 
 __all__ = [
     "pairing",
@@ -98,7 +99,11 @@ def miller_loop(
     """
     if p.is_infinity() or q.is_infinity():
         return Fp12Element.one()
-    xp, yp = p.x, p.y
+    # One boundary conversion per pairing: the entire Miller loop then
+    # runs on the active field backend's native residues.
+    ops = get_field_ops(P)
+    xp, yp = ops.wrap(p.x), ops.wrap(p.y)
+    q = g2_wrap(q, ops)
     t = (q.x, q.y)
     q_affine = (q.x, q.y)
     f = Fp12Element.one()
@@ -168,6 +173,7 @@ def precompute_g2(q: G2Point, variant: str = "optimal") -> G2Precomputed:
         raise ValueError(f"unknown pairing variant: {variant!r}")
 
     coeffs = []
+    q = g2_wrap(q, get_field_ops(P))
     t = (q.x, q.y)
     q_affine = (q.x, q.y)
 
@@ -204,7 +210,8 @@ def miller_loop_precomputed(p: G1Point, pre: G2Precomputed) -> Fp12Element:
     """Miller loop consuming precomputed G2 coefficients (no G2 arithmetic)."""
     if p.is_infinity():
         return Fp12Element.one()
-    xp, yp = p.x, p.y
+    ops = get_field_ops(P)
+    xp, yp = ops.wrap(p.x), ops.wrap(p.y)
     yp_embedded = _embed(yp)
     it = iter(pre.coeffs)
     f = Fp12Element.one()

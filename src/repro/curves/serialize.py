@@ -49,7 +49,9 @@ def g1_to_bytes(point: G1Point) -> bytes:
     """Compress a G1 point to 32 bytes."""
     if point.is_infinity():
         return bytes([_FLAG_INFINITY]) + bytes(31)
-    buf = bytearray(point.x.to_bytes(32, "big"))
+    # int() canonicalizes backend-native coordinates (e.g. mpz) at the
+    # serialization boundary; encodings are identical across backends.
+    buf = bytearray(int(point.x).to_bytes(32, "big"))
     if _is_larger_root(point.y):
         buf[0] |= _FLAG_Y_LARGER
     return bytes(buf)
@@ -122,7 +124,9 @@ def g2_to_bytes(point: G2Point) -> bytes:
     """Compress a G2 point to 64 bytes (x.c1 || x.c0, flags in first byte)."""
     if point.is_infinity():
         return bytes([_FLAG_INFINITY]) + bytes(63)
-    buf = bytearray(point.x.c1.to_bytes(32, "big") + point.x.c0.to_bytes(32, "big"))
+    buf = bytearray(
+        int(point.x.c1).to_bytes(32, "big") + int(point.x.c0).to_bytes(32, "big")
+    )
     if _fp2_is_larger(point.y):
         buf[0] |= _FLAG_Y_LARGER
     return bytes(buf)

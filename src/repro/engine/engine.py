@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Union
 
 from ..circuit.builder import CircuitBuilder
 from ..circuit.trace import TraceDivergence
+from ..field.backend import active_field_backend
 from ..parallel import ComputeBackend, get_backend
 from ..snark.groth16 import (
     Groth16Keypair,
@@ -205,7 +206,13 @@ class ProvingEngine:
         digest = compiled.digest
         with self._lock:
             prepared = self._prepared_pk.get(digest)
-        if prepared is None or prepared.pk is not keypair.proving_key:
+        if (
+            prepared is None
+            or prepared.pk is not keypair.proving_key
+            # Prepared bases hold field-backend-native residues; a backend
+            # switch (tests, ZKROWNN_FIELD_BACKEND changes) re-wraps them.
+            or prepared.field_backend != active_field_backend()
+        ):
             prepared = prepare_proving_key(keypair.proving_key)
             with self._lock:
                 self._prepared_pk[digest] = prepared

@@ -9,6 +9,19 @@ Public surface:
 * NTT utilities (:class:`EvaluationDomain`) and dense :class:`Polynomial`.
 """
 
+from .backend import (
+    FIELD_BACKEND_ENV,
+    FieldOps,
+    Gmpy2FieldOps,
+    MontgomeryFieldOps,
+    PythonFieldOps,
+    active_field_backend,
+    available_field_backends,
+    get_field_ops,
+    gmpy2_available,
+    resolve_field_backend,
+    set_field_backend,
+)
 from .prime import (
     BN254_P,
     BN254_R,
@@ -25,6 +38,17 @@ from .ntt import EvaluationDomain, intt, next_power_of_two, ntt
 from .poly import Polynomial
 
 __all__ = [
+    "FIELD_BACKEND_ENV",
+    "FieldOps",
+    "Gmpy2FieldOps",
+    "MontgomeryFieldOps",
+    "PythonFieldOps",
+    "active_field_backend",
+    "available_field_backends",
+    "get_field_ops",
+    "gmpy2_available",
+    "resolve_field_backend",
+    "set_field_backend",
     "BN254_P",
     "BN254_R",
     "BN254_X",

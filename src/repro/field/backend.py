@@ -1,0 +1,401 @@
+"""Pluggable field-arithmetic backends: the substrate under every kernel.
+
+Every hot loop in this codebase bottoms out in modular multiplication over
+one of the two BN254 primes.  This module makes that substrate swappable:
+
+* :class:`PythonFieldOps` -- the pure-stdlib default.  Canonical residues
+  (plain ``int``), ``a * b % p`` multiplication, plus a full complement of
+  cached Montgomery machinery (R, R^2 mod p, n' = -p^-1 mod R) exposed as
+  first-class operations (:meth:`~PythonFieldOps.to_mont`,
+  :meth:`~PythonFieldOps.mont_mul`, ...).
+* :class:`MontgomeryFieldOps` -- same element-level API, but flags the
+  curve layer to run its batch-affine MSM inner loops in Montgomery form
+  (all explicit ``%`` reductions replaced by shift-and-mask REDC).
+* :class:`Gmpy2FieldOps` -- GMP-backed residues (``gmpy2.mpz``), gated
+  behind ``importlib``: selecting it without gmpy2 installed is an error,
+  and the ``auto`` backend falls back to ``python`` silently.
+
+Selection mirrors the compute-backend convention: the
+``ZKROWNN_FIELD_BACKEND`` environment variable (``python`` | ``montgomery``
+| ``gmpy2`` | ``auto``), overridable per process via
+:func:`set_field_backend`.  The default is ``auto``: gmpy2 when importable,
+stdlib otherwise -- so the pure-Python path never needs a new dependency.
+
+Design note (measured, CPython 3.11, x86-64): a Montgomery multiply in
+pure Python costs three big-int multiplications (``a*b``, ``lo*n'``,
+``m*p``) against one multiplication plus one C-level ``divmod`` for
+``a * b % p``, and lands ~15% *slower* per operation -- CPython's big-int
+division is simply good at 254 bits.  That is why the *default* stdlib
+backend keeps canonical residues and the Montgomery form is a selectable
+backend rather than the default: it exists as the honest ablation point
+(``bench_msm_kernels.py``), is property-tested for exact agreement, and is
+the representation a future C/limb-vectorized kernel would want.  gmpy2,
+where available, is the real fast path: GMP multiplies these operand sizes
+several times faster than CPython, and every kernel in the repo is written
+against *native* residues, so ``mpz`` coordinates flow through MSM, NTT,
+tower and pairing arithmetic without per-operation conversions.
+
+Fork safety: backend state is keyed by PID.  A worker process created by
+``multiprocessing`` (fork or spawn) re-resolves its backend from the
+environment on first use, so gmpy2 state never silently crosses a
+``fork`` and ``ZKROWNN_FIELD_BACKEND`` changes in the parent are picked
+up by fresh pools (see ``repro.parallel.workers``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "FIELD_BACKEND_ENV",
+    "FieldOps",
+    "PythonFieldOps",
+    "MontgomeryFieldOps",
+    "Gmpy2FieldOps",
+    "available_field_backends",
+    "gmpy2_available",
+    "resolve_field_backend",
+    "active_field_backend",
+    "set_field_backend",
+    "get_field_ops",
+    "reinit_field_backend_after_fork",
+    "invmod",
+]
+
+FIELD_BACKEND_ENV = "ZKROWNN_FIELD_BACKEND"
+
+
+class FieldOps:
+    """Element-level modular arithmetic over one prime modulus.
+
+    ``wrap``/``unwrap`` convert between canonical Python ints and the
+    backend's *native* residue type at subsystem boundaries (key
+    preparation, serialization); everything between boundaries operates on
+    natives, which for every backend support the standard numeric
+    operators -- the kernels in ``curves/`` and ``field/`` are written
+    polymorphically against exactly that contract.
+    """
+
+    name = "abstract"
+    #: True when the MSM layer should route its batch-affine inner loops
+    #: through the Montgomery-form kernels.
+    montgomery_kernels = False
+
+    def __init__(self, modulus: int):
+        if modulus < 2:
+            raise ValueError("modulus must be a prime >= 2")
+        self.modulus = modulus
+        #: The modulus in native form, for ``x % ops.modulus_native`` loops.
+        self.modulus_native = modulus
+
+    # -- boundary conversions ------------------------------------------------
+
+    def wrap(self, value):
+        """Canonical native residue of ``value`` (any int-like)."""
+        raise NotImplementedError
+
+    def wrap_many(self, values: Sequence) -> List:
+        wrap = self.wrap
+        return [wrap(v) for v in values]
+
+    def unwrap(self, value) -> int:
+        """Canonical Python int in ``[0, modulus)``."""
+        return int(value % self.modulus_native)
+
+    def unwrap_many(self, values: Sequence) -> List[int]:
+        unwrap = self.unwrap
+        return [unwrap(v) for v in values]
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def mulmod(self, a, b):
+        return a * b % self.modulus_native
+
+    def addmod(self, a, b):
+        return (a + b) % self.modulus_native
+
+    def submod(self, a, b):
+        return (a - b) % self.modulus_native
+
+    def negmod(self, a):
+        return -a % self.modulus_native
+
+    def exp(self, a, e: int):
+        raise NotImplementedError
+
+    def inv(self, a):
+        """Multiplicative inverse; raises ``ZeroDivisionError`` on zero."""
+        raise NotImplementedError
+
+    def batch_inverse(self, values: Sequence) -> List:
+        """Invert many residues with one inversion (Montgomery's trick)."""
+        n = len(values)
+        if n == 0:
+            return []
+        m = self.modulus_native
+        prefix = [0] * n
+        acc = self.wrap(1)
+        for i, v in enumerate(values):
+            if not v:
+                raise ZeroDivisionError("batch_inverse saw a zero element")
+            prefix[i] = acc
+            acc = acc * v % m
+        inv = self.inv(acc)
+        out = [0] * n
+        for i in range(n - 1, -1, -1):
+            out[i] = inv * prefix[i] % m
+            inv = inv * values[i] % m
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(bits={self.modulus.bit_length()})"
+
+
+class PythonFieldOps(FieldOps):
+    """Pure-stdlib residues (plain ``int``) with cached Montgomery constants.
+
+    The Montgomery domain uses ``R = 2^mont_bits`` with ``4p < R`` (so
+    lazily-reduced sums of two residues still feed REDC safely) and byte
+    alignment for readable serialization of the constants.  All Montgomery
+    entry points produce *canonical* representatives in ``[0, p)`` -- the
+    MSM kernels rely on exact equality of x-coordinates to detect the
+    doubling case, so the cheap conditional subtraction is not optional.
+    """
+
+    name = "python"
+
+    def __init__(self, modulus: int):
+        super().__init__(modulus)
+        bits = modulus.bit_length() + 2
+        bits += (-bits) % 8
+        self.mont_bits = bits
+        self.mont_r = 1 << bits
+        self.mont_mask = self.mont_r - 1
+        self.mont_r2 = self.mont_r * self.mont_r % modulus
+        # n' = -p^-1 mod R: the REDC folding constant.
+        self.mont_nprime = (-pow(modulus, -1, self.mont_r)) % self.mont_r
+        self.mont_one = self.mont_r % modulus
+
+    # -- canonical residues --------------------------------------------------
+
+    def wrap(self, value):
+        return value % self.modulus
+
+    def wrap_many(self, values):
+        m = self.modulus
+        return [v % m for v in values]
+
+    def unwrap(self, value) -> int:
+        return int(value % self.modulus)
+
+    def exp(self, a, e: int):
+        return pow(a, e, self.modulus)
+
+    def inv(self, a):
+        if a % self.modulus == 0:
+            raise ZeroDivisionError("inverse of zero residue")
+        return pow(a, -1, self.modulus)
+
+    # -- Montgomery domain ---------------------------------------------------
+
+    def redc(self, t) -> int:
+        """Montgomery reduction: ``t * R^-1 mod p``, canonical output.
+
+        Accepts any ``t`` with ``|t| < R*p`` (products of canonical or
+        singly-lazy operands, including negative chords from the affine
+        formulas); the shift is exact because ``t + m*p = 0 (mod R)``.
+        """
+        m = ((t & self.mont_mask) * self.mont_nprime) & self.mont_mask
+        t = (t + m * self.modulus) >> self.mont_bits
+        if t >= self.modulus:
+            return t - self.modulus
+        if t < 0:
+            return t + self.modulus
+        return t
+
+    def to_mont(self, value: int) -> int:
+        """Canonical residue -> Montgomery form (``v * R mod p``)."""
+        return self.redc((value % self.modulus) * self.mont_r2)
+
+    def from_mont(self, value: int) -> int:
+        """Montgomery form -> canonical residue."""
+        return self.redc(value)
+
+    def mont_mul(self, a: int, b: int) -> int:
+        """Product of two Montgomery-form residues, in Montgomery form."""
+        return self.redc(a * b)
+
+    def mont_exp(self, a: int, e: int) -> int:
+        """``a^e`` for Montgomery-form ``a`` (result in Montgomery form)."""
+        return self.to_mont(pow(self.from_mont(a), e, self.modulus))
+
+    def mont_inv(self, a: int) -> int:
+        """Inverse of a Montgomery-form residue, in Montgomery form."""
+        plain = self.from_mont(a)
+        if plain == 0:
+            raise ZeroDivisionError("inverse of zero residue")
+        return self.to_mont(pow(plain, -1, self.modulus))
+
+
+class MontgomeryFieldOps(PythonFieldOps):
+    """Stdlib backend that runs the MSM inner loops in Montgomery form.
+
+    Element-level semantics (wrap/unwrap/mulmod/...) are identical to
+    :class:`PythonFieldOps` -- conversions happen inside the kernels at
+    their own boundaries -- so proofs are byte-identical by construction
+    and the backends differ only in how the bucket arithmetic is carried.
+    """
+
+    name = "montgomery"
+    montgomery_kernels = True
+
+
+class Gmpy2FieldOps(FieldOps):
+    """GMP-backed residues: every native value is a ``gmpy2.mpz``.
+
+    GMP's multiplication and division at 254-bit operand sizes run several
+    times faster than CPython's; because all kernels operate on natives,
+    wrapping key material and witness scalars once at the boundary
+    accelerates MSM, NTT, tower and pairing arithmetic wholesale.  No
+    Montgomery form: GMP's tuned ``mpn`` division leaves nothing for REDC
+    to win at these sizes.
+    """
+
+    name = "gmpy2"
+
+    def __init__(self, modulus: int):
+        import gmpy2  # ImportError here = backend explicitly unavailable
+
+        super().__init__(modulus)
+        self._gmpy2 = gmpy2
+        self._mpz = gmpy2.mpz
+        self.modulus_native = gmpy2.mpz(modulus)
+
+    def wrap(self, value):
+        return self._mpz(value) % self.modulus_native
+
+    def wrap_many(self, values):
+        mpz = self._mpz
+        m = self.modulus_native
+        return [mpz(v) % m for v in values]
+
+    def exp(self, a, e: int):
+        return self._gmpy2.powmod(self._mpz(a), e, self.modulus_native)
+
+    def inv(self, a):
+        a = self._mpz(a) % self.modulus_native
+        if not a:
+            raise ZeroDivisionError("inverse of zero residue")
+        return self._gmpy2.invert(a, self.modulus_native)
+
+
+_BACKEND_CLASSES = {
+    "python": PythonFieldOps,
+    "montgomery": MontgomeryFieldOps,
+    "gmpy2": Gmpy2FieldOps,
+}
+
+
+def available_field_backends() -> List[str]:
+    """Backend names selectable on this interpreter."""
+    names = ["python", "montgomery"]
+    if gmpy2_available():
+        names.append("gmpy2")
+    return names
+
+
+def gmpy2_available() -> bool:
+    return importlib.util.find_spec("gmpy2") is not None
+
+
+def resolve_field_backend(name: Optional[str] = None) -> str:
+    """Resolve a backend name (or the environment/default) to a concrete one.
+
+    ``auto`` picks gmpy2 when importable and falls back to the stdlib
+    backend; naming ``gmpy2`` explicitly without the library installed is
+    an error rather than a silent downgrade.
+    """
+    if name is None:
+        name = os.environ.get(FIELD_BACKEND_ENV) or "auto"
+    name = name.strip().lower()
+    if name == "auto":
+        return "gmpy2" if gmpy2_available() else "python"
+    if name not in _BACKEND_CLASSES:
+        raise ValueError(
+            f"unknown field backend {name!r}: expected one of "
+            f"'python', 'montgomery', 'gmpy2', 'auto'"
+        )
+    if name == "gmpy2" and not gmpy2_available():
+        raise ValueError(
+            "field backend 'gmpy2' requested but gmpy2 is not importable; "
+            "install it with `pip install zkrownn-repro[fast]` or select "
+            "'python'/'auto'"
+        )
+    return name
+
+
+# Process-local backend state.  ``pid`` makes the registry fork-aware:
+# the first lookup in a child process discards inherited ops instances and
+# re-resolves the backend from the environment.
+_STATE: Dict[str, object] = {"pid": os.getpid(), "name": None, "ops": {}}
+
+
+def _ensure_fresh() -> None:
+    pid = os.getpid()
+    if _STATE["pid"] != pid:
+        _STATE["pid"] = pid
+        _STATE["name"] = None
+        _STATE["ops"] = {}
+
+
+def active_field_backend() -> str:
+    """The name of the backend currently serving :func:`get_field_ops`."""
+    _ensure_fresh()
+    if _STATE["name"] is None:
+        _STATE["name"] = resolve_field_backend()
+    return _STATE["name"]  # type: ignore[return-value]
+
+
+def set_field_backend(name: Optional[str]) -> Optional[str]:
+    """Pin the process-wide backend; returns the previous pin (for restore).
+
+    ``None`` unpins, returning selection to ``ZKROWNN_FIELD_BACKEND`` /
+    ``auto`` on next use.  Cached per-modulus ops instances are dropped so
+    the switch takes effect everywhere at once (the NTT domain registry is
+    keyed by backend name and needs no invalidation).
+    """
+    _ensure_fresh()
+    previous = _STATE["name"]
+    _STATE["name"] = resolve_field_backend(name) if name is not None else None
+    _STATE["ops"] = {}
+    return previous  # type: ignore[return-value]
+
+
+def get_field_ops(modulus: int) -> FieldOps:
+    """The active backend's :class:`FieldOps` for ``modulus`` (cached)."""
+    _ensure_fresh()
+    name = active_field_backend()
+    ops_by_modulus: Dict[int, FieldOps] = _STATE["ops"]  # type: ignore[assignment]
+    ops = ops_by_modulus.get(modulus)
+    if ops is None or ops.name != name:
+        ops = _BACKEND_CLASSES[name](modulus)
+        ops_by_modulus[modulus] = ops
+    return ops
+
+
+def reinit_field_backend_after_fork() -> None:
+    """Drop inherited backend state; next use re-resolves from the env.
+
+    Called by worker initializers in ``repro.parallel.workers``; also
+    implied by the PID check on every lookup, so even untracked forks
+    never reuse a parent's gmpy2 state.
+    """
+    _STATE["pid"] = -1
+    _ensure_fresh()
+
+
+def invmod(value, modulus: int):
+    """Backend-routed modular inverse (``gmpy2.invert`` when active)."""
+    return get_field_ops(modulus).inv(value)

@@ -20,12 +20,19 @@ path for proving).  Every per-size constant is precomputed and cached:
 process-wide registry (:func:`get_domain`) -- repeated proofs for circuits
 of the same domain size (the ZKROWNN amortized lifecycle) never recompute
 roots of unity or tables.
+
+All tables and butterfly values are *backend-native* residues (plain ints
+on the stdlib backend, ``mpz`` under gmpy2), and both the twiddle cache
+and the domain registry are keyed by the active field backend's name, so
+switching ``ZKROWNN_FIELD_BACKEND`` mid-process can never mix native
+types inside one transform.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from .backend import get_field_ops
 from .prime import BN254_R as R
 from .prime import Fr
 
@@ -60,23 +67,27 @@ def _bitrev_swaps(n: int) -> List[Tuple[int, int]]:
     return swaps
 
 
-_TWIDDLE_CACHE: Dict[Tuple[int, int], List[List[int]]] = {}
+_TWIDDLE_CACHE: Dict[Tuple[str, int, int], List[List[int]]] = {}
 
 
-def _stage_twiddles(n: int, omega: int) -> List[List[int]]:
+def _stage_twiddles(n: int, omega: int, ops) -> List[List[int]]:
     """Twiddle tables for every butterfly stage, smallest stage first.
 
     Stage for block length ``L`` uses ``w_L = omega^(n/L)`` and needs
     ``w_L^j`` for ``j < L/2``.  The top stage (``L = n``) table is built
     once by iterated multiplication; every smaller stage is its stride-2
     subsampling, so the whole cache costs ``n/2`` multiplications.
+    Entries are backend-native residues, cached per (backend, size, root).
     """
-    tables = _TWIDDLE_CACHE.get((n, omega))
+    key = (ops.name, n, int(omega))
+    tables = _TWIDDLE_CACHE.get(key)
     if tables is None:
-        top = [1] * (n // 2)
-        acc = 1
+        r = ops.modulus_native
+        top = [ops.wrap(1)] * (n // 2)
+        w = ops.wrap(omega)
+        acc = top[0]
         for j in range(1, n // 2):
-            acc = acc * omega % R
+            acc = acc * w % r
             top[j] = acc
         tables = []
         length = 2
@@ -84,7 +95,7 @@ def _stage_twiddles(n: int, omega: int) -> List[List[int]]:
             tables.append(top[:: n // length][: length // 2])
             length <<= 1
         tables.append(top)
-        _TWIDDLE_CACHE[(n, omega)] = tables
+        _TWIDDLE_CACHE[key] = tables
     return tables
 
 
@@ -93,27 +104,31 @@ def ntt(values: Sequence[int], omega: int) -> List[int]:
 
     ``len(values)`` must be a power of two and ``omega`` a primitive root of
     unity of exactly that order.  Twiddle tables and the bit-reversal
-    permutation are cached per ``(size, omega)``.
+    permutation are cached per ``(backend, size, omega)``; outputs are
+    backend-native residues (canonical, so plain-int consumers are
+    unaffected on the stdlib backend).
     """
     n = len(values)
     if n & (n - 1):
         raise ValueError("NTT size must be a power of two")
-    out = [v % R for v in values]
+    ops = get_field_ops(R)
+    out = ops.wrap_many(values)
     if n <= 1:
         return out
     for i, j in _bitrev_swaps(n):
         out[i], out[j] = out[j], out[i]
+    r = ops.modulus_native
     length = 2
-    for twiddles in _stage_twiddles(n, omega):
+    for twiddles in _stage_twiddles(n, omega, ops):
         half = length >> 1
         for start in range(0, n, length):
             k = start
             for w in twiddles:
                 kh = k + half
-                odd = out[kh] * w % R
+                odd = out[kh] * w % r
                 even = out[k]
-                out[k] = (even + odd) % R
-                out[kh] = (even - odd) % R
+                out[k] = (even + odd) % r
+                out[kh] = (even - odd) % r
                 k += 1
         length <<= 1
     return out
@@ -122,9 +137,11 @@ def ntt(values: Sequence[int], omega: int) -> List[int]:
 def intt(values: Sequence[int], omega: int) -> List[int]:
     """Inverse NTT: recovers coefficients from evaluations."""
     n = len(values)
-    out = ntt(values, pow(omega, -1, R))
-    n_inv = pow(n, -1, R)
-    return [v * n_inv % R for v in out]
+    ops = get_field_ops(R)
+    out = ntt(values, pow(int(omega), -1, R))
+    n_inv = ops.wrap(pow(n, -1, R))
+    r = ops.modulus_native
+    return [v * n_inv % r for v in out]
 
 
 class EvaluationDomain:
@@ -139,6 +156,9 @@ class EvaluationDomain:
     def __init__(self, size: int):
         size = next_power_of_two(size)
         self.size = size
+        self.ops = get_field_ops(R)
+        #: Field backend this domain's native tables were built under.
+        self.backend = self.ops.name
         self.omega = Fr.root_of_unity(size).value if size > 1 else 1
         self.omega_inv = pow(self.omega, -1, R) if size > 1 else 1
         self._size_inv = pow(size, -1, R)
@@ -146,11 +166,13 @@ class EvaluationDomain:
         # can never be a 2-power root of unity.
         self.coset_shift = Fr.multiplicative_generator().value
         self.coset_shift_inv = pow(self.coset_shift, -1, R)
-        self._coset_powers = _powers(self.coset_shift, size)
+        rn = self.ops.modulus_native
+        self._coset_powers = _powers(self.ops.wrap(self.coset_shift), size, rn)
         # Fold the 1/n interpolation scale into the inverse-shift powers so
         # coset_ifft is one elementwise multiply.
         self._coset_inv_powers = [
-            p * self._size_inv % R for p in _powers(self.coset_shift_inv, size)
+            p * self._size_inv % rn
+            for p in _powers(self.ops.wrap(self.coset_shift_inv), size, rn)
         ]
         self._elements: List[int] = []
 
@@ -172,7 +194,8 @@ class EvaluationDomain:
         if self.size == 1:
             return [evaluations[0] % R]
         n_inv = self._size_inv
-        return [v * n_inv % R for v in ntt(evaluations, self.omega_inv)]
+        rn = self.ops.modulus_native
+        return [v * n_inv % rn for v in ntt(evaluations, self.omega_inv)]
 
     # -- coset domain -------------------------------------------------------------
 
@@ -181,7 +204,8 @@ class EvaluationDomain:
         coeffs = list(coefficients) + [0] * (self.size - len(coefficients))
         if len(coeffs) > self.size:
             raise ValueError("polynomial degree exceeds domain size")
-        shifted = [c * g % R for c, g in zip(coeffs, self._coset_powers)]
+        rn = self.ops.modulus_native
+        shifted = [c * g % rn for c, g in zip(coeffs, self._coset_powers)]
         if self.size == 1:
             return shifted
         return ntt(shifted, self.omega)
@@ -195,7 +219,8 @@ class EvaluationDomain:
             return coeffs
         coeffs = ntt(evaluations, self.omega_inv)
         # _coset_inv_powers carries the 1/n factor of the inverse NTT.
-        return [c * g % R for c, g in zip(coeffs, self._coset_inv_powers)]
+        rn = self.ops.modulus_native
+        return [c * g % rn for c, g in zip(coeffs, self._coset_inv_powers)]
 
     # -- vanishing polynomial -----------------------------------------------------
 
@@ -217,16 +242,16 @@ class EvaluationDomain:
         return f"EvaluationDomain(size={self.size})"
 
 
-def _powers(base: int, count: int) -> List[int]:
+def _powers(base, count: int, modulus=R) -> List:
     out = [1] * count
     acc = 1
     for i in range(1, count):
-        acc = acc * base % R
+        acc = acc * base % modulus
         out[i] = acc
     return out
 
 
-_DOMAIN_CACHE: Dict[int, EvaluationDomain] = {}
+_DOMAIN_CACHE: Dict[Tuple[str, int], EvaluationDomain] = {}
 
 
 def get_domain(size: int) -> EvaluationDomain:
@@ -235,10 +260,16 @@ def get_domain(size: int) -> EvaluationDomain:
     Domains are immutable once built; sharing them across proofs removes
     the root-of-unity search, twiddle-table build and coset power chains
     from every ``prove`` call after the first for a given circuit size.
+    The registry is keyed by the active field backend as well as the
+    size: a domain built under one backend holds that backend's native
+    tables and is never served to another.
     """
+    from .backend import active_field_backend
+
     size = next_power_of_two(size)
-    domain = _DOMAIN_CACHE.get(size)
+    key = (active_field_backend(), size)
+    domain = _DOMAIN_CACHE.get(key)
     if domain is None:
         domain = EvaluationDomain(size)
-        _DOMAIN_CACHE[size] = domain
+        _DOMAIN_CACHE[key] = domain
     return domain

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from .backend import invmod
 from .prime import BN254_R as R
 
 __all__ = ["Polynomial"]
@@ -66,7 +67,7 @@ class Polynomial:
                     continue
                 basis = basis * Polynomial([-xj, 1])
                 denom = denom * (xi - xj) % R
-            scale = yi * pow(denom, -1, R) % R
+            scale = yi * int(invmod(denom, R)) % R
             total = total + basis.scale(scale)
         return total
 
@@ -114,7 +115,7 @@ class Polynomial:
             raise ZeroDivisionError("polynomial division by zero")
         remainder = list(self.coeffs)
         quotient = [0] * max(0, len(remainder) - len(divisor.coeffs) + 1)
-        lead_inv = pow(divisor.coeffs[-1], -1, R)
+        lead_inv = int(invmod(divisor.coeffs[-1], R))
         d = len(divisor.coeffs)
         for i in range(len(quotient) - 1, -1, -1):
             q = remainder[i + d - 1] * lead_inv % R

@@ -21,6 +21,8 @@ from __future__ import annotations
 import hashlib
 from typing import List, Sequence, Union
 
+from .backend import FieldOps, get_field_ops
+
 __all__ = [
     "PrimeField",
     "FieldElement",
@@ -192,6 +194,16 @@ class PrimeField:
     def __repr__(self) -> str:
         return f"PrimeField({self.name}, bits={self.modulus.bit_length()})"
 
+    @property
+    def ops(self) -> FieldOps:
+        """The active field-arithmetic backend for this modulus.
+
+        Hot layers (curves, NTT, SNARK key preparation) pull native
+        residues and kernel constants from here; this class remains the
+        readable ``int``-valued public face.
+        """
+        return get_field_ops(self.modulus)
+
     def __contains__(self, element: object) -> bool:
         return isinstance(element, FieldElement) and element.field is self
 
@@ -295,28 +307,16 @@ def tonelli_shanks(n: int, p: int) -> Union[int, None]:
 
 
 def batch_inverse_ints(values: Sequence[int], modulus: int) -> List[int]:
-    """Invert many raw integers mod ``modulus`` with one modular inversion.
+    """Invert many raw residues mod ``modulus`` with one modular inversion.
 
-    Montgomery's trick on plain integers: the hot form used by the curve
-    layer (batch-affine MSM buckets, point normalization), where wrapping
-    every coordinate in a :class:`FieldElement` would dominate the savings.
+    Montgomery's trick on raw (backend-native) residues: the hot form used
+    by the curve layer (batch-affine MSM buckets, point normalization),
+    where wrapping every coordinate in a :class:`FieldElement` would
+    dominate the savings.  Routed through the active field backend, so the
+    chain multiplications and the single inversion run on gmpy2 natives
+    when that backend is selected.
     """
-    n = len(values)
-    if n == 0:
-        return []
-    prefix: List[int] = [0] * n
-    acc = 1
-    for i, v in enumerate(values):
-        if v == 0:
-            raise ZeroDivisionError("batch_inverse saw a zero element")
-        prefix[i] = acc
-        acc = acc * v % modulus
-    inv = pow(acc, -1, modulus)
-    out: List[int] = [0] * n
-    for i in range(n - 1, -1, -1):
-        out[i] = inv * prefix[i] % modulus
-        inv = inv * values[i] % modulus
-    return out
+    return get_field_ops(modulus).batch_inverse(values)
 
 
 def batch_inverse(elements: Sequence[FieldElement]) -> List[FieldElement]:
@@ -325,7 +325,9 @@ def batch_inverse(elements: Sequence[FieldElement]) -> List[FieldElement]:
         return []
     field = elements[0].field
     raw = batch_inverse_ints([e.value for e in elements], field.modulus)
-    return [FieldElement(field, v) for v in raw]
+    # Backend natives (e.g. mpz) are canonicalized so FieldElement.value
+    # stays a plain int regardless of the active backend.
+    return [FieldElement(field, int(v)) for v in raw]
 
 
 #: BN254 base field (curve coordinates live here).

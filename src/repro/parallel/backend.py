@@ -169,7 +169,11 @@ class ProcessBackend(ComputeBackend):
 
     def _msm_pool(self):
         if self._pool is None:
-            self._pool = self._ctx.Pool(self.workers)
+            # The initializer re-resolves the *field* backend inside each
+            # worker (gmpy2 state never crosses fork; see field.backend).
+            self._pool = self._ctx.Pool(
+                self.workers, initializer=workers.init_msm_worker
+            )
         return self._pool
 
     def _acquire_prove_pool(self, key_id: str, ppk, cs):

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..field.backend import reinit_field_backend_after_fork
+
 #: Worker-side prepared-key cache: key id -> (prepared key, constraint system).
 #: Keys arrive via :func:`init_prove_worker` (pool initializer); with the
 #: ``fork`` start method the parent's already-warm cache is also inherited
@@ -21,7 +23,13 @@ _PROVE_STATE: Dict[str, Tuple[object, object]] = {}
 
 
 def init_prove_worker(key_id: str, ppk, cs) -> None:
-    """Pool initializer: pin the (large) shared proving inputs in the worker."""
+    """Pool initializer: pin the (large) shared proving inputs in the worker.
+
+    Also re-resolves the field backend from the environment: backend state
+    (gmpy2 handles, cached ops instances) must never silently cross a
+    ``fork`` -- each worker rebuilds its own on first field operation.
+    """
+    reinit_field_backend_after_fork()
     _PROVE_STATE[key_id] = (ppk, cs)
 
 
@@ -39,9 +47,17 @@ def prove_task(args: Tuple[str, Sequence[int], Optional[int]]):
     return prove_prepared(ppk, cs, assignment, seed=seed)
 
 
+def init_msm_worker() -> None:
+    """MSM pool initializer: fresh field-backend state per worker process."""
+    reinit_field_backend_after_fork()
+
+
 def msm_chunk_g1(args) -> Tuple[int, int, int]:
     """One MSM chunk; returns a Jacobian triple of plain ints (picklable)."""
     from ..curves.msm import msm_g1
 
     points, scalars = args
-    return msm_g1(points, scalars)
+    x, y, z = msm_g1(points, scalars)
+    # Canonical ints: backend-native coordinates (mpz) would force the
+    # parent to depend on the worker's backend for unpickling.
+    return (int(x), int(y), int(z))

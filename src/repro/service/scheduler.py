@@ -31,6 +31,12 @@ replica are *yielded*: dropped from this scheduler with local state
 ``yielded``, never mirrored -- the owning replica's transitions are the
 durable record.  Leases are released (and the persisted request frame
 discarded) when a task reaches ``done`` or ``failed``.
+
+While a batch proves, a *renewal heartbeat* thread re-acquires the lease
+of every task still in ``proving`` at a configurable interval (default:
+a third of the lease length), so even a **single proof** longer than the
+lease -- where the per-task refresh at batch boundaries never runs --
+cannot expire mid-prove and invite a takeover by another replica.
 """
 
 from __future__ import annotations
@@ -46,7 +52,7 @@ from ..snark.errors import ConstraintViolation
 from ..zkrownn.artifacts import OwnershipClaim, model_digest
 from ..zkrownn.circuit import CircuitConfig
 from . import wire
-from .registry import ClaimRegistry
+from .registry import DEFAULT_LEASE_SECONDS, ClaimRegistry
 
 __all__ = ["JobState", "ProofScheduler", "ProofTask", "SchedulerStats"]
 
@@ -100,6 +106,7 @@ class SchedulerStats:
     done: int = 0
     failed: int = 0
     yielded: int = 0  # lost the registry lease to another replica
+    lease_renewals: int = 0  # heartbeat re-acquisitions during long proofs
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -123,6 +130,8 @@ class ProofScheduler:
         *,
         max_batch: int = 8,
         workers: int = 1,
+        lease_seconds: Optional[float] = None,
+        heartbeat_seconds: Optional[float] = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -130,6 +139,18 @@ class ProofScheduler:
         self.registry = registry
         self.max_batch = max_batch
         self.workers = workers
+        # Proving-lease length for this scheduler's acquisitions (None =
+        # the registry default); deployments with known proof ceilings can
+        # shorten it for faster crash takeover.
+        self.lease_seconds = lease_seconds
+        # Lease-renewal cadence while proving: a third of the lease keeps
+        # two renewal opportunities ahead of every expiry.  <= 0 disables
+        # the heartbeat (tests of the takeover path rely on that).
+        self.heartbeat_seconds = (
+            (lease_seconds or DEFAULT_LEASE_SECONDS) / 3.0
+            if heartbeat_seconds is None
+            else heartbeat_seconds
+        )
         self.stats = SchedulerStats()
         self.processed_order: List[str] = []  # claim ids in dispatch order
         self._queue: List[ProofTask] = []
@@ -242,7 +263,7 @@ class ProofScheduler:
         """
         if task.claim_id not in self.registry:
             return True
-        if not self.registry.acquire(task.claim_id):
+        if not self._acquire(task.claim_id):
             return False
         try:
             state = self.registry.reload(task.claim_id).state
@@ -300,11 +321,10 @@ class ProofScheduler:
     def _finish(self, task: ProofTask, state: str, *, error: str = "",
                 **fields) -> None:
         self._mirror(task.claim_id, state, error=error, **fields)
-        if state in (JobState.DONE, JobState.FAILED):
-            # Terminal: the persisted request frame (prover secrets) has
-            # served its recovery purpose, and the proving lease is free.
-            self.registry.discard_request_bytes(task.claim_id)
-            self.registry.release(task.claim_id)
+        # Local terminal state FIRST, lease release after: the renewal
+        # heartbeat gates on the local state, so this order (plus its own
+        # post-acquire re-check) keeps it from re-creating a lease for a
+        # claim that has already been released.
         with self._cv:
             self._states[task.claim_id] = state
             if error:
@@ -314,6 +334,11 @@ class ProofScheduler:
             else:
                 self.stats.failed += 1
             self._cv.notify_all()
+        if state in (JobState.DONE, JobState.FAILED):
+            # Terminal: the persisted request frame (prover secrets) has
+            # served its recovery purpose, and the proving lease is free.
+            self.registry.discard_request_bytes(task.claim_id)
+            self.registry.release(task.claim_id)
 
     def _fail_tasks(self, tasks: List[ProofTask], error: str) -> None:
         for task in tasks:
@@ -324,13 +349,64 @@ class ProofScheduler:
 
     # -------------------------------------------------------------- proving --
 
+    def _acquire(self, claim_id: str) -> bool:
+        """Acquire/refresh the claim's lease with this scheduler's length."""
+        if self.lease_seconds is None:
+            return self.registry.acquire(claim_id)
+        return self.registry.acquire(claim_id, lease_seconds=self.lease_seconds)
+
     def _refresh_lease(self, task: ProofTask) -> None:
         """Extend our proving lease at task boundaries within a batch, so
         a long batch does not silently outlive the lease and invite a
         takeover mid-prove.  (A single proof longer than the lease is
-        still uncovered -- see the ROADMAP note on lease renewal.)"""
+        covered by the renewal heartbeat -- see :meth:`_start_heartbeat`.)"""
         if task.claim_id in self.registry:
-            self.registry.acquire(task.claim_id)
+            self._acquire(task.claim_id)
+
+    def _start_heartbeat(self, tasks: List[ProofTask]) -> threading.Event:
+        """Renew the proving leases of in-flight tasks on a timer.
+
+        Runs for the lifetime of one :meth:`_prove_batch` call: every
+        ``heartbeat_seconds`` each task still locally ``proving`` gets its
+        registry lease re-acquired (an owner's ``acquire`` is a refresh),
+        so a single proof longer than the lease can no longer expire it
+        and invite a mid-prove takeover.  Returns the stop event; the
+        caller sets it when the batch resolves.
+        """
+        stop = threading.Event()
+        interval = self.heartbeat_seconds
+        if interval is None or interval <= 0:
+            stop.set()
+            return stop
+
+        def renew() -> None:
+            while not stop.wait(interval):
+                for task in tasks:
+                    with self._cv:
+                        state = self._states.get(task.claim_id)
+                    if state != JobState.PROVING:
+                        continue
+                    if task.claim_id not in self.registry:
+                        continue
+                    if self._acquire(task.claim_id):
+                        # The task may have reached a terminal state (and
+                        # released its lease) between the check above and
+                        # this acquire; undo rather than leave a dangling
+                        # lease on a finished claim.
+                        with self._cv:
+                            still_proving = (
+                                self._states.get(task.claim_id)
+                                == JobState.PROVING
+                            )
+                            if still_proving:
+                                self.stats.lease_renewals += 1
+                        if not still_proving:
+                            self.registry.release(task.claim_id)
+
+        threading.Thread(
+            target=renew, name="proof-lease-heartbeat", daemon=True
+        ).start()
+        return stop
 
     def _synthesize(self, task: ProofTask):
         """(compiled, synthesis) for one task, with the validity check."""
@@ -347,6 +423,13 @@ class ProofScheduler:
         return compiled, synthesis
 
     def _prove_batch(self, batch: List[ProofTask]) -> None:
+        heartbeat_stop = self._start_heartbeat(batch)
+        try:
+            self._prove_batch_inner(batch)
+        finally:
+            heartbeat_stop.set()
+
+    def _prove_batch_inner(self, batch: List[ProofTask]) -> None:
         # The batch head compiles (or cache-hits) the shape; later tasks
         # replay the trace lazily inside the generator below.
         head_task = batch[0]
@@ -359,7 +442,9 @@ class ProofScheduler:
                          error=f"witness synthesis failed: {exc}")
             rest = batch[1:]
             if rest:
-                self._prove_batch(rest)
+                # Inner call: the enclosing _prove_batch's heartbeat
+                # already covers every task of this batch.
+                self._prove_batch_inner(rest)
             return
         head_elapsed = time.perf_counter() - t0
 

@@ -23,7 +23,8 @@ import secrets
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..curves.bn254 import R
+from ..curves.bn254 import P, R
+from ..field.backend import get_field_ops
 from ..curves.g1 import (
     G1Point,
     JacobianPoint,
@@ -153,8 +154,11 @@ def setup_with_trapdoor(
     """Setup that also returns the toxic waste (for the ZK simulator)."""
     rng = _Randomness(seed)
     alpha, beta, gamma, delta, tau = (rng.scalar() for _ in range(5))
-    gamma_inv = pow(gamma, -1, R)
-    delta_inv = pow(delta, -1, R)
+    # Scalar bookkeeping runs on the active field backend's natives (the
+    # toxic waste itself stays a plain int for the trapdoor dataclass).
+    ops_r = get_field_ops(R)
+    gamma_inv = ops_r.inv(gamma)
+    delta_inv = ops_r.inv(delta)
 
     qap = evaluate_qap_at(cs, tau)
     m = cs.num_variables
@@ -180,12 +184,14 @@ def setup_with_trapdoor(
     k_jac = [g1_mul(k_scalar(j) * delta_inv % R) for j in range(ell + 1, m)]
 
     # h_query[i] = [tau^i * t(tau) / delta]_1 for i < |H| - 1.
-    t_over_delta = qap.t_at_tau * delta_inv % R
+    rn = ops_r.modulus_native
+    tau_native = ops_r.wrap(tau)
+    t_over_delta = qap.t_at_tau * delta_inv % rn
     h_jac: List[JacobianPoint] = []
     power = t_over_delta
     for _ in range(qap.domain_size - 1):
         h_jac.append(g1_mul(power))
-        power = power * tau % R
+        power = power * tau_native % rn
 
     all_points = _g1_points_from_jacs(
         a_jac
@@ -287,7 +293,10 @@ class PreparedProvingKey:
     Pippenger MSM consumes.  A prover issuing many proofs under one key
     (the amortized ZKROWNN lifecycle) does the conversion once; the
     :class:`~repro.engine.engine.ProvingEngine` caches one of these per
-    structure digest.
+    structure digest.  Coordinates are stored as the *field backend's*
+    native residues (``mpz`` under gmpy2), so every per-proof MSM runs on
+    natives with zero per-call conversions; ``field_backend`` records
+    which backend the bases were wrapped for.
     """
 
     pk: ProvingKey
@@ -295,15 +304,23 @@ class PreparedProvingKey:
     points_b1: List[Optional[Tuple[int, int]]]
     points_k: List[Optional[Tuple[int, int]]]
     points_h: List[Optional[Tuple[int, int]]]
+    field_backend: str = "python"
 
 
 def prepare_proving_key(pk: ProvingKey) -> PreparedProvingKey:
+    ops = get_field_ops(P)
+    wrap = ops.wrap
+
+    def affine(p: G1Point) -> Optional[Tuple[int, int]]:
+        return None if p.is_infinity() else (wrap(p.x), wrap(p.y))
+
     return PreparedProvingKey(
         pk=pk,
-        points_a=[_g1_affine(p) for p in pk.a_query],
-        points_b1=[_g1_affine(p) for p in pk.b_g1_query],
-        points_k=[_g1_affine(p) for p in pk.k_query],
-        points_h=[_g1_affine(p) for p in pk.h_query],
+        points_a=[affine(p) for p in pk.a_query],
+        points_b1=[affine(p) for p in pk.b_g1_query],
+        points_k=[affine(p) for p in pk.k_query],
+        points_h=[affine(p) for p in pk.h_query],
+        field_backend=ops.name,
     )
 
 
@@ -349,7 +366,9 @@ def prove_prepared(
     rng = _Randomness(seed)
     r, s = rng.scalar(), rng.scalar()
 
-    z = [v % R for v in assignment]
+    # Witness residues in backend-native form: one wrap here feeds the
+    # A/B1/K MSM scalar paths and the NTT-based h computation alike.
+    z = get_field_ops(R).wrap_many(assignment)
 
     # The A and B1 commitments multiply different bases by the SAME witness
     # vector; the shared-scalar multi-MSM decomposes and recodes z once.

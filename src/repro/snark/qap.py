@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from ..field.backend import get_field_ops
 from ..field.ntt import EvaluationDomain, get_domain, next_power_of_two
 from ..field.prime import BN254_R as R
 from .r1cs import ConstraintSystem
@@ -73,21 +74,24 @@ def _lagrange_basis_at(domain: EvaluationDomain, tau: int) -> List[int]:
     points = domain.elements()
     if t_at_tau == 0:
         return [1 if tau % R == pt else 0 for pt in points]
-    # Batch-invert all (tau - omega^k).
-    diffs = [(tau - pt) % R for pt in points]
+    # Batch-invert all (tau - omega^k) on backend-native residues.
+    ops = get_field_ops(R)
+    rn = ops.modulus_native
+    tau_native = ops.wrap(tau)
+    diffs = [(tau_native - pt) % rn for pt in points]
     prefix = []
-    acc = 1
+    acc = ops.wrap(1)
     for d in diffs:
         prefix.append(acc)
-        acc = acc * d % R
-    inv = pow(acc, -1, R)
+        acc = acc * d % rn
+    inv = ops.inv(acc)
     inv_diffs = [0] * n
     for i in range(n - 1, -1, -1):
-        inv_diffs[i] = inv * prefix[i] % R
-        inv = inv * diffs[i] % R
+        inv_diffs[i] = inv * prefix[i] % rn
+        inv = inv * diffs[i] % rn
     n_inv = pow(n, -1, R)
-    scale = t_at_tau * n_inv % R
-    return [points[k] * scale % R * inv_diffs[k] % R for k in range(n)]
+    scale = t_at_tau * n_inv % rn
+    return [points[k] * scale % rn * inv_diffs[k] % rn for k in range(n)]
 
 
 def evaluate_qap_at(cs: ConstraintSystem, tau: int) -> QapEvaluation:
@@ -145,9 +149,11 @@ def compute_h(cs: ConstraintSystem, assignment: Sequence[int]) -> List[int]:
     u_coset = domain.coset_fft(u_coeffs)
     v_coset = domain.coset_fft(v_coeffs)
     w_coset = domain.coset_fft(w_coeffs)
-    t_inv = pow(domain.vanishing_on_coset(), -1, R)
+    ops = get_field_ops(R)
+    rn = ops.modulus_native
+    t_inv = ops.inv(domain.vanishing_on_coset())
     h_coset = [
-        (u_coset[i] * v_coset[i] - w_coset[i]) % R * t_inv % R
+        (u_coset[i] * v_coset[i] - w_coset[i]) % rn * t_inv % rn
         for i in range(domain.size)
     ]
     h_coeffs = domain.coset_ifft(h_coset)

@@ -1,0 +1,474 @@
+"""Field-arithmetic backend tests.
+
+Covers the three backends' agreement on element-level arithmetic (edge
+values and random residues), the Montgomery machinery against plain
+modular arithmetic, the Montgomery MSM kernels against the stdlib ones,
+backend selection/fork semantics, and -- the system-level guarantee
+everything else exists to protect -- Groth16 proof byte-identity across
+field backends x compute backends.
+
+gmpy2-specific cases run only when the library is importable (the CI
+field-backend matrix installs it; the stdlib path needs no dependency).
+"""
+
+import importlib.machinery
+import random
+import sys
+import types
+
+import pytest
+
+from repro.curves.bn254 import P, R
+from repro.curves.g1 import G1Point, jac_add, jac_to_affine_many
+from repro.curves.g2 import G2Point
+from repro.curves.msm import (
+    _batch_affine_add,
+    _batch_affine_add_mont,
+    msm_g1,
+    msm_g1_multi,
+    msm_g2,
+    msm_g2_unsigned,
+    naive_msm_g2,
+)
+from repro.field.backend import (
+    FIELD_BACKEND_ENV,
+    Gmpy2FieldOps,
+    MontgomeryFieldOps,
+    PythonFieldOps,
+    active_field_backend,
+    available_field_backends,
+    get_field_ops,
+    gmpy2_available,
+    reinit_field_backend_after_fork,
+    resolve_field_backend,
+    set_field_backend,
+)
+from repro.field.ntt import get_domain, ntt
+from repro.field.prime import Fp, Fr, batch_inverse_ints
+
+EDGE_VALUES = [0, 1, 2, 3, P - 1, P - 2, P // 2, 1 << 255]
+
+
+@pytest.fixture(autouse=True)
+def _unpin_backend_after_test():
+    yield
+    set_field_backend(None)
+
+
+def _random_residues(count, seed=1234):
+    rng = random.Random(seed)
+    return [rng.randrange(P) for _ in range(count)]
+
+
+def _all_ops(modulus):
+    ops = [PythonFieldOps(modulus), MontgomeryFieldOps(modulus)]
+    if gmpy2_available():
+        ops.append(Gmpy2FieldOps(modulus))
+    return ops
+
+
+# ---------------------------------------------------------------- selection --
+
+
+class TestSelection:
+    def test_default_resolution_prefers_gmpy2_when_importable(self, monkeypatch):
+        monkeypatch.delenv(FIELD_BACKEND_ENV, raising=False)
+        expected = "gmpy2" if gmpy2_available() else "python"
+        assert resolve_field_backend() == expected
+        assert resolve_field_backend("auto") == expected
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(FIELD_BACKEND_ENV, "montgomery")
+        set_field_backend(None)  # drop any pin so the env is consulted
+        assert active_field_backend() == "montgomery"
+        assert get_field_ops(P).montgomery_kernels
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown field backend"):
+            resolve_field_backend("numpy")
+
+    def test_gmpy2_without_library_is_an_error_not_a_downgrade(self):
+        if gmpy2_available():
+            pytest.skip("gmpy2 installed: explicit selection is valid here")
+        with pytest.raises(ValueError, match="gmpy2 is not importable"):
+            resolve_field_backend("gmpy2")
+
+    def test_set_and_restore_roundtrip(self):
+        previous = set_field_backend("montgomery")
+        assert active_field_backend() == "montgomery"
+        set_field_backend(previous)
+        assert active_field_backend() in available_field_backends()
+
+    def test_ops_cached_per_modulus_and_swapped_on_switch(self):
+        set_field_backend("python")
+        first = get_field_ops(P)
+        assert get_field_ops(P) is first
+        set_field_backend("montgomery")
+        assert get_field_ops(P) is not first
+        assert get_field_ops(P).name == "montgomery"
+
+    def test_reinit_after_fork_drops_pin(self, monkeypatch):
+        monkeypatch.delenv(FIELD_BACKEND_ENV, raising=False)
+        set_field_backend("montgomery")
+        reinit_field_backend_after_fork()
+        # Back to environment resolution, as a worker process would be.
+        assert active_field_backend() == resolve_field_backend()
+
+    def test_prime_field_ops_property_tracks_active_backend(self):
+        set_field_backend("montgomery")
+        assert Fp.ops.name == "montgomery"
+        assert Fr.ops.modulus == R
+
+
+# --------------------------------------------------------------- arithmetic --
+
+
+class TestOpsAgreement:
+    @pytest.mark.parametrize("modulus", [P, R])
+    def test_mulmod_inverse_exp_agree_across_backends(self, modulus):
+        all_ops = _all_ops(modulus)
+        values = [v % modulus for v in EDGE_VALUES] + _random_residues(16)
+        rng = random.Random(99)
+        for a in values:
+            b = rng.randrange(modulus)
+            e = rng.randrange(1 << 64)
+            expected_mul = a * b % modulus
+            expected_exp = pow(a, e, modulus)
+            for ops in all_ops:
+                na, nb = ops.wrap(a), ops.wrap(b)
+                assert ops.unwrap(ops.mulmod(na, nb)) == expected_mul
+                assert ops.unwrap(ops.addmod(na, nb)) == (a + b) % modulus
+                assert ops.unwrap(ops.submod(na, nb)) == (a - b) % modulus
+                assert ops.unwrap(ops.exp(na, e)) == expected_exp
+                if a % modulus:
+                    assert ops.unwrap(ops.inv(na)) == pow(a, -1, modulus)
+                else:
+                    with pytest.raises(ZeroDivisionError):
+                        ops.inv(na)
+
+    def test_batch_inverse_agrees_and_rejects_zero(self):
+        values = _random_residues(50, seed=5)
+        expected = [pow(v, -1, P) for v in values]
+        for ops in _all_ops(P):
+            out = ops.batch_inverse(ops.wrap_many(values))
+            assert ops.unwrap_many(out) == expected
+            with pytest.raises(ZeroDivisionError):
+                ops.batch_inverse(ops.wrap_many(values + [0]))
+
+    def test_batch_inverse_ints_routed_through_backend(self):
+        values = _random_residues(10, seed=7)
+        out = batch_inverse_ints(values, P)
+        assert [int(v) for v in out] == [pow(v, -1, P) for v in values]
+
+    def test_wrap_unwrap_canonicalize(self):
+        for ops in _all_ops(P):
+            assert ops.unwrap(ops.wrap(-1)) == P - 1
+            assert ops.unwrap(ops.wrap(P)) == 0
+            assert ops.unwrap_many(ops.wrap_many([P + 5, -3])) == [5, P - 3]
+
+
+class TestMontgomeryMachinery:
+    def test_constants(self):
+        ops = PythonFieldOps(P)
+        assert ops.mont_r > 4 * P  # lazy-sum REDC input window
+        assert ops.mont_r * pow(ops.mont_r, -1, P) % P == 1
+        assert (P * ops.mont_nprime + 1) % ops.mont_r == 0
+        assert ops.mont_r2 == ops.mont_r * ops.mont_r % P
+        assert ops.mont_one == ops.to_mont(1)
+
+    def test_roundtrip_and_mul_on_edges_and_random(self):
+        ops = PythonFieldOps(P)
+        values = [v % P for v in EDGE_VALUES] + _random_residues(32, seed=3)
+        rng = random.Random(17)
+        for a in values:
+            assert ops.from_mont(ops.to_mont(a)) == a
+            b = rng.randrange(P)
+            ma, mb = ops.to_mont(a), ops.to_mont(b)
+            assert ops.from_mont(ops.mont_mul(ma, mb)) == a * b % P
+            assert ops.from_mont(ops.mont_exp(ma, 12345)) == pow(a, 12345, P)
+            if a:
+                assert (
+                    ops.from_mont(ops.mont_inv(ma)) == pow(a, -1, P)
+                )
+        with pytest.raises(ZeroDivisionError):
+            ops.mont_inv(ops.to_mont(0))
+
+    def test_redc_handles_negative_inputs_canonically(self):
+        ops = PythonFieldOps(P)
+        rng = random.Random(23)
+        r_inv = pow(ops.mont_r, -1, P)
+        for _ in range(64):
+            # Chord numerators in the MSM kernel reach (-p^2, p^2).
+            t = rng.randrange(P * P) - P * P // 2
+            out = ops.redc(t)
+            assert 0 <= out < P
+            assert out == t * r_inv % P
+
+    def test_montgomery_batch_affine_add_matches_plain(self):
+        g = G1Point.generator()
+        jacs, acc = [], (g.x, g.y, 1)
+        for _ in range(64):
+            jacs.append(acc)
+            acc = jac_add(acc, (g.x, g.y, 1))
+        pts = jac_to_affine_many(jacs)
+        # Distinct pairs, doublings (P == Q) and cancellations (P == -Q).
+        ps = pts[:32]
+        qs = pts[32:]
+        ps += [pts[0], pts[1]]
+        qs += [pts[0], (pts[1][0], P - pts[1][1])]
+        plain = _batch_affine_add(ps, qs)
+        ops = MontgomeryFieldOps(P)
+        to_m = ops.to_mont
+        from_m = ops.from_mont
+        mont = _batch_affine_add_mont(
+            [(to_m(x), to_m(y)) for x, y in ps],
+            [(to_m(x), to_m(y)) for x, y in qs],
+            ops,
+        )
+        assert len(plain) == len(mont)
+        for a, b in zip(plain, mont):
+            if a is None:
+                assert b is None
+            else:
+                assert a == (from_m(b[0]), from_m(b[1]))
+
+
+# ------------------------------------------------------------------ kernels --
+
+
+def _g1_inputs(n, seed=7):
+    rng = random.Random(seed)
+    g = G1Point.generator()
+    jacs, acc = [], (g.x, g.y, 1)
+    for _ in range(n):
+        jacs.append(acc)
+        acc = jac_add(acc, (g.x, g.y, 1))
+    points = jac_to_affine_many(jacs)
+    return points, [rng.randrange(R) for _ in range(n)]
+
+
+class TestKernelParityAcrossBackends:
+    def test_msm_g1_identical_across_backends(self):
+        points, scalars = _g1_inputs(96)
+        # Edge cases inside one MSM: infinities, zero scalars, negatives.
+        points[3] = None
+        scalars[5] = 0
+        scalars[7] = R - 1
+        reference = None
+        for name in available_field_backends():
+            set_field_backend(name)
+            ops = get_field_ops(P)
+            native = [
+                None if p is None else (ops.wrap(p[0]), ops.wrap(p[1]))
+                for p in points
+            ]
+            result = jac_to_affine_many([msm_g1(native, scalars)])[0]
+            result = None if result is None else (int(result[0]), int(result[1]))
+            if reference is None:
+                reference = result
+            else:
+                assert result == reference, f"backend {name} diverged"
+
+    def test_msm_g1_multi_identical_across_backends(self):
+        points, scalars = _g1_inputs(64, seed=21)
+        lists = [points, points[::-1]]
+        reference = None
+        for name in available_field_backends():
+            set_field_backend(name)
+            outs = msm_g1_multi(lists, scalars)
+            outs = [
+                None if a is None else (int(a[0]), int(a[1]))
+                for a in jac_to_affine_many(outs)
+            ]
+            if reference is None:
+                reference = outs
+            else:
+                assert outs == reference, f"backend {name} diverged"
+
+    def test_ntt_identical_across_backends(self):
+        values = [random.Random(4).randrange(R) for _ in range(64)]
+        domain = get_domain(64)
+        reference = [int(v) for v in domain.fft(values)]
+        for name in available_field_backends():
+            set_field_backend(name)
+            d = get_domain(64)
+            assert d.backend == name
+            assert [int(v) for v in d.fft(values)] == reference
+            assert [int(v) for v in d.ifft(d.fft(values))] == [
+                v % R for v in values
+            ]
+
+    def test_domain_registry_keyed_by_backend(self):
+        set_field_backend("python")
+        d_py = get_domain(32)
+        set_field_backend("montgomery")
+        d_mont = get_domain(32)
+        assert d_py is not d_mont
+        assert (d_py.backend, d_mont.backend) == ("python", "montgomery")
+        set_field_backend("python")
+        assert get_domain(32) is d_py
+
+
+class TestSignedG2MSM:
+    def test_matches_naive_and_unsigned(self):
+        rng = random.Random(31)
+        g2 = G2Point.generator()
+        points, acc = [], g2
+        for _ in range(24):
+            points.append(acc)
+            acc = acc + g2
+        scalars = [rng.randrange(R) for _ in range(24)]
+        expected = naive_msm_g2(points, scalars)
+        assert msm_g2(points, scalars) == expected
+        assert msm_g2_unsigned(points, scalars) == expected
+
+    def test_edge_cases(self):
+        g2 = G2Point.generator()
+        assert msm_g2([], []).is_infinity()
+        assert msm_g2([g2], [0]).is_infinity()
+        assert msm_g2([G2Point.infinity()], [5]).is_infinity()
+        assert msm_g2([g2], [1]) == g2
+        assert msm_g2([g2, g2], [3, R - 3]).is_infinity()
+        # Duplicate points exercise the shared-x (doubling) branch of the
+        # batched Fp2 affine addition.
+        assert msm_g2([g2, g2, g2], [7, 7, 1]) == g2 * 15
+        assert msm_g2([g2], [R - 1]) == -g2
+        with pytest.raises(ValueError):
+            msm_g2([g2], [1, 2])
+
+
+# ------------------------------------------------------- proof byte-identity --
+
+
+class _FakeMpz(int):
+    """Stand-in for ``gmpy2.mpz``: an int subclass (operator-compatible)."""
+
+
+def _install_fake_gmpy2(monkeypatch):
+    mod = types.ModuleType("gmpy2")
+    mod.__spec__ = importlib.machinery.ModuleSpec("gmpy2", loader=None)
+    mod.mpz = _FakeMpz
+    mod.powmod = lambda a, e, m: _FakeMpz(pow(int(a), int(e), int(m)))
+    mod.invert = lambda a, m: _FakeMpz(pow(int(a), -1, int(m)))
+    mod.version = lambda: "fake-0"
+    monkeypatch.setitem(sys.modules, "gmpy2", mod)
+
+
+@pytest.mark.skipif(
+    gmpy2_available(), reason="real gmpy2 installed; stub would shadow it"
+)
+class TestGmpy2PlumbingViaStub:
+    """Exercise the exact Gmpy2FieldOps code paths the CI matrix runs,
+    without the dependency: a stub gmpy2 whose mpz is an int subclass.
+
+    This cannot test GMP performance, but it does pin the boundary
+    plumbing -- wrap/unwrap placement, native flow through MSM/NTT/
+    pairing, serialization canonicalization -- that real-mpz runs rely
+    on.
+    """
+
+    def test_backend_resolves_and_ops_agree(self, monkeypatch):
+        monkeypatch.delenv(FIELD_BACKEND_ENV, raising=False)
+        _install_fake_gmpy2(monkeypatch)
+        assert gmpy2_available()
+        assert resolve_field_backend() == "gmpy2"  # auto prefers gmpy2
+        set_field_backend("gmpy2")
+        ops = get_field_ops(P)
+        assert ops.name == "gmpy2"
+        a, b = 1234567, P - 3
+        assert ops.unwrap(ops.mulmod(ops.wrap(a), ops.wrap(b))) == a * b % P
+        assert ops.unwrap(ops.inv(ops.wrap(a))) == pow(a, -1, P)
+        assert ops.unwrap(ops.exp(ops.wrap(a), 77)) == pow(a, 77, P)
+
+    def test_proofs_byte_identical_vs_python_backend(self, monkeypatch):
+        from repro.engine import ProvingEngine
+
+        set_field_backend("python")
+        engine = ProvingEngine()
+        compiled, synthesis = engine.synthesize("chain-12", _mul_chain(12))
+        reference = engine.prove(
+            compiled, synthesis, seed=5, setup_seed=6
+        ).to_bytes()
+
+        _install_fake_gmpy2(monkeypatch)
+        set_field_backend("gmpy2")
+        engine2 = ProvingEngine()
+        compiled2, synthesis2 = engine2.synthesize("chain-12", _mul_chain(12))
+        proof = engine2.prove(compiled2, synthesis2, seed=5, setup_seed=6)
+        assert proof.to_bytes() == reference
+        assert engine2.verify(compiled2, synthesis2.public_values, proof)
+
+
+def _mul_chain(depth, x=3):
+    def synthesize(b):
+        out = b.public_output("y")
+        w = b.private_input("x", x)
+        acc = w
+        for _ in range(depth):
+            acc = b.mul(acc, w)
+        b.bind_output(out, acc + 1)
+
+    return synthesize
+
+
+class TestProofByteIdentity:
+    """Groth16 proofs must be byte-identical across field backends x
+    compute backends -- the acceptance bar for the whole refactor."""
+
+    def _proofs_under(self, field_backend, compute_backend):
+        from repro.engine import ProvingEngine
+
+        set_field_backend(field_backend)
+        engine = ProvingEngine(backend=compute_backend)
+        compiled, synthesis = engine.synthesize("chain-16", _mul_chain(16))
+        proofs = engine.prove_batch(
+            compiled, [synthesis] * 2, seeds=[11, 12], setup_seed=42
+        )
+        assert engine.verify(compiled, synthesis.public_values, proofs[0])
+        vk = engine.setup(compiled).verifying_key.to_bytes()
+        return [p.to_bytes() for p in proofs], vk
+
+    def test_byte_identical_across_field_and_compute_backends(self):
+        from repro.parallel import ProcessBackend, SerialBackend
+
+        reference_proofs, reference_vk = self._proofs_under(
+            "python", SerialBackend()
+        )
+        for field_backend in available_field_backends():
+            process = ProcessBackend(2)
+            try:
+                for compute in (SerialBackend(), process):
+                    proofs, vk = self._proofs_under(field_backend, compute)
+                    assert proofs == reference_proofs, (
+                        f"proof bytes diverged under field={field_backend} "
+                        f"compute={compute.name}"
+                    )
+                    assert vk == reference_vk
+            finally:
+                process.close()
+
+    def test_setup_keys_byte_identical_across_field_backends(self):
+        from repro.snark.groth16 import setup
+        from repro.circuit.builder import CircuitBuilder
+
+        def build():
+            b = CircuitBuilder("k")
+            out = b.public_output("y")
+            w = b.private_input("x", 5)
+            b.bind_output(out, b.mul(w, w) + 1)
+            return b.cs
+
+        reference = None
+        for name in available_field_backends():
+            set_field_backend(name)
+            keypair = setup(build(), seed=9)
+            blob = (
+                keypair.verifying_key.to_bytes(),
+                keypair.proving_key.alpha_g1.x,
+                keypair.proving_key.alpha_g1.y,
+            )
+            blob = (blob[0], int(blob[1]), int(blob[2]))
+            if reference is None:
+                reference = blob
+            else:
+                assert blob == reference, f"setup diverged under {name}"

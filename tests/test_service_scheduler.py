@@ -5,6 +5,9 @@ end-of-file integration test drives real ownership claims from the
 session-scoped watermarked MLP through scheduler + registry.
 """
 
+import threading
+import time
+
 import pytest
 
 from repro.circuit import FixedPointFormat
@@ -222,6 +225,104 @@ class TestReplicaContention:
         finally:
             sched_a.stop(timeout=5.0)
             sched_b.stop(timeout=5.0)
+
+
+class TestLeaseHeartbeat:
+    """A single proof longer than the lease must keep its lease alive.
+
+    The per-task refresh only runs at batch boundaries; these tests pin
+    the renewal *heartbeat* that covers the inside of one long prove.
+    """
+
+    @staticmethod
+    def _slow_task(claim_id, started=None, sleep_s=0.6):
+        def synthesize(b):
+            if started is not None:
+                started.set()
+            time.sleep(sleep_s)
+            _chain_synthesizer(8)(b)
+
+        return ProofTask(
+            claim_id=claim_id,
+            shape_key=f"slow-{claim_id}",
+            synthesize=synthesize,
+            seed=1,
+            require_valid=False,
+        )
+
+    def test_heartbeat_renews_lease_during_long_prove(self, tmp_path):
+        registry = ClaimRegistry(tmp_path, owner_token="replica-a")
+        registry.register(ClaimRecord(claim_id="slow", model_digest="m" * 64))
+        sched = ProofScheduler(
+            ProvingEngine(),
+            registry,
+            lease_seconds=0.4,
+            heartbeat_seconds=0.05,
+        )
+        sched.submit(self._slow_task("slow"))
+        try:
+            sched.start()
+            assert sched.wait("slow", timeout=60) == JobState.DONE
+        finally:
+            sched.stop(timeout=5.0)
+        # The 0.6s synthesis alone spans several heartbeat intervals.
+        assert sched.stats.lease_renewals >= 2
+        # Terminal state released the lease.
+        assert registry.lease_owner("slow") is None
+
+    def test_heartbeat_blocks_takeover_past_lease_expiry(self, tmp_path):
+        registry_a = ClaimRegistry(tmp_path, owner_token="replica-a")
+        registry_a.register(
+            ClaimRecord(claim_id="contended", model_digest="m" * 64)
+        )
+        registry_b = ClaimRegistry(tmp_path, owner_token="replica-b")
+        sched = ProofScheduler(
+            ProvingEngine(),
+            registry_a,
+            lease_seconds=0.5,
+            heartbeat_seconds=0.05,
+        )
+        started = threading.Event()
+        sched.submit(self._slow_task("contended", started=started, sleep_s=1.5))
+        try:
+            sched.start()
+            assert started.wait(timeout=30)
+            # Well past the un-renewed lease's expiry, mid-prove: another
+            # replica must still be refused the claim.
+            time.sleep(0.9)
+            assert sched.state("contended") == JobState.PROVING
+            assert not registry_b.acquire("contended", lease_seconds=0.5)
+            assert sched.wait("contended", timeout=60) == JobState.DONE
+        finally:
+            sched.stop(timeout=5.0)
+        assert sched.stats.lease_renewals >= 2
+
+    def test_without_heartbeat_lease_expires_mid_prove(self, tmp_path):
+        # Contrast case pinning that the scenario above is real: with the
+        # heartbeat disabled, the lease of a long single proof expires and
+        # another replica can steal the claim mid-prove.
+        registry_a = ClaimRegistry(tmp_path, owner_token="replica-a")
+        registry_a.register(
+            ClaimRecord(claim_id="stealable", model_digest="m" * 64)
+        )
+        registry_b = ClaimRegistry(tmp_path, owner_token="replica-b")
+        sched = ProofScheduler(
+            ProvingEngine(),
+            registry_a,
+            lease_seconds=0.3,
+            heartbeat_seconds=0,
+        )
+        started = threading.Event()
+        sched.submit(self._slow_task("stealable", started=started, sleep_s=1.2))
+        try:
+            sched.start()
+            assert started.wait(timeout=30)
+            time.sleep(0.7)
+            assert registry_b.acquire("stealable", lease_seconds=60.0)
+            assert registry_b.lease_owner("stealable") == "replica-b"
+        finally:
+            sched.stop(timeout=10.0)
+        assert sched.stats.lease_renewals == 0
 
 
 class TestOwnershipClaimBatch:
