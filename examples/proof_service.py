@@ -14,7 +14,10 @@ serves verification to any third party.  This example:
 4. fetches the ~460-byte claim artifact and verifies it both server-side
    (``POST /verify``) and trustlessly client-side (fetch claim + VK,
    check locally);
-5. restarts the server over the same registry and shows the claim is
+5. audits the whole registry through ``zkrownn audit`` -- one batched
+   random-linear-combination pairing check per verifying-key group via
+   ``POST /verify-batch``;
+6. restarts the server over the same registry and shows the claim is
    still there -- the dispute-resolution story.
 
 Run:  python examples/proof_service.py
@@ -66,18 +69,18 @@ def main():
     registry_root = Path(tempfile.mkdtemp(prefix="zkrownn-service-"))
     print(f"registry at {registry_root}")
 
-    print("[1/5] training + watermarking the claimant's model ...")
+    print("[1/6] training + watermarking the claimant's model ...")
     model, keys = train_claimant_model()
     config = CircuitConfig(
         theta=0.0, fixed_point=FixedPointFormat(frac_bits=14, total_bits=40)
     )
 
-    print("[2/5] starting the proof service ...")
+    print("[2/6] starting the proof service ...")
     server = ProofServer(ProofService(ClaimRegistry(registry_root))).start()
     client = ServiceClient(server.url)
     print(f"      {server.url}  health: {client.health()['status']}")
 
-    print("[3/5] submitting two same-shape claims ...")
+    print("[3/6] submitting two same-shape claims ...")
     first = client.submit_claim(model, keys, config, seed=5, setup_seed=99)
     status = client.wait(first["claim_id"], timeout=600)
     assert status["state"] == "done", status
@@ -99,7 +102,7 @@ def main():
           f"{engine['compile_hits']}, setup_hits={engine['setup_hits']}, "
           f"setup_misses={engine['setup_misses']}")
 
-    print("[4/5] fetching + verifying the claim ...")
+    print("[4/6] fetching + verifying the claim ...")
     claim = client.fetch_claim(first["claim_id"])
     print(f"      claim artifact: {claim.size_bytes()} bytes "
           f"({len(claim.proof_bytes)}-byte proof)")
@@ -110,7 +113,19 @@ def main():
     assert local.accepted, local.reason
     print("      trustless client-side verify (claim + VK fetched): True")
 
-    print("[5/5] restarting the server over the same registry ...")
+    print("[5/6] auditing the registry (zkrownn audit -> /verify-batch) ...")
+    from repro.cli import main as cli_main
+
+    batch = client.verify_batch(
+        [first["claim_id"], second["claim_id"]], seed=1
+    )
+    assert all(v.accepted and v.status == 200 for v in batch.verdicts), batch
+    assert len(batch.groups) == 1 and batch.groups[0].accepted, batch
+    print(f"      2 claims, 1 VK group, batched pairing check accepted "
+          f"in {batch.groups[0].seconds:.2f}s")
+    assert cli_main(["audit", "--url", server.url]) == 0, "audit must pass"
+
+    print("[6/6] restarting the server over the same registry ...")
     server.stop()
     server2 = ProofServer(ProofService(ClaimRegistry(registry_root))).start()
     client2 = ServiceClient(server2.url)

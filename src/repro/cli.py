@@ -20,6 +20,9 @@ Proof-service subcommands (see ``repro.service``):
 * ``verify-remote`` -- ask the server to verify a proved claim.
 * ``verify-local`` -- trustless verification: fetch the claim and a
   digest-pinned verifying key, check against a local model copy.
+* ``audit`` -- sweep every non-revoked registered claim through the
+  server's batched ``/verify-batch`` endpoint, grouped by verifying key,
+  and report per-claim and per-group verdicts with timing.
 """
 
 from __future__ import annotations
@@ -300,6 +303,48 @@ def _cmd_verify_local(args: argparse.Namespace) -> int:
     return 0 if report.accepted else 1
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Registry-wide audit sweep via the batched verification endpoint.
+
+    Exit code 0 only if every group's batched pairing check passed and no
+    200-status claim was rejected and no stored proof was malformed
+    (status 400).  Claims not yet proved (409) are reported as skipped
+    and do not fail the audit.
+    """
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    result = client.audit_registry(seed=args.seed)
+    if not result.verdicts:
+        print("registry holds no auditable claims")
+        return 0
+
+    failed = False
+    skipped = 0
+    print(f"audited {len(result.verdicts)} claim(s) "
+          f"in {len(result.groups)} verification-key group(s)")
+    for verdict in result.verdicts:
+        if verdict.status == 409:
+            mark, skipped = "SKIP", skipped + 1
+        elif verdict.accepted:
+            mark = "PASS"
+        else:
+            mark, failed = "FAIL", True
+        print(f"  [{mark}] {verdict.claim_id[:16]}...  "
+              f"status={verdict.status}  {verdict.reason}")
+    for group in result.groups:
+        state = "accepted" if group.accepted else "REJECTED"
+        if not group.accepted:
+            failed = True
+        print(f"group {group.circuit_digest[:16]}...: "
+              f"{len(group.claim_ids)} claim(s) {state} "
+              f"in {group.seconds:.3f}s (batched pairing check)")
+    if skipped:
+        print(f"{skipped} claim(s) skipped (not yet proved)")
+    print("audit result:", "FAILED" if failed else "PASSED")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="zkrownn",
@@ -401,6 +446,18 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(default: the digest the claim record names)",
     )
     verify_local.set_defaults(func=_cmd_verify_local)
+
+    audit = sub.add_parser(
+        "audit",
+        help="batch-verify every non-revoked registered claim, "
+             "grouped by verifying key",
+    )
+    add_url(audit)
+    audit.add_argument(
+        "--seed", type=int, default=None,
+        help="derandomize the batch combiner (reproducible audits)",
+    )
+    audit.set_defaults(func=_cmd_audit)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -36,6 +36,7 @@ from .g2 import G2Point, g2_wrap, psi
 __all__ = [
     "pairing",
     "multi_pairing",
+    "multi_miller_loop",
     "pairing_check",
     "miller_loop",
     "miller_loop_precomputed",
@@ -43,6 +44,8 @@ __all__ = [
     "G2Precomputed",
     "final_exponentiation",
     "final_exponentiation_naive",
+    "fp12_to_ints",
+    "fp12_from_ints",
 ]
 
 # (p^4 - p^2 + 1) / r: the hard-part exponent of the final exponentiation.
@@ -229,6 +232,131 @@ def miller_loop_precomputed(p: G1Point, pre: G2Precomputed) -> Fp12Element:
     return f
 
 
+def _variant_params(variant: str) -> Tuple[int, bool]:
+    if variant == "optimal":
+        return OPTIMAL_ATE_LOOP_COUNT, True
+    if variant == "ate":
+        return ATE_LOOP_COUNT, False
+    raise ValueError(f"unknown pairing variant: {variant!r}")
+
+
+class _LivePair:
+    """Mutable G2-side Miller state for one (P, Q) pair of the shared loop."""
+
+    __slots__ = ("xp", "yp", "t", "q_affine", "q")
+
+    def __init__(self, p: G1Point, q: G2Point, ops):
+        self.xp, self.yp = ops.wrap(p.x), ops.wrap(p.y)
+        self.q = g2_wrap(q, ops)
+        self.t = (self.q.x, self.q.y)
+        self.q_affine = (self.q.x, self.q.y)
+
+
+def multi_miller_loop(
+    pairs: Iterable[Tuple[G1Point, object]], variant: str = "optimal"
+) -> Fp12Element:
+    """Shared Miller loop: ``prod_i f_{c, Q_i}(P_i)`` with ONE squaring chain.
+
+    Because squaring distributes over the product
+    (``(prod f_i)^2 = prod f_i^2``), the per-bit ``square()`` of the
+    accumulator is shared across all pairs; each iteration then multiplies
+    in every pair's sparse line evaluation.  n pairs cost roughly one
+    squaring chain plus n line-evaluation chains, versus n full Miller
+    loops for a product of :func:`miller_loop` calls -- the kernel behind
+    batch verification.
+
+    Each Q may be a live :class:`~repro.curves.g2.G2Point` or a
+    :class:`G2Precomputed` (key-fixed points with captured line
+    coefficients); mixing both in one call is the Groth16-verify shape.
+    Precomputations made for a different variant are rejected.  Pairs with
+    a point at infinity contribute the factor 1 and are skipped.
+    """
+    loop_count, corrections = _variant_params(variant)
+    ops = get_field_ops(P)
+    live: List[_LivePair] = []
+    pre: List[Tuple[int, Fp2Element, object]] = []
+    for p, q in pairs:
+        if isinstance(q, G2Precomputed):
+            if q.loop_count != loop_count or q.with_corrections != corrections:
+                raise ValueError(
+                    "G2 precomputation was made for a different pairing "
+                    f"variant (want {variant!r})"
+                )
+            if p.is_infinity():
+                continue
+            xp, yp = ops.wrap(p.x), ops.wrap(p.y)
+            pre.append((xp, _embed(yp), iter(q.coeffs)))
+        else:
+            if p.is_infinity() or q.is_infinity():
+                continue
+            live.append(_LivePair(p, q, ops))
+
+    f = Fp12Element.one()
+    if not live and not pre:
+        return f
+
+    def pre_step(f: Fp12Element) -> Fp12Element:
+        """Consume one captured line per precomputed pair."""
+        for xp, ype, it in pre:
+            neg_lam, c4 = next(it)
+            f = f.mul_by_line(ype, neg_lam.scale(xp), c4)
+        return f
+
+    for bit in bin(loop_count)[3:]:
+        f = f.square()
+        for s in live:
+            s.t, line = _line_double(s.t, s.xp, s.yp)
+            f = f.mul_by_line(*line)
+        f = pre_step(f)
+        if bit == "1":
+            for s in live:
+                s.t, line = _line_add(s.t, s.q_affine, s.xp, s.yp)
+                f = f.mul_by_line(*line)
+            f = pre_step(f)
+    if corrections:
+        for s in live:
+            q1 = psi(s.q)
+            q2 = -psi(psi(s.q))
+            s.t, line = _line_add(s.t, (q1.x, q1.y), s.xp, s.yp)
+            f = f.mul_by_line(*line)
+            s.t, line = _line_add(s.t, (q2.x, q2.y), s.xp, s.yp)
+            f = f.mul_by_line(*line)
+        f = pre_step(f)
+        f = pre_step(f)
+    return f
+
+
+def fp12_to_ints(f: Fp12Element) -> Tuple[int, ...]:
+    """Flatten an Fp12 element to 12 canonical ints (process-boundary form).
+
+    Backend-native residues (``mpz``) never cross a process boundary; the
+    ``int()`` calls canonicalize them (element-level residues are always in
+    canonical range on every field backend).
+    """
+    return tuple(
+        int(c)
+        for b in (f.b0, f.b1)
+        for a in (b.a0, b.a1, b.a2)
+        for c in (a.c0, a.c1)
+    )
+
+
+def fp12_from_ints(values: Sequence[int]) -> Fp12Element:
+    """Rebuild an Fp12 element from :func:`fp12_to_ints` output."""
+    if len(values) != 12:
+        raise ValueError(f"need 12 coefficients, got {len(values)}")
+    it = iter(values)
+
+    def fp6() -> Fp6Element:
+        return Fp6Element(
+            Fp2Element(next(it), next(it)),
+            Fp2Element(next(it), next(it)),
+            Fp2Element(next(it), next(it)),
+        )
+
+    return Fp12Element(fp6(), fp6())
+
+
 def final_exponentiation_naive(f: Fp12Element) -> Fp12Element:
     """Reference final exponentiation: hard part by direct square-and-
     multiply with the 1016-bit exponent ``(p^4 - p^2 + 1)/r``.
@@ -310,20 +438,11 @@ def multi_pairing(
 
     ``prod_i e(P_i, Q_i)`` -- the workhorse of Groth16 verification, where a
     four-term product comparison reduces to one multi-pairing == 1 check.
+
+    Runs on the shared :func:`multi_miller_loop` (one squaring chain for
+    all pairs), so each Q may also be a :class:`G2Precomputed`.
     """
-    acc = Fp12Element.one()
-    for p, q in pairs:
-        if p.is_infinity() or q.is_infinity():
-            continue
-        if variant == "optimal":
-            acc = acc * miller_loop(
-                p, q, OPTIMAL_ATE_LOOP_COUNT, optimal_corrections=True
-            )
-        elif variant == "ate":
-            acc = acc * miller_loop(p, q, ATE_LOOP_COUNT)
-        else:
-            raise ValueError(f"unknown pairing variant: {variant!r}")
-    return final_exponentiation(acc)
+    return final_exponentiation(multi_miller_loop(pairs, variant))
 
 
 def pairing_check(

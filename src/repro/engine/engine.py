@@ -41,6 +41,7 @@ from ..snark.groth16 import (
     prepare_verifying_key,
     prove_prepared,
     setup as groth16_setup,
+    verify_batch_prepared,
     verify_prepared,
 )
 from ..snark.keys import Proof
@@ -66,6 +67,7 @@ class EngineStats:
     proofs: int = 0
     proof_batches: int = 0
     verifications: int = 0
+    batch_verifications: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -328,13 +330,10 @@ class ProvingEngine:
 
     # ---------------------------------------------------------------- verify --
 
-    def verify(
-        self,
-        compiled: CompiledCircuit,
-        public_values: Sequence[int],
-        proof: Proof,
-    ) -> bool:
-        """Pairing check against the prepared verification key.
+    def _prepared_verifying_key(
+        self, compiled: CompiledCircuit
+    ) -> PreparedVerifyingKey:
+        """The cached prepared VK for a circuit with a known keypair.
 
         Requires a keypair for this circuit (from :meth:`setup` or the
         disk store) -- minting a fresh one here would silently reject
@@ -360,9 +359,41 @@ class ProvingEngine:
             prepared = prepare_verifying_key(keypair.verifying_key)
             with self._lock:
                 self._prepared_vk[digest] = prepared
+        return prepared
+
+    def verify(
+        self,
+        compiled: CompiledCircuit,
+        public_values: Sequence[int],
+        proof: Proof,
+    ) -> bool:
+        """Pairing check against the prepared verification key."""
+        prepared = self._prepared_verifying_key(compiled)
         with self._lock:
             self.stats.verifications += 1
         return verify_prepared(prepared, public_values, proof)
+
+    def verify_batch(
+        self,
+        compiled: CompiledCircuit,
+        cases: Sequence[tuple],
+        *,
+        seed: Optional[int] = None,
+    ) -> bool:
+        """Batch-verify ``(public_values, proof)`` cases for one circuit.
+
+        One RLC multi-pairing against the cached prepared key, with the
+        live Miller loops and the folded C/IC MSMs routed through the
+        engine's compute backend.  Soundness/seeding semantics follow
+        :func:`repro.snark.groth16.verify_batch_prepared`.
+        """
+        prepared = self._prepared_verifying_key(compiled)
+        with self._lock:
+            self.stats.verifications += len(cases)
+            self.stats.batch_verifications += 1
+        return verify_batch_prepared(
+            prepared, cases, seed=seed, backend=self.backend
+        )
 
     # --------------------------------------------------------------- one-shot --
 

@@ -39,6 +39,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..curves.g1 import G1_INFINITY_JAC, JacobianPoint, jac_add
 from ..curves.msm import msm_g1, msm_g1_multi, msm_g2
+from ..curves.pairing import G2Precomputed, fp12_from_ints, multi_miller_loop
+from ..field.tower import Fp12Element
 from . import workers
 
 __all__ = ["ComputeBackend", "SerialBackend", "ProcessBackend", "get_backend"]
@@ -66,6 +68,14 @@ class ComputeBackend:
 
     def msm_g2(self, points: Sequence, scalars: Sequence[int]):
         raise NotImplementedError
+
+    def multi_miller(self, pairs: Sequence[Tuple], variant: str = "optimal"):
+        """Shared-loop Miller product ``prod_i f_{c, Q_i}(P_i)`` (no final
+        exponentiation -- the caller combines products and exponentiates
+        once).  Backends may fan the pairs out in chunks; chunk products
+        multiply together to the same value the serial kernel returns.
+        """
+        return multi_miller_loop(pairs, variant)
 
     def prove_stream(
         self,
@@ -148,10 +158,12 @@ class ProcessBackend(ComputeBackend):
         workers_count: Optional[int] = None,
         *,
         min_msm_chunk: int = 1024,
+        min_miller_pairs: int = 8,
         max_prove_pools: int = 2,
     ):
         self.workers = workers_count or os.cpu_count() or 2
         self.min_msm_chunk = min_msm_chunk
+        self.min_miller_pairs = min_miller_pairs
         self.max_prove_pools = max_prove_pools
         try:
             self._ctx = multiprocessing.get_context("fork")
@@ -272,6 +284,53 @@ class ProcessBackend(ComputeBackend):
         # G2 MSMs in Groth16 are single-digit percent of prove time; the
         # Fp2-object pickling cost outweighs fan-out.
         return msm_g2(points, scalars)
+
+    def multi_miller(self, pairs, variant="optimal"):
+        """Chunked shared Miller loops; chunk products combine in the parent.
+
+        Each worker runs one shared-squaring-chain loop over its chunk and
+        returns the raw Miller value as 12 canonical ints; the parent
+        multiplies the chunk values.  The squaring chain is re-run once
+        per chunk (that part does not parallelize), so the fan-out pays
+        off only for batches with enough line-evaluation work --
+        ``min_miller_pairs`` guards the crossover.  Precomputed-G2 pairs
+        carry captured coefficient lists whose pickling cost defeats the
+        point of shipping them; any present routes the whole call to the
+        serial kernel.
+        """
+        pairs = list(pairs)
+        if (
+            len(pairs) < self.min_miller_pairs
+            or self.workers < 2
+            or any(isinstance(q, G2Precomputed) for _, q in pairs)
+        ):
+            return multi_miller_loop(pairs, variant)
+        # Infinity pairs contribute the factor 1; drop them before
+        # chunking so no worker receives a coordinate-less point.
+        live = [
+            (p, q) for p, q in pairs
+            if not (p.is_infinity() or q.is_infinity())
+        ]
+        if not live:
+            return Fp12Element.one()
+        chunk = (len(live) + self.workers - 1) // self.workers
+        jobs = [
+            (
+                [
+                    (
+                        (int(p.x), int(p.y)),
+                        (int(q.x.c0), int(q.x.c1), int(q.y.c0), int(q.y.c1)),
+                    )
+                    for p, q in live[i : i + chunk]
+                ],
+                variant,
+            )
+            for i in range(0, len(live), chunk)
+        ]
+        total = Fp12Element.one()
+        for part in self._msm_pool().map(workers.miller_chunk, jobs):
+            total = total * fp12_from_ints(part)
+        return total
 
     def prove_stream(self, ppk, cs, pairs, *, key_id=None):
         pairs_iter: Iterator[ProvePair] = iter(pairs)

@@ -199,6 +199,41 @@ class ServiceClient:
             vk = self.fetch_verifying_key(claim_id)
         return OwnershipVerifier(vk).verify(model, claim)
 
+    def verify_batch(
+        self, claim_ids: List[str], *, seed: Optional[int] = None
+    ) -> wire.VerifyBatchResult:
+        """Ask the service to verify many claims in one batched sweep.
+
+        Posts a binary :class:`~repro.service.wire.VerifyBatchRequest`
+        frame to ``POST /verify-batch``; the service groups the claims by
+        verifying key and runs one random-linear-combination
+        multi-pairing per group.  Returns per-claim verdicts (with
+        HTTP-style statuses: 404 unknown, 409 unverifiable state, 400
+        malformed proof) plus per-group timing.
+        """
+        frame = wire.encode_verify_batch_request(
+            wire.VerifyBatchRequest(claim_ids=list(claim_ids), seed=seed)
+        )
+        return wire.decode_verify_batch_result(
+            self._request("POST", "/verify-batch", body=frame)
+        )
+
+    def audit_registry(
+        self, *, seed: Optional[int] = None
+    ) -> wire.VerifyBatchResult:
+        """Sweep every non-revoked registered claim through ``/verify-batch``.
+
+        The ``zkrownn audit`` workflow: list the registry, drop revoked
+        records, batch-verify the rest.  Claims not yet proved come back
+        as 409 verdicts (skipped, not failures).
+        """
+        claim_ids = [
+            record["claim_id"]
+            for record in self.list_claims()
+            if record["state"] != "revoked"
+        ]
+        return self.verify_batch(claim_ids, seed=seed)
+
     # --------------------------------------------------------------- admin --
 
     def revoke(self, claim_id: str, reason: str = "") -> Dict:

@@ -36,6 +36,7 @@ import hashlib
 import json
 import threading
 import time
+from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -374,9 +375,125 @@ class ProofService:
                 )
             )
         except RegistryError as exc:
-            return {"accepted": False, "reason": str(exc)}
+            return {"accepted": False, "reason": str(exc), "malformed": False}
         report = OwnershipVerifier(vk).verify(model, claim)
-        return {"accepted": report.accepted, "reason": report.reason}
+        return {"accepted": report.accepted, "reason": report.reason,
+                "malformed": report.malformed}
+
+    # ---------------------------------------------------------- batch verify --
+
+    def verify_batch(
+        self, claim_ids: List[str], *, seed: Optional[int] = None
+    ) -> wire.VerifyBatchResult:
+        """Audit many stored claims in one sweep, batched per verifying key.
+
+        Claims are grouped by ``circuit_digest``; each group runs one
+        random-linear-combination multi-pairing through
+        :meth:`~repro.zkrownn.verifier.OwnershipVerifier.verify_many`
+        (with per-claim fallback on a group failure, so blame lands on
+        the right claim).  Per-claim verdicts carry HTTP-style statuses:
+        404 unknown, 409 not in a verifiable state, 400 malformed proof
+        bytes, 200 otherwise (see ``accepted``).  ``seed`` derandomizes
+        the batch combiner for reproducible audits.
+        """
+        verdicts: List[wire.BatchClaimVerdict] = []
+        by_digest: Dict[str, List[Tuple[str, object]]] = {}
+        for claim_id in claim_ids:
+            try:
+                record = self.registry.reload(claim_id)
+            except RegistryError as exc:
+                verdicts.append(wire.BatchClaimVerdict(
+                    claim_id=claim_id, accepted=False,
+                    reason=str(exc), status=404,
+                ))
+                continue
+            if record.state == JobState.REVOKED:
+                verdicts.append(wire.BatchClaimVerdict(
+                    claim_id=claim_id, accepted=False,
+                    reason=f"claim revoked: {record.revoked_reason}",
+                    status=409,
+                ))
+                continue
+            if record.state != JobState.DONE:
+                verdicts.append(wire.BatchClaimVerdict(
+                    claim_id=claim_id, accepted=False,
+                    reason=f"claim is {record.state}, not proved",
+                    status=409,
+                ))
+                continue
+            try:
+                claim = wire.decode_claim(self.registry.claim_bytes(claim_id))
+            except (RegistryError, wire.WireFormatError) as exc:
+                verdicts.append(wire.BatchClaimVerdict(
+                    claim_id=claim_id, accepted=False,
+                    reason=f"stored claim unreadable: {exc}", status=400,
+                ))
+                continue
+            by_digest.setdefault(record.circuit_digest, []).append(
+                (claim_id, claim)
+            )
+
+        groups: List[wire.BatchGroupVerdict] = []
+        for circuit_digest, members in by_digest.items():
+            started = time.perf_counter()
+            try:
+                vk = wire.decode_verifying_key(wire.encode_frame(
+                    wire.MSG_VERIFYING_KEY,
+                    self.registry.verifying_key_bytes(circuit_digest),
+                ))
+            except (RegistryError, wire.WireFormatError) as exc:
+                for claim_id, _ in members:
+                    verdicts.append(wire.BatchClaimVerdict(
+                        claim_id=claim_id, accepted=False,
+                        reason=f"verifying key unavailable: {exc}", status=404,
+                    ))
+                groups.append(wire.BatchGroupVerdict(
+                    circuit_digest=circuit_digest,
+                    claim_ids=[claim_id for claim_id, _ in members],
+                    accepted=False,
+                    seconds=time.perf_counter() - started,
+                ))
+                continue
+            cases = []
+            batched_ids = []
+            for claim_id, claim in members:
+                try:
+                    model = wire.decode_model(
+                        self.registry.model_bytes(claim.model_sha256)
+                    )
+                except (RegistryError, wire.WireFormatError) as exc:
+                    verdicts.append(wire.BatchClaimVerdict(
+                        claim_id=claim_id, accepted=False,
+                        reason=f"stored model unavailable: {exc}", status=404,
+                    ))
+                    continue
+                cases.append((model, claim))
+                batched_ids.append(claim_id)
+            group_ok = True
+            if cases:
+                reports = OwnershipVerifier(vk, prepare=True).verify_many(
+                    cases, seed=seed
+                )
+                for claim_id, report in zip(batched_ids, reports):
+                    verdicts.append(wire.BatchClaimVerdict(
+                        claim_id=claim_id,
+                        accepted=report.accepted,
+                        reason=report.reason,
+                        status=400 if report.malformed else 200,
+                    ))
+                    self.registry.audit(
+                        "batch-verified", claim_id=claim_id,
+                        accepted=report.accepted,
+                    )
+                    group_ok = group_ok and report.accepted
+            group_ok = group_ok and len(batched_ids) == len(members)
+            groups.append(wire.BatchGroupVerdict(
+                circuit_digest=circuit_digest,
+                claim_ids=batched_ids,
+                accepted=group_ok,
+                seconds=time.perf_counter() - started,
+            ))
+        return wire.VerifyBatchResult(verdicts=verdicts, groups=groups)
 
     # --------------------------------------------------------------- revoke --
 
@@ -531,6 +648,27 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                         return self._error(400, "verify needs a claim_id")
                     return self._send_json(self.service.verify_by_id(claim_id))
                 return self._send_json(self.service.verify_frame(body))
+            if path == "/verify-batch":
+                content_type = self.headers.get("Content-Type", "")
+                if content_type.startswith("application/json"):
+                    payload = json.loads(body.decode() or "{}")
+                    claim_ids = payload.get("claim_ids")
+                    if not isinstance(claim_ids, list):
+                        return self._error(
+                            400, "verify-batch needs a claim_ids list"
+                        )
+                    result = self.service.verify_batch(
+                        claim_ids, seed=payload.get("seed")
+                    )
+                    return self._send_json({
+                        "verdicts": [asdict(v) for v in result.verdicts],
+                        "groups": [asdict(g) for g in result.groups],
+                    })
+                request = wire.decode_verify_batch_request(body)
+                result = self.service.verify_batch(
+                    request.claim_ids, seed=request.seed
+                )
+                return self._send_bytes(wire.encode_verify_batch_result(result))
             parts = path.strip("/").split("/")
             if len(parts) == 3 and parts[0] == "claims" and parts[2] == "revoke":
                 payload = json.loads(body.decode() or "{}")

@@ -46,9 +46,15 @@ __all__ = [
     "MSG_PERSISTED_REQUEST",
     "MSG_PROOF",
     "MSG_VERIFYING_KEY",
+    "MSG_VERIFY_BATCH_REQUEST",
+    "MSG_VERIFY_BATCH_RESULT",
     "WIRE_VERSION",
+    "BatchClaimVerdict",
+    "BatchGroupVerdict",
     "ClaimRequest",
     "PersistedRequest",
+    "VerifyBatchRequest",
+    "VerifyBatchResult",
     "WireFormatError",
     "decode_claim",
     "decode_claim_request",
@@ -56,6 +62,8 @@ __all__ = [
     "decode_model",
     "decode_persisted_request",
     "decode_proof",
+    "decode_verify_batch_request",
+    "decode_verify_batch_result",
     "decode_verifying_key",
     "encode_claim",
     "encode_claim_request",
@@ -63,6 +71,8 @@ __all__ = [
     "encode_model",
     "encode_persisted_request",
     "encode_proof",
+    "encode_verify_batch_request",
+    "encode_verify_batch_result",
     "encode_verifying_key",
 ]
 
@@ -75,6 +85,8 @@ MSG_VERIFYING_KEY = 3
 MSG_PROOF = 4
 MSG_MODEL = 5
 MSG_PERSISTED_REQUEST = 6
+MSG_VERIFY_BATCH_REQUEST = 7
+MSG_VERIFY_BATCH_RESULT = 8
 
 _HEADER = struct.Struct(">4sBBI")
 _CRC = struct.Struct(">I")
@@ -502,3 +514,164 @@ def decode_verifying_key(frame: bytes) -> VerifyingKey:
         return VerifyingKey.from_bytes(payload)
     except (ValueError, struct.error, IndexError) as exc:
         raise WireFormatError(f"malformed verifying key: {exc}") from exc
+
+
+# -- batch verification --------------------------------------------------------
+
+
+@dataclass
+class VerifyBatchRequest:
+    """An audit request: verify these registered claims, batched by key.
+
+    ``seed`` derandomizes the batch combiner for reproducible audits and
+    tests; production audits omit it and take fresh entropy.
+    """
+
+    claim_ids: List[str]
+    seed: Optional[int] = None
+
+
+@dataclass
+class BatchClaimVerdict:
+    """One claim's outcome inside a batch audit.
+
+    ``status`` follows HTTP semantics per claim: 200 verified (see
+    ``accepted``), 400 the stored proof was malformed, 404 unknown claim,
+    409 the claim is not in a verifiable state (still queued, failed, or
+    revoked).
+    """
+
+    claim_id: str
+    accepted: bool
+    reason: str
+    status: int = 200
+
+
+@dataclass
+class BatchGroupVerdict:
+    """One verification-key group's batched pairing-check outcome."""
+
+    circuit_digest: str
+    claim_ids: List[str]
+    accepted: bool
+    seconds: float
+
+
+@dataclass
+class VerifyBatchResult:
+    """The service's answer to a :class:`VerifyBatchRequest`."""
+
+    verdicts: List[BatchClaimVerdict]
+    groups: List[BatchGroupVerdict]
+
+
+def _pack_verify_batch_request(request: VerifyBatchRequest) -> bytes:
+    parts = [struct.pack(">I", len(request.claim_ids))]
+    parts.extend(_pack_str(claim_id) for claim_id in request.claim_ids)
+    parts.append(_pack_opt_int(request.seed))
+    return b"".join(parts)
+
+
+def _unpack_verify_batch_request(
+    payload: bytes, offset: int
+) -> Tuple[VerifyBatchRequest, int]:
+    try:
+        (count,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        claim_ids = []
+        for _ in range(count):
+            claim_id, offset = _unpack_str(payload, offset)
+            claim_ids.append(claim_id)
+        seed, offset = _unpack_opt_int(payload, offset)
+    except (struct.error, ValueError) as exc:
+        if isinstance(exc, WireFormatError):
+            raise
+        raise WireFormatError(f"malformed batch verify request: {exc}") from exc
+    return VerifyBatchRequest(claim_ids=claim_ids, seed=seed), offset
+
+
+def encode_verify_batch_request(request: VerifyBatchRequest) -> bytes:
+    return encode_frame(MSG_VERIFY_BATCH_REQUEST, _pack_verify_batch_request(request))
+
+
+def decode_verify_batch_request(frame: bytes) -> VerifyBatchRequest:
+    _, payload = decode_frame(frame, MSG_VERIFY_BATCH_REQUEST)
+    request, offset = _unpack_verify_batch_request(payload, 0)
+    if offset != len(payload):
+        raise WireFormatError("trailing bytes after batch verify request")
+    return request
+
+
+def _pack_verify_batch_result(result: VerifyBatchResult) -> bytes:
+    parts = [struct.pack(">I", len(result.verdicts))]
+    for verdict in result.verdicts:
+        parts.append(_pack_str(verdict.claim_id))
+        parts.append(struct.pack(">BH", 1 if verdict.accepted else 0, verdict.status))
+        parts.append(_pack_str(verdict.reason))
+    parts.append(struct.pack(">I", len(result.groups)))
+    for group in result.groups:
+        parts.append(_pack_str(group.circuit_digest))
+        parts.append(struct.pack(">I", len(group.claim_ids)))
+        parts.extend(_pack_str(claim_id) for claim_id in group.claim_ids)
+        parts.append(struct.pack(">Bd", 1 if group.accepted else 0, group.seconds))
+    return b"".join(parts)
+
+
+def _unpack_verify_batch_result(
+    payload: bytes, offset: int
+) -> Tuple[VerifyBatchResult, int]:
+    try:
+        (num_verdicts,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        verdicts = []
+        for _ in range(num_verdicts):
+            claim_id, offset = _unpack_str(payload, offset)
+            accepted, status = struct.unpack_from(">BH", payload, offset)
+            offset += 3
+            reason, offset = _unpack_str(payload, offset)
+            verdicts.append(
+                BatchClaimVerdict(
+                    claim_id=claim_id,
+                    accepted=bool(accepted),
+                    reason=reason,
+                    status=status,
+                )
+            )
+        (num_groups,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        groups = []
+        for _ in range(num_groups):
+            digest, offset = _unpack_str(payload, offset)
+            (num_ids,) = struct.unpack_from(">I", payload, offset)
+            offset += 4
+            claim_ids = []
+            for _ in range(num_ids):
+                claim_id, offset = _unpack_str(payload, offset)
+                claim_ids.append(claim_id)
+            accepted, seconds = struct.unpack_from(">Bd", payload, offset)
+            offset += 9
+            groups.append(
+                BatchGroupVerdict(
+                    circuit_digest=digest,
+                    claim_ids=claim_ids,
+                    accepted=bool(accepted),
+                    seconds=seconds,
+                )
+            )
+    except (struct.error, ValueError) as exc:
+        if isinstance(exc, WireFormatError):
+            raise
+        raise WireFormatError(f"malformed batch verify result: {exc}") from exc
+    return VerifyBatchResult(verdicts=verdicts, groups=groups), offset
+
+
+def encode_verify_batch_result(result: VerifyBatchResult) -> bytes:
+    return encode_frame(MSG_VERIFY_BATCH_RESULT, _pack_verify_batch_result(result))
+
+
+def decode_verify_batch_result(frame: bytes) -> VerifyBatchResult:
+    _, payload = decode_frame(frame, MSG_VERIFY_BATCH_RESULT)
+    result, offset = _unpack_verify_batch_result(payload, 0)
+    if offset != len(payload):
+        raise WireFormatError("trailing bytes after batch verify result")
+    return result

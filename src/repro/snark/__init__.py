@@ -17,6 +17,7 @@ from .errors import (
     UnsatisfiedWitness,
 )
 from .groth16 import (
+    BatchGroupResult,
     Groth16Keypair,
     PreparedProvingKey,
     PreparedVerifyingKey,
@@ -30,6 +31,8 @@ from .groth16 import (
     simulate_proof,
     verify,
     verify_batch,
+    verify_batch_grouped,
+    verify_batch_prepared,
     verify_prepared,
     verify_with_precheck,
 )
@@ -44,6 +47,7 @@ __all__ = [
     "SetupCircuitMismatch",
     "SnarkError",
     "UnsatisfiedWitness",
+    "BatchGroupResult",
     "Groth16Keypair",
     "PreparedProvingKey",
     "PreparedVerifyingKey",
@@ -57,6 +61,8 @@ __all__ = [
     "simulate_proof",
     "verify",
     "verify_batch",
+    "verify_batch_grouped",
+    "verify_batch_prepared",
     "verify_prepared",
     "verify_with_precheck",
     "Proof",

@@ -25,7 +25,7 @@ from ..snark.errors import MalformedProof
 from ..snark.groth16 import (
     PreparedVerifyingKey,
     prepare_verifying_key,
-    verify_batch,
+    verify_batch_grouped,
     verify_prepared,
     verify_with_precheck,
 )
@@ -38,10 +38,16 @@ __all__ = ["OwnershipVerifier", "VerificationReport"]
 
 @dataclass
 class VerificationReport:
-    """The verifier's decision with its reasoning trail."""
+    """The verifier's decision with its reasoning trail.
+
+    ``malformed`` marks claims whose proof failed point/subgroup
+    validation -- garbage bytes rather than a false statement; services
+    surface these as 400-class verdicts instead of plain rejections.
+    """
 
     accepted: bool
     reason: str
+    malformed: bool = False
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.accepted
@@ -104,7 +110,11 @@ class OwnershipVerifier:
         try:
             ok = self._pairing_check(instance, claim)
         except MalformedProof as exc:
-            return VerificationReport(accepted=False, reason=f"malformed proof: {exc}")
+            return VerificationReport(
+                accepted=False,
+                reason=f"malformed proof: {exc}",
+                malformed=True,
+            )
         if not ok:
             return VerificationReport(
                 accepted=False, reason="pairing check failed: proof is invalid"
@@ -118,7 +128,7 @@ class OwnershipVerifier:
     def _instance_for(
         self, model: Sequential, claim: OwnershipClaim
     ) -> Optional[List[int]]:
-        """Reconstruct + validate the instance; None on any precheck failure."""
+        """Reconstruct the instance; None on a digest/shape precheck failure."""
         if model_digest(model, claim.embed_layer) != claim.model_sha256:
             return None
         config = CircuitConfig(
@@ -133,11 +143,15 @@ class OwnershipVerifier:
         )
         if len(instance) != self.verifying_key.num_public_inputs:
             return None
-        try:
-            claim.proof.validate_points()
-        except (MalformedProof, ValueError):
-            return None
         return instance
+
+    def _batch_key(self):
+        """The key object handed to the grouped batch check."""
+        if not self.prepare:
+            return self.verifying_key
+        if self._prepared is None:
+            self._prepared = prepare_verifying_key(self.verifying_key)
+        return self._prepared
 
     def verify_many(
         self,
@@ -149,24 +163,36 @@ class OwnershipVerifier:
 
         A marketplace scenario: many models of one architecture, one
         verification key, many ownership claims.  Prechecks (digest,
-        instance shape, point validity) run per claim; the pairing work is
-        batched into a single multi-pairing.  If the batch fails, claims
-        are re-verified individually to attribute blame -- the standard
-        batch-with-fallback pattern.
+        instance shape, point validity) run per claim -- malformed proof
+        points are flagged as such, not batched; the pairing work then
+        routes through :func:`~repro.snark.groth16.verify_batch_grouped`
+        (one RLC multi-pairing per key, prepared when this verifier is).
+        If the batch fails, claims are re-verified individually to
+        attribute blame -- the standard batch-with-fallback pattern.
         """
         reports: List[Optional[VerificationReport]] = [None] * len(cases)
-        batch = []
+        items = []
         batch_indices = []
         for i, (model, claim) in enumerate(cases):
             instance = self._instance_for(model, claim)
             if instance is None:
                 reports[i] = VerificationReport(
-                    accepted=False, reason="precheck failed (digest/shape/points)"
+                    accepted=False, reason="precheck failed (digest/shape)"
                 )
-            else:
-                batch.append((instance, claim.proof))
-                batch_indices.append(i)
-        if batch and verify_batch(self.verifying_key, batch, seed=seed):
+                continue
+            try:
+                claim.proof.validate_points()
+            except (MalformedProof, ValueError) as exc:
+                reports[i] = VerificationReport(
+                    accepted=False,
+                    reason=f"malformed proof: {exc}",
+                    malformed=True,
+                )
+                continue
+            items.append((self._batch_key(), instance, claim.proof))
+            batch_indices.append(i)
+        groups = verify_batch_grouped(items, seed=seed) if items else []
+        if all(g.accepted for g in groups):
             for i in batch_indices:
                 reports[i] = VerificationReport(
                     accepted=True, reason="accepted (batched pairing check)"
