@@ -23,6 +23,8 @@ Proof-service subcommands (see ``repro.service``):
 * ``audit`` -- sweep every non-revoked registered claim through the
   server's batched ``/verify-batch`` endpoint, grouped by verifying key,
   and report per-claim and per-group verdicts with timing.
+* ``drain`` -- put a running server into drain mode (stop admitting new
+  claims, finish in-flight proving) ahead of a restart or upgrade.
 """
 
 from __future__ import annotations
@@ -206,11 +208,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine=engine,
         max_batch=args.max_batch,
         scheduler_workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        max_attempts=args.max_attempts,
+        prove_budget_seconds=args.prove_budget,
     )
     server = ProofServer(service, host=args.host, port=args.port)
     print(f"proof service listening on {server.url}")
     print(f"  registry: {args.registry}  cache: {cache_dir}  "
           f"backend: {engine.backend.name}  max_batch: {args.max_batch}")
+    if args.max_queue_depth or args.prove_budget:
+        print(f"  max_queue_depth: {args.max_queue_depth}  "
+              f"prove_budget: {args.prove_budget}  "
+              f"max_attempts: {args.max_attempts}")
     server.serve_forever()
     return 0
 
@@ -345,6 +354,28 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_drain(args: argparse.Namespace) -> int:
+    """Drain a running server: reject new claims, finish in-flight work."""
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    status = client.drain()
+    print(f"drain requested: queue_depth={status.get('queue_depth', '?')}")
+    if not args.wait:
+        return 0
+    import time as _time
+
+    deadline = _time.monotonic() + args.timeout
+    while _time.monotonic() < deadline:
+        health = client.health()
+        if health.get("drained"):
+            print("drain complete: all in-flight claims settled")
+            return 0
+        _time.sleep(0.5)
+    print("timed out waiting for drain to complete", file=sys.stderr)
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="zkrownn",
@@ -399,6 +430,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--cache-dir", default=None,
                        help="ProvingEngine keypair cache directory "
                             "(default: <registry>/engine-cache)")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       help="reject new claims with 429 past this queue "
+                            "depth (default: unbounded)")
+    serve.add_argument("--prove-budget", type=float, default=None,
+                       help="wall-clock seconds a proving batch may run "
+                            "before the watchdog quarantines it")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="proving attempts before a claim is "
+                            "quarantined (default 3)")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser("submit", help="submit a claim to a proof service")
@@ -458,6 +498,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="derandomize the batch combiner (reproducible audits)",
     )
     audit.set_defaults(func=_cmd_audit)
+
+    drain = sub.add_parser(
+        "drain",
+        help="drain a running proof service ahead of restart/upgrade",
+    )
+    add_url(drain)
+    drain.add_argument("--wait", action="store_true",
+                       help="block until all in-flight claims settle")
+    drain.add_argument("--timeout", type=float, default=600.0,
+                       help="max seconds to wait with --wait")
+    drain.set_defaults(func=_cmd_drain)
 
     args = parser.parse_args(argv)
     return args.func(args)

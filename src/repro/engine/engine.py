@@ -48,9 +48,18 @@ from ..snark.keys import Proof
 from .cache import ArtifactStore
 from .compiled import CompiledCircuit, SynthesisResult, compile_circuit, resynthesize
 
-__all__ = ["EngineStats", "ProofJob", "ProvingEngine"]
+__all__ = ["EngineStats", "ProofJob", "ProveBudgetExceeded", "ProvingEngine"]
 
 SynthesisFn = Callable[[CircuitBuilder], Any]
+
+
+class ProveBudgetExceeded(RuntimeError):
+    """A streaming prove ran past its wall-clock budget.
+
+    Raised between stream pulls (never mid-proof), so proofs already
+    produced are lost but no worker is left wedged holding key material.
+    The scheduler treats it as non-retryable and quarantines the claims.
+    """
 
 
 @dataclass
@@ -66,6 +75,7 @@ class EngineStats:
     setup_disk_hits: int = 0
     proofs: int = 0
     proof_batches: int = 0
+    budget_exceeded: int = 0
     verifications: int = 0
     batch_verifications: int = 0
 
@@ -117,7 +127,9 @@ class ProvingEngine:
         *,
         cache_dir: Optional[str] = None,
         backend: Optional[ComputeBackend] = None,
+        prove_budget_seconds: Optional[float] = None,
     ):
+        self.prove_budget_seconds = prove_budget_seconds
         self._compiled: Dict[str, CompiledCircuit] = {}
         self._keypairs: Dict[str, Groth16Keypair] = {}
         self._prepared_pk: Dict[str, PreparedProvingKey] = {}
@@ -304,24 +316,46 @@ class ProvingEngine:
         pairs: Iterable[tuple],
         *,
         setup_seed: Optional[int] = None,
+        budget_seconds: Optional[float] = None,
     ) -> list:
         """Prove a lazy stream of ``(synthesis_or_assignment, seed)`` pairs.
 
         The backend pulls the iterator as proving capacity frees up, so a
         generator that synthesizes witnesses on demand overlaps synthesis
         (caller side) with proving (worker side).  Order is preserved.
+
+        ``budget_seconds`` (default: the engine's ``prove_budget_seconds``)
+        bounds the wall clock of the whole stream: the elapsed time is
+        checked cooperatively between stream pulls and
+        :class:`ProveBudgetExceeded` is raised when the budget is spent --
+        a hung or pathologically slow batch fails loudly instead of
+        pinning a scheduler worker forever.
         """
+        if budget_seconds is None:
+            budget_seconds = self.prove_budget_seconds
         keypair = self.setup(compiled, seed=setup_seed)
         prepared = self._prepared_proving_key(compiled, keypair)
-        assignment_pairs = (
-            (
-                s.assignment if isinstance(s, SynthesisResult) else s,
-                seed,
-            )
-            for s, seed in pairs
-        )
+        started = time.monotonic()
+
+        def assignment_pairs():
+            for s, seed in pairs:
+                if (
+                    budget_seconds is not None
+                    and time.monotonic() - started > budget_seconds
+                ):
+                    with self._lock:
+                        self.stats.budget_exceeded += 1
+                    raise ProveBudgetExceeded(
+                        f"prove stream for {compiled.name!r} exceeded its "
+                        f"{budget_seconds:.3f}s wall-clock budget"
+                    )
+                yield (
+                    s.assignment if isinstance(s, SynthesisResult) else s,
+                    seed,
+                )
+
         proofs = self.backend.prove_stream(
-            prepared, compiled.cs, assignment_pairs, key_id=compiled.digest
+            prepared, compiled.cs, assignment_pairs(), key_id=compiled.digest
         )
         with self._lock:
             self.stats.proofs += len(proofs)

@@ -19,13 +19,24 @@ Layers (each usable on its own):
   per-shape batching, streaming witness synthesis);
 * :mod:`repro.service.server` / :mod:`repro.service.client` -- the
   stdlib HTTP JSON API and its
-  :class:`~repro.service.client.ServiceClient`.
+  :class:`~repro.service.client.ServiceClient`;
+* :mod:`repro.service.faults` -- seeded, deterministic fault injection
+  (:class:`~repro.service.faults.FaultPlan`) threaded through every
+  layer above, for chaos testing the whole stack.
 """
 
-from .client import ServiceClient, ServiceError
+from .client import CircuitBreaker, RetryPolicy, ServiceClient, ServiceError
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedConnectionReset,
+    SimulatedCrash,
+    injected,
+    install_plan,
+)
 from .registry import ClaimRecord, ClaimRegistry, RegistryError
 from .scheduler import JobState, ProofScheduler, ProofTask
-from .server import ProofServer, ProofService
+from .server import ProofServer, ProofService, ServiceUnavailable
 from .wire import (
     ClaimRequest,
     PersistedRequest,
@@ -45,9 +56,13 @@ from .wire import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "ClaimRecord",
     "ClaimRegistry",
     "ClaimRequest",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedConnectionReset",
     "JobState",
     "PersistedRequest",
     "ProofScheduler",
@@ -55,9 +70,14 @@ __all__ = [
     "ProofService",
     "ProofTask",
     "RegistryError",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailable",
+    "SimulatedCrash",
     "WireFormatError",
+    "injected",
+    "install_plan",
     "decode_claim",
     "decode_claim_request",
     "decode_model",

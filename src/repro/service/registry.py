@@ -61,6 +61,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from . import faults as _faults
+
 __all__ = ["ClaimRecord", "ClaimRegistry", "RegistryError"]
 
 logger = logging.getLogger(__name__)
@@ -96,6 +98,8 @@ class ClaimRecord:
     created_at: float = 0.0
     updated_at: float = 0.0
     timings: Dict[str, float] = field(default_factory=dict)
+    attempts: int = 0
+    error_chain: List[str] = field(default_factory=list)
     extra: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> str:
@@ -119,7 +123,10 @@ class ClaimRecord:
     def snapshot(self) -> "ClaimRecord":
         """An independent copy safe to hand outside the registry lock."""
         return dataclasses.replace(
-            self, timings=dict(self.timings), extra=dict(self.extra)
+            self,
+            timings=dict(self.timings),
+            error_chain=list(self.error_chain),
+            extra=dict(self.extra),
         )
 
 
@@ -132,7 +139,20 @@ def _write_all(fd: int, data: bytes) -> None:
         view = view[written:]
 
 
-def _atomic_write(path: Path, data: bytes, *, mode: Optional[int] = None) -> None:
+def _atomic_write(
+    path: Path,
+    data: bytes,
+    *,
+    mode: Optional[int] = None,
+    faults: Optional["_faults.FaultPlan"] = None,
+) -> None:
+    # Fault hooks bracket os.replace: "crash-before-persist" dies with
+    # only the temp file written (old content survives), "crash-after"
+    # dies with the new content installed but before the caller's
+    # in-memory state catches up -- the two torn-timing cases crash
+    # recovery must cover.
+    if faults is not None:
+        faults.fire("registry.write")
     tmp = path.with_suffix(path.suffix + ".tmp")
     if mode is None:
         tmp.write_bytes(data)
@@ -142,7 +162,11 @@ def _atomic_write(path: Path, data: bytes, *, mode: Optional[int] = None) -> Non
             _write_all(fd, data)
         finally:
             os.close(fd)
+    if faults is not None:
+        faults.fire("registry.crash-before-persist")
     os.replace(tmp, path)
+    if faults is not None:
+        faults.fire("registry.crash-after-persist")
 
 
 class ClaimRegistry:
@@ -154,9 +178,16 @@ class ClaimRegistry:
     leases; by default each instance mints a fresh random token.
     """
 
-    def __init__(self, root: Union[str, Path], *, owner_token: Optional[str] = None):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        owner_token: Optional[str] = None,
+        faults: Optional[_faults.FaultPlan] = None,
+    ):
         self.root = Path(root)
         self.owner_token = owner_token or secrets.token_hex(8)
+        self.faults = faults if faults is not None else _faults.active_plan()
         self._claims_dir = self.root / "claims"
         self._vks_dir = self.root / "vks"
         self._models_dir = self.root / "models"
@@ -198,8 +229,13 @@ class ClaimRegistry:
         _atomic_write(
             self._claims_dir / f"{record.claim_id}.json",
             record.to_json().encode(),
+            faults=self.faults,
         )
         self._records[record.claim_id] = record
+
+    def _read_faults(self) -> None:
+        if self.faults is not None:
+            self.faults.fire("registry.read")
 
     def register(self, record: ClaimRecord) -> ClaimRecord:
         """Insert a new record (idempotent: an existing id is returned as-is).
@@ -397,9 +433,13 @@ class ClaimRegistry:
 
     def store_claim_bytes(self, claim_id: str, frame: bytes) -> None:
         with self._lock:
-            _atomic_write(self._claims_dir / f"{claim_id}.claim", frame)
+            _atomic_write(
+                self._claims_dir / f"{claim_id}.claim", frame,
+                faults=self.faults,
+            )
 
     def claim_bytes(self, claim_id: str) -> bytes:
+        self._read_faults()
         path = self._claims_dir / f"{claim_id}.claim"
         if not path.is_file():
             raise RegistryError(f"no proved claim stored for {claim_id!r}")
@@ -416,10 +456,12 @@ class ClaimRegistry:
         """
         with self._lock:
             _atomic_write(
-                self._requests_dir / f"{claim_id}.req", frame, mode=0o600
+                self._requests_dir / f"{claim_id}.req", frame, mode=0o600,
+                faults=self.faults,
             )
 
     def request_bytes(self, claim_id: str) -> bytes:
+        self._read_faults()
         path = self._requests_dir / f"{claim_id}.req"
         if not path.is_file():
             raise RegistryError(f"no persisted request for {claim_id!r}")
@@ -463,6 +505,7 @@ class ClaimRegistry:
             return True
 
     def verifying_key_bytes(self, circuit_digest: str) -> bytes:
+        self._read_faults()
         path = self._vks_dir / f"{circuit_digest}.vk"
         if not path.is_file():
             raise RegistryError(
@@ -478,9 +521,10 @@ class ClaimRegistry:
         with self._lock:
             path = self._models_dir / f"{model_digest}.model"
             if not path.is_file():
-                _atomic_write(path, frame)
+                _atomic_write(path, frame, faults=self.faults)
 
     def model_bytes(self, model_digest: str) -> bytes:
+        self._read_faults()
         path = self._models_dir / f"{model_digest}.model"
         if not path.is_file():
             raise RegistryError(f"no model stored under digest {model_digest!r}")

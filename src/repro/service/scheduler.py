@@ -47,11 +47,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..circuit.trace import TraceDivergence
-from ..engine.engine import ProvingEngine
+from ..engine.engine import ProveBudgetExceeded, ProvingEngine
 from ..snark.errors import ConstraintViolation
 from ..zkrownn.artifacts import OwnershipClaim, model_digest
 from ..zkrownn.circuit import CircuitConfig
+from . import faults as _faults
 from . import wire
+from .faults import SimulatedCrash
 from .registry import DEFAULT_LEASE_SECONDS, ClaimRegistry
 
 __all__ = ["JobState", "ProofScheduler", "ProofTask", "SchedulerStats"]
@@ -65,11 +67,15 @@ class JobState:
     DONE = "done"
     FAILED = "failed"
     REVOKED = "revoked"
+    # Poison claim: failed ``max_attempts`` dispatches (or was killed by
+    # the watchdog); parked with its error chain in the registry instead
+    # of crash-looping a worker.  Resubmitting the claim requeues it.
+    QUARANTINED = "quarantined"
     # Local-only: another replica holds the claim's proving lease; poll
     # the registry (or the HTTP status endpoint) for the real outcome.
     YIELDED = "yielded"
 
-    TERMINAL = (DONE, FAILED, REVOKED, YIELDED)
+    TERMINAL = (DONE, FAILED, REVOKED, QUARANTINED, YIELDED)
 
 
 @dataclass
@@ -93,6 +99,10 @@ class ProofTask:
     require_valid: bool = True
     submitted_at: float = field(default_factory=time.monotonic)
     sequence: int = 0  # FIFO tiebreaker within a priority level
+    attempts: int = 0  # dispatches that ended in a retryable failure
+    # Absolute time.monotonic() deadline: work the client has given up
+    # on is shed at dispatch instead of burning a prover slot.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -107,6 +117,10 @@ class SchedulerStats:
     failed: int = 0
     yielded: int = 0  # lost the registry lease to another replica
     lease_renewals: int = 0  # heartbeat re-acquisitions during long proofs
+    retried: int = 0  # tasks requeued after a retryable batch failure
+    quarantined: int = 0  # tasks parked after exhausting max_attempts
+    deadline_shed: int = 0  # tasks dropped at dispatch past their deadline
+    watchdog_kills: int = 0  # tasks quarantined by the hung-prove watchdog
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -132,13 +146,26 @@ class ProofScheduler:
         workers: int = 1,
         lease_seconds: Optional[float] = None,
         heartbeat_seconds: Optional[float] = None,
+        max_attempts: int = 3,
+        prove_budget_seconds: Optional[float] = None,
+        faults: Optional[_faults.FaultPlan] = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
         self.engine = engine
         self.registry = registry
         self.max_batch = max_batch
         self.workers = workers
+        # Retryable batch failures requeue a task up to max_attempts
+        # dispatches, then quarantine it (poison-claim protection).
+        self.max_attempts = max_attempts
+        # Wall-clock budget for one proving batch: enforced cooperatively
+        # by the engine between stream pulls, and by the watchdog thread
+        # (at 2x the budget) for proves wedged inside a single proof.
+        self.prove_budget_seconds = prove_budget_seconds
+        self.faults = faults if faults is not None else _faults.active_plan()
         # Proving-lease length for this scheduler's acquisitions (None =
         # the registry default); deployments with known proof ceilings can
         # shorten it for faster crash takeover.
@@ -159,7 +186,13 @@ class ProofScheduler:
         self._cv = threading.Condition()
         self._threads: List[threading.Thread] = []
         self._running = False
+        self._stopped = False  # stop() was called at least once
         self._sequence = 0
+        self._inflight: Dict[int, dict] = {}  # live batches (watchdog)
+        self._inflight_lock = threading.Lock()
+        self._batch_counter = 0
+        self._watchdog_stop = threading.Event()
+        self._watchdog_thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------ lifecycle --
 
@@ -176,16 +209,47 @@ class ProofScheduler:
             ]
         for thread in self._threads:
             thread.start()
+        if self.prove_budget_seconds is not None and (
+            self._watchdog_thread is None or not self._watchdog_thread.is_alive()
+        ):
+            self._watchdog_stop.clear()
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog, name="proof-watchdog", daemon=True
+            )
+            self._watchdog_thread.start()
         return self
 
     def stop(self, *, timeout: float = 10.0) -> None:
-        """Stop accepting dispatches; in-flight batches finish."""
+        """Stop accepting dispatches; in-flight batches finish.
+
+        Marks the scheduler *stopped*: a stopped (or stopping) scheduler
+        will never dispatch again in this process, and the service layer
+        rejects new admissions against it with 503 -- acking ``queued``
+        for work that cannot run here would strand the client.
+        """
         with self._cv:
             self._running = False
+            self._stopped = True
             self._cv.notify_all()
+        self._watchdog_stop.set()
         for thread in self._threads:
             thread.join(timeout=timeout)
         self._threads = []
+        if self._watchdog_thread is not None:
+            self._watchdog_thread.join(timeout=timeout)
+            self._watchdog_thread = None
+
+    @property
+    def stopping(self) -> bool:
+        """True once :meth:`stop` has been called (draining or stopped).
+
+        A scheduler that was merely never started is NOT stopping: claims
+        submitted to it queue up and are dispatched when it starts (or by
+        the replica that recovers them) -- the pattern restart tests and
+        the recovery path rely on.
+        """
+        with self._cv:
+            return self._stopped
 
     # --------------------------------------------------------------- submit --
 
@@ -194,7 +258,7 @@ class ProofScheduler:
         with self._cv:
             if task.claim_id in self._states and self._states[
                 task.claim_id
-            ] not in (JobState.FAILED,):
+            ] not in (JobState.FAILED, JobState.QUARANTINED):
                 return task.claim_id  # idempotent resubmission
             self._sequence += 1
             task.sequence = self._sequence
@@ -282,11 +346,44 @@ class ProofScheduler:
                 if not self._running:
                     return
                 batch = self._take_batch()
+            # Deadline shed: work the client has already given up on is
+            # failed here instead of burning a proving slot on it.
+            live: List[ProofTask] = []
+            for task in batch:
+                if (
+                    task.deadline is not None
+                    and time.monotonic() > task.deadline
+                ):
+                    with self._cv:
+                        self.stats.deadline_shed += 1
+                    self._finish(
+                        task, JobState.FAILED,
+                        error="deadline exceeded before dispatch",
+                    )
+                else:
+                    live.append(task)
+            batch = live
+            if not batch:
+                continue
             # Lease acquisition does file I/O: outside the queue lock.
+            # A transient I/O failure there is retryable for that one
+            # task -- it must neither kill the worker nor strand the
+            # task as yielded.  (SimulatedCrash is a RuntimeError, not
+            # an OSError: crashes still propagate.)
             owned: List[ProofTask] = []
             yielded: List[ProofTask] = []
+            deferred: List[tuple] = []
             for task in batch:
-                (owned if self._own_task(task) else yielded).append(task)
+                try:
+                    mine = self._own_task(task)
+                except OSError as exc:
+                    deferred.append((task, exc))
+                    continue
+                (owned if mine else yielded).append(task)
+            for task, exc in deferred:
+                self._retry_or_quarantine(
+                    [task], f"lease acquisition failed: {exc}"
+                )
             with self._cv:
                 for task in yielded:
                     self._states[task.claim_id] = JobState.YIELDED
@@ -307,19 +404,50 @@ class ProofScheduler:
                 self._mirror(task.claim_id, JobState.PROVING)
             try:
                 self._prove_batch(owned)
+            except SimulatedCrash:
+                # The chaos harness's "process died here": propagate so the
+                # worker thread dies exactly like the process would -- the
+                # retry machinery must never resurrect a crash.
+                raise
+            except ProveBudgetExceeded as exc:
+                # A budget-blown prove would very likely blow it again:
+                # straight to quarantine, no retry.
+                self._quarantine_tasks(owned, f"prove budget exceeded: {exc}")
             except Exception as exc:  # noqa: BLE001 - a batch must never kill the worker
-                self._fail_tasks(owned, f"batch proving failed: {exc}")
+                self._retry_or_quarantine(
+                    owned, f"batch proving failed: {exc}"
+                )
 
     def _mirror(self, claim_id: str, state: str, *, error: str = "",
                 **fields) -> None:
-        """Best-effort registry update (the registry may lag, never block)."""
-        try:
-            self.registry.update(claim_id, state=state, error=error, **fields)
-        except KeyError:
-            pass  # direct scheduler use without registered records
+        """Best-effort registry update (the registry may lag, never block).
+
+        Transient I/O failures are retried briefly: losing a ``done``
+        mirror to one flaky write would leave a proved claim looking
+        ``proving`` forever.  (A :class:`SimulatedCrash` is not an
+        ``OSError`` and still propagates -- crashes are not retryable.)
+        """
+        for delay in (0.0, 0.05, 0.2):
+            if delay:
+                time.sleep(delay)
+            try:
+                self.registry.update(
+                    claim_id, state=state, error=error, **fields
+                )
+                return
+            except KeyError:
+                return  # direct scheduler use without registered records
+            except OSError:
+                continue
 
     def _finish(self, task: ProofTask, state: str, *, error: str = "",
                 **fields) -> None:
+        with self._cv:
+            if self._states.get(task.claim_id) in JobState.TERMINAL:
+                # Already resolved -- e.g. the watchdog quarantined this
+                # task while a wedged prove thread limped to completion.
+                # A terminal state is never downgraded.
+                return
         self._mirror(task.claim_id, state, error=error, **fields)
         # Local terminal state FIRST, lease release after: the renewal
         # heartbeat gates on the local state, so this order (plus its own
@@ -346,6 +474,129 @@ class ProofScheduler:
                 already = self._states.get(task.claim_id)
             if already not in JobState.TERMINAL:
                 self._finish(task, JobState.FAILED, error=error)
+
+    # --------------------------------------------------- retry + quarantine --
+
+    def _append_error_chain(self, claim_id: str, entry: str) -> List[str]:
+        """The claim's durable error chain with ``entry`` appended."""
+        try:
+            chain = list(self.registry.get(claim_id).error_chain)
+        except (KeyError, OSError):
+            chain = []
+        chain.append(entry)
+        return chain
+
+    def _retry_or_quarantine(self, tasks: List[ProofTask], error: str) -> None:
+        """Requeue tasks after a retryable batch failure, or quarantine.
+
+        Each task's attempt counter survives requeues; a task that has
+        burned ``max_attempts`` dispatches is a poison claim -- parked as
+        ``quarantined`` with its full error chain in the registry instead
+        of crash-looping the worker forever.
+        """
+        for task in tasks:
+            with self._cv:
+                already = self._states.get(task.claim_id)
+            if already in JobState.TERMINAL:
+                continue  # e.g. synthesis already failed it individually
+            task.attempts += 1
+            entry = f"attempt {task.attempts}: {error}"
+            if task.attempts >= self.max_attempts:
+                self._quarantine(task, error, entry=entry)
+                continue
+            self._mirror(
+                task.claim_id, JobState.QUEUED, error=error,
+                attempts=task.attempts,
+                error_chain=self._append_error_chain(task.claim_id, entry),
+            )
+            self.registry.release(task.claim_id)
+            with self._cv:
+                self._sequence += 1
+                task.sequence = self._sequence
+                self._queue.append(task)
+                self._states[task.claim_id] = JobState.QUEUED
+                self.stats.retried += 1
+                self._cv.notify_all()
+
+    def _quarantine_tasks(self, tasks: List[ProofTask], error: str) -> None:
+        for task in tasks:
+            with self._cv:
+                already = self._states.get(task.claim_id)
+            if already not in JobState.TERMINAL:
+                task.attempts += 1
+                self._quarantine(
+                    task, error,
+                    entry=f"attempt {task.attempts}: {error}",
+                )
+
+    def _quarantine(
+        self, task: ProofTask, error: str, *, entry: str,
+        release: bool = True,
+    ) -> None:
+        """Park a poison claim: terminal locally, ``quarantined`` durably.
+
+        The persisted request frame is deliberately KEPT (unlike
+        done/failed) so an operator can requeue the claim by resubmitting
+        it -- or a restarted replica can inspect it.  ``release=False``
+        (the watchdog path) leaves the proving lease to expire naturally:
+        a wedged prove thread may still be running, and freeing the lease
+        would invite another replica to double-prove against it.
+        """
+        self._mirror(
+            task.claim_id, JobState.QUARANTINED, error=error,
+            attempts=task.attempts,
+            error_chain=self._append_error_chain(task.claim_id, entry),
+        )
+        try:
+            self.registry.audit(
+                "quarantined", claim_id=task.claim_id,
+                attempts=task.attempts, error=error,
+            )
+        except OSError:
+            pass
+        with self._cv:
+            self._states[task.claim_id] = JobState.QUARANTINED
+            self._errors[task.claim_id] = error
+            self.stats.quarantined += 1
+            self._cv.notify_all()
+        if release:
+            self.registry.release(task.claim_id)
+
+    def _watchdog(self) -> None:
+        """Quarantine batches wedged past twice the prove budget.
+
+        The engine's cooperative check fires between stream pulls; this
+        thread catches the case it cannot -- a prove stuck *inside* one
+        proof (or a hung backend) that never pulls again.
+        """
+        budget = self.prove_budget_seconds
+        limit = budget * 2.0
+        interval = max(0.02, budget / 4.0)
+        while not self._watchdog_stop.wait(interval):
+            now = time.monotonic()
+            with self._inflight_lock:
+                wedged = [
+                    entry for entry in self._inflight.values()
+                    if now - entry["started"] > limit
+                ]
+            for batch_entry in wedged:
+                for task in batch_entry["tasks"]:
+                    with self._cv:
+                        state = self._states.get(task.claim_id)
+                    if state != JobState.PROVING:
+                        continue
+                    with self._cv:
+                        self.stats.watchdog_kills += 1
+                    task.attempts += 1
+                    self._quarantine(
+                        task,
+                        f"watchdog: prove wedged past {limit:.3f}s wall clock",
+                        entry=(
+                            f"attempt {task.attempts}: watchdog kill after "
+                            f"{now - batch_entry['started']:.3f}s"
+                        ),
+                        release=False,
+                    )
 
     # -------------------------------------------------------------- proving --
 
@@ -423,11 +674,21 @@ class ProofScheduler:
         return compiled, synthesis
 
     def _prove_batch(self, batch: List[ProofTask]) -> None:
+        if self.faults is not None:
+            self.faults.fire("scheduler.dispatch")
+        with self._inflight_lock:
+            self._batch_counter += 1
+            batch_id = self._batch_counter
+            self._inflight[batch_id] = {
+                "tasks": batch, "started": time.monotonic(),
+            }
         heartbeat_stop = self._start_heartbeat(batch)
         try:
             self._prove_batch_inner(batch)
         finally:
             heartbeat_stop.set()
+            with self._inflight_lock:
+                self._inflight.pop(batch_id, None)
 
     def _prove_batch_inner(self, batch: List[ProofTask]) -> None:
         # The batch head compiles (or cache-hits) the shape; later tasks
@@ -456,6 +717,8 @@ class ProofScheduler:
             synth_seconds.append(head_elapsed)
             yield head_synthesis, head_task.seed
             for task in batch[1:]:
+                if self.faults is not None:
+                    self.faults.fire("scheduler.prove")
                 self._refresh_lease(task)
                 t1 = time.perf_counter()
                 try:
@@ -471,7 +734,8 @@ class ProofScheduler:
 
         t0 = time.perf_counter()
         proofs = self.engine.prove_stream(
-            compiled, pairs(), setup_seed=head_task.setup_seed
+            compiled, pairs(), setup_seed=head_task.setup_seed,
+            budget_seconds=self.prove_budget_seconds,
         )
         prove_elapsed = time.perf_counter() - t0
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import signal
 import threading
 import time
 from dataclasses import asdict
@@ -46,13 +47,34 @@ from ..zkrownn.artifacts import model_digest
 from ..zkrownn.planning import extraction_structure_key
 from ..zkrownn.circuit import extraction_synthesizer
 from ..zkrownn.verifier import OwnershipVerifier
+from . import faults as _faults
 from . import wire
+from .faults import InjectedConnectionReset, SimulatedCrash
 from .registry import ClaimRecord, ClaimRegistry, RegistryError
 from .scheduler import JobState, ProofScheduler, ProofTask
 
-__all__ = ["ProofServer", "ProofService", "SERVICE_VERSION"]
+__all__ = [
+    "ProofServer",
+    "ProofService",
+    "SERVICE_VERSION",
+    "ServiceUnavailable",
+]
 
 SERVICE_VERSION = "1"
+
+
+class ServiceUnavailable(RuntimeError):
+    """Admission refused: the service is full (429) or draining (503).
+
+    Carries the HTTP status and a ``Retry-After`` hint the handler turns
+    into headers; resilient clients back off (or fail over) on both.
+    """
+
+    def __init__(self, message: str, *, status: int = 503,
+                 retry_after: float = 1.0):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
 
 
 class ProofService:
@@ -80,11 +102,18 @@ class ProofService:
         max_batch: int = 8,
         scheduler_workers: int = 1,
         cache_dir: Optional[str] = None,
+        max_queue_depth: Optional[int] = None,
+        retry_after_seconds: float = 1.0,
+        max_attempts: int = 3,
+        prove_budget_seconds: Optional[float] = None,
+        faults: Optional[_faults.FaultPlan] = None,
     ):
         self.registry = registry
+        self.faults = faults if faults is not None else _faults.active_plan()
         if engine is None:
             engine = ProvingEngine(
-                cache_dir=cache_dir or str(registry.root / "engine-cache")
+                cache_dir=cache_dir or str(registry.root / "engine-cache"),
+                prove_budget_seconds=prove_budget_seconds,
             )
         self.engine = engine
         self.scheduler = scheduler if scheduler is not None else ProofScheduler(
@@ -92,9 +121,19 @@ class ProofService:
             registry,
             max_batch=max_batch,
             workers=scheduler_workers,
+            max_attempts=max_attempts,
+            prove_budget_seconds=prove_budget_seconds,
+            faults=self.faults,
         )
+        # Bounded admission: above this queue depth, submissions get 429
+        # + Retry-After instead of an unbounded enqueue (None = unbounded).
+        self.max_queue_depth = max_queue_depth
+        self.retry_after_seconds = retry_after_seconds
         self.started_at = time.time()
         self.recovered_claims: List[str] = []
+        self.draining = False
+        self._drained = threading.Event()
+        self._drain_lock = threading.Lock()
 
     def start(self) -> "ProofService":
         self._publish_cached_vks()
@@ -105,6 +144,80 @@ class ProofService:
     def close(self) -> None:
         self.scheduler.stop()
         self.engine.backend.close()
+
+    def drain(self, *, wait: bool = True) -> Dict:
+        """Graceful shutdown, phase one: stop admitting, finish in-flight.
+
+        Sets ``draining`` (new submissions get 503 + Retry-After, health
+        reports ``draining``), stops the scheduler -- in-flight batches
+        finish, still-queued claims stay durable on disk for the next
+        process (or another replica) to recover -- and audits the drain.
+        With ``wait=False`` the scheduler stop runs on a background
+        thread and this returns immediately (the HTTP handler's path).
+        """
+        with self._drain_lock:
+            first = not self.draining
+            self.draining = True
+        if first:
+            try:
+                self.registry.audit(
+                    "drain-started", owner=self.registry.owner_token,
+                    queue_depth=self.scheduler.pending(),
+                )
+            except OSError:
+                pass
+
+            def _finish_drain() -> None:
+                self.scheduler.stop()
+                try:
+                    self.registry.audit(
+                        "drain-complete", owner=self.registry.owner_token
+                    )
+                except OSError:
+                    pass
+                self._drained.set()
+
+            if wait:
+                _finish_drain()
+            else:
+                threading.Thread(
+                    target=_finish_drain, name="proof-service-drain",
+                    daemon=True,
+                ).start()
+        elif wait:
+            self._drained.wait()
+        return {
+            "status": "draining",
+            "drained": self._drained.is_set(),
+            "queue_depth": self.scheduler.pending(),
+        }
+
+    @property
+    def drained(self) -> bool:
+        return self._drained.is_set()
+
+    def _check_admission(self) -> None:
+        """Gate for new work; raises :class:`ServiceUnavailable` to shed.
+
+        A scheduler that was merely never *started* still admits (claims
+        queue durably and are dispatched on start or recovered by a
+        replica); one that is draining or was stopped does not -- acking
+        ``queued`` for work this process will never run strands clients.
+        """
+        if self.draining or self.scheduler.stopping:
+            raise ServiceUnavailable(
+                "service is draining; retry against another replica",
+                status=503, retry_after=self.retry_after_seconds,
+            )
+        if (
+            self.max_queue_depth is not None
+            and self.scheduler.pending() >= self.max_queue_depth
+        ):
+            raise ServiceUnavailable(
+                f"queue full ({self.scheduler.pending()} >= "
+                f"{self.max_queue_depth} queued claims)",
+                status=429, retry_after=self.retry_after_seconds,
+            )
 
     # ------------------------------------------------------------- recovery --
 
@@ -178,7 +291,13 @@ class ProofService:
 
     # --------------------------------------------------------------- submit --
 
-    def _task_for(self, claim_id: str, request: wire.ClaimRequest) -> ProofTask:
+    def _task_for(
+        self,
+        claim_id: str,
+        request: wire.ClaimRequest,
+        *,
+        deadline_seconds: Optional[float] = None,
+    ) -> ProofTask:
         return ProofTask(
             claim_id=claim_id,
             shape_key=extraction_structure_key(
@@ -193,10 +312,27 @@ class ProofService:
             priority=request.priority,
             seed=request.seed,
             setup_seed=request.setup_seed,
+            deadline=(
+                time.monotonic() + deadline_seconds
+                if deadline_seconds is not None
+                else None
+            ),
         )
 
-    def submit(self, request_frame: bytes) -> Dict:
-        """Decode, content-address, register, persist, and enqueue one claim."""
+    def submit(
+        self,
+        request_frame: bytes,
+        *,
+        deadline_seconds: Optional[float] = None,
+    ) -> Dict:
+        """Decode, content-address, register, persist, and enqueue one claim.
+
+        ``deadline_seconds`` (the HTTP ``X-Deadline-Seconds`` header, NOT
+        part of the wire frame -- the canonical request bytes are the
+        content address and must stay deadline-free) lets the scheduler
+        shed the job at dispatch once the client has given up on it.
+        """
+        self._check_admission()
         request = wire.decode_claim_request(request_frame)
         mdigest = model_digest(request.model, request.keys.embed_layer)
         shape_key = extraction_structure_key(
@@ -231,11 +367,14 @@ class ProofService:
                         claim_id,
                         wire.encode_persisted_request(claim_id, request),
                     )
-                    self.scheduler.submit(self._task_for(claim_id, request))
+                    self.scheduler.submit(self._task_for(
+                        claim_id, request,
+                        deadline_seconds=deadline_seconds,
+                    ))
                     self.registry.audit("rescued", claim_id=claim_id)
                     return {"claim_id": claim_id, "state": JobState.QUEUED,
                             "resubmission": True}
-            if record.state != JobState.FAILED:
+            if record.state not in (JobState.FAILED, JobState.QUARANTINED):
                 return {
                     "claim_id": claim_id,
                     "state": record.state,
@@ -251,17 +390,24 @@ class ProofService:
                 shape_key=shape_key,
             )
         )
-        if record.state == JobState.FAILED:
-            # Retry of a failed claim: register() returned the old record,
-            # so reset it -- status/wait must see 'queued', not the stale
-            # terminal state, while the job sits in the queue.
-            self.registry.update(claim_id, state=JobState.QUEUED, error="")
+        if record.state in (JobState.FAILED, JobState.QUARANTINED):
+            # Retry of a failed/quarantined claim: register() returned the
+            # old record, so reset it -- status/wait must see 'queued',
+            # not the stale terminal state, while the job sits in the
+            # queue.  A quarantined claim's attempt budget starts over
+            # (the operator resubmitting IS the requeue decision), but
+            # its error chain is kept for the post-mortem.
+            self.registry.update(
+                claim_id, state=JobState.QUEUED, error="", attempts=0
+            )
         # Persist the canonical frame FIRST: once a client has been told
         # "queued", a crash must not lose the job.
         self.registry.store_request_bytes(
             claim_id, wire.encode_persisted_request(claim_id, request)
         )
-        self.scheduler.submit(self._task_for(claim_id, request))
+        self.scheduler.submit(self._task_for(
+            claim_id, request, deadline_seconds=deadline_seconds
+        ))
         return {"claim_id": claim_id, "state": JobState.QUEUED,
                 "resubmission": False}
 
@@ -280,6 +426,8 @@ class ProofService:
             "created_at": record.created_at,
             "updated_at": record.updated_at,
             "timings": record.timings,
+            "attempts": record.attempts,
+            "error_chain": record.error_chain,
         }
         live = self.scheduler.state(record.claim_id)
         if live is not None and live != record.state:
@@ -505,12 +653,33 @@ class ProofService:
     # ---------------------------------------------------------------- stats --
 
     def health(self) -> Dict:
+        """Liveness plus a degradation signal: ``ok|degraded|draining``.
+
+        ``degraded`` means the queue is at >= 80% of ``max_queue_depth``
+        -- still admitting, but a load balancer should prefer another
+        replica; ``draining`` means admissions are already refused.
+        """
+        queue_depth = self.scheduler.pending()
+        status = "ok"
+        if self.draining or self.scheduler.stopping:
+            status = "draining"
+        elif (
+            self.max_queue_depth is not None
+            and queue_depth >= 0.8 * self.max_queue_depth
+        ):
+            status = "degraded"
         return {
-            "status": "ok",
+            "status": status,
             "service_version": SERVICE_VERSION,
             "wire_version": wire.WIRE_VERSION,
             "uptime_seconds": time.time() - self.started_at,
-            "queue_depth": self.scheduler.pending(),
+            "queue_depth": queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "draining": self.draining,
+            "drained": self._drained.is_set(),
+            "quarantined": self.registry.counts().get(
+                JobState.QUARANTINED, 0
+            ),
             "owner_token": self.registry.owner_token,
             "recovered_claims": len(self.recovered_claims),
         }
@@ -540,11 +709,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # quiet by default; the registry audit log is the record
 
-    def _send_json(self, payload: Dict, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -557,6 +733,34 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _error(self, status: int, message: str) -> None:
         self._send_json({"error": message}, status=status)
+
+    def _unavailable(self, exc: ServiceUnavailable) -> None:
+        self._send_json(
+            {"error": str(exc), "retry_after": exc.retry_after},
+            status=exc.status,
+            # Retry-After is integer seconds; round up so a 0.5s hint
+            # does not truncate to "retry immediately".
+            headers={"Retry-After": str(max(1, int(exc.retry_after + 0.999)))},
+        )
+
+    def _fire_faults(self) -> None:
+        """Injected transport faults for this request (chaos harness).
+
+        ``reset``/``crash`` kinds surface as the connection dropping with
+        no response -- exactly what a client sees when a replica dies
+        mid-request -- via the except clauses in the verb handlers.
+        """
+        plan = self.service.faults
+        if plan is not None:
+            plan.fire("http.request")
+
+    def _drop_connection(self) -> None:
+        """Abandon the socket without a response (injected reset/crash)."""
+        self.close_connection = True
+        try:
+            self.connection.close()
+        except OSError:
+            pass
 
     def _body(self) -> bytes:
         """Read exactly ``Content-Length`` bytes (or fail loudly).
@@ -592,6 +796,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         path, query = self._route()
         try:
+            self._fire_faults()
             if path == "/healthz":
                 return self._send_json(self.service.health())
             if path == "/stats":
@@ -628,6 +833,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                         )}
                     )
             self._error(404, f"no route for GET {path}")
+        except (InjectedConnectionReset, SimulatedCrash):
+            self._drop_connection()
         except RegistryError as exc:
             self._error(404, str(exc))
         except Exception as exc:  # noqa: BLE001 - surface, never hang the socket
@@ -636,9 +843,25 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         path, _ = self._route()
         try:
+            self._fire_faults()
             body = self._body()
             if path == "/claims":
-                return self._send_json(self.service.submit(body), status=202)
+                deadline = self.headers.get("X-Deadline-Seconds")
+                return self._send_json(
+                    self.service.submit(
+                        body,
+                        deadline_seconds=(
+                            float(deadline) if deadline else None
+                        ),
+                    ),
+                    status=202,
+                )
+            if path == "/admin/drain":
+                # Respond first, drain on a background thread: the whole
+                # point is that in-flight proves may take a while.
+                return self._send_json(
+                    self.service.drain(wait=False), status=202
+                )
             if path == "/verify":
                 content_type = self.headers.get("Content-Type", "")
                 if content_type.startswith("application/json"):
@@ -676,6 +899,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     self.service.revoke(parts[1], payload.get("reason", ""))
                 )
             self._error(404, f"no route for POST {path}")
+        except (InjectedConnectionReset, SimulatedCrash):
+            self._drop_connection()
+        except ServiceUnavailable as exc:
+            self._unavailable(exc)
         except wire.WireFormatError as exc:
             self._error(400, f"bad wire frame: {exc}")
         except RegistryError as exc:
@@ -741,14 +968,46 @@ class ProofServer:
             self._thread = None
         self.service.close()
 
+    def drain_and_shutdown(self) -> None:
+        """Graceful exit: stop admitting, finish in-flight, stop serving.
+
+        ``POST /admin/drain`` already answers 202 while this runs; once
+        the scheduler is fully drained the HTTP loop is shut down too,
+        so ``serve_forever`` returns and the process exits cleanly.
+        """
+        self.service.drain(wait=True)
+        self._httpd.shutdown()
+
     def serve_forever(self) -> None:
-        """Blocking serve (the CLI's ``serve`` subcommand)."""
+        """Blocking serve (the CLI's ``serve`` subcommand).
+
+        Installs a SIGTERM handler (main thread only; a no-op elsewhere)
+        that drains and exits instead of dying mid-prove -- `kill <pid>`
+        and orchestrator stop both become graceful drains.
+        """
         self.service.start()
+        previous_handler = None
+        try:
+            previous_handler = signal.signal(
+                signal.SIGTERM,
+                lambda signum, frame: threading.Thread(
+                    target=self.drain_and_shutdown,
+                    name="proof-server-sigterm-drain",
+                    daemon=True,
+                ).start(),
+            )
+        except ValueError:  # pragma: no cover - not on the main thread
+            pass
         try:
             self._httpd.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive
             pass
         finally:
+            if previous_handler is not None:
+                try:
+                    signal.signal(signal.SIGTERM, previous_handler)
+                except ValueError:  # pragma: no cover
+                    pass
             self._httpd.server_close()
             self.service.close()
 

@@ -38,6 +38,7 @@ from ..snark.keys import Proof, VerifyingKey
 from ..watermark.keys import WatermarkKeys
 from ..zkrownn.artifacts import ClaimFormatError, OwnershipClaim
 from ..zkrownn.circuit import CircuitConfig
+from . import faults
 
 __all__ = [
     "MSG_CLAIM",
@@ -115,6 +116,9 @@ def decode_frame(
     checksum mismatches -- all as :class:`WireFormatError`, before any
     payload bytes are interpreted.
     """
+    plan = faults.active_plan()
+    if plan is not None:
+        data = plan.mutate("wire.decode", data)
     if len(data) < _HEADER.size + _CRC.size:
         raise WireFormatError(f"frame truncated at {len(data)} bytes")
     magic, version, msg_type, length = _HEADER.unpack_from(data, 0)

@@ -17,6 +17,7 @@ from repro.service import (
     ProofService,
     ServiceClient,
     ServiceError,
+    ServiceUnavailable,
 )
 from repro.zkrownn import CircuitConfig
 
@@ -292,11 +293,23 @@ class TestFailedResubmission:
         finally:
             service.close()
 
-        # Scheduler now stopped: a resubmission must read back as QUEUED,
-        # not as the stale terminal failure.
-        again = service.submit(frame)
-        assert again["claim_id"] == first["claim_id"]
-        assert again["resubmission"] is False
-        status = service.status(first["claim_id"])
-        assert status["state"] == "queued"
-        assert status["error"] == ""
+        # Scheduler now stopped: the service must refuse new work with a
+        # retryable 503 rather than ack claims this process will never
+        # prove -- the client's failover machinery moves on to a replica.
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            service.submit(frame)
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after > 0
+
+        # A replacement replica over the same registry accepts the
+        # resubmission and resets the stale terminal failure to QUEUED.
+        replacement = ProofService(ClaimRegistry(tmp_path / "reg3"))
+        try:
+            again = replacement.submit(frame)
+            assert again["claim_id"] == first["claim_id"]
+            assert again["resubmission"] is False
+            status = replacement.status(first["claim_id"])
+            assert status["state"] == "queued"
+            assert status["error"] == ""
+        finally:
+            replacement.close()

@@ -22,10 +22,13 @@ from repro.nn.model import Sequential
 from repro.service import (
     ClaimRecord,
     ClaimRegistry,
+    FaultPlan,
+    FaultSpec,
     JobState,
     ProofServer,
     ProofService,
     ServiceClient,
+    SimulatedCrash,
     wire,
 )
 from repro.watermark import WatermarkKeys
@@ -125,6 +128,64 @@ class TestRecoveryDecisions:
             record = registry.get("orphan")
             assert record.state == JobState.FAILED
             assert "unrecoverable after restart" in record.error
+        finally:
+            service.close()
+
+
+class TestInjectedMidPersistCrashes:
+    """Deterministic crashes inside the registry's atomic-write window:
+    before ``os.replace`` the old record must survive untouched, after it
+    the new record must be what a restarted replica recovers from."""
+
+    def test_crash_before_persist_keeps_the_prior_state(self, tmp_path):
+        root = tmp_path / "reg"
+        claim_id = ProofService(ClaimRegistry(root)).submit(
+            wire.encode_claim_request(_tiny_request())
+        )["claim_id"]
+        plan = FaultPlan(seed=0, specs=[
+            FaultSpec(site="registry.crash-before-persist", kind="crash",
+                      max_fires=1),
+        ])
+        dying = ClaimRegistry(root, faults=plan)
+        with pytest.raises(SimulatedCrash):
+            dying.update(claim_id, state=JobState.PROVING)
+        # The temp file was written but never installed: a reopened
+        # registry (ignoring the debris) still reads the old record.
+        reopened = ClaimRegistry(root)
+        assert reopened.get(claim_id).state == JobState.QUEUED
+        service = ProofService(reopened)
+        try:
+            service.start()
+            assert service.recovered_claims == [claim_id]
+            assert service.scheduler.wait(claim_id, timeout=120) in (
+                JobState.DONE, JobState.FAILED,
+            )
+        finally:
+            service.close()
+
+    def test_crash_after_persist_recovers_from_the_new_state(self, tmp_path):
+        root = tmp_path / "reg"
+        claim_id = ProofService(ClaimRegistry(root)).submit(
+            wire.encode_claim_request(_tiny_request())
+        )["claim_id"]
+        plan = FaultPlan(seed=0, specs=[
+            FaultSpec(site="registry.crash-after-persist", kind="crash",
+                      max_fires=1),
+        ])
+        dying = ClaimRegistry(root, faults=plan)
+        with pytest.raises(SimulatedCrash):
+            dying.update(claim_id, state=JobState.PROVING)
+        # The replace happened: durably 'proving', owner dead, no lease
+        # -- the exact shape restart recovery requeues.
+        reopened = ClaimRegistry(root)
+        assert reopened.get(claim_id).state == JobState.PROVING
+        service = ProofService(reopened)
+        try:
+            service.start()
+            assert service.recovered_claims == [claim_id]
+            assert service.scheduler.wait(claim_id, timeout=120) in (
+                JobState.DONE, JobState.FAILED,
+            )
         finally:
             service.close()
 
