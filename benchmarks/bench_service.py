@@ -295,6 +295,88 @@ def test_degraded_mode_throughput(bench_scale, bench_json, tmp_path):
           f"{degraded['retried']} retries")
 
 
+def test_instrumentation_overhead(bench_scale, bench_json, tmp_path):
+    """Observability hooks must stay under 3% on the batched proving path.
+
+    The same batched workload runs with observability disabled and with
+    it fully enabled (tracing with a live trace id, stage metrics, span
+    persistence; kernel profiling stays off, as in a default deployment).
+    Runs alternate so cache warmup and machine drift hit both modes; the
+    min of each mode is compared, which is the standard way to strip
+    scheduler noise from a does-this-hook-cost-anything question.
+    """
+    from repro.obs import new_trace_id, set_obs_enabled
+
+    scale = bench_scale
+    config = CircuitConfig(theta=1.0, fixed_point=FMT)
+    keys = _keys(_model(5, scale), scale)
+    models = [_model(5 + i, scale) for i in range(NUM_CLAIMS)]
+    shape_key = extraction_structure_key(models[0], keys, config)
+
+    def run(tag: str) -> float:
+        engine = ProvingEngine()
+        registry = ClaimRegistry(tmp_path / f"obs-{tag}")
+        scheduler = ProofScheduler(engine, registry, max_batch=NUM_CLAIMS)
+        trace_id = new_trace_id()
+        for i, model in enumerate(models):
+            scheduler.submit(
+                ProofTask(
+                    claim_id=f"{tag}-{i}",
+                    shape_key=shape_key,
+                    synthesize=extraction_synthesizer(model, keys, config),
+                    model=model,
+                    keys=keys,
+                    config=config,
+                    seed=50 + i,
+                    setup_seed=9,
+                    trace_id=trace_id,
+                )
+            )
+        t0 = time.perf_counter()
+        scheduler.start()
+        try:
+            for i in range(NUM_CLAIMS):
+                assert scheduler.wait(
+                    f"{tag}-{i}", timeout=1200
+                ) == JobState.DONE
+        finally:
+            scheduler.stop()
+        return time.perf_counter() - t0
+
+    pairs = 3
+    disabled_times, enabled_times = [], []
+    previous = set_obs_enabled(True)
+    try:
+        for i in range(pairs):
+            set_obs_enabled(False)
+            disabled_times.append(run(f"off-{i}"))
+            set_obs_enabled(True)
+            enabled_times.append(run(f"on-{i}"))
+    finally:
+        set_obs_enabled(previous)
+
+    disabled_best = min(disabled_times)
+    enabled_best = min(enabled_times)
+    overhead = enabled_best / disabled_best - 1.0
+    bench_json(
+        "instrumentation-overhead",
+        num_claims=NUM_CLAIMS,
+        runs_per_mode=pairs,
+        disabled_seconds=disabled_times,
+        enabled_seconds=enabled_times,
+        disabled_best_seconds=disabled_best,
+        enabled_best_seconds=enabled_best,
+        overhead_fraction=overhead,
+    )
+    print(f"\nobservability overhead: enabled {enabled_best:.3f}s vs "
+          f"disabled {disabled_best:.3f}s ({overhead * 100:+.2f}%)")
+    assert overhead < 0.03, (
+        f"observability hooks cost {overhead * 100:.2f}% "
+        f"(enabled {enabled_best:.3f}s vs disabled {disabled_best:.3f}s); "
+        "the <3% budget is the contract that keeps them always-on"
+    )
+
+
 def test_wire_round_trip_overhead(bench_scale, bench_json):
     """Frame encode/decode cost is negligible next to proving."""
     scale = bench_scale

@@ -32,9 +32,13 @@ registry root.
 
 Doubles as the CI service smoke test: it exits non-zero if any step --
 including the cache-hit and zero-setup assertions -- fails.
+``--obs-artifacts DIR`` additionally scrapes ``GET /metrics`` and the
+first claim's ``GET /claims/<id>/trace`` into ``DIR`` (the CI job
+uploads them), after asserting the trace covers the full lifecycle.
 """
 
 import argparse
+import json
 import tempfile
 from pathlib import Path
 
@@ -65,7 +69,26 @@ def train_claimant_model(seed: int = 0):
     return model, keys
 
 
-def main():
+def dump_obs_artifacts(client, claim_id, out_dir):
+    """Scrape /metrics and the claim's trace into ``out_dir`` for CI."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    metrics = client.metrics_text()
+    assert "zkrownn_stage_seconds_bucket" in metrics, "no stage histograms?"
+    (out / "metrics.txt").write_text(metrics)
+    trace = client.trace(claim_id)
+    names = [span["name"] for span in trace["spans"]]
+    for stage in ("submit", "queue-wait", "lease-acquire",
+                  "synthesize", "prove", "persist"):
+        assert stage in names, f"trace missing stage {stage!r}: {names}"
+    assert trace["trace_id"] == client.trace_id(claim_id), \
+        "record lost the client-minted trace id"
+    (out / "trace.json").write_text(json.dumps(trace, indent=2, sort_keys=True))
+    print(f"      wrote {out / 'metrics.txt'} and {out / 'trace.json'} "
+          f"({len(names)} spans)")
+
+
+def main(obs_artifacts=None):
     registry_root = Path(tempfile.mkdtemp(prefix="zkrownn-service-"))
     print(f"registry at {registry_root}")
 
@@ -124,6 +147,13 @@ def main():
     print(f"      2 claims, 1 VK group, batched pairing check accepted "
           f"in {batch.groups[0].seconds:.2f}s")
     assert cli_main(["audit", "--url", server.url]) == 0, "audit must pass"
+
+    if obs_artifacts:
+        print("[obs] scraping /metrics and the claim trace ...")
+        dump_obs_artifacts(client, first["claim_id"], obs_artifacts)
+        assert cli_main(
+            ["trace", "--url", server.url, first["claim_id"]]
+        ) == 0, "trace timeline must render"
 
     print("[6/6] restarting the server over the same registry ...")
     server.stop()
@@ -206,5 +236,10 @@ if __name__ == "__main__":
         help="run the crash-safety scenario (kill with queued claims, "
              "restart, recover, zero-setup re-prove)",
     )
+    parser.add_argument(
+        "--obs-artifacts", default=None, metavar="DIR",
+        help="scrape GET /metrics and the first claim's trace into DIR "
+             "(main demo only)",
+    )
     args = parser.parse_args()
-    restart_demo() if args.restart_demo else main()
+    restart_demo() if args.restart_demo else main(args.obs_artifacts)

@@ -25,6 +25,8 @@ Proof-service subcommands (see ``repro.service``):
   and report per-claim and per-group verdicts with timing.
 * ``drain`` -- put a running server into drain mode (stop admitting new
   claims, finish in-flight proving) ahead of a restart or upgrade.
+* ``trace`` -- print one claim's span timeline (submit -> queue-wait ->
+  prove -> persist ...) as recorded by the observability layer.
 """
 
 from __future__ import annotations
@@ -376,6 +378,46 @@ def _cmd_drain(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render a claim's span tree as an indented wall-clock timeline."""
+    from .service import ServiceClient
+
+    trace = ServiceClient(args.url).trace(args.claim_id)
+    spans = trace.get("spans", [])
+    print(f"claim:  {trace['claim_id']}")
+    print(f"trace:  {trace.get('trace_id') or '(none)'}")
+    if not spans:
+        print("no spans recorded (observability disabled, or the claim "
+              "predates tracing)")
+        return 0
+    by_id = {s.get("span_id"): s for s in spans if s.get("span_id")}
+
+    def depth(span) -> int:
+        d, parent = 0, span.get("parent_id")
+        while parent and parent in by_id and d < 16:
+            d += 1
+            parent = by_id[parent].get("parent_id")
+        return d
+
+    base = min(s.get("start_unix", 0.0) for s in spans)
+    print(f"{'offset':>10}  {'duration':>10}  span")
+    for span in spans:
+        offset = span.get("start_unix", 0.0) - base
+        duration = span.get("duration_seconds")
+        dur = f"{duration * 1000:9.2f}ms" if duration is not None else " " * 11
+        indent = "  " * depth(span)
+        extras = []
+        for key in ("outcome", "attempt", "prior_state", "batch_size"):
+            value = span.get("attrs", {}).get(key)
+            if value is not None:
+                extras.append(f"{key}={value}")
+        for event in span.get("events", []):
+            extras.append(f"!{event.get('name')}")
+        suffix = f"  [{', '.join(extras)}]" if extras else ""
+        print(f"{offset * 1000:8.2f}ms  {dur}  {indent}{span['name']}{suffix}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="zkrownn",
@@ -509,6 +551,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     drain.add_argument("--timeout", type=float, default=600.0,
                        help="max seconds to wait with --wait")
     drain.set_defaults(func=_cmd_drain)
+
+    trace = sub.add_parser(
+        "trace",
+        help="print a claim's recorded span timeline",
+    )
+    add_url(trace)
+    trace.add_argument("claim_id")
+    trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

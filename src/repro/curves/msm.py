@@ -45,10 +45,13 @@ property-tested against.
 
 from __future__ import annotations
 
+import functools
+import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..field.backend import get_field_ops
 from ..field.prime import batch_inverse_ints
+from ..obs import metrics as _obs_metrics
 from .bn254 import P, R
 from .g1 import (
     G1_INFINITY_JAC,
@@ -509,6 +512,30 @@ def _combine_windows(
     )
 
 
+def _profiled_msm(group: str):
+    """Opt-in duration profiling for an MSM entry point.
+
+    Off (the default): one module-global read per MSM call -- an MSM is
+    thousands of field operations, so the check is unmeasurable.  On
+    (``ZKROWNN_PROFILE_KERNELS``): each call lands in the
+    ``zkrownn_msm_seconds`` histogram, bucketed by point count.
+    """
+    def wrap(fn):
+        @functools.wraps(fn)
+        def wrapper(points, scalars):
+            if not _obs_metrics.kernel_profiling_enabled():
+                return fn(points, scalars)
+            t0 = time.perf_counter()
+            out = fn(points, scalars)
+            _obs_metrics.observe_kernel(
+                "msm", len(scalars), time.perf_counter() - t0, group=group
+            )
+            return out
+        return wrapper
+    return wrap
+
+
+@_profiled_msm("g1")
 def msm_g1(points: Sequence[AffinePoint], scalars: Sequence[int]) -> JacobianPoint:
     """GLV + signed-window Pippenger MSM over G1.
 
@@ -546,6 +573,7 @@ def msm_g1(points: Sequence[AffinePoint], scalars: Sequence[int]) -> JacobianPoi
     return _signed_window_msm(split_points, split_scalars, c)
 
 
+@_profiled_msm("g1multi")
 def msm_g1_multi(
     points_lists: Sequence[Sequence[AffinePoint]], scalars: Sequence[int]
 ) -> List[JacobianPoint]:
@@ -674,6 +702,7 @@ def msm_g1_unsigned(
     return total
 
 
+@_profiled_msm("g2")
 def msm_g2(points: Sequence[G2Point], scalars: Sequence[int]) -> G2Point:
     """Signed-window + batch-affine Pippenger MSM over G2.
 

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Union
 from ..circuit.builder import CircuitBuilder
 from ..circuit.trace import TraceDivergence
 from ..field.backend import active_field_backend
+from ..obs import metrics as _obs_metrics
 from ..parallel import ComputeBackend, get_backend
 from ..snark.groth16 import (
     Groth16Keypair,
@@ -51,6 +52,21 @@ from .compiled import CompiledCircuit, SynthesisResult, compile_circuit, resynth
 __all__ = ["EngineStats", "ProofJob", "ProveBudgetExceeded", "ProvingEngine"]
 
 SynthesisFn = Callable[[CircuitBuilder], Any]
+
+
+def _observe_stage(stage: str, seconds: float) -> None:
+    """Feed one engine stage duration into the process metrics registry.
+
+    Resolved through :func:`get_metrics` on every call (not cached on the
+    engine) so a forked worker lands in its own registry; a dict lookup
+    per *stage* -- not per kernel -- is noise next to the stage itself.
+    """
+    if not _obs_metrics.obs_enabled():
+        return
+    _obs_metrics.get_metrics().histogram(
+        "zkrownn_engine_stage_seconds",
+        "proving-engine pipeline stage latency",
+    ).observe(seconds, stage=stage)
 
 
 class ProveBudgetExceeded(RuntimeError):
@@ -139,6 +155,17 @@ class ProvingEngine:
         self.backend = backend if backend is not None else get_backend()
         self.stats = EngineStats()
 
+    def stats_snapshot(self) -> Dict[str, int]:
+        """One locked, mutually-consistent copy of the stage counters.
+
+        Counter increments happen under the engine lock, so a snapshot
+        taken under the same lock never shows (say) ``proofs`` from one
+        batch with ``proof_batches`` from the previous one -- the
+        guarantee ``/stats`` advertises.
+        """
+        with self._lock:
+            return self.stats.as_dict()
+
     @property
     def artifact_store(self) -> Optional[ArtifactStore]:
         """The on-disk setup cache, when ``cache_dir`` was given.
@@ -164,6 +191,7 @@ class ProvingEngine:
         replaces the cached circuit -- the new digest then misses the
         keypair cache, which is exactly right: the old keys are unusable.
         """
+        t0 = time.perf_counter()
         with self._lock:
             compiled = self._compiled.get(key)
         if compiled is not None:
@@ -176,11 +204,13 @@ class ProvingEngine:
                 with self._lock:
                     self.stats.compile_hits += 1
                     self.stats.witness_resyntheses += 1
+                _observe_stage("synthesize", time.perf_counter() - t0)
                 return compiled, result
         compiled, result = compile_circuit(synthesize, name or key)
         with self._lock:
             self.stats.compile_misses += 1
             self._compiled[key] = compiled
+        _observe_stage("compile", time.perf_counter() - t0)
         return compiled, result
 
     # ----------------------------------------------------------------- setup --
@@ -203,7 +233,9 @@ class ProvingEngine:
                     self.stats.setup_disk_hits += 1
                     self._keypairs[digest] = keypair
                 return keypair
+        t0 = time.perf_counter()
         keypair = groth16_setup(compiled.cs, seed=seed)
+        _observe_stage("setup", time.perf_counter() - t0)
         with self._lock:
             self.stats.setup_misses += 1
             self._keypairs[digest] = keypair
@@ -357,6 +389,7 @@ class ProvingEngine:
         proofs = self.backend.prove_stream(
             prepared, compiled.cs, assignment_pairs(), key_id=compiled.digest
         )
+        _observe_stage("prove_stream", time.monotonic() - started)
         with self._lock:
             self.stats.proofs += len(proofs)
             self.stats.proof_batches += 1
@@ -405,7 +438,10 @@ class ProvingEngine:
         prepared = self._prepared_verifying_key(compiled)
         with self._lock:
             self.stats.verifications += 1
-        return verify_prepared(prepared, public_values, proof)
+        t0 = time.perf_counter()
+        ok = verify_prepared(prepared, public_values, proof)
+        _observe_stage("verify", time.perf_counter() - t0)
+        return ok
 
     def verify_batch(
         self,

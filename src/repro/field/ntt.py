@@ -30,8 +30,11 @@ types inside one transform.
 
 from __future__ import annotations
 
+import functools
+import time
 from typing import Dict, List, Sequence, Tuple
 
+from ..obs import metrics as _obs_metrics
 from .backend import get_field_ops
 from .prime import BN254_R as R
 from .prime import Fr
@@ -99,6 +102,32 @@ def _stage_twiddles(n: int, omega: int, ops) -> List[List[int]]:
     return tables
 
 
+def _profiled_ntt(direction: str):
+    """Opt-in duration profiling for a transform entry point.
+
+    Off (default): one module-global read per call.  On
+    (``ZKROWNN_PROFILE_KERNELS``): the call lands in
+    ``zkrownn_ntt_seconds`` bucketed by size.  An ``inv`` observation
+    includes the forward transform it runs internally (which is *also*
+    observed as ``fwd``) -- durations nest, counts do not dedupe.
+    """
+    def wrap(fn):
+        @functools.wraps(fn)
+        def wrapper(values, omega):
+            if not _obs_metrics.kernel_profiling_enabled():
+                return fn(values, omega)
+            t0 = time.perf_counter()
+            out = fn(values, omega)
+            _obs_metrics.observe_kernel(
+                "ntt", len(values), time.perf_counter() - t0,
+                direction=direction,
+            )
+            return out
+        return wrapper
+    return wrap
+
+
+@_profiled_ntt("fwd")
 def ntt(values: Sequence[int], omega: int) -> List[int]:
     """In-order radix-2 NTT of ``values`` using primitive root ``omega``.
 
@@ -134,6 +163,7 @@ def ntt(values: Sequence[int], omega: int) -> List[int]:
     return out
 
 
+@_profiled_ntt("inv")
 def intt(values: Sequence[int], omega: int) -> List[int]:
     """Inverse NTT: recovers coefficients from evaluations."""
     n = len(values)

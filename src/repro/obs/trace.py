@@ -1,0 +1,290 @@
+"""Lightweight per-claim span tracing.
+
+A *trace* is the lifecycle of one claim: the client mints a
+``trace_id`` (propagated as ``X-Trace-Id``), and every stage the claim
+passes through -- submit, queue-wait, lease-acquire, synthesize, prove,
+persist, verify -- becomes a :class:`Span` with a wall-clock anchor and
+a monotonic duration.  Completed spans are handed to a *sink* (the
+claim registry's ``store_trace_span``) so the tree survives restarts
+and is served back at ``GET /claims/<id>/trace``.
+
+Spans form a tree via ``parent_id``; a thread-local stack of *active*
+spans (:func:`current_span`, :meth:`Tracer.active`) lets deep layers --
+notably the fault-injection engine -- attach events to whatever stage
+is running without threading a span handle through every signature.
+
+When observability is disabled, or a task carries no trace id, every
+entry point returns :data:`NULL_SPAN`, whose methods do nothing: the
+scheduler hot path pays one truthiness check and nothing else.
+"""
+
+from __future__ import annotations
+
+import re
+import secrets
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from . import metrics as _metrics
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "current_span",
+    "new_span_id",
+    "new_trace_id",
+    "record_fault",
+    "sanitize_trace_id",
+]
+
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def new_trace_id() -> str:
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    return secrets.token_hex(8)
+
+
+def sanitize_trace_id(raw: object) -> str:
+    """A safe trace id from untrusted wire input, or ``""`` if invalid."""
+    if not isinstance(raw, str):
+        return ""
+    raw = raw.strip()
+    return raw if _TRACE_ID_RE.match(raw) else ""
+
+
+class Span:
+    """One timed stage of a claim's lifecycle.
+
+    ``start_monotonic`` may be supplied to backdate the span (the
+    queue-wait span starts at the task's ``submitted_at``, long before
+    the worker thread that ends it existed).
+    """
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "claim_id",
+        "start_unix", "_start_mono", "duration_seconds",
+        "attrs", "events", "_ended",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        name: str,
+        *,
+        claim_id: str = "",
+        parent_id: str = "",
+        start_monotonic: Optional[float] = None,
+        **attrs: object,
+    ):
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.claim_id = claim_id
+        now_mono = time.monotonic()
+        self._start_mono = (
+            now_mono if start_monotonic is None else float(start_monotonic)
+        )
+        # Wall-clock anchor consistent with the (possibly backdated)
+        # monotonic start, so rendered timelines line up.
+        self.start_unix = time.time() - (now_mono - self._start_mono)
+        self.duration_seconds: Optional[float] = None
+        self.attrs: Dict[str, object] = dict(attrs)
+        self.events: List[Dict[str, object]] = []
+        self._ended = False
+
+    def event(self, name: str, **attrs: object) -> None:
+        self.events.append({
+            "name": name,
+            "at": round(time.monotonic() - self._start_mono, 9),
+            **attrs,
+        })
+
+    def end(self, **attrs: object) -> "Span":
+        """Close the span (idempotent); later calls are ignored."""
+        if not self._ended:
+            self._ended = True
+            self.duration_seconds = time.monotonic() - self._start_mono
+            self.attrs.update(attrs)
+        return self
+
+    @property
+    def ended(self) -> bool:
+        return self._ended
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "name": self.name,
+            "start_unix": round(self.start_unix, 6),
+        }
+        if self.parent_id:
+            out["parent_id"] = self.parent_id
+        if self.claim_id:
+            out["claim_id"] = self.claim_id
+        if self.duration_seconds is not None:
+            out["duration_seconds"] = round(self.duration_seconds, 9)
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.events:
+            out["events"] = list(self.events)
+        return out
+
+
+class _NullSpan:
+    """Every method a no-op; truthiness False so hooks can gate on it."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = ""
+    parent_id = ""
+    name = ""
+    claim_id = ""
+    duration_seconds = None
+    ended = True
+
+    def __bool__(self) -> bool:
+        return False
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def end(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def as_dict(self) -> Dict[str, object]:
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+_ACTIVE = threading.local()
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = []
+        _ACTIVE.stack = stack
+    return stack
+
+
+def current_span():
+    """The innermost active span on this thread, or :data:`NULL_SPAN`."""
+    stack = getattr(_ACTIVE, "stack", None)
+    return stack[-1] if stack else NULL_SPAN
+
+
+def record_fault(site: str, kind: str) -> None:
+    """Attach a fired fault-injection site to the active span (if any)
+    and count it.  Called by ``faults.FaultPlan`` only when a spec
+    actually fires, so the disabled path never reaches here.
+    """
+    if not _metrics.obs_enabled():
+        return
+    current_span().event("fault-injected", site=site, kind=kind)
+    _metrics.get_metrics().counter(
+        "zkrownn_faults_injected_total",
+        "fault-injection sites fired, by site and kind",
+    ).inc(site=site, kind=kind)
+
+
+class _ActiveContext:
+    __slots__ = ("_span", "_end_attrs", "_pushed")
+
+    def __init__(self, span, end: bool):
+        self._span = span
+        self._end_attrs = end
+        self._pushed = False
+
+    def __enter__(self):
+        if self._span:
+            _stack().append(self._span)
+            self._pushed = True
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._pushed:
+            stack = _stack()
+            if stack and stack[-1] is self._span:
+                stack.pop()
+        return False
+
+
+class Tracer:
+    """Mints spans and persists completed ones through a sink.
+
+    ``sink`` is ``Callable[[claim_id, span_dict], None]`` -- in the
+    service, the registry's ``store_trace_span``.  Sink failures are
+    swallowed (observability must never fail a proof); stage durations
+    are mirrored into the ``zkrownn_stage_seconds`` histogram so traces
+    and metrics always agree.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[str, Dict[str, object]], None]] = None,
+    ):
+        self._sink = sink
+
+    def span(
+        self,
+        trace_id: str,
+        name: str,
+        *,
+        claim_id: str = "",
+        parent_id: str = "",
+        start_monotonic: Optional[float] = None,
+        **attrs: object,
+    ):
+        """A new live span, or :data:`NULL_SPAN` when untraced/disabled."""
+        if not trace_id or not _metrics.obs_enabled():
+            return NULL_SPAN
+        if not parent_id:
+            parent = current_span()
+            if parent and parent.trace_id == trace_id:
+                parent_id = parent.span_id
+        return Span(
+            trace_id,
+            name,
+            claim_id=claim_id,
+            parent_id=parent_id,
+            start_monotonic=start_monotonic,
+            **attrs,
+        )
+
+    def active(self, span) -> _ActiveContext:
+        """Context manager pushing ``span`` onto this thread's active
+        stack, so nested spans parent to it and fired faults attach as
+        its events.  Does not end the span on exit.
+        """
+        return _ActiveContext(span, end=False)
+
+    def finish(self, span, **attrs: object) -> None:
+        """End ``span`` (if still open), persist it, record its stage
+        duration.  Safe with :data:`NULL_SPAN`.
+        """
+        if not span:
+            return
+        if not span.ended:
+            span.end(**attrs)
+        elif attrs:
+            span.attrs.update(attrs)
+        if span.duration_seconds is not None:
+            _metrics.get_metrics().histogram(
+                "zkrownn_stage_seconds",
+                "per-claim lifecycle stage latency",
+            ).observe(span.duration_seconds, stage=span.name)
+        if self._sink is not None and span.claim_id:
+            try:
+                self._sink(span.claim_id, span.as_dict())
+            except OSError:
+                pass

@@ -40,6 +40,7 @@ from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
 from ..nn.model import Sequential
+from ..obs import new_trace_id
 from ..snark.keys import VerifyingKey
 from ..watermark.keys import WatermarkKeys
 from ..zkrownn.artifacts import OwnershipClaim
@@ -216,6 +217,9 @@ class ServiceClient:
         # (content-addressed ids), so wait() can re-POST to rescue a claim
         # stranded on a dead replica, on any endpoint that answers.
         self._frames: Dict[str, bytes] = {}
+        # The trace id minted per submission, re-sent on every rescue
+        # re-POST so retries and failovers stay on one trace.
+        self._trace_ids: Dict[str, str] = {}
 
     @property
     def base_url(self) -> str:
@@ -379,6 +383,13 @@ class ServiceClient:
         ``deadline_seconds`` rides as the ``X-Deadline-Seconds`` header
         (never in the frame: the frame is the content address); the
         scheduler sheds the job at dispatch once it has expired.
+
+        A trace id is minted per submission and sent as ``X-Trace-Id``,
+        so the claim's whole server-side lifecycle -- including rescue
+        resubmissions after a failover -- lands on one trace, fetchable
+        via :meth:`trace`.  (If the claim was first registered under a
+        different trace, the server keeps the original: first writer
+        wins.)
         """
         frame = wire.encode_claim_request(
             wire.ClaimRequest(
@@ -390,14 +401,21 @@ class ServiceClient:
                 setup_seed=setup_seed,
             )
         )
-        headers = None
+        trace_id = new_trace_id()
+        headers = {"X-Trace-Id": trace_id}
         if deadline_seconds is not None:
-            headers = {"X-Deadline-Seconds": str(deadline_seconds)}
+            headers["X-Deadline-Seconds"] = str(deadline_seconds)
         result = self._json("POST", "/claims", body=frame, headers=headers)
         claim_id = result.get("claim_id")
         if claim_id:
             self._frames[claim_id] = frame
+            self._trace_ids.setdefault(claim_id, trace_id)
         return result
+
+    def _resubmit_headers(self, claim_id: str) -> Optional[Dict[str, str]]:
+        """The original ``X-Trace-Id`` for a rescue re-POST, if known."""
+        trace_id = self._trace_ids.get(claim_id)
+        return {"X-Trace-Id": trace_id} if trace_id else None
 
     # -------------------------------------------------------------- status --
 
@@ -448,7 +466,8 @@ class ServiceClient:
                     # failover to a node that never saw the submit):
                     # idempotent resubmission recreates it in place.
                     try:
-                        self._json("POST", "/claims", body=frame)
+                        self._json("POST", "/claims", body=frame,
+                                   headers=self._resubmit_headers(claim_id))
                     except ServiceError:
                         pass
                 elif not self._is_transient(exc):
@@ -478,7 +497,8 @@ class ServiceClient:
                 # endpoint answers adopt the claim (rescue path).
                 try:
                     self._json(
-                        "POST", "/claims", body=self._frames[claim_id]
+                        "POST", "/claims", body=self._frames[claim_id],
+                        headers=self._resubmit_headers(claim_id),
                     )
                 except ServiceError:
                     pass
@@ -620,6 +640,20 @@ class ServiceClient:
 
     def stats(self) -> Dict:
         return self._json("GET", "/stats")
+
+    # ------------------------------------------------------- observability --
+
+    def trace(self, claim_id: str) -> Dict:
+        """The claim's span tree: ``{claim_id, trace_id, spans: [...]}``."""
+        return self._json("GET", f"/claims/{claim_id}/trace")
+
+    def trace_id(self, claim_id: str) -> Optional[str]:
+        """The trace id this client minted for ``claim_id``, if any."""
+        return self._trace_ids.get(claim_id)
+
+    def metrics_text(self) -> str:
+        """The service's Prometheus text exposition (``GET /metrics``)."""
+        return self._request("GET", "/metrics").decode()
 
     def __repr__(self) -> str:
         urls = [endpoint.url for endpoint in self.endpoints]

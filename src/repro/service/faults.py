@@ -46,6 +46,8 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..obs import trace as _trace
+
 __all__ = [
     "ENV_VAR",
     "FaultInjectionError",
@@ -199,6 +201,7 @@ class FaultPlan:
             firing, _ = self._decide(index, spec, site)
             if not firing:
                 continue
+            _trace.record_fault(site, spec.kind)
             if spec.kind == "latency":
                 time.sleep(spec.delay_seconds)
             elif spec.kind == "error":
@@ -218,6 +221,7 @@ class FaultPlan:
             firing, call = self._decide(index, spec, site)
             if not firing or not data:
                 continue
+            _trace.record_fault(site, spec.kind)
             digest = hashlib.sha256(
                 f"{self.seed}:{index}:{site}:{call}:damage".encode()
             ).digest()

@@ -13,6 +13,8 @@ the scheduler's worker threads and the HTTP handler threads to share::
     <root>/vks/<circuit_digest>.vk   verifying key bytes (one per circuit shape)
     <root>/models/<model_digest>.model
                                      wire frame of the claimed model
+    <root>/traces/<claim_id>.jsonl   per-claim trace spans (one JSON line
+                                     per completed lifecycle span)
     <root>/audit.log                 append-only JSONL audit trail
     <root>/keylog.jsonl              signed key-transparency log (one entry
                                      per published verifying key)
@@ -51,8 +53,8 @@ import dataclasses
 import hashlib
 import hmac
 import json
-import logging
 import os
+import re
 import secrets
 import threading
 import time
@@ -61,11 +63,14 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from ..obs import get_logger
 from . import faults as _faults
 
 __all__ = ["ClaimRecord", "ClaimRegistry", "RegistryError"]
 
-logger = logging.getLogger(__name__)
+logger = get_logger("registry")
+
+_SAFE_NAME_RE = re.compile(r"[^A-Za-z0-9_.-]")
 
 # How long a proving lease lasts before other replicas may reclaim the
 # claim.  Generous: a lease only needs to outlive one proving batch.
@@ -100,6 +105,7 @@ class ClaimRecord:
     timings: Dict[str, float] = field(default_factory=dict)
     attempts: int = 0
     error_chain: List[str] = field(default_factory=list)
+    trace_id: str = ""
     extra: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> str:
@@ -192,7 +198,9 @@ class ClaimRegistry:
         self._vks_dir = self.root / "vks"
         self._models_dir = self.root / "models"
         self._requests_dir = self.root / "requests"
-        for d in (self._claims_dir, self._vks_dir, self._models_dir):
+        self._traces_dir = self.root / "traces"
+        for d in (self._claims_dir, self._vks_dir, self._models_dir,
+                  self._traces_dir):
             d.mkdir(parents=True, exist_ok=True)
         self._requests_dir.mkdir(mode=0o700, parents=True, exist_ok=True)
         self._audit_path = self.root / "audit.log"
@@ -210,8 +218,7 @@ class ClaimRegistry:
                 # Torn/foreign file: skip, never crash the service -- but
                 # leave a trace instead of swallowing the loss.
                 logger.warning(
-                    "claim registry: skipping unreadable record %s: %s",
-                    path.name, exc,
+                    "registry.unreadable_record", file=path.name, error=str(exc),
                 )
                 continue
             self._records[record.claim_id] = record
@@ -256,8 +263,8 @@ class ClaimRegistry:
                     existing = None
                 except (ValueError, TypeError, KeyError) as exc:
                     logger.warning(
-                        "claim registry: unreadable record for %s during "
-                        "register, overwriting: %s", record.claim_id, exc,
+                        "registry.unreadable_record_on_register",
+                        claim_id=record.claim_id, error=str(exc),
                     )
                     existing = None
             if existing is not None:
@@ -680,6 +687,46 @@ class ClaimRegistry:
                 )
             prev = entry["entry_hash"]
         return len(entries)
+
+    # --------------------------------------------------------------- traces --
+
+    def _trace_path(self, claim_id: str) -> Path:
+        # claim_id is normally a hex digest, but it arrives over the wire;
+        # strip anything that could escape the traces directory.
+        safe = _SAFE_NAME_RE.sub("_", claim_id)[:128] or "_"
+        return self._traces_dir / f"{safe}.jsonl"
+
+    def store_trace_span(self, claim_id: str, span: dict) -> None:
+        """Append one completed trace span to the claim's trace file.
+
+        JSONL append like :meth:`audit`: crash-tolerant (a torn tail line
+        is skipped on read) and naturally ordered by completion time.
+        """
+        line = json.dumps(span, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            with open(self._trace_path(claim_id), "a") as fh:
+                fh.write(line)
+
+    def trace_spans(self, claim_id: str) -> List[dict]:
+        """A claim's persisted spans, sorted by wall-clock start."""
+        path = self._trace_path(claim_id)
+        spans: List[dict] = []
+        try:
+            with open(path) as fh:
+                for raw in fh:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        span = json.loads(raw)
+                    except ValueError:
+                        continue  # torn tail from a crash mid-append
+                    if isinstance(span, dict):
+                        spans.append(span)
+        except FileNotFoundError:
+            return []
+        spans.sort(key=lambda s: s.get("start_unix", 0.0))
+        return spans
 
     # ---------------------------------------------------------------- audit --
 

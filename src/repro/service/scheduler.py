@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..circuit.trace import TraceDivergence
 from ..engine.engine import ProveBudgetExceeded, ProvingEngine
+from ..obs import Tracer, get_metrics
 from ..snark.errors import ConstraintViolation
 from ..zkrownn.artifacts import OwnershipClaim, model_digest
 from ..zkrownn.circuit import CircuitConfig
@@ -103,6 +104,11 @@ class ProofTask:
     # Absolute time.monotonic() deadline: work the client has given up
     # on is shed at dispatch instead of burning a prover slot.
     deadline: Optional[float] = None
+    # Observability: tasks with an empty trace_id record no spans (the
+    # direct-scheduler path benchmarks and tests use).  parent_span_id
+    # parents scheduler spans under the server's submit span.
+    trace_id: str = ""
+    parent_span_id: str = ""
 
 
 @dataclass
@@ -179,6 +185,40 @@ class ProofScheduler:
             else heartbeat_seconds
         )
         self.stats = SchedulerStats()
+        # Completed spans persist next to the claim record so the trace
+        # survives restarts and failovers (any replica appends to the
+        # same traces/<claim_id>.jsonl).
+        self.tracer = Tracer(sink=registry.store_trace_span)
+        metrics = get_metrics()
+        self._m_claims = metrics.counter(
+            "zkrownn_claims_total",
+            "claims reaching a terminal state, by state",
+        )
+        self._m_queue_depth = metrics.gauge(
+            "zkrownn_queue_depth", "jobs waiting for a proving worker",
+        )
+        self._m_retries = metrics.counter(
+            "zkrownn_retries_total", "tasks requeued after retryable failures",
+        )
+        self._m_quarantines = metrics.counter(
+            "zkrownn_quarantines_total", "tasks parked as poison claims",
+        )
+        self._m_lease_renewals = metrics.counter(
+            "zkrownn_lease_renewals_total",
+            "heartbeat lease re-acquisitions during long proves",
+        )
+        self._m_watchdog_kills = metrics.counter(
+            "zkrownn_watchdog_kills_total",
+            "tasks quarantined by the hung-prove watchdog",
+        )
+        self._m_deadline_shed = metrics.counter(
+            "zkrownn_deadline_shed_total",
+            "tasks dropped at dispatch past their deadline",
+        )
+        self._m_batch_size = metrics.histogram(
+            "zkrownn_batch_size", "same-shape jobs proved per dispatch",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
         self.processed_order: List[str] = []  # claim ids in dispatch order
         self._queue: List[ProofTask] = []
         self._states: Dict[str, str] = {}
@@ -266,6 +306,7 @@ class ProofScheduler:
             self._states[task.claim_id] = JobState.QUEUED
             self._errors.pop(task.claim_id, None)
             self.stats.submitted += 1
+            self._m_queue_depth.set(len(self._queue))
             self._cv.notify_all()
         return task.claim_id
 
@@ -296,6 +337,16 @@ class ProofScheduler:
         with self._cv:
             return len(self._queue)
 
+    def stats_snapshot(self) -> Dict[str, int]:
+        """One locked, mutually-consistent copy of the counters.
+
+        Every counter mutation happens under ``self._cv``, so a snapshot
+        taken under it can never pair (say) this batch's ``batches`` with
+        last batch's ``batched_jobs`` -- the guarantee ``/stats`` needs.
+        """
+        with self._cv:
+            return self.stats.as_dict()
+
     # --------------------------------------------------------------- worker --
 
     def _take_batch(self) -> List[ProofTask]:
@@ -313,6 +364,7 @@ class ProofScheduler:
         batch = batch[: self.max_batch]
         taken = set(id(t) for t in batch)
         self._queue = [t for t in self._queue if id(t) not in taken]
+        self._m_queue_depth.set(len(self._queue))
         return batch
 
     def _own_task(self, task: ProofTask) -> bool:
@@ -356,6 +408,7 @@ class ProofScheduler:
                 ):
                     with self._cv:
                         self.stats.deadline_shed += 1
+                    self._m_deadline_shed.inc()
                     self._finish(
                         task, JobState.FAILED,
                         error="deadline exceeded before dispatch",
@@ -374,11 +427,28 @@ class ProofScheduler:
             yielded: List[ProofTask] = []
             deferred: List[tuple] = []
             for task in batch:
+                # The queue-wait span covers submission (its backdated
+                # start) through this dispatch pass picking the task up.
+                self.tracer.finish(self.tracer.span(
+                    task.trace_id, "queue-wait", claim_id=task.claim_id,
+                    parent_id=task.parent_span_id,
+                    start_monotonic=task.submitted_at,
+                ))
+                lease_span = self.tracer.span(
+                    task.trace_id, "lease-acquire", claim_id=task.claim_id,
+                    parent_id=task.parent_span_id,
+                )
                 try:
                     mine = self._own_task(task)
                 except OSError as exc:
+                    self.tracer.finish(
+                        lease_span, outcome="error", error=str(exc)
+                    )
                     deferred.append((task, exc))
                     continue
+                self.tracer.finish(
+                    lease_span, outcome="owned" if mine else "yielded"
+                )
                 (owned if mine else yielded).append(task)
             for task, exc in deferred:
                 self._retry_or_quarantine(
@@ -398,6 +468,10 @@ class ProofScheduler:
                         self.stats.largest_batch, len(owned)
                     )
                 self._cv.notify_all()
+            for task in yielded:
+                self._m_claims.inc(state=JobState.YIELDED)
+            if owned:
+                self._m_batch_size.observe(len(owned))
             if not owned:
                 continue
             for task in owned:
@@ -462,6 +536,7 @@ class ProofScheduler:
             else:
                 self.stats.failed += 1
             self._cv.notify_all()
+        self._m_claims.inc(state=state)
         if state in (JobState.DONE, JobState.FAILED):
             # Terminal: the persisted request frame (prover secrets) has
             # served its recovery purpose, and the proving lease is free.
@@ -504,6 +579,12 @@ class ProofScheduler:
             if task.attempts >= self.max_attempts:
                 self._quarantine(task, error, entry=entry)
                 continue
+            self.tracer.finish(self.tracer.span(
+                task.trace_id, "retry", claim_id=task.claim_id,
+                parent_id=task.parent_span_id,
+                attempt=task.attempts, error=error,
+            ))
+            self._m_retries.inc()
             self._mirror(
                 task.claim_id, JobState.QUEUED, error=error,
                 attempts=task.attempts,
@@ -516,6 +597,7 @@ class ProofScheduler:
                 self._queue.append(task)
                 self._states[task.claim_id] = JobState.QUEUED
                 self.stats.retried += 1
+                self._m_queue_depth.set(len(self._queue))
                 self._cv.notify_all()
 
     def _quarantine_tasks(self, tasks: List[ProofTask], error: str) -> None:
@@ -542,6 +624,13 @@ class ProofScheduler:
         a wedged prove thread may still be running, and freeing the lease
         would invite another replica to double-prove against it.
         """
+        self.tracer.finish(self.tracer.span(
+            task.trace_id, "quarantine", claim_id=task.claim_id,
+            parent_id=task.parent_span_id,
+            attempt=task.attempts, error=error,
+        ))
+        self._m_quarantines.inc()
+        self._m_claims.inc(state=JobState.QUARANTINED)
         self._mirror(
             task.claim_id, JobState.QUARANTINED, error=error,
             attempts=task.attempts,
@@ -587,6 +676,7 @@ class ProofScheduler:
                         continue
                     with self._cv:
                         self.stats.watchdog_kills += 1
+                    self._m_watchdog_kills.inc()
                     task.attempts += 1
                     self._quarantine(
                         task,
@@ -651,7 +741,9 @@ class ProofScheduler:
                             )
                             if still_proving:
                                 self.stats.lease_renewals += 1
-                        if not still_proving:
+                        if still_proving:
+                            self._m_lease_renewals.inc()
+                        else:
                             self.registry.release(task.claim_id)
 
         threading.Thread(
@@ -674,31 +766,50 @@ class ProofScheduler:
         return compiled, synthesis
 
     def _prove_batch(self, batch: List[ProofTask]) -> None:
-        if self.faults is not None:
-            self.faults.fire("scheduler.dispatch")
-        with self._inflight_lock:
-            self._batch_counter += 1
-            batch_id = self._batch_counter
-            self._inflight[batch_id] = {
-                "tasks": batch, "started": time.monotonic(),
-            }
-        heartbeat_stop = self._start_heartbeat(batch)
-        try:
-            self._prove_batch_inner(batch)
-        finally:
-            heartbeat_stop.set()
-            with self._inflight_lock:
-                self._inflight.pop(batch_id, None)
+        # The dispatch span (on the head task's trace) is *active* for the
+        # whole batch, so scheduler.dispatch / scheduler.prove fault fires
+        # -- and any fault inside synthesis or the prove stream, which run
+        # on this same thread -- attach to it as events.
+        head = batch[0]
+        dispatch_span = self.tracer.span(
+            head.trace_id, "dispatch", claim_id=head.claim_id,
+            parent_id=head.parent_span_id, batch_size=len(batch),
+        )
+        with self.tracer.active(dispatch_span):
+            try:
+                if self.faults is not None:
+                    self.faults.fire("scheduler.dispatch")
+                with self._inflight_lock:
+                    self._batch_counter += 1
+                    batch_id = self._batch_counter
+                    self._inflight[batch_id] = {
+                        "tasks": batch, "started": time.monotonic(),
+                    }
+                heartbeat_stop = self._start_heartbeat(batch)
+                try:
+                    self._prove_batch_inner(batch)
+                finally:
+                    heartbeat_stop.set()
+                    with self._inflight_lock:
+                        self._inflight.pop(batch_id, None)
+            finally:
+                self.tracer.finish(dispatch_span)
 
     def _prove_batch_inner(self, batch: List[ProofTask]) -> None:
         # The batch head compiles (or cache-hits) the shape; later tasks
         # replay the trace lazily inside the generator below.
         head_task = batch[0]
         t0 = time.perf_counter()
+        head_synth_span = self.tracer.span(
+            head_task.trace_id, "synthesize", claim_id=head_task.claim_id,
+            parent_id=head_task.parent_span_id,
+        )
         try:
             compiled, head_synthesis = self._synthesize(head_task)
         except (ConstraintViolation, TraceDivergence, OverflowError,
                 ValueError) as exc:
+            self.tracer.finish(head_synth_span, outcome="error",
+                               error=str(exc))
             self._finish(head_task, JobState.FAILED,
                          error=f"witness synthesis failed: {exc}")
             rest = batch[1:]
@@ -707,6 +818,7 @@ class ProofScheduler:
                 # already covers every task of this batch.
                 self._prove_batch_inner(rest)
             return
+        self.tracer.finish(head_synth_span)
         head_elapsed = time.perf_counter() - t0
 
         proved: List[ProofTask] = []
@@ -721,48 +833,72 @@ class ProofScheduler:
                     self.faults.fire("scheduler.prove")
                 self._refresh_lease(task)
                 t1 = time.perf_counter()
+                synth_span = self.tracer.span(
+                    task.trace_id, "synthesize", claim_id=task.claim_id,
+                    parent_id=task.parent_span_id,
+                )
                 try:
                     _, synthesis = self._synthesize(task)
                 except (ConstraintViolation, TraceDivergence, OverflowError,
                         ValueError) as exc:
+                    self.tracer.finish(synth_span, outcome="error",
+                                       error=str(exc))
                     self._finish(task, JobState.FAILED,
                                  error=f"witness synthesis failed: {exc}")
                     continue
+                self.tracer.finish(synth_span)
                 proved.append(task)
                 synth_seconds.append(time.perf_counter() - t1)
                 yield synthesis, task.seed
 
         t0 = time.perf_counter()
+        prove_started_mono = time.monotonic()
         proofs = self.engine.prove_stream(
             compiled, pairs(), setup_seed=head_task.setup_seed,
             budget_seconds=self.prove_budget_seconds,
         )
         prove_elapsed = time.perf_counter() - t0
+        # One prove span per claim, all sharing the batch's start/duration
+        # (the whole point of batching: each claim's prove cost IS the
+        # batch's), closed here so packaging time below is not included.
+        for task in proved:
+            self.tracer.finish(self.tracer.span(
+                task.trace_id, "prove", claim_id=task.claim_id,
+                parent_id=task.parent_span_id,
+                start_monotonic=prove_started_mono,
+                batch_size=len(proved),
+            ))
 
         keypair = self.engine.setup(compiled)  # cached: resolved, not re-run
         vk_bytes = keypair.verifying_key.to_bytes()
         self.registry.store_verifying_key(compiled.digest, vk_bytes)
 
         for task, proof, synth_s in zip(proved, proofs, synth_seconds):
-            if task.model is not None and task.keys is not None:
-                claim = self._package(task, proof)
-                self.registry.store_claim_bytes(
-                    task.claim_id, wire.encode_claim(claim)
-                )
-                self.registry.audit(
-                    "proved", claim_id=task.claim_id,
-                    circuit_digest=compiled.digest,
-                    batch_size=len(proved),
-                )
-            self._finish(
-                task, JobState.DONE,
-                circuit_digest=compiled.digest,
-                timings={
-                    "synthesize_seconds": synth_s,
-                    "batch_prove_seconds": prove_elapsed,
-                    "batch_size": float(len(proved)),
-                },
+            persist_span = self.tracer.span(
+                task.trace_id, "persist", claim_id=task.claim_id,
+                parent_id=task.parent_span_id,
             )
+            with self.tracer.active(persist_span):
+                if task.model is not None and task.keys is not None:
+                    claim = self._package(task, proof)
+                    self.registry.store_claim_bytes(
+                        task.claim_id, wire.encode_claim(claim)
+                    )
+                    self.registry.audit(
+                        "proved", claim_id=task.claim_id,
+                        circuit_digest=compiled.digest,
+                        batch_size=len(proved),
+                    )
+                self._finish(
+                    task, JobState.DONE,
+                    circuit_digest=compiled.digest,
+                    timings={
+                        "synthesize_seconds": synth_s,
+                        "batch_prove_seconds": prove_elapsed,
+                        "batch_size": float(len(proved)),
+                    },
+                )
+            self.tracer.finish(persist_span)
 
     @staticmethod
     def _package(task: ProofTask, proof) -> OwnershipClaim:

@@ -11,10 +11,21 @@ Endpoints (all JSON unless noted)::
     POST /claims/<id>/revoke  mark a claim revoked ({"reason": ...})
     POST /verify              verify server-side ({"claim_id": ...} or a
                               binary claim frame)
+    GET  /claims/<id>/trace   the claim's span tree (submit -> queue-wait
+                              -> ... -> verify), JSON
     GET  /vks                 the signed key-transparency log (JSON)
     GET  /vks/<digest>        one circuit's verifying key as a wire frame
     GET  /healthz             liveness + queue depth
     GET  /stats               engine + scheduler + registry counters
+    GET  /metrics             Prometheus text exposition
+
+Observability: ``POST /claims`` honors an ``X-Trace-Id`` header (the
+client-minted trace id); every lifecycle stage the claim passes through
+becomes a persisted span served back at ``GET /claims/<id>/trace``.
+Without the header the server mints a trace id itself (when
+observability is enabled).  The HTTP access log goes through the
+structured JSONL logger at ``info`` -- quiet under the default
+``ZKROWNN_LOG_LEVEL=warning``.
 
 Submission is asynchronous: ``POST /claims`` returns ``202 Accepted``
 with the content-addressed claim id; clients poll ``GET /claims/<id>``
@@ -43,6 +54,8 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..engine.engine import ProvingEngine
+from ..obs import Tracer, get_logger, get_metrics, new_trace_id, obs_enabled
+from ..obs.trace import sanitize_trace_id
 from ..zkrownn.artifacts import model_digest
 from ..zkrownn.planning import extraction_structure_key
 from ..zkrownn.circuit import extraction_synthesizer
@@ -129,6 +142,16 @@ class ProofService:
         # + Retry-After instead of an unbounded enqueue (None = unbounded).
         self.max_queue_depth = max_queue_depth
         self.retry_after_seconds = retry_after_seconds
+        self.tracer = Tracer(sink=registry.store_trace_span)
+        metrics = get_metrics()
+        self._m_submissions = metrics.counter(
+            "zkrownn_submissions_total",
+            "claim submissions admitted (including resubmissions)",
+        )
+        self._m_http = metrics.counter(
+            "zkrownn_http_requests_total",
+            "HTTP requests served, by method and status code",
+        )
         self.started_at = time.time()
         self.recovered_claims: List[str] = []
         self.draining = False
@@ -282,9 +305,16 @@ class ProofService:
                 self.registry.update(
                     record.claim_id, state=JobState.QUEUED, error=""
                 )
-            self.scheduler.submit(
-                self._task_for(record.claim_id, persisted.request)
-            )
+            # The recovered claim keeps its original trace: the restart
+            # shows up as a "recovered" span between queue-waits.
+            self.tracer.finish(self.tracer.span(
+                record.trace_id, "recovered", claim_id=record.claim_id,
+                prior_state=record.state,
+            ))
+            self.scheduler.submit(self._task_for(
+                record.claim_id, persisted.request,
+                trace_id=record.trace_id,
+            ))
             self.registry.audit("recovered", claim_id=record.claim_id)
             recovered.append(record.claim_id)
         return recovered
@@ -297,8 +327,12 @@ class ProofService:
         request: wire.ClaimRequest,
         *,
         deadline_seconds: Optional[float] = None,
+        trace_id: str = "",
+        parent_span_id: str = "",
     ) -> ProofTask:
         return ProofTask(
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
             claim_id=claim_id,
             shape_key=extraction_structure_key(
                 request.model, request.keys, request.config
@@ -324,6 +358,7 @@ class ProofService:
         request_frame: bytes,
         *,
         deadline_seconds: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict:
         """Decode, content-address, register, persist, and enqueue one claim.
 
@@ -331,8 +366,16 @@ class ProofService:
         part of the wire frame -- the canonical request bytes are the
         content address and must stay deadline-free) lets the scheduler
         shed the job at dispatch once the client has given up on it.
+
+        ``trace_id`` (the ``X-Trace-Id`` header) joins the claim to a
+        client-minted trace; absent (or invalid), the server mints one.
+        The id stored at registration wins: resubmissions and rescues
+        append to the original trace rather than forking a new one.
         """
         self._check_admission()
+        trace_id = sanitize_trace_id(trace_id)
+        if not trace_id and obs_enabled():
+            trace_id = new_trace_id()
         request = wire.decode_claim_request(request_frame)
         mdigest = model_digest(request.model, request.keys.embed_layer)
         shape_key = extraction_structure_key(
@@ -342,6 +385,7 @@ class ProofService:
         # byte-identical resubmission maps onto the existing record.
         canonical = wire.encode_claim_request(request)
         claim_id = hashlib.sha256(canonical).hexdigest()
+        self._m_submissions.inc()
 
         # Freshen from the shared root first: another replica may have
         # registered (or proved) this claim since our in-memory load.
@@ -350,6 +394,12 @@ class ProofService:
         except RegistryError:
             record = None
         if record is not None:
+            # First writer wins: the trace id stored at registration is
+            # the claim's trace; later submissions append to it.
+            if record.trace_id:
+                trace_id = record.trace_id
+            elif trace_id:
+                record = self.registry.update(claim_id, trace_id=trace_id)
             if record.state in (JobState.QUEUED, JobState.PROVING):
                 active_here = self.scheduler.state(claim_id) in (
                     JobState.QUEUED, JobState.PROVING,
@@ -367,14 +417,23 @@ class ProofService:
                         claim_id,
                         wire.encode_persisted_request(claim_id, request),
                     )
+                    self.tracer.finish(self.tracer.span(
+                        trace_id, "rescued", claim_id=claim_id,
+                        prior_state=record.state,
+                    ))
                     self.scheduler.submit(self._task_for(
                         claim_id, request,
                         deadline_seconds=deadline_seconds,
+                        trace_id=trace_id,
                     ))
                     self.registry.audit("rescued", claim_id=claim_id)
                     return {"claim_id": claim_id, "state": JobState.QUEUED,
                             "resubmission": True}
             if record.state not in (JobState.FAILED, JobState.QUARANTINED):
+                self.tracer.finish(self.tracer.span(
+                    trace_id, "resubmit", claim_id=claim_id,
+                    state=record.state,
+                ))
                 return {
                     "claim_id": claim_id,
                     "state": record.state,
@@ -388,26 +447,37 @@ class ProofService:
                 state=JobState.QUEUED,
                 priority=request.priority,
                 shape_key=shape_key,
+                trace_id=trace_id,
             )
         )
-        if record.state in (JobState.FAILED, JobState.QUARANTINED):
-            # Retry of a failed/quarantined claim: register() returned the
-            # old record, so reset it -- status/wait must see 'queued',
-            # not the stale terminal state, while the job sits in the
-            # queue.  A quarantined claim's attempt budget starts over
-            # (the operator resubmitting IS the requeue decision), but
-            # its error chain is kept for the post-mortem.
-            self.registry.update(
-                claim_id, state=JobState.QUEUED, error="", attempts=0
-            )
-        # Persist the canonical frame FIRST: once a client has been told
-        # "queued", a crash must not lose the job.
-        self.registry.store_request_bytes(
-            claim_id, wire.encode_persisted_request(claim_id, request)
+        if record.trace_id:
+            trace_id = record.trace_id  # pre-existing record's trace wins
+        elif trace_id:
+            self.registry.update(claim_id, trace_id=trace_id)
+        submit_span = self.tracer.span(
+            trace_id, "submit", claim_id=claim_id, priority=request.priority,
         )
-        self.scheduler.submit(self._task_for(
-            claim_id, request, deadline_seconds=deadline_seconds
-        ))
+        with self.tracer.active(submit_span):
+            if record.state in (JobState.FAILED, JobState.QUARANTINED):
+                # Retry of a failed/quarantined claim: register() returned the
+                # old record, so reset it -- status/wait must see 'queued',
+                # not the stale terminal state, while the job sits in the
+                # queue.  A quarantined claim's attempt budget starts over
+                # (the operator resubmitting IS the requeue decision), but
+                # its error chain is kept for the post-mortem.
+                self.registry.update(
+                    claim_id, state=JobState.QUEUED, error="", attempts=0
+                )
+            # Persist the canonical frame FIRST: once a client has been told
+            # "queued", a crash must not lose the job.
+            self.registry.store_request_bytes(
+                claim_id, wire.encode_persisted_request(claim_id, request)
+            )
+            self.scheduler.submit(self._task_for(
+                claim_id, request, deadline_seconds=deadline_seconds,
+                trace_id=trace_id, parent_span_id=submit_span.span_id,
+            ))
+        self.tracer.finish(submit_span)
         return {"claim_id": claim_id, "state": JobState.QUEUED,
                 "resubmission": False}
 
@@ -428,6 +498,7 @@ class ProofService:
             "timings": record.timings,
             "attempts": record.attempts,
             "error_chain": record.error_chain,
+            "trace_id": record.trace_id,
         }
         live = self.scheduler.state(record.claim_id)
         if live is not None and live != record.state:
@@ -476,16 +547,22 @@ class ProofService:
     def verify_by_id(self, claim_id: str) -> Dict:
         """Server-side verification of a stored claim against its stored model."""
         record = self.registry.get(claim_id)
-        if record.state == JobState.REVOKED:
-            return {"accepted": False,
-                    "reason": f"claim revoked: {record.revoked_reason}"}
-        if record.state != JobState.DONE:
-            return {"accepted": False,
-                    "reason": f"claim is {record.state}, not proved"}
-        claim = wire.decode_claim(self.registry.claim_bytes(claim_id))
-        report = self._verify_claim(claim, record.circuit_digest)
-        self.registry.audit("verified", claim_id=claim_id,
-                            accepted=report["accepted"])
+        span = self.tracer.span(
+            record.trace_id, "verify", claim_id=claim_id,
+        )
+        with self.tracer.active(span):
+            if record.state == JobState.REVOKED:
+                report = {"accepted": False,
+                          "reason": f"claim revoked: {record.revoked_reason}"}
+            elif record.state != JobState.DONE:
+                report = {"accepted": False,
+                          "reason": f"claim is {record.state}, not proved"}
+            else:
+                claim = wire.decode_claim(self.registry.claim_bytes(claim_id))
+                report = self._verify_claim(claim, record.circuit_digest)
+                self.registry.audit("verified", claim_id=claim_id,
+                                    accepted=report["accepted"])
+        self.tracer.finish(span, accepted=report["accepted"])
         return report
 
     def verify_frame(self, claim_frame: bytes) -> Dict:
@@ -685,16 +762,51 @@ class ProofService:
         }
 
     def stats(self) -> Dict:
+        # Locked snapshots, not the live mutable counter objects: a
+        # /stats scrape concurrent with a proving batch must see each
+        # stats block at one consistent instant, not mid-increment.
         return {
-            "engine": self.engine.stats.as_dict(),
-            "scheduler": self.scheduler.stats.as_dict(),
+            "engine": self.engine.stats_snapshot(),
+            "scheduler": self.scheduler.stats_snapshot(),
             "registry": self.registry.counts(),
             "backend": self.engine.backend.name,
             "uptime_seconds": time.time() - self.started_at,
         }
 
+    # -------------------------------------------------------- observability --
+
+    def trace(self, claim_id: str) -> Dict:
+        """The claim's persisted span tree (submit -> ... -> verify)."""
+        record = self.registry.get(claim_id)  # 404s unknown claims
+        return {
+            "claim_id": claim_id,
+            "trace_id": record.trace_id,
+            "spans": self.registry.trace_spans(claim_id),
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition, with scrape-time gauges refreshed."""
+        metrics = get_metrics()
+        if obs_enabled():
+            registry_claims = metrics.gauge(
+                "zkrownn_registry_claims",
+                "claim records in the registry, by state",
+            )
+            for state, count in self.registry.counts().items():
+                if state != "total":
+                    registry_claims.set(count, state=state)
+            metrics.gauge(
+                "zkrownn_queue_depth", "claims waiting in the scheduler queue",
+            ).set(self.scheduler.pending())
+            metrics.gauge(
+                "zkrownn_uptime_seconds", "seconds since service start",
+            ).set(time.time() - self.started_at)
+        return metrics.render()
+
 
 # -- HTTP layer ----------------------------------------------------------------
+
+_http_log = get_logger("http")
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -706,8 +818,26 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- helpers --------------------------------------------------------------
 
+    # The stdlib handler prints access lines to stderr; previously this
+    # swallowed them entirely.  Now they flow through the structured
+    # logger instead: quiet under the default ZKROWNN_LOG_LEVEL=warning,
+    # one JSON line per request at info, errors at warning.
+
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # quiet by default; the registry audit log is the record
+        _http_log.info("http.message", message=format % args)
+
+    def log_error(self, format, *args):  # noqa: A002 - stdlib signature
+        _http_log.warning("http.error", message=format % args)
+
+    def log_request(self, code="-", size="-"):
+        code_val = getattr(code, "value", code)
+        self.service._m_http.inc(
+            method=getattr(self, "command", "?") or "?", code=str(code_val)
+        )
+        _http_log.info(
+            "http.request", method=getattr(self, "command", "?"),
+            path=getattr(self, "path", "?"), code=code_val,
+        )
 
     def _send_json(
         self,
@@ -727,6 +857,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _send_bytes(self, body: bytes, status: int = 200) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, content_type: str,
+                   status: int = 200) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -801,6 +940,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return self._send_json(self.service.health())
             if path == "/stats":
                 return self._send_json(self.service.stats())
+            if path == "/metrics":
+                return self._send_text(
+                    self.service.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             if path == "/claims":
                 records = self.service.registry.list(
                     model_digest=query.get("model_digest"),
@@ -832,6 +976,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                             self.service.registry.audit_entries(claim_id)
                         )}
                     )
+                if parts[2] == "trace":
+                    return self._send_json(self.service.trace(claim_id))
             self._error(404, f"no route for GET {path}")
         except (InjectedConnectionReset, SimulatedCrash):
             self._drop_connection()
@@ -853,6 +999,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                         deadline_seconds=(
                             float(deadline) if deadline else None
                         ),
+                        trace_id=self.headers.get("X-Trace-Id"),
                     ),
                     status=202,
                 )
