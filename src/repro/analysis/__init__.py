@@ -1,0 +1,47 @@
+"""Static analysis over compiled circuits (the circuit soundness auditor).
+
+ZKROWNN's ownership guarantee is only as strong as the soundness of its
+hand-built constraint systems: one unconstrained hint wire lets a
+malicious prover forge a witness that verifies.  This package hunts that
+bug class statically -- the same ground circomspect and Picus cover for
+circom -- over this repo's R1CS:
+
+* :mod:`repro.analysis.findings` -- severity-ranked findings, reports,
+  and the checked-in CI baseline format;
+* :mod:`repro.analysis.linear` -- sparse Gauss-Jordan elimination over
+  GF(p), the engine of the determinism pass;
+* :mod:`repro.analysis.determinism` -- the Picus-style pass proving each
+  hint wire is uniquely determined by the circuit's inputs;
+* :mod:`repro.analysis.circuit_audit` -- the pass driver producing an
+  :class:`AuditReport` for a :class:`ConstraintSystem`;
+* :mod:`repro.analysis.catalog` -- named shipped circuits (gadget and
+  architecture) the CLI and CI audit against the baseline.
+"""
+
+from .catalog import audit_named_circuit, catalog_names, resolve_circuit_name
+from .circuit_audit import (
+    CircuitAuditError,
+    audit_compiled,
+    audit_constraint_system,
+)
+from .findings import (
+    SEVERITIES,
+    AuditBaseline,
+    AuditReport,
+    Finding,
+    severity_rank,
+)
+
+__all__ = [
+    "AuditBaseline",
+    "AuditReport",
+    "CircuitAuditError",
+    "Finding",
+    "SEVERITIES",
+    "audit_compiled",
+    "audit_constraint_system",
+    "audit_named_circuit",
+    "catalog_names",
+    "resolve_circuit_name",
+    "severity_rank",
+]

@@ -1,0 +1,50 @@
+"""Named shipped circuits the CLI and CI audit against the baseline.
+
+The catalog is the Table-I builder set (:func:`repro.bench.table1.
+builders_for_scale`): every gadget circuit and both architecture
+extraction circuits.  Names are matched case-insensitively so
+``zkrownn audit-circuit ber`` works.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .circuit_audit import audit_compiled
+from .findings import AuditReport
+
+__all__ = ["catalog_names", "audit_named_circuit", "resolve_circuit_name"]
+
+
+def _builders(scale: str) -> Dict[str, Callable]:
+    from ..bench.table1 import builders_for_scale
+
+    return builders_for_scale(scale)
+
+
+def catalog_names(scale: str = "tiny") -> List[str]:
+    """Every auditable named circuit (Table-I gadgets + architectures)."""
+    return list(_builders(scale))
+
+
+def resolve_circuit_name(name: str, scale: str = "tiny") -> Optional[str]:
+    """Case-insensitive catalog lookup; None when unknown."""
+    lowered = name.lower()
+    for canonical in catalog_names(scale):
+        if canonical.lower() == lowered:
+            return canonical
+    return None
+
+
+def audit_named_circuit(name: str, *, scale: str = "tiny") -> AuditReport:
+    """Build one catalog circuit at ``scale`` and audit it."""
+    from ..engine.compiled import CompiledCircuit
+
+    canonical = resolve_circuit_name(name, scale)
+    if canonical is None:
+        raise KeyError(
+            f"unknown circuit {name!r}; catalog: {', '.join(catalog_names(scale))}"
+        )
+    builder = _builders(scale)[canonical]()
+    compiled = CompiledCircuit.from_builder(builder, name=canonical)
+    return audit_compiled(compiled)

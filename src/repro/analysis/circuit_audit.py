@@ -1,0 +1,397 @@
+"""The audit driver: severity-ranked static passes over one R1CS.
+
+Passes, in the order run (each contributes findings tagged with its
+``pass_id``):
+
+``unbound-public`` (critical)
+    A public *input* variable appearing in no constraint: the statement
+    being proven does not depend on it, so a verifier checking it checks
+    nothing.
+``unbound-output`` (critical)
+    A public output placeholder never bound to a computed wire: the
+    prover may publish any value for it.
+``unconstrained-hint`` (high)
+    An ``alloc_hint`` variable appearing in no constraint at all.
+``unconstrained-wire`` (warning)
+    Any other allocated-but-unused variable (dead private input).
+``unsatisfiable-constraint`` (critical) / ``degenerate-constraint`` (info)
+    Constant-only constraints: ``a*b != c`` can never be satisfied;
+    ``0*0=0``-style tautologies are dead weight.
+``duplicate-constraint`` (info)
+    Byte-identical constraints (A*B commuted counts as identical).
+``missing-boolean`` (high)
+    A wire consumed by a boolean gadget (``and_``/``or_``/``xor_``/
+    ``not_``/``select``) with no booleanity constraint anywhere.
+``underconstrained-hint`` (high) / ``underconstrained-output`` (critical)
+    The Picus-style determinism pass (:mod:`repro.analysis.determinism`)
+    could not prove the wire is uniquely determined by the circuit's
+    inputs -- a probable forgeable witness.  The determined set is
+    seeded with the *semantic* inputs only (``public_input`` and
+    ``private_input`` allocations); public outputs are prover-published,
+    so both hints and outputs must come out determined.
+
+Passes that need allocation provenance (hint vs. semantic input) are
+skipped with a recorded reason when the constraint system carries
+``unknown`` kinds (e.g. restored from a v1 serialization).
+
+The audit runs in two tiers.  The **deep** tier (default) runs every
+pass and is what the CLI, the CI baseline job, strict-mode engines, and
+on-demand service audits use.  The **fast** tier (``deep=False``) is
+what ``audit="warn"`` runs inline on the engine's cold compile path: the
+single-sweep structural passes only, skipping the determinism fixpoint
+and the duplicate scan so warn mode stays well under 10% of compile
+time.  Skipped passes are recorded in ``passes_skipped`` and the report
+carries ``deep`` so a cached fast report is upgraded on the first deep
+request.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..snark.r1cs import ONE_INDEX, ConstraintSystem, LinearCombination
+from .determinism import analyze_determinism, boolean_constrained_vars
+from .findings import AuditReport, Finding
+
+__all__ = [
+    "CircuitAuditError",
+    "audit_compiled",
+    "audit_constraint_system",
+    "MAX_FINDINGS_PER_PASS",
+]
+
+#: Cap per pass so a badly broken circuit yields a readable report, not
+#: ten thousand findings; an overflow note records the truncation.
+MAX_FINDINGS_PER_PASS = 100
+
+
+class CircuitAuditError(ValueError):
+    """A strict-mode audit rejected a circuit.
+
+    Subclasses :class:`ValueError` deliberately: the service scheduler
+    already maps ``ValueError`` during synthesis to a failed claim, so
+    strict mode rejects claims without new plumbing.
+    """
+
+    def __init__(self, report: AuditReport, *, threshold: str = "critical"):
+        self.report = report
+        worst = report.worst() or "none"
+        flagged = report.at_least(threshold)
+        detail = "; ".join(f.render() for f in flagged[:3])
+        more = f" (+{len(flagged) - 3} more)" if len(flagged) > 3 else ""
+        super().__init__(
+            f"circuit audit rejected {report.circuit!r}: "
+            f"{len(flagged)} finding(s) at severity >= {threshold} "
+            f"(worst {worst}): {detail}{more}"
+        )
+
+
+def _kinds(cs: ConstraintSystem) -> List[str]:
+    kinds = list(getattr(cs, "variable_kinds", []))
+    if len(kinds) != cs.num_variables:
+        return ["one"] + ["unknown"] * (cs.num_variables - 1)
+    return kinds
+
+
+def _names(cs: ConstraintSystem) -> List[str]:
+    names = list(getattr(cs, "variable_names", []))
+    if len(names) != cs.num_variables:
+        return [f"v{i}" for i in range(cs.num_variables)]
+    return names
+
+
+def _sites(cs: ConstraintSystem) -> List[str]:
+    sites = list(getattr(cs, "variable_sites", []))
+    if len(sites) != cs.num_variables:
+        return [""] * cs.num_variables
+    return sites
+
+
+def _is_constant(lc: LinearCombination) -> bool:
+    # A constant LC is empty or the single entry {ONE_INDEX: k}.
+    terms = lc.terms
+    return not terms or (len(terms) == 1 and ONE_INDEX in terms)
+
+
+class _Auditor:
+    def __init__(
+        self, cs: ConstraintSystem, name: str, digest: str, deep: bool = True
+    ):
+        self.cs = cs
+        self.name = name
+        self.digest = digest
+        self.deep = deep
+        self.kinds = _kinds(cs)
+        self.names = _names(cs)
+        self.sites = _sites(cs)
+        self.has_provenance = "unknown" not in self.kinds
+        self.findings: List[Finding] = []
+        self.passes_run: List[str] = []
+        self.passes_skipped: Dict[str, str] = {}
+        self._per_pass: Dict[str, int] = {}
+
+    def _emit(
+        self,
+        pass_id: str,
+        severity: str,
+        message: str,
+        wire: Optional[int] = None,
+    ) -> None:
+        count = self._per_pass.get(pass_id, 0)
+        self._per_pass[pass_id] = count + 1
+        if count == MAX_FINDINGS_PER_PASS:
+            self.findings.append(
+                Finding(
+                    pass_id=pass_id,
+                    severity="info",
+                    message=(
+                        f"further {pass_id} findings suppressed after "
+                        f"{MAX_FINDINGS_PER_PASS}"
+                    ),
+                )
+            )
+            return
+        if count > MAX_FINDINGS_PER_PASS:
+            return
+        if wire is not None:
+            self.findings.append(
+                Finding(
+                    pass_id=pass_id,
+                    severity=severity,
+                    message=message,
+                    wire=wire,
+                    wire_name=self.names[wire],
+                    kind=self.kinds[wire],
+                    site=self.sites[wire],
+                )
+            )
+        else:
+            self.findings.append(
+                Finding(pass_id=pass_id, severity=severity, message=message)
+            )
+
+    # ---------------------------------------------------------------- passes --
+
+    def pass_unconstrained(self) -> None:
+        self.passes_run += [
+            "unbound-public",
+            "unbound-output",
+            "unconstrained-hint",
+            "unconstrained-wire",
+        ]
+        appears: set = set()
+        for a, b, c in self.cs.constraints:
+            appears.update(a.terms)
+            appears.update(b.terms)
+            appears.update(c.terms)
+        for v in range(1, self.cs.num_variables):
+            if v in appears:
+                continue
+            kind = self.kinds[v]
+            is_public = v <= self.cs.num_public
+            if kind == "output":
+                self._emit(
+                    "unbound-output",
+                    "critical",
+                    "public output placeholder is never bound: the prover "
+                    "may publish any value for it",
+                    wire=v,
+                )
+            elif is_public:
+                self._emit(
+                    "unbound-public",
+                    "critical",
+                    "public input appears in no constraint: the proof does "
+                    "not depend on it",
+                    wire=v,
+                )
+            elif kind == "hint":
+                self._emit(
+                    "unconstrained-hint",
+                    "high",
+                    "hint wire appears in no constraint: the prover may set "
+                    "it freely",
+                    wire=v,
+                )
+            else:
+                self._emit(
+                    "unconstrained-wire",
+                    "warning",
+                    "variable appears in no constraint (dead allocation)",
+                    wire=v,
+                )
+
+    def pass_degenerate(self) -> None:
+        self.passes_run += ["degenerate-constraint", "unsatisfiable-constraint"]
+        modulus = _bn254_r()
+        for k, (a, b, c) in enumerate(self.cs.constraints):
+            if not (_is_constant(a) and _is_constant(b) and _is_constant(c)):
+                continue
+            av = a.terms.get(ONE_INDEX, 0)
+            bv = b.terms.get(ONE_INDEX, 0)
+            cv = c.terms.get(ONE_INDEX, 0)
+            if av * bv % modulus == cv % modulus:
+                self._emit(
+                    "degenerate-constraint",
+                    "info",
+                    f"constraint {k} is a constant tautology "
+                    f"({av} * {bv} = {cv})",
+                )
+            else:
+                self._emit(
+                    "unsatisfiable-constraint",
+                    "critical",
+                    f"constraint {k} can never be satisfied "
+                    f"({av} * {bv} != {cv})",
+                )
+
+    def pass_duplicates(self) -> None:
+        self.passes_run.append("duplicate-constraint")
+        seen: Dict[Tuple, int] = {}
+        for k, (a, b, c) in enumerate(self.cs.constraints):
+            a_key = frozenset(a.terms.items())
+            b_key = frozenset(b.terms.items())
+            # The outer frozenset makes A*B order irrelevant (commutes).
+            key = (frozenset((a_key, b_key)), frozenset(c.terms.items()))
+            if key in seen:
+                self._emit(
+                    "duplicate-constraint",
+                    "info",
+                    f"constraint {k} duplicates constraint {seen[key]} "
+                    "(dead weight in setup and proving)",
+                )
+            else:
+                seen[key] = k
+
+    def pass_missing_boolean(self, boolean_vars: set) -> None:
+        self.passes_run.append("missing-boolean")
+        expected = getattr(self.cs, "expected_boolean", [])
+        flagged = set()
+        for v, site in expected:
+            if v in boolean_vars or v in flagged or v == ONE_INDEX:
+                continue
+            flagged.add(v)
+            where = f" (consumed at {site})" if site else ""
+            self._emit(
+                "missing-boolean",
+                "high",
+                "wire is consumed by a boolean gadget but has no "
+                f"booleanity constraint{where}: values outside {{0,1}} "
+                "break the gadget's semantics",
+                wire=v,
+            )
+
+    def pass_determinism(self, boolean_vars: set) -> None:
+        if not self.has_provenance:
+            self.passes_skipped["underconstrained-hint"] = (
+                "no allocation provenance (circuit restored from a "
+                "pre-provenance serialization)"
+            )
+            return
+        self.passes_run += ["underconstrained-hint", "underconstrained-output"]
+        # Semantic inputs only: public outputs are published BY the
+        # prover, so they must be determined, not assumed.
+        inputs = {
+            v
+            for v in range(1, self.cs.num_variables)
+            if self.kinds[v] in ("public", "private")
+        }
+        suspects = [
+            v
+            for v in range(1, self.cs.num_variables)
+            if self.kinds[v] in ("hint", "output")
+        ]
+        result = analyze_determinism(
+            self.cs,
+            inputs=inputs,
+            suspects=suspects,
+            boolean_vars=boolean_vars,
+        )
+        for v in result.free:
+            if self.kinds[v] == "output":
+                self._emit(
+                    "underconstrained-output",
+                    "critical",
+                    "public output is not provably determined by the "
+                    "circuit's inputs: a dishonest prover can likely "
+                    "publish a different result for the same inputs",
+                    wire=v,
+                )
+            else:
+                self._emit(
+                    "underconstrained-hint",
+                    "high",
+                    "hint wire is not provably determined by the circuit's "
+                    "inputs: a dishonest prover can likely substitute "
+                    "another value and still satisfy every constraint",
+                    wire=v,
+                )
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self) -> AuditReport:
+        t0 = time.perf_counter()
+        if self.deep:
+            # The determinism pass needs the full booleanity set.
+            boolean_vars = boolean_constrained_vars(self.cs)
+        else:
+            # The fast tier only needs the wires boolean gadgets consume.
+            targets = {
+                v for v, _ in getattr(self.cs, "expected_boolean", [])
+            }
+            boolean_vars = boolean_constrained_vars(self.cs, targets)
+        self.pass_unconstrained()
+        self.pass_degenerate()
+        self.pass_missing_boolean(boolean_vars)
+        if self.deep:
+            self.pass_duplicates()
+            self.pass_determinism(boolean_vars)
+        else:
+            reason = (
+                "fast tier (deep=False): run `zkrownn audit-circuit` or a "
+                "strict-mode engine for the full analysis"
+            )
+            self.passes_skipped["duplicate-constraint"] = reason
+            self.passes_skipped["underconstrained-hint"] = reason
+        return AuditReport(
+            circuit=self.name,
+            digest=self.digest,
+            num_constraints=self.cs.num_constraints,
+            num_variables=self.cs.num_variables,
+            findings=self.findings,
+            passes_run=self.passes_run,
+            passes_skipped=self.passes_skipped,
+            audit_seconds=time.perf_counter() - t0,
+            deep=self.deep,
+        )
+
+
+def _bn254_r() -> int:
+    from ..field.prime import BN254_R
+
+    return BN254_R
+
+
+def audit_constraint_system(
+    cs: ConstraintSystem, *, name: str = "circuit", digest: str = "", deep: bool = True
+) -> AuditReport:
+    """Run the audit passes over one constraint system.
+
+    ``deep=True`` (the default; CLI, CI, strict mode) runs everything.
+    ``deep=False`` is the fast tier the engine's warn mode runs inline on
+    the cold compile path: the single-sweep structural passes -- which
+    include every *structural* critical detector (unbound publics and
+    outputs, unsatisfiable constraints) plus the high-severity
+    unconstrained-hint and missing-boolean checks -- while the GF(p)
+    determinism fixpoint and the duplicate scan are deferred (recorded in
+    ``passes_skipped``).
+    """
+    return _Auditor(cs, name, digest, deep=deep).run()
+
+
+def audit_compiled(compiled, *, deep: bool = True) -> AuditReport:
+    """Audit a :class:`~repro.engine.compiled.CompiledCircuit`."""
+    return audit_constraint_system(
+        compiled.cs, name=compiled.name, digest=compiled.digest, deep=deep
+    )

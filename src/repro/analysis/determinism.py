@@ -1,0 +1,453 @@
+"""Picus-style determinism analysis: is every hint wire pinned down?
+
+``alloc_hint`` gives the prover a witness variable it may set freely;
+the surrounding gadget is supposed to add constraints that make the hint
+the *only* value consistent with the circuit's inputs.  When a gadget
+forgets, a malicious prover substitutes any value it likes and the proof
+still verifies -- the classic under-constrained-circuit soundness hole.
+
+This pass proves, per hint wire, that its value is uniquely determined
+by the circuit's semantic inputs (the instance plus ``private_input``
+variables, which *are* the prover's free choice).  Wires it cannot prove
+determined come back as residual free wires -- probable
+under-constraints the auditor reports.
+
+The engine is a worklist fixpoint over four propagation rules, with a
+sparse GF(p) Gauss-Jordan fallback (:mod:`repro.analysis.linear`) for
+whatever linear structure the cheap rules miss:
+
+* **substitution** -- a linear equation with one undetermined variable
+  determines it;
+* **multiplication** -- ``<A,z> * <B,z> = <C,z>`` with A and B fully
+  determined and one undetermined variable in C determines it;
+* **bit decomposition** -- a linear equation whose undetermined
+  variables are all boolean-constrained with (scaled) distinct
+  power-of-two coefficients summing below p determines all of them
+  (subset sums of distinct powers of two are injective);
+* **stride** -- ``d*q + rem = known`` with ``|rem| `` ranging over an
+  interval of width <= |d| and ``|d|*width(q) + width(rem) < p``
+  determines both (Euclidean division is unique) -- this is what proves
+  ``truncate``/``div_floor_const`` quotient/remainder pairs sound.
+
+Interval bounds feeding the stride rule come from a small abstract
+interpretation: booleanity constraints give ``[0, 1]``, and linear
+equations propagate interval arithmetic (which is how a bit
+decomposition of a remainder yields ``rem in [0, 2**s - 1]``).
+
+Everything is parameterized on the field modulus so the property tests
+can cross-check against brute force over small primes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..snark.r1cs import ONE_INDEX, ConstraintSystem, LinearCombination
+from .linear import LinearSystem
+
+__all__ = ["DeterminismResult", "analyze_determinism", "boolean_constrained_vars"]
+
+# Interval endpoints beyond this magnitude are useless for the stride
+# rule (and risk giant-int blowups); drop them.
+_MAX_BOUND = 1 << 200
+
+# Rounds of interval propagation.  The shipped gadgets converge in 2
+# (bits -> remainders -> shifted quotients); a couple spare for nesting.
+_INTERVAL_ROUNDS = 4
+
+
+@dataclass
+class DeterminismResult:
+    """Outcome of the determinism fixpoint."""
+
+    determined: Set[int]
+    #: Suspect variables (the caller's hint set) not provably determined.
+    free: List[int]
+    #: Variables with a derived value interval (diagnostics).
+    intervals: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: Which rules fired how often (diagnostics, report rendering).
+    rule_counts: Dict[str, int] = field(default_factory=dict)
+
+
+def boolean_constrained_vars(
+    cs: ConstraintSystem, targets: Optional[Set[int]] = None
+) -> Set[int]:
+    """Variables with a booleanity constraint ``v * (v - 1) = 0``.
+
+    With ``targets``, the search is restricted to that set and stops as
+    soon as every target is found -- the fast audit tier only needs the
+    handful of wires consumed by boolean gadgets, not the full sweep.
+    """
+    minus_one = _modulus() - 1
+    out: Set[int] = set()
+    remaining = None if targets is None else set(targets)
+    if remaining is not None and not remaining:
+        return out
+    for a, b, c in cs.constraints:
+        if c.terms:
+            continue
+        for first, second in ((a, b), (b, a)):
+            terms = first.terms
+            if len(terms) != 1:
+                continue
+            v = next(iter(terms))
+            if v == ONE_INDEX:
+                continue
+            if remaining is not None and v not in remaining:
+                continue
+            if terms[v] != 1:
+                continue
+            if second.terms == {v: 1, ONE_INDEX: minus_one}:
+                out.add(v)
+                if remaining is not None:
+                    remaining.discard(v)
+                    if not remaining:
+                        return out
+    return out
+
+
+def _modulus() -> int:
+    from ..field.prime import BN254_R
+
+    return BN254_R
+
+
+def _signed(value: int, modulus: int) -> int:
+    """Symmetric representative of a field element."""
+    value %= modulus
+    return value if value <= modulus // 2 else value - modulus
+
+
+def _is_constant(lc: LinearCombination) -> bool:
+    # A constant LC is empty or the single entry {ONE_INDEX: k}.
+    terms = lc.terms
+    return not terms or (len(terms) == 1 and ONE_INDEX in terms)
+
+
+class _Analysis:
+    def __init__(
+        self,
+        cs: ConstraintSystem,
+        inputs: Set[int],
+        boolean_vars: Set[int],
+        modulus: int,
+    ):
+        self.modulus = modulus
+        self.boolean_vars = boolean_vars
+        self.determined: Set[int] = set(inputs) | {ONE_INDEX}
+        self.rule_counts: Dict[str, int] = {
+            "substitution": 0,
+            "multiplication": 0,
+            "decomposition": 0,
+            "stride": 0,
+            "elimination": 0,
+        }
+
+        # Linear equations sum(c_v * v) + k = 0 (mod p), ONE folded into k.
+        self.eqs: List[Dict[int, int]] = []
+        self.eq_consts: List[int] = []
+        # Mul constraints as (vars(A) | vars(B), vars(C)).
+        self.muls: List[Tuple[Set[int], Set[int]]] = []
+        for a, b, c in cs.constraints:
+            a_const = _is_constant(a)
+            b_const = _is_constant(b)
+            if a_const or b_const:
+                const_lc, var_lc = (a, b) if a_const else (b, a)
+                scale = const_lc.terms.get(ONE_INDEX, 0)
+                if scale == 1:
+                    # The common enforce(ONE, lc, c) shape: coefficients
+                    # are already reduced, so a dict copy suffices.
+                    coeffs: Dict[int, int] = dict(var_lc.terms)
+                    k = coeffs.pop(ONE_INDEX, 0)
+                else:
+                    coeffs = {}
+                    k = 0
+                    for idx, coeff in var_lc.terms.items():
+                        term = coeff * scale % modulus
+                        if idx == ONE_INDEX:
+                            k = (k + term) % modulus
+                        else:
+                            coeffs[idx] = term
+                for idx, coeff in c.terms.items():
+                    if idx == ONE_INDEX:
+                        k = (k - coeff) % modulus
+                    else:
+                        new = (coeffs.get(idx, 0) - coeff) % modulus
+                        if new:
+                            coeffs[idx] = new
+                        else:
+                            coeffs.pop(idx, None)
+                if coeffs:
+                    self.eqs.append(coeffs)
+                    self.eq_consts.append(k)
+            else:
+                ab = set(a.terms)
+                ab.update(b.terms)
+                ab.discard(ONE_INDEX)
+                cvars = set(c.terms)
+                cvars.discard(ONE_INDEX)
+                self.muls.append((ab, cvars))
+
+        determined = self.determined
+        self.eq_undet: List[Set[int]] = [
+            eq.keys() - determined for eq in self.eqs
+        ]
+        self.mul_ab_undet: List[Set[int]] = [
+            ab - determined for ab, _ in self.muls
+        ]
+        self.mul_c_undet: List[Set[int]] = [
+            cvars - determined for _, cvars in self.muls
+        ]
+        self.var_to_eqs: Dict[int, List[int]] = {}
+        for i, eq in enumerate(self.eqs):
+            for v in eq:
+                self.var_to_eqs.setdefault(v, []).append(i)
+        self.var_to_muls: Dict[int, List[int]] = {}
+        for i, (ab, cvars) in enumerate(self.muls):
+            for v in ab | cvars:
+                self.var_to_muls.setdefault(v, []).append(i)
+
+        self.intervals: Dict[int, Tuple[int, int]] = {
+            v: (0, 1) for v in boolean_vars
+        }
+        self._queue: List[int] = []
+
+    # ------------------------------------------------------------- intervals --
+
+    def _narrow(self, v: int, lo: int, hi: int) -> None:
+        if hi - lo >= _MAX_BOUND:
+            return
+        old = self.intervals.get(v)
+        if old is not None:
+            lo, hi = max(lo, old[0]), min(hi, old[1])
+            if (lo, hi) == old or lo > hi:
+                return
+        self.intervals[v] = (lo, hi)
+
+    def propagate_intervals(self) -> None:
+        """Interval arithmetic over the linear equations, a few rounds.
+
+        For an equation ``sum(c_v * v) + k = 0`` and a target variable
+        ``x`` whose co-variables all carry intervals, ``x`` is congruent
+        mod p to an integer in a computable interval; when that interval
+        is narrow the congruence class pins a genuine integer range,
+        which is exactly what the stride rule needs.
+        """
+        p = self.modulus
+        intervals = self.intervals
+        pending: Sequence[int] = range(len(self.eqs))
+        for _ in range(_INTERVAL_ROUNDS):
+            changed_vars: Set[int] = set()
+            for i in pending:
+                eq = self.eqs[i]
+                missing = [v for v in eq if v not in intervals]
+                if len(missing) > 1:
+                    continue
+                if missing:
+                    targets = missing
+                else:
+                    # Every variable already has an interval; re-deriving
+                    # one already at width <= 2 cannot help the stride
+                    # rule, so only wide intervals are worth revisiting.
+                    targets = [
+                        v
+                        for v in eq
+                        if intervals[v][1] - intervals[v][0] > 1
+                    ]
+                k = self.eq_consts[i]
+                for x in targets:
+                    inv = pow(eq[x], -1, p)
+                    lo = hi = -_signed(k * inv % p, p)
+                    ok = True
+                    for v, coeff in eq.items():
+                        if v == x:
+                            continue
+                        r = _signed(coeff * inv % p, p)
+                        if abs(r) >= _MAX_BOUND:
+                            ok = False
+                            break
+                        vlo, vhi = intervals[v]
+                        if r >= 0:
+                            lo -= r * vhi
+                            hi -= r * vlo
+                        else:
+                            lo -= r * vlo
+                            hi -= r * vhi
+                    if not ok:
+                        continue
+                    before = intervals.get(x)
+                    self._narrow(x, lo, hi)
+                    if intervals.get(x) != before:
+                        changed_vars.add(x)
+            if not changed_vars:
+                break
+            # Later rounds only revisit equations adjacent to a changed
+            # interval -- any other equation would reproduce its previous
+            # result exactly.
+            pending = sorted(
+                {
+                    j
+                    for v in changed_vars
+                    for j in self.var_to_eqs.get(v, ())
+                }
+            )
+
+    def _width(self, v: int) -> Optional[int]:
+        interval = self.intervals.get(v)
+        if interval is None:
+            return None
+        return interval[1] - interval[0] + 1
+
+    # ------------------------------------------------------------- worklist --
+
+    def _determine(self, v: int, rule: str) -> None:
+        if v in self.determined:
+            return
+        self.determined.add(v)
+        self.rule_counts[rule] += 1
+        self._queue.append(v)
+
+    def _examine_eq(self, i: int) -> None:
+        undet = self.eq_undet[i]
+        if not undet:
+            return
+        if len(undet) == 1:
+            self._determine(next(iter(undet)), "substitution")
+            undet.clear()
+            return
+        if self._try_decomposition(i):
+            undet.clear()
+            return
+        if len(undet) == 2 and self._try_stride(i):
+            undet.clear()
+
+    def _try_decomposition(self, i: int) -> bool:
+        undet = self.eq_undet[i]
+        if not undet or not undet <= self.boolean_vars:
+            return False
+        p = self.modulus
+        eq = self.eqs[i]
+        vars_sorted = sorted(undet)
+        base_inv = pow(eq[vars_sorted[0]], -1, p)
+        exponents = set()
+        total = 0
+        for v in vars_sorted:
+            ratio = eq[v] * base_inv % p
+            if ratio & (ratio - 1) != 0:  # not a power of two (0 impossible)
+                return False
+            if ratio in exponents:
+                return False
+            exponents.add(ratio)
+            total += ratio
+            if total >= p:
+                return False
+        for v in vars_sorted:
+            self._determine(v, "decomposition")
+        return True
+
+    def _try_stride(self, i: int) -> bool:
+        undet = self.eq_undet[i]
+        x, y = sorted(undet)
+        wx, wy = self._width(x), self._width(y)
+        if wx is None or wy is None:
+            return False
+        p = self.modulus
+        eq = self.eqs[i]
+        for big, small, w_big, w_small in ((x, y, wx, wy), (y, x, wy, wx)):
+            # eq: c_big * big + c_small * small + (determined) = 0;
+            # normalize so small's coefficient is 1: d * big + small = known.
+            d = _signed(eq[big] * pow(eq[small], -1, p) % p, p)
+            if abs(d) >= _MAX_BOUND or abs(d) < 1:
+                continue
+            if w_small > abs(d):
+                continue
+            if abs(d) * (w_big - 1) + (w_small - 1) >= p:
+                continue
+            self._determine(big, "stride")
+            self._determine(small, "stride")
+            return True
+        return False
+
+    def _examine_mul(self, i: int) -> None:
+        if not self.mul_ab_undet[i] and len(self.mul_c_undet[i]) == 1:
+            self._determine(next(iter(self.mul_c_undet[i])), "multiplication")
+
+    def run(self) -> None:
+        self.propagate_intervals()
+        for i in range(len(self.eqs)):
+            self._examine_eq(i)
+        for i in range(len(self.muls)):
+            self._examine_mul(i)
+        while True:
+            self._drain()
+            if not self._gaussian_round():
+                break
+
+    def _drain(self) -> None:
+        while self._queue:
+            v = self._queue.pop()
+            for i in self.var_to_eqs.get(v, ()):
+                undet = self.eq_undet[i]
+                if v in undet:
+                    undet.discard(v)
+                    self._examine_eq(i)
+            for i in self.var_to_muls.get(v, ()):
+                ab, cvars = self.mul_ab_undet[i], self.mul_c_undet[i]
+                changed = False
+                if v in ab:
+                    ab.discard(v)
+                    changed = True
+                if v in cvars:
+                    cvars.discard(v)
+                    changed = True
+                if changed:
+                    self._examine_mul(i)
+
+    def _gaussian_round(self) -> bool:
+        """Feed the residual linear equations to Gauss-Jordan elimination.
+
+        The cheap rules leave few undetermined variables in practice, so
+        the system stays small.  Any newly determined variable re-arms
+        the worklist (it may unlock mul or stride rules).
+        """
+        system = LinearSystem(self.modulus)
+        for i, undet in enumerate(self.eq_undet):
+            if not undet:
+                continue
+            eq = self.eqs[i]
+            system.add_equation({v: eq[v] for v in undet})
+        fresh = [v for v in system.determined() if v not in self.determined]
+        for v in fresh:
+            self._determine(v, "elimination")
+        return bool(fresh)
+
+
+def analyze_determinism(
+    cs: ConstraintSystem,
+    *,
+    inputs: Set[int],
+    suspects: Sequence[int],
+    boolean_vars: Optional[Set[int]] = None,
+    modulus: Optional[int] = None,
+) -> DeterminismResult:
+    """Fixpoint-propagate determinedness from ``inputs``; report suspects left.
+
+    ``inputs`` are variables the prover legitimately chooses (instance +
+    semantic private inputs); ``suspects`` are the variables that *must*
+    come out determined (hint wires).  ``boolean_vars`` defaults to the
+    booleanity constraints found in ``cs``.
+    """
+    if modulus is None:
+        modulus = _modulus()
+    if boolean_vars is None:
+        boolean_vars = boolean_constrained_vars(cs)
+    analysis = _Analysis(cs, inputs, boolean_vars, modulus)
+    analysis.run()
+    free = [v for v in suspects if v not in analysis.determined]
+    return DeterminismResult(
+        determined=analysis.determined,
+        free=free,
+        intervals=analysis.intervals,
+        rule_counts=analysis.rule_counts,
+    )

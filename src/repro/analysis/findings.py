@@ -1,0 +1,279 @@
+"""Findings, reports, and baselines for the circuit auditor.
+
+A :class:`Finding` is one defect candidate with wire provenance; an
+:class:`AuditReport` is everything one audit produced for one circuit.
+:class:`AuditBaseline` is the checked-in accepted-findings file CI diffs
+reports against: a finding matching a baseline entry is *accepted* (with
+a recorded justification), anything new fails the build.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "SEVERITIES",
+    "severity_rank",
+    "Finding",
+    "AuditReport",
+    "AuditBaseline",
+]
+
+#: Severity levels, least to most severe.
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "high", "critical")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity level (higher is worse)."""
+    try:
+        return _SEVERITY_RANK[severity]
+    except KeyError:
+        raise ValueError(
+            f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect candidate surfaced by an audit pass."""
+
+    pass_id: str
+    severity: str
+    message: str
+    wire: Optional[int] = None
+    wire_name: str = ""
+    kind: str = ""
+    site: str = ""
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # validate eagerly
+
+    @property
+    def key(self) -> str:
+        """Stable identity for baseline matching (survives reordering)."""
+        wire = self.wire_name or (f"v{self.wire}" if self.wire is not None else "-")
+        return f"{self.pass_id}:{wire}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pass": self.pass_id,
+            "severity": self.severity,
+            "message": self.message,
+            "wire": self.wire,
+            "wire_name": self.wire_name,
+            "kind": self.kind,
+            "site": self.site,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(
+            pass_id=data["pass"],
+            severity=data["severity"],
+            message=data.get("message", ""),
+            wire=data.get("wire"),
+            wire_name=data.get("wire_name", ""),
+            kind=data.get("kind", ""),
+            site=data.get("site", ""),
+        )
+
+    def render(self) -> str:
+        loc = self.wire_name or (f"v{self.wire}" if self.wire is not None else "")
+        bits = [f"[{self.severity.upper():8s}]", f"{self.pass_id}:"]
+        if loc:
+            bits.append(f"wire {loc!r}")
+            if self.kind:
+                bits.append(f"({self.kind})")
+        if self.site:
+            bits.append(f"at {self.site}")
+        bits.append("--")
+        bits.append(self.message)
+        return " ".join(bits)
+
+
+@dataclass
+class AuditReport:
+    """Everything one audit run produced for one circuit."""
+
+    circuit: str
+    digest: str = ""
+    num_constraints: int = 0
+    num_variables: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    passes_run: List[str] = field(default_factory=list)
+    passes_skipped: Dict[str, str] = field(default_factory=dict)
+    audit_seconds: float = 0.0
+    #: False for the fast (warn-inline) tier, which skips the expensive
+    #: passes; a cached fast report is re-run when a deep one is needed.
+    deep: bool = True
+
+    def counts(self) -> Dict[str, int]:
+        out = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            out[finding.severity] += 1
+        return out
+
+    def worst(self) -> Optional[str]:
+        """The most severe level present, or None for a clean report."""
+        worst: Optional[str] = None
+        for finding in self.findings:
+            if worst is None or severity_rank(finding.severity) > severity_rank(worst):
+                worst = finding.severity
+        return worst
+
+    def at_least(self, severity: str) -> List[Finding]:
+        floor = severity_rank(severity)
+        return [f for f in self.findings if severity_rank(f.severity) >= floor]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "digest": self.digest,
+            "num_constraints": self.num_constraints,
+            "num_variables": self.num_variables,
+            "findings": [f.to_dict() for f in self.findings],
+            "passes_run": list(self.passes_run),
+            "passes_skipped": dict(self.passes_skipped),
+            "audit_seconds": self.audit_seconds,
+            "deep": self.deep,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AuditReport":
+        return cls(
+            circuit=data.get("circuit", ""),
+            digest=data.get("digest", ""),
+            num_constraints=data.get("num_constraints", 0),
+            num_variables=data.get("num_variables", 0),
+            findings=[Finding.from_dict(f) for f in data.get("findings", [])],
+            passes_run=list(data.get("passes_run", [])),
+            passes_skipped=dict(data.get("passes_skipped", {})),
+            audit_seconds=data.get("audit_seconds", 0.0),
+            deep=data.get("deep", True),
+        )
+
+    def render(self, *, accepted: Optional[List[Finding]] = None) -> str:
+        """Human-readable report (the CLI's output)."""
+        accepted_keys = {f.key for f in accepted} if accepted else set()
+        lines = [
+            f"circuit {self.circuit!r}"
+            + (f" (digest {self.digest[:12]}...)" if self.digest else ""),
+            f"  {self.num_constraints} constraints, {self.num_variables} variables;"
+            f" audit took {self.audit_seconds * 1000:.1f} ms",
+        ]
+        for pass_id, reason in sorted(self.passes_skipped.items()):
+            lines.append(f"  (skipped pass {pass_id}: {reason})")
+        if not self.findings:
+            lines.append("  clean: no findings")
+            return "\n".join(lines)
+        counts = ", ".join(
+            f"{count} {severity}"
+            for severity, count in self.counts().items()
+            if count
+        )
+        lines.append(f"  {len(self.findings)} finding(s): {counts}")
+        ordered = sorted(
+            self.findings, key=lambda f: -severity_rank(f.severity)
+        )
+        for finding in ordered:
+            marker = "  (baseline) " if finding.key in accepted_keys else "  "
+            lines.append(marker + finding.render())
+        return "\n".join(lines)
+
+
+class AuditBaseline:
+    """Accepted findings checked into the repo, diffed against in CI.
+
+    File format (JSON)::
+
+        {
+          "version": 1,
+          "circuits": {
+            "<circuit name>": [
+              {"pass": "underconstrained-hint", "wire": "is_zero_inv*",
+               "severity": "high", "justification": "why this is fine"},
+              ...
+            ]
+          }
+        }
+
+    ``wire`` entries are :func:`fnmatch.fnmatch` patterns against the
+    finding's wire name, so one entry can accept a family of wires a
+    gadget allocates in a loop.  Every entry must carry a non-empty
+    ``justification`` -- the point of the baseline is a reviewed record
+    of *why* each accepted finding is not exploitable.
+    """
+
+    def __init__(self, circuits: Optional[Dict[str, List[Dict[str, str]]]] = None):
+        self.circuits: Dict[str, List[Dict[str, str]]] = circuits or {}
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AuditBaseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != 1:
+            raise ValueError(f"unsupported audit baseline version {data.get('version')!r}")
+        circuits = data.get("circuits", {})
+        for name, entries in circuits.items():
+            for entry in entries:
+                if not entry.get("justification", "").strip():
+                    raise ValueError(
+                        f"baseline entry for circuit {name!r} "
+                        f"(pass {entry.get('pass')!r}, wire {entry.get('wire')!r}) "
+                        "has no justification"
+                    )
+        return cls(circuits)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {"version": 1, "circuits": self.circuits}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def _matches(self, entry: Dict[str, str], finding: Finding) -> bool:
+        if entry.get("pass") != finding.pass_id:
+            return False
+        if entry.get("severity") and entry["severity"] != finding.severity:
+            return False
+        pattern = entry.get("wire", "*")
+        wire = finding.wire_name or (
+            f"v{finding.wire}" if finding.wire is not None else ""
+        )
+        return fnmatch.fnmatch(wire, pattern)
+
+    def split(
+        self, circuit: str, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into ``(new, accepted)`` for one circuit."""
+        entries = self.circuits.get(circuit, [])
+        new: List[Finding] = []
+        accepted: List[Finding] = []
+        for finding in findings:
+            if any(self._matches(entry, finding) for entry in entries):
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        return new, accepted
+
+    def add_report(self, report: AuditReport, justification: str) -> None:
+        """Record every finding of a report as accepted (``--write-baseline``)."""
+        entries = self.circuits.setdefault(report.circuit, [])
+        seen = {(e.get("pass"), e.get("wire")) for e in entries}
+        for finding in report.findings:
+            wire = finding.wire_name or (
+                f"v{finding.wire}" if finding.wire is not None else "*"
+            )
+            if (finding.pass_id, wire) in seen:
+                continue
+            seen.add((finding.pass_id, wire))
+            entries.append(
+                {
+                    "pass": finding.pass_id,
+                    "wire": wire,
+                    "severity": finding.severity,
+                    "justification": justification,
+                }
+            )

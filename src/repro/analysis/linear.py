@@ -1,0 +1,119 @@
+"""Sparse Gauss-Jordan elimination over GF(p) for the determinism pass.
+
+The question the determinism pass asks of a linear system ``M x = b`` is
+not "what is x" but "which entries of x are *uniquely* determined" --
+i.e. for which ``i`` is the unit vector ``e_i`` in the row space of
+``M``.  That is independent of ``b`` for a consistent system (and every
+system we build comes from a satisfied witness, so it is consistent):
+the solution set is ``x0 + null(M)``, and ``x_i`` is unique exactly when
+every null-space vector has a zero in position ``i``.
+
+After full Gauss-Jordan reduction each pivot row reads
+``x_p + sum(c_j * x_j for free j) = const``; the pivot variable is
+uniquely determined iff its row carries no free variables.  Free
+(non-pivot) variables are never determined, nor are variables that
+appear in no equation at all.
+
+Rows are sparse ``{variable: coefficient}`` dicts; the modulus is a
+parameter so property tests can brute-force-check uniqueness over a
+small prime while production runs over BN254's scalar field.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+__all__ = ["LinearSystem"]
+
+
+class LinearSystem:
+    """An accumulating sparse linear system over GF(modulus).
+
+    Only the coefficient matrix is tracked: right-hand sides do not
+    affect which variables are uniquely determined (see module docstring).
+    """
+
+    def __init__(self, modulus: int):
+        if modulus < 2:
+            raise ValueError("modulus must be >= 2")
+        self.modulus = modulus
+        # pivot variable -> fully reduced row {var: coeff} with pivot coeff 1
+        self._pivot_rows: Dict[int, Dict[int, int]] = {}
+
+    def add_equation(self, coeffs: Dict[int, int]) -> None:
+        """Add one equation ``sum(c_v * x_v) = <anything>``.
+
+        The row is immediately reduced against existing pivots and, if
+        independent, becomes a new pivot row (full Gauss-Jordan, so the
+        basis stays reduced and :meth:`determined` is a simple scan).
+        """
+        p = self.modulus
+        row = {v: c % p for v, c in coeffs.items() if c % p}
+        # Eliminate existing pivot variables from the new row.  Substituting
+        # one pivot's row can reintroduce other pivot variables, so repeat
+        # until none remain (each pivot is eliminated at most once per pass
+        # and the basis is fully reduced, so this terminates quickly).
+        while True:
+            stale = [v for v in row if v in self._pivot_rows]
+            if not stale:
+                break
+            for pivot in stale:
+                factor = row.pop(pivot, 0)
+                if not factor:
+                    continue
+                for v, c in self._pivot_rows[pivot].items():
+                    if v == pivot:
+                        continue
+                    new = (row.get(v, 0) - factor * c) % p
+                    if new:
+                        row[v] = new
+                    else:
+                        row.pop(v, None)
+        if not row:
+            return  # dependent row, no new information
+        # Normalize on a deterministic pivot choice (smallest variable).
+        pivot = min(row)
+        inv = pow(row[pivot], -1, p)
+        row = {v: c * inv % p for v, c in row.items()}
+        # Back-substitute into every existing pivot row that mentions the
+        # new pivot, keeping the basis fully reduced.
+        for other_pivot, other_row in self._pivot_rows.items():
+            factor = other_row.pop(pivot, 0)
+            if not factor:
+                continue
+            for v, c in row.items():
+                if v == pivot:
+                    continue
+                new = (other_row.get(v, 0) - factor * c) % p
+                if new:
+                    other_row[v] = new
+                else:
+                    other_row.pop(v, None)
+        self._pivot_rows[pivot] = row
+
+    def add_equations(self, rows: Iterable[Dict[int, int]]) -> None:
+        for row in rows:
+            self.add_equation(row)
+
+    @property
+    def rank(self) -> int:
+        return len(self._pivot_rows)
+
+    def determined(self) -> Set[int]:
+        """Variables uniquely determined by the system.
+
+        A pivot variable is determined iff its (fully reduced) row has no
+        other variables; free variables and untouched variables never are.
+        """
+        return {
+            pivot
+            for pivot, row in self._pivot_rows.items()
+            if len(row) == 1
+        }
+
+    def pivot_variables(self) -> Set[int]:
+        return set(self._pivot_rows)
+
+    def rows(self) -> List[Dict[int, int]]:
+        """The reduced basis (for diagnostics and tests)."""
+        return [dict(row) for row in self._pivot_rows.values()]

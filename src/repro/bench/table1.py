@@ -241,8 +241,10 @@ def build_ber(scale: Scale, fmt: FixedPointFormat = BENCH_FORMAT) -> CircuitBuil
     bits_b = bits_a.copy()
     flip = rng.choice(n, size=max(1, n // 16), replace=False)
     bits_b[flip] ^= 1
-    wm = [builder.allocate_bit(f"a{i}", int(v)) for i, v in enumerate(bits_a)]
-    ext = [builder.allocate_bit(f"b{i}", int(v)) for i, v in enumerate(bits_b)]
+    # private_bit, not allocate_bit: these are the prover's inputs, not
+    # hints the circuit must determine (the auditor enforces the split).
+    wm = [builder.private_bit(f"a{i}", int(v)) for i, v in enumerate(bits_a)]
+    ext = [builder.private_bit(f"b{i}", int(v)) for i, v in enumerate(bits_b)]
     result = zk_ber(builder, wm, ext, theta=0.125)
     builder.bind_output(out, result.valid)
     return builder

@@ -36,7 +36,10 @@ Conventions:
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, List, Optional, Sequence
+import os
+import sys
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
 from ..field.prime import BN254_R as R
 from ..snark.errors import ConstraintViolation
@@ -79,12 +82,69 @@ class PublicOutput:
 class CircuitBuilder:
     """Builds an R1CS constraint system and its witness simultaneously."""
 
-    def __init__(self, name: str = "circuit"):
+    def __init__(self, name: str = "circuit", *, capture_sites: Optional[bool] = None):
         self.name = name
         self.cs = ConstraintSystem()
         self.assignment: List[int] = [1]
         self.trace = bytearray()
         self._one_wire: Optional[Wire] = None
+        self._scope_stack: List[str] = []
+        if capture_sites is None:
+            capture_sites = bool(os.environ.get("ZKROWNN_AUDIT_SITES"))
+        self.capture_sites = capture_sites
+
+    # ------------------------------------------------------------- provenance --
+
+    @contextmanager
+    def scope(self, label: str) -> Iterator[None]:
+        """Tag every allocation inside the block with a gadget scope label.
+
+        Scopes nest (``outer>inner``) and flow into auditor findings as the
+        wire's provenance.  Purely metadata: no constraints, no trace
+        events, so replay through :class:`WitnessSynthesizer` is unchanged.
+        """
+        self._scope_stack.append(label)
+        try:
+            yield
+        finally:
+            self._scope_stack.pop()
+
+    def _site(self) -> str:
+        """Current allocation site: scope path, plus file:line if enabled.
+
+        Call-site capture walks the stack and is off by default
+        (``ZKROWNN_AUDIT_SITES=1`` or ``capture_sites=True`` enables it);
+        the scope path alone is cheap enough to record always.
+        """
+        site = ">".join(self._scope_stack)
+        if self.capture_sites:
+            frame = sys._getframe(1)
+            here = os.path.dirname(os.path.abspath(__file__))
+            while frame is not None:
+                filename = frame.f_code.co_filename
+                if os.path.dirname(os.path.abspath(filename)) != here:
+                    loc = f"{os.path.basename(filename)}:{frame.f_lineno}"
+                    site = f"{site}@{loc}" if site else f"@{loc}"
+                    break
+                frame = frame.f_back
+        return site
+
+    def _expect_boolean(self, w: Wire) -> None:
+        """Record that a gadget consumed ``w`` assuming it is boolean.
+
+        Only single-variable shapes are recorded (``v`` or ``1 - v``); a
+        compound LC being boolean says nothing about any one variable.
+        """
+        terms = w.lc.terms
+        if not terms:
+            return
+        non_one = [(i, c) for i, c in terms.items() if i != ONE_INDEX]
+        if len(non_one) != 1:
+            return
+        idx, coeff = non_one[0]
+        const = terms.get(ONE_INDEX, 0)
+        if (coeff == 1 and const == 0) or (coeff == R - 1 and const == 1):
+            self.cs.note_expected_boolean(idx, self._site())
 
     # ------------------------------------------------------------------ inputs --
 
@@ -100,7 +160,7 @@ class CircuitBuilder:
     def public_input(self, name: str, value: int) -> Wire:
         """Allocate a public (instance) variable with the given value."""
         self.trace.append(EV_PUBLIC)
-        index = self.cs.allocate_public(name)
+        index = self.cs.allocate_public(name, kind="public", site=self._site())
         self.assignment.append(value % R)
         return Wire(self, LinearCombination.variable(index), value)
 
@@ -110,7 +170,7 @@ class CircuitBuilder:
     def private_input(self, name: str, value: int) -> Wire:
         """Allocate a private (witness) variable with the given value."""
         self.trace.append(EV_PRIVATE)
-        index = self.cs.allocate_private(name)
+        index = self.cs.allocate_private(name, kind="private", site=self._site())
         self.assignment.append(value % R)
         return Wire(self, LinearCombination.variable(index), value)
 
@@ -120,7 +180,7 @@ class CircuitBuilder:
     def public_output(self, name: str) -> PublicOutput:
         """Reserve a public slot to be filled by :meth:`bind_output` later."""
         self.trace.append(EV_OUTPUT)
-        index = self.cs.allocate_public(name)
+        index = self.cs.allocate_public(name, kind="output", site=self._site())
         self.assignment.append(0)
         return PublicOutput(index, name)
 
@@ -155,7 +215,7 @@ class CircuitBuilder:
             return a.scale(b.value)
         self.trace.append(EV_MUL_ALLOC)
         value = a.value * b.value % R
-        index = self.cs.allocate_private("mul")
+        index = self.cs.allocate_private("mul", kind="mul", site=self._site())
         self.assignment.append(value)
         out_lc = LinearCombination.variable(index)
         self.cs.enforce(a.lc, b.lc, out_lc)
@@ -166,9 +226,11 @@ class CircuitBuilder:
 
         The caller is responsible for adding constraints that pin the hint
         down -- used by bit decomposition, truncation, and division gadgets.
+        The circuit auditor's determinism pass checks exactly that: every
+        hint must be uniquely determined by the circuit's inputs.
         """
         self.trace.append(EV_HINT)
-        index = self.cs.allocate_private(name)
+        index = self.cs.allocate_private(name, kind="hint", site=self._site())
         self.assignment.append(value % R)
         return Wire(self, LinearCombination.variable(index), value)
 
@@ -205,24 +267,45 @@ class CircuitBuilder:
                         LinearCombination.constant(0))
 
     def allocate_bit(self, name: str, value: int) -> Wire:
+        """A boolean-constrained *hint* (derived inside the circuit).
+
+        Use :meth:`private_bit` instead when the bit is a semantic private
+        input -- a value the prover chooses freely rather than one the
+        circuit must pin down.  The auditor's determinism pass treats
+        hints and inputs differently.
+        """
         bit = self.alloc_hint(name, value)
         self.assert_boolean(bit)
         return bit
 
+    def private_bit(self, name: str, value: int) -> Wire:
+        """A boolean-constrained private *input* (the prover's free choice)."""
+        bit = self.private_input(name, value)
+        self.assert_boolean(bit)
+        return bit
+
     def and_(self, a: Wire, b: Wire) -> Wire:
+        self._expect_boolean(a)
+        self._expect_boolean(b)
         return self.mul(a, b)
 
     def or_(self, a: Wire, b: Wire) -> Wire:
+        self._expect_boolean(a)
+        self._expect_boolean(b)
         return a + b - self.mul(a, b)
 
     def xor_(self, a: Wire, b: Wire) -> Wire:
+        self._expect_boolean(a)
+        self._expect_boolean(b)
         return a + b - self.mul(a, b).scale(2)
 
     def not_(self, a: Wire) -> Wire:
+        self._expect_boolean(a)
         return self.one() - a
 
     def select(self, cond: Wire, if_true: Wire, if_false: Wire) -> Wire:
         """``cond ? if_true : if_false`` for a boolean ``cond`` (1 constraint)."""
+        self._expect_boolean(cond)
         return if_false + self.mul(cond, if_true - if_false)
 
     # ------------------------------------------------------------ decomposition --

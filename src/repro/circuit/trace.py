@@ -27,7 +27,6 @@ as a final safety net.
 
 from __future__ import annotations
 
-from typing import List
 
 from ..field.prime import BN254_R as R
 from ..snark.errors import SnarkError
@@ -108,7 +107,7 @@ class _NullConstraintSystem:
         self.num_public = 0
         self._private_started = False
 
-    def allocate_public(self, name: str = "") -> int:
+    def allocate_public(self, name: str = "", *, kind: str = "", site: str = "") -> int:
         if self._private_started:
             raise ValueError(
                 "public inputs must be allocated before any private variable"
@@ -118,13 +117,16 @@ class _NullConstraintSystem:
         self.num_public += 1
         return index
 
-    def allocate_private(self, name: str = "") -> int:
+    def allocate_private(self, name: str = "", *, kind: str = "", site: str = "") -> int:
         self._private_started = True
         index = self.num_variables
         self.num_variables += 1
         return index
 
     def enforce(self, a, b, c) -> None:
+        pass
+
+    def note_expected_boolean(self, index: int, site: str = "") -> None:
         pass
 
     @property

@@ -23,6 +23,11 @@ Proof-service subcommands (see ``repro.service``):
 * ``audit`` -- sweep every non-revoked registered claim through the
   server's batched ``/verify-batch`` endpoint, grouped by verifying key,
   and report per-claim and per-group verdicts with timing.
+* ``audit-circuit`` -- static soundness audit (unconstrained-wire /
+  under-constraint detection, see ``repro.analysis``) of named shipped
+  circuits, the full catalog (``--all``), or a registered claim's
+  circuit (``--claim`` + ``--url``), diffed against an optional
+  accepted-findings baseline.
 * ``drain`` -- put a running server into drain mode (stop admitting new
   claims, finish in-flight proving) ahead of a restart or upgrade.
 * ``trace`` -- print one claim's span timeline (submit -> queue-wait ->
@@ -213,6 +218,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue_depth,
         max_attempts=args.max_attempts,
         prove_budget_seconds=args.prove_budget,
+        audit_mode=args.circuit_audit,
     )
     server = ProofServer(service, host=args.host, port=args.port)
     print(f"proof service listening on {server.url}")
@@ -356,6 +362,94 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_audit_circuit(args: argparse.Namespace) -> int:
+    """Static soundness audit of shipped circuits or a registered claim.
+
+    Exit code 0 when every audited circuit is clean or every finding is
+    accepted by the baseline; 1 when any *unbaselined* finding reaches
+    ``high`` severity (the same bar CI enforces).
+    """
+    import json as _json
+
+    from .analysis import (
+        AuditBaseline,
+        AuditReport,
+        audit_named_circuit,
+        catalog_names,
+        severity_rank,
+    )
+
+    if args.claim:
+        from .service import ServiceClient
+
+        payload = ServiceClient(args.url).circuit_audit(args.claim)
+        if args.json:
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        if not payload.get("available"):
+            if not args.json:
+                print(f"claim {args.claim}: audit unavailable "
+                      f"({payload.get('reason', 'unknown')})", file=sys.stderr)
+            return 1
+        reports = [AuditReport.from_dict(payload["report"])]
+    else:
+        if args.all:
+            names = catalog_names(args.scale)
+        elif args.names:
+            names = args.names
+        else:
+            print("audit-circuit needs circuit names, --all, or --claim; "
+                  f"catalog: {', '.join(catalog_names(args.scale))}",
+                  file=sys.stderr)
+            return 2
+        try:
+            reports = [audit_named_circuit(n, scale=args.scale) for n in names]
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
+
+    baseline = (
+        AuditBaseline.load(args.baseline) if args.baseline else AuditBaseline()
+    )
+    if args.write_baseline:
+        for report in reports:
+            if report.findings:
+                baseline.add_report(report, args.justification)
+        baseline.save(args.write_baseline)
+        total = sum(len(r.findings) for r in reports)
+        print(f"wrote {args.write_baseline}: {total} finding(s) accepted "
+              f"across {len(reports)} circuit(s)")
+        return 0
+
+    failed = False
+    json_out = []
+    for report in reports:
+        new, accepted = baseline.split(report.circuit, report.findings)
+        blocking = [
+            f for f in new if severity_rank(f.severity) >= severity_rank("high")
+        ]
+        if blocking:
+            failed = True
+        if args.json:
+            json_out.append({
+                **report.to_dict(),
+                "new_findings": len(new),
+                "accepted_findings": len(accepted),
+                "blocking_findings": len(blocking),
+            })
+        else:
+            print(report.render(accepted=accepted))
+    if args.json and not args.claim:
+        print(_json.dumps({"circuits": json_out, "failed": failed},
+                          indent=2, sort_keys=True))
+    elif not args.json:
+        verdict = "FAILED" if failed else "PASSED"
+        clean = sum(1 for r in reports if not r.findings)
+        print(f"audit {verdict}: {len(reports)} circuit(s), "
+              f"{clean} clean, "
+              f"{sum(len(r.findings) for r in reports)} finding(s) total")
+    return 1 if failed else 0
+
+
 def _cmd_drain(args: argparse.Namespace) -> int:
     """Drain a running server: reject new claims, finish in-flight work."""
     from .service import ServiceClient
@@ -481,6 +575,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--max-attempts", type=int, default=3,
                        help="proving attempts before a claim is "
                             "quarantined (default 3)")
+    serve.add_argument("--circuit-audit", choices=["off", "warn", "strict"],
+                       default=None,
+                       help="static circuit-soundness auditing: 'warn' logs "
+                            "findings, 'strict' rejects claims whose circuit "
+                            "has critical findings (default: engine default, "
+                            "ZKROWNN_CIRCUIT_AUDIT or off)")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser("submit", help="submit a claim to a proof service")
@@ -540,6 +640,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="derandomize the batch combiner (reproducible audits)",
     )
     audit.set_defaults(func=_cmd_audit)
+
+    audit_circuit = sub.add_parser(
+        "audit-circuit",
+        help="static soundness audit (unconstrained / under-constrained "
+             "wires) of shipped circuits or a registered claim's circuit",
+    )
+    audit_circuit.add_argument(
+        "names", nargs="*",
+        help="catalog circuit names (case-insensitive); see --all",
+    )
+    audit_circuit.add_argument(
+        "--all", action="store_true",
+        help="audit every catalog circuit (Table-I gadgets + architectures)",
+    )
+    audit_circuit.add_argument(
+        "--scale", default="tiny", choices=["tiny", "reduced", "paper"],
+        help="catalog build scale (default tiny)",
+    )
+    audit_circuit.add_argument(
+        "--baseline", default=None,
+        help="accepted-findings baseline JSON; baselined findings do not "
+             "fail the audit",
+    )
+    audit_circuit.add_argument(
+        "--write-baseline", default=None,
+        help="write current findings to this baseline file and exit 0",
+    )
+    audit_circuit.add_argument(
+        "--justification", default="accepted by --write-baseline",
+        help="justification recorded for every --write-baseline entry",
+    )
+    audit_circuit.add_argument(
+        "--claim", default=None,
+        help="audit a registered claim's circuit via the proof service "
+             "(with --url) instead of the local catalog",
+    )
+    add_url(audit_circuit)
+    audit_circuit.add_argument(
+        "--json", action="store_true", help="machine-readable output",
+    )
+    audit_circuit.set_defaults(func=_cmd_audit_circuit)
 
     drain = sub.add_parser(
         "drain",

@@ -11,7 +11,7 @@ optimal-Ate Miller loop.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..field.tower import FROB_GAMMA, Fp2Element, fp2_batch_inverse, fp2_wrap
 from .bn254 import G2_COFACTOR, G2_GENERATOR, R, TWIST_B

@@ -50,7 +50,6 @@ import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..field.backend import get_field_ops
-from ..field.prime import batch_inverse_ints
 from ..obs import metrics as _obs_metrics
 from .bn254 import P, R
 from .g1 import (

@@ -17,10 +17,12 @@ cache misses, never as errors.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import List, Optional, Union
 
+from ..analysis import AuditReport
 from ..snark.groth16 import Groth16Keypair
 from ..snark.keys import ProvingKey, VerifyingKey
 from ..snark.r1cs import ConstraintSystem
@@ -96,6 +98,26 @@ class ArtifactStore:
             return None
         try:
             return deserialize_r1cs(path.read_bytes())
+        except Exception:
+            return None
+
+    # --------------------------------------------------------- audit reports --
+
+    def _audit_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.audit.json"
+
+    def save_audit_report(self, digest: str, report: AuditReport) -> None:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        self._atomic_write(self._audit_path(digest), payload.encode("utf-8"))
+
+    def load_audit_report(self, digest: str) -> Optional[AuditReport]:
+        """Load a cached audit report, or None on any miss or decode failure."""
+        path = self._audit_path(digest)
+        if not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text("utf-8"))
+            return AuditReport.from_dict(data)
         except Exception:
             return None
 

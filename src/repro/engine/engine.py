@@ -24,11 +24,18 @@ tests) can assert which stages actually ran.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Union
 
+from ..analysis import (
+    AuditReport,
+    CircuitAuditError,
+    audit_compiled,
+    audit_constraint_system,
+)
 from ..circuit.builder import CircuitBuilder
 from ..circuit.trace import TraceDivergence
 from ..field.backend import active_field_backend
@@ -86,6 +93,9 @@ class EngineStats:
     compile_hits: int = 0
     witness_resyntheses: int = 0
     trace_divergences: int = 0
+    audits: int = 0
+    audit_findings: int = 0
+    audit_rejections: int = 0
     setup_misses: int = 0
     setup_hits: int = 0
     setup_disk_hits: int = 0
@@ -144,8 +154,17 @@ class ProvingEngine:
         cache_dir: Optional[str] = None,
         backend: Optional[ComputeBackend] = None,
         prove_budget_seconds: Optional[float] = None,
+        audit: Optional[str] = None,
     ):
         self.prove_budget_seconds = prove_budget_seconds
+        if audit is None:
+            audit = os.environ.get("ZKROWNN_CIRCUIT_AUDIT", "off")
+        if audit not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"audit mode must be 'off', 'warn', or 'strict', not {audit!r}"
+            )
+        self.audit_mode = audit
+        self._audit_reports: Dict[str, AuditReport] = {}
         self._compiled: Dict[str, CompiledCircuit] = {}
         self._keypairs: Dict[str, Groth16Keypair] = {}
         self._prepared_pk: Dict[str, PreparedProvingKey] = {}
@@ -204,14 +223,122 @@ class ProvingEngine:
                 with self._lock:
                     self.stats.compile_hits += 1
                     self.stats.witness_resyntheses += 1
+                self._check_audit(compiled)
                 _observe_stage("synthesize", time.perf_counter() - t0)
                 return compiled, result
         compiled, result = compile_circuit(synthesize, name or key)
         with self._lock:
             self.stats.compile_misses += 1
             self._compiled[key] = compiled
+        self._check_audit(compiled)
         _observe_stage("compile", time.perf_counter() - t0)
         return compiled, result
+
+    # ----------------------------------------------------------------- audit --
+
+    def audit_report_for(self, digest: str) -> Optional[AuditReport]:
+        """The cached audit report for a structure digest, if one exists.
+
+        Checks memory, then the artifact store; runs no audit itself.
+        """
+        with self._lock:
+            report = self._audit_reports.get(digest)
+        if report is None and self._store is not None:
+            report = self._store.load_audit_report(digest)
+            if report is not None:
+                with self._lock:
+                    self._audit_reports[digest] = report
+        return report
+
+    def audit_circuit(
+        self, compiled: CompiledCircuit, *, deep: bool = True
+    ) -> AuditReport:
+        """Audit a compiled circuit, caching the report by digest.
+
+        A cached deep report satisfies any request; a cached fast-tier
+        report only satisfies ``deep=False`` and is re-run (and the
+        cache upgraded) on the first deep request.
+        """
+        report = self.audit_report_for(compiled.digest)
+        if report is not None and (report.deep or not deep):
+            return report
+        report = audit_compiled(compiled, deep=deep)
+        with self._lock:
+            self.stats.audits += 1
+            self.stats.audit_findings += len(report.findings)
+            self._audit_reports[compiled.digest] = report
+        if self._store is not None:
+            self._store.save_audit_report(compiled.digest, report)
+        if _obs_metrics.obs_enabled():
+            counter = _obs_metrics.get_metrics().counter(
+                "zkrownn_circuit_findings_total",
+                "circuit-audit findings by severity",
+            )
+            for severity, count in report.counts().items():
+                if count:
+                    counter.inc(count, severity=severity)
+        return report
+
+    def audit_stored_circuit(self, digest: str) -> Optional[AuditReport]:
+        """Deep-audit a circuit known only by its structure digest.
+
+        Returns the cached deep report when one exists; otherwise
+        recovers the serialized constraint system from the artifact
+        store, audits it, and caches the result.  Falls back to a cached
+        fast-tier report when the circuit itself is no longer stored;
+        ``None`` when nothing exists for the digest.
+        """
+        report = self.audit_report_for(digest)
+        if report is not None and report.deep:
+            return report
+        if self._store is None:
+            return report
+        cs = self._store.load_constraint_system(digest)
+        if cs is None:
+            # No stored circuit to deep-audit; the fast report (or
+            # nothing) is the best available.
+            return report
+        report = audit_constraint_system(
+            cs, name=f"r1cs:{digest[:12]}", digest=digest
+        )
+        with self._lock:
+            self.stats.audits += 1
+            self.stats.audit_findings += len(report.findings)
+            self._audit_reports[digest] = report
+        self._store.save_audit_report(digest, report)
+        return report
+
+    def _check_audit(self, compiled: CompiledCircuit) -> None:
+        """Enforce the engine's audit mode against one compiled circuit.
+
+        ``warn`` runs the fast structural tier inline (cheap enough for
+        the cold compile path), logs findings, and continues; ``strict``
+        runs the full deep analysis and raises
+        :class:`~repro.analysis.CircuitAuditError` (a ``ValueError``, so
+        the service scheduler fails the claim) when any finding reaches
+        ``critical``.  Reports are cached by digest, so the repeat-proof
+        path costs a dictionary lookup.
+        """
+        if self.audit_mode == "off":
+            return
+        report = self.audit_circuit(
+            compiled, deep=self.audit_mode == "strict"
+        )
+        if not report.findings:
+            return
+        from ..obs.logging import get_logger
+
+        get_logger("engine").warning(
+            "circuit_audit_findings",
+            circuit=compiled.name,
+            digest=compiled.digest[:12],
+            counts={k: v for k, v in report.counts().items() if v},
+            worst=report.worst(),
+        )
+        if self.audit_mode == "strict" and report.at_least("critical"):
+            with self._lock:
+                self.stats.audit_rejections += 1
+            raise CircuitAuditError(report)
 
     # ----------------------------------------------------------------- setup --
 

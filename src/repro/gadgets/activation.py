@@ -55,8 +55,9 @@ def zk_relu(builder: CircuitBuilder, fmt: FixedPointFormat, x: Wire) -> Wire:
     ``relu = s * x`` -- the same structure the hard-thresholding circuit
     reuses (paper, Section III-B.4).
     """
-    sign = builder.is_nonnegative(x, fmt.total_bits)
-    return builder.mul(sign, x)
+    with builder.scope("zk_relu"):
+        sign = builder.is_nonnegative(x, fmt.total_bits)
+        return builder.mul(sign, x)
 
 
 def zk_relu_vector(
@@ -82,13 +83,14 @@ def zk_sigmoid(
         raise ValueError("sigmoid approximation degree must be odd, 1..9")
     n_terms = (degree + 1) // 2
     coeffs = CHEBYSHEV_COEFFICIENTS[:n_terms]
-    y = fmt.mul(builder, x, x)
-    # Horner over y: acc = c_{2k+1} + y * acc, highest coefficient first.
-    acc = fmt.constant(builder, coeffs[-1])
-    for c in reversed(coeffs[:-1]):
-        acc = fmt.mul(builder, acc, y) + fmt.encode(c)
-    # S(x) = 0.5 + x * acc
-    return fmt.mul(builder, x, acc) + fmt.encode(0.5)
+    with builder.scope("zk_sigmoid"):
+        y = fmt.mul(builder, x, x)
+        # Horner over y: acc = c_{2k+1} + y * acc, highest coefficient first.
+        acc = fmt.constant(builder, coeffs[-1])
+        for c in reversed(coeffs[:-1]):
+            acc = fmt.mul(builder, acc, y) + fmt.encode(c)
+        # S(x) = 0.5 + x * acc
+        return fmt.mul(builder, x, acc) + fmt.encode(0.5)
 
 
 def zk_sigmoid_vector(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 from ..circuit.builder import CircuitBuilder
 from ..circuit.wire import Wire
@@ -56,12 +56,13 @@ def zk_ber(
         raise ValueError("watermark and extraction must have equal length")
     if not watermark:
         raise ValueError("empty watermark")
-    mismatches = builder.zero()
-    for wm_bit, ex_bit in zip(watermark, extracted):
-        mismatches = mismatches + builder.xor_(wm_bit, ex_bit)
-    budget = mismatch_budget(len(watermark), theta)
-    count_bits = max(len(watermark).bit_length() + 1, 2)
-    valid = builder.greater_equal(
-        builder.constant(budget), mismatches, count_bits
-    )
-    return ZkBerResult(valid=valid, mismatches=mismatches)
+    with builder.scope("zk_ber"):
+        mismatches = builder.zero()
+        for wm_bit, ex_bit in zip(watermark, extracted):
+            mismatches = mismatches + builder.xor_(wm_bit, ex_bit)
+        budget = mismatch_budget(len(watermark), theta)
+        count_bits = max(len(watermark).bit_length() + 1, 2)
+        valid = builder.greater_equal(
+            builder.constant(budget), mismatches, count_bits
+        )
+        return ZkBerResult(valid=valid, mismatches=mismatches)

@@ -125,10 +125,11 @@ def zk_dense(
     if len(weights) != len(bias):
         raise ValueError("bias length must match output dimension")
     outputs: List[Wire] = []
-    for row, b_i in zip(weights, bias):
-        acc = fmt.inner_product_no_rescale(builder, row, list(x))
-        acc = acc + b_i.scale(fmt.scale)
-        outputs.append(fmt.rescale(builder, acc))
+    with builder.scope("zk_dense"):
+        for row, b_i in zip(weights, bias):
+            acc = fmt.inner_product_no_rescale(builder, row, list(x))
+            acc = acc + b_i.scale(fmt.scale)
+            outputs.append(fmt.rescale(builder, acc))
     return outputs
 
 
@@ -148,11 +149,12 @@ def zk_average_rows(
     count = len(rows)
     width = len(rows[0])
     out: List[Wire] = []
-    for j in range(width):
-        total = builder.zero()
-        for row in rows:
-            total = total + row[j]
-        out.append(builder.div_floor_const(total, count, fmt.total_bits))
+    with builder.scope("zk_average"):
+        for j in range(width):
+            total = builder.zero()
+            for row in rows:
+                total = total + row[j]
+            out.append(builder.div_floor_const(total, count, fmt.total_bits))
     return out
 
 

@@ -19,8 +19,9 @@ __all__ = ["zk_max", "zk_max_of", "zk_maxpool2d"]
 
 def zk_max(builder: CircuitBuilder, fmt: FixedPointFormat, a: Wire, b: Wire) -> Wire:
     """``max(a, b)`` on signed fixed-point wires."""
-    a_ge_b = builder.greater_equal(a, b, fmt.total_bits)
-    return builder.select(a_ge_b, a, b)
+    with builder.scope("zk_max"):
+        a_ge_b = builder.greater_equal(a, b, fmt.total_bits)
+        return builder.select(a_ge_b, a, b)
 
 
 def zk_max_of(

@@ -29,8 +29,9 @@ def zk_hard_threshold(
     beta: float = 0.5,
 ) -> Wire:
     """Boolean wire ``[x >= beta]`` for a fixed-point ``x``."""
-    shifted = x - fmt.encode(beta)
-    return builder.is_nonnegative(shifted, fmt.total_bits)
+    with builder.scope("zk_hard_threshold"):
+        shifted = x - fmt.encode(beta)
+        return builder.is_nonnegative(shifted, fmt.total_bits)
 
 
 def zk_hard_threshold_vector(

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 import os
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = [
     "Counter",

@@ -545,6 +545,10 @@ class ServiceClient:
         """The service's signed key-transparency log (one entry per VK)."""
         return self._json("GET", "/vks")["key_log"]
 
+    def circuit_audit(self, claim_id: str) -> Dict:
+        """The static soundness-audit report for a claim's circuit."""
+        return self._json("GET", f"/claims/{claim_id}/circuit-audit")
+
     # -------------------------------------------------------------- verify --
 
     def verify_remote(self, claim_id: str) -> Dict:

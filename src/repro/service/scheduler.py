@@ -46,6 +46,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..analysis import CircuitAuditError
 from ..circuit.trace import TraceDivergence
 from ..engine.engine import ProveBudgetExceeded, ProvingEngine
 from ..obs import Tracer, get_metrics
@@ -751,6 +752,28 @@ class ProofScheduler:
         ).start()
         return stop
 
+    def _record_audit_rejection(self, task: ProofTask, exc: Exception) -> None:
+        """Mirror a strict-mode circuit-audit rejection to the audit log.
+
+        The scheduler's generic ValueError handling already fails the
+        claim; this adds the durable, queryable record of *why* -- which
+        circuit, which digest, how many findings at each severity.
+        """
+        if not isinstance(exc, CircuitAuditError):
+            return
+        report = exc.report
+        try:
+            self.registry.audit(
+                "circuit_audit_rejected",
+                claim_id=task.claim_id,
+                circuit=report.circuit,
+                circuit_digest=report.digest,
+                counts={k: v for k, v in report.counts().items() if v},
+                worst=report.worst(),
+            )
+        except OSError:
+            pass
+
     def _synthesize(self, task: ProofTask):
         """(compiled, synthesis) for one task, with the validity check."""
         compiled, synthesis = self.engine.synthesize(
@@ -810,6 +833,7 @@ class ProofScheduler:
                 ValueError) as exc:
             self.tracer.finish(head_synth_span, outcome="error",
                                error=str(exc))
+            self._record_audit_rejection(head_task, exc)
             self._finish(head_task, JobState.FAILED,
                          error=f"witness synthesis failed: {exc}")
             rest = batch[1:]
@@ -843,6 +867,7 @@ class ProofScheduler:
                         ValueError) as exc:
                     self.tracer.finish(synth_span, outcome="error",
                                        error=str(exc))
+                    self._record_audit_rejection(task, exc)
                     self._finish(task, JobState.FAILED,
                                  error=f"witness synthesis failed: {exc}")
                     continue

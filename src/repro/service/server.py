@@ -8,6 +8,8 @@ Endpoints (all JSON unless noted)::
     GET  /claims/<id>/proof   the proved claim as a binary wire frame
     GET  /claims/<id>/vk      the circuit's verifying key as a wire frame
     GET  /claims/<id>/audit   the claim's audit trail
+    GET  /claims/<id>/circuit-audit  static soundness analysis of the
+                              claim's proving circuit
     POST /claims/<id>/revoke  mark a claim revoked ({"reason": ...})
     POST /verify              verify server-side ({"claim_id": ...} or a
                               binary claim frame)
@@ -120,6 +122,7 @@ class ProofService:
         max_attempts: int = 3,
         prove_budget_seconds: Optional[float] = None,
         faults: Optional[_faults.FaultPlan] = None,
+        audit_mode: Optional[str] = None,
     ):
         self.registry = registry
         self.faults = faults if faults is not None else _faults.active_plan()
@@ -127,7 +130,15 @@ class ProofService:
             engine = ProvingEngine(
                 cache_dir=cache_dir or str(registry.root / "engine-cache"),
                 prove_budget_seconds=prove_budget_seconds,
+                audit=audit_mode,
             )
+        elif audit_mode is not None:
+            if audit_mode not in ("off", "warn", "strict"):
+                raise ValueError(
+                    "audit_mode must be 'off', 'warn', or 'strict', "
+                    f"not {audit_mode!r}"
+                )
+            engine.audit_mode = audit_mode
         self.engine = engine
         self.scheduler = scheduler if scheduler is not None else ProofScheduler(
             self.engine,
@@ -543,6 +554,43 @@ class ProofService:
         return {"key_log": self.registry.key_log_entries()}
 
     # --------------------------------------------------------------- verify --
+
+    def circuit_audit(self, claim_id: str) -> Dict:
+        """The static circuit-audit report for a claim's proving circuit.
+
+        Served from the engine's report cache when possible; otherwise the
+        constraint system is recovered from the artifact store and audited
+        on demand, so the endpoint works for any proved claim even after a
+        restart.  Claims without a circuit digest yet (still queued or
+        proving) report ``available: false``.
+        """
+        record = self.registry.get(claim_id)
+        digest = record.circuit_digest
+        payload: Dict = {
+            "claim_id": claim_id,
+            "audit_mode": self.engine.audit_mode,
+        }
+        if not digest:
+            payload.update(
+                available=False,
+                reason=f"claim is {record.state}: no circuit digest yet",
+            )
+            return payload
+        report = self.engine.audit_stored_circuit(digest)
+        if report is None:
+            payload.update(
+                available=False,
+                circuit_digest=digest,
+                reason="no cached report and no stored constraint system "
+                       "for this digest",
+            )
+            return payload
+        payload.update(
+            available=True,
+            circuit_digest=digest,
+            report=report.to_dict(),
+        )
+        return payload
 
     def verify_by_id(self, claim_id: str) -> Dict:
         """Server-side verification of a stored claim against its stored model."""
@@ -976,6 +1024,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                             self.service.registry.audit_entries(claim_id)
                         )}
                     )
+                if parts[2] == "circuit-audit":
+                    return self._send_json(self.service.circuit_audit(claim_id))
                 if parts[2] == "trace":
                     return self._send_json(self.service.trace(claim_id))
             self._error(404, f"no route for GET {path}")

@@ -48,9 +48,9 @@ from ..curves.pairing import (
     multi_pairing,
     precompute_g2,
 )
-from .errors import MalformedProof, UnsatisfiedWitness
+from .errors import UnsatisfiedWitness
 from .keys import Proof, ProvingKey, VerifyingKey
-from .qap import compute_h, evaluate_qap_at, qap_domain
+from .qap import compute_h, evaluate_qap_at
 from .r1cs import ConstraintSystem
 
 __all__ = [

@@ -21,7 +21,7 @@ Two operations are needed:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..field.backend import get_field_ops
 from ..field.ntt import EvaluationDomain, get_domain, next_power_of_two

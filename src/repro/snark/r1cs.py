@@ -16,15 +16,26 @@ This module is deliberately value-free: it stores structure only.  Witness
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..field.prime import BN254_R as R
 from .errors import UnsatisfiedWitness
 
-__all__ = ["LinearCombination", "Constraint", "ConstraintSystem", "ONE_INDEX"]
+__all__ = [
+    "LinearCombination",
+    "Constraint",
+    "ConstraintSystem",
+    "ONE_INDEX",
+    "VARIABLE_KINDS",
+]
 
 #: Index of the constant-one variable.
 ONE_INDEX = 0
+
+#: Allocation kinds a variable can carry (provenance for the circuit
+#: auditor).  ``unknown`` marks variables restored from a serialization
+#: format that predates provenance.
+VARIABLE_KINDS = ("one", "public", "output", "private", "hint", "mul", "unknown")
 
 
 class LinearCombination:
@@ -117,11 +128,23 @@ class ConstraintSystem:
         self.num_public = 0
         self.constraints: List[Constraint] = []
         self.variable_names: List[str] = ["~one"]
+        #: Per-variable allocation kind (see :data:`VARIABLE_KINDS`) --
+        #: provenance the circuit auditor needs to tell a semantic input
+        #: (the prover's free choice) from a hint that must be pinned down.
+        self.variable_kinds: List[str] = ["one"]
+        #: Per-variable allocation site (gadget scope path; debugging aid).
+        self.variable_sites: List[str] = [""]
+        #: ``(variable, site)`` pairs recorded where a boolean-consuming
+        #: gadget (``and_``/``or_``/``xor_``/``select``/``not_``) used the
+        #: variable.  The auditor checks each has a booleanity constraint.
+        self.expected_boolean: List[Tuple[int, str]] = []
         self._private_started = False
 
     # -- allocation ------------------------------------------------------------
 
-    def allocate_public(self, name: str = "") -> int:
+    def allocate_public(
+        self, name: str = "", *, kind: str = "public", site: str = ""
+    ) -> int:
         if self._private_started:
             raise ValueError(
                 "public inputs must be allocated before any private variable"
@@ -130,14 +153,32 @@ class ConstraintSystem:
         self.num_variables += 1
         self.num_public += 1
         self.variable_names.append(name or f"pub_{index}")
+        self.variable_kinds.append(kind)
+        self.variable_sites.append(site)
         return index
 
-    def allocate_private(self, name: str = "") -> int:
+    def allocate_private(
+        self, name: str = "", *, kind: str = "private", site: str = ""
+    ) -> int:
         self._private_started = True
         index = self.num_variables
         self.num_variables += 1
         self.variable_names.append(name or f"aux_{index}")
+        self.variable_kinds.append(kind)
+        self.variable_sites.append(site)
         return index
+
+    def note_expected_boolean(self, index: int, site: str = "") -> None:
+        """Record that a gadget consumed ``index`` assuming it is boolean."""
+        self.expected_boolean.append((index, site))
+
+    def provenance(self, index: int) -> Dict[str, str]:
+        """Name/kind/site metadata for one variable (auditor findings)."""
+        return {
+            "name": self.variable_names[index],
+            "kind": self.variable_kinds[index],
+            "site": self.variable_sites[index],
+        }
 
     # -- constraints --------------------------------------------------------------
 

@@ -13,6 +13,15 @@ Layout (big-endian):
     | u32 num_constraints
     | per constraint: 3 linear combinations
     | per LC: u32 term count, then (u32 index, 32-byte coefficient) pairs
+
+Version 2 appends a provenance section the circuit auditor consumes:
+
+    | u8 kind code per variable (see _KIND_CODES)
+    | u32 expected-boolean count, then u32 variable index each
+
+Version 1 blobs (no provenance) still load; their variables come back
+with kind ``unknown``, which makes the auditor skip the passes that need
+to distinguish semantic inputs from hints.
 """
 
 from __future__ import annotations
@@ -27,7 +36,18 @@ from .r1cs import ConstraintSystem, LinearCombination
 __all__ = ["serialize_r1cs", "deserialize_r1cs", "save_r1cs", "load_r1cs"]
 
 _MAGIC = b"R1CS"
-_VERSION = 1
+_VERSION = 2
+
+_KIND_CODES = {
+    "one": 0,
+    "public": 1,
+    "output": 2,
+    "private": 3,
+    "hint": 4,
+    "mul": 5,
+    "unknown": 6,
+}
+_KIND_NAMES = {code: name for name, code in _KIND_CODES.items()}
 
 
 class R1csFormatError(SnarkError):
@@ -71,30 +91,35 @@ def serialize_r1cs(cs: ConstraintSystem) -> bytes:
         parts.append(_pack_lc(a))
         parts.append(_pack_lc(b))
         parts.append(_pack_lc(c))
+    kinds = list(getattr(cs, "variable_kinds", []))
+    if len(kinds) != cs.num_variables:
+        kinds = ["one"] + ["unknown"] * (cs.num_variables - 1)
+    parts.append(bytes(_KIND_CODES.get(kind, _KIND_CODES["unknown"]) for kind in kinds))
+    expected = list(getattr(cs, "expected_boolean", []))
+    parts.append(struct.pack(">I", len(expected)))
+    for index, _site in expected:
+        parts.append(struct.pack(">I", index))
     return b"".join(parts)
 
 
 def deserialize_r1cs(data: bytes) -> ConstraintSystem:
     """Decode bytes back into a constraint system.
 
-    Variable names are not preserved (they are a debugging aid);
-    constraint structure, variable counts, and the public split are.
+    Variable names and allocation sites are not preserved (debugging
+    aids); constraint structure, variable counts, the public split, and
+    (v2) variable kinds plus expected-boolean notes are.
     """
     if data[:4] != _MAGIC:
         raise R1csFormatError("not an R1CS blob (bad magic)")
     version, num_variables, num_public, num_constraints = struct.unpack_from(
         ">HIII", data, 4
     )
-    if version != _VERSION:
+    if version not in (1, _VERSION):
         raise R1csFormatError(f"unsupported R1CS version {version}")
     if num_public >= num_variables:
         raise R1csFormatError("public count must be below variable count")
-    cs = ConstraintSystem()
-    for _ in range(num_public):
-        cs.allocate_public()
-    for _ in range(num_variables - 1 - num_public):
-        cs.allocate_private()
     offset = 4 + struct.calcsize(">HIII")
+    constraints = []
     for _ in range(num_constraints):
         a, offset = _unpack_lc(data, offset)
         b, offset = _unpack_lc(data, offset)
@@ -106,9 +131,50 @@ def deserialize_r1cs(data: bytes) -> ConstraintSystem:
                         f"constraint references variable {index} "
                         f"outside the declared {num_variables}"
                     )
-        cs.enforce(a, b, c)
+        constraints.append((a, b, c))
+
+    if version == 1:
+        kinds = ["one"] + ["unknown"] * (num_variables - 1)
+        expected: list = []
+    else:
+        kind_bytes = data[offset : offset + num_variables]
+        if len(kind_bytes) != num_variables:
+            raise R1csFormatError("truncated variable-kind section")
+        offset += num_variables
+        kinds = []
+        for code in kind_bytes:
+            if code not in _KIND_NAMES:
+                raise R1csFormatError(f"unknown variable-kind code {code}")
+            kinds.append(_KIND_NAMES[code])
+        try:
+            (expected_count,) = struct.unpack_from(">I", data, offset)
+        except struct.error:
+            raise R1csFormatError("truncated expected-boolean section") from None
+        offset += 4
+        expected = []
+        for _ in range(expected_count):
+            try:
+                (index,) = struct.unpack_from(">I", data, offset)
+            except struct.error:
+                raise R1csFormatError("truncated expected-boolean section") from None
+            offset += 4
+            if index >= num_variables:
+                raise R1csFormatError(
+                    f"expected-boolean note references variable {index} "
+                    f"outside the declared {num_variables}"
+                )
+            expected.append((index, ""))
     if offset != len(data):
         raise R1csFormatError("trailing bytes after last constraint")
+
+    cs = ConstraintSystem()
+    for i in range(num_public):
+        cs.allocate_public(kind=kinds[1 + i])
+    for i in range(num_variables - 1 - num_public):
+        cs.allocate_private(kind=kinds[1 + num_public + i])
+    for a, b, c in constraints:
+        cs.enforce(a, b, c)
+    cs.expected_boolean = expected
     return cs
 
 

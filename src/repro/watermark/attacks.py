@@ -12,7 +12,6 @@ Every attack returns a *new* model; inputs are never mutated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -20,7 +19,7 @@ import numpy as np
 from ..nn.model import Sequential, train_classifier
 from ..nn.optim import Adam
 from .embed import EmbedConfig, embed_watermark
-from .keys import WatermarkKeys, generate_keys
+from .keys import generate_keys
 
 __all__ = [
     "finetune_attack",

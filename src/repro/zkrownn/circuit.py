@@ -320,8 +320,11 @@ def _synthesize_extraction(
                     for k, v in enumerate(trig)
                 ]
             )
+    # The watermark signature is the owner's *input*, not a hint the
+    # circuit derives -- private_bit records that provenance so the
+    # auditor's determinism pass treats it as the prover's free choice.
     wm_bits = [
-        builder.allocate_bit(f"wm[{j}]", int(b)) for j, b in enumerate(keys.signature)
+        builder.private_bit(f"wm[{j}]", int(b)) for j, b in enumerate(keys.signature)
     ]
     # Projection matrix A, stored transposed: rows of A^T are per-bit vectors.
     proj_t = [

@@ -25,7 +25,6 @@ import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-import numpy as np
 
 from ..bench.cost_model import GadgetCosts
 from ..nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sigmoid

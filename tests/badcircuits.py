@@ -1,0 +1,148 @@
+"""Adversarial circuit fixtures for the soundness auditor tests.
+
+Each factory builds a circuit with a *deliberate* soundness defect and
+records which audit findings (pass id, severity) the auditor must raise
+for it.  ``missing_range_check`` is the star witness: its defect is a
+genuine exploit -- a forged witness that differs from the honest trace
+but still satisfies the R1CS and produces a verifying Groth16 proof for
+a *different* public output (exercised in test_circuit_audit.py).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.circuit.builder import CircuitBuilder
+
+__all__ = [
+    "BadCircuit",
+    "ALL_BAD_CIRCUITS",
+    "free_hint",
+    "unbound_public_input",
+    "unbound_output",
+    "missing_range_check",
+    "missing_boolean",
+    "dead_wire",
+    "degenerate_and_duplicate",
+]
+
+
+@dataclass
+class BadCircuit:
+    """A defective circuit plus the findings the auditor must produce."""
+
+    builder: CircuitBuilder
+    # (pass_id, severity) pairs that MUST appear in the audit report.
+    expect: List[Tuple[str, str]]
+    # Named variable indices the exploit test needs to forge assignments.
+    wires: Dict[str, int] = field(default_factory=dict)
+
+
+def free_hint() -> BadCircuit:
+    """A hint wire allocated but never constrained: the prover picks it."""
+    b = CircuitBuilder("free-hint")
+    out = b.public_output("out")
+    x = b.private_input("x", 3)
+    b.alloc_hint("free", 7)  # never appears in any constraint
+    b.bind_output(out, b.mul(x, x))
+    return BadCircuit(b, expect=[("unconstrained-hint", "high")])
+
+
+def unbound_public_input() -> BadCircuit:
+    """A public input no constraint ever reads: the statement ignores it."""
+    b = CircuitBuilder("unbound-public")
+    b.public_input("claimed_digest", 5)  # never used
+    out = b.public_output("out")
+    x = b.private_input("x", 3)
+    b.bind_output(out, b.mul(x, x))
+    return BadCircuit(b, expect=[("unbound-public", "critical")])
+
+
+def unbound_output() -> BadCircuit:
+    """A reserved public output that is never bound to a computed wire."""
+    b = CircuitBuilder("unbound-output")
+    b.public_output("result")  # reserved, never bound
+    x = b.private_input("x", 3)
+    b.mul(x, x)
+    return BadCircuit(b, expect=[("unbound-output", "critical")])
+
+
+def missing_range_check(x: int = 117, shift_bits: int = 4) -> BadCircuit:
+    """Truncation without the remainder range check: forgeable.
+
+    The circuit publishes ``q = x >> shift_bits`` via the single linear
+    binding ``q * 2^s + rem = x`` -- but never range-checks ``rem`` (the
+    shipped :meth:`CircuitBuilder.truncate` decomposes it into bits).
+    Any ``(q - k, rem + k * 2^s)`` also satisfies, so a dishonest prover
+    can publish any quotient it likes.
+    """
+    scale = 1 << shift_bits
+    b = CircuitBuilder("missing-range-check")
+    out = b.public_output("q_out")
+    w = b.private_input("x", x)
+    q = b.alloc_hint("q", x // scale)
+    rem = b.alloc_hint("rem", x % scale)
+    b.assert_equal(q.scale(scale) + rem, w)  # no range check on rem!
+    b.bind_output(out, q)
+    return BadCircuit(
+        b,
+        expect=[
+            ("underconstrained-hint", "high"),
+            ("underconstrained-output", "critical"),
+        ],
+        wires={
+            "out": out.index,
+            "q": q.lc.as_single_variable(),
+            "rem": rem.lc.as_single_variable(),
+            "scale": scale,
+        },
+    )
+
+
+def missing_boolean() -> BadCircuit:
+    """Wires consumed by boolean gadgets without an assert_boolean."""
+    b = CircuitBuilder("missing-boolean")
+    out = b.public_output("out")
+    a = b.private_input("a", 1)  # 0/1 by convention only -- unconstrained
+    c = b.private_input("c", 0)
+    b.bind_output(out, b.and_(a, c))
+    return BadCircuit(b, expect=[("missing-boolean", "high")])
+
+
+def dead_wire() -> BadCircuit:
+    """A private input no constraint touches: dead weight, not exploitable."""
+    b = CircuitBuilder("dead-wire")
+    out = b.public_output("out")
+    x = b.private_input("x", 3)
+    b.private_input("unused", 42)
+    b.bind_output(out, b.mul(x, x))
+    return BadCircuit(b, expect=[("unconstrained-wire", "warning")])
+
+
+def degenerate_and_duplicate() -> BadCircuit:
+    """A tautological 0*0=0 constraint plus a literally repeated one."""
+    b = CircuitBuilder("degenerate-duplicate")
+    out = b.public_output("out")
+    x = b.private_input("x", 3)
+    y = b.mul(x, x)
+    b.cs.enforce(x.lc, x.lc, y.lc)  # duplicate of the mul constraint
+    zero = b.zero()
+    b.cs.enforce(zero.lc, zero.lc, zero.lc)  # 0 * 0 = 0
+    b.bind_output(out, y)
+    return BadCircuit(
+        b,
+        expect=[
+            ("degenerate-constraint", "info"),
+            ("duplicate-constraint", "info"),
+        ],
+    )
+
+
+ALL_BAD_CIRCUITS = [
+    free_hint,
+    unbound_public_input,
+    unbound_output,
+    missing_range_check,
+    missing_boolean,
+    dead_wire,
+    degenerate_and_duplicate,
+]
