@@ -11,7 +11,9 @@ benchmark isolates exactly that kernel across its implementations:
   under each selectable *field backend* (stdlib residues, Montgomery
   form, gmpy2 when importable),
 * ``msm_g2`` vs ``msm_g2_unsigned`` -- the signed-window G2 port,
-* ``ProcessBackend.msm_g1`` -- the same kernel chunked across workers.
+* ``ProcessBackend.msm_g1`` -- the same kernel chunked across workers,
+* numpy limb-vectorized bucket accumulation vs the shared-inversion
+  python rounds (the PR-10 ``numpy`` field backend), gated at n=4096.
 
 Every row lands in ``BENCH_msm_kernels.json`` together with the window
 sizes the heuristics picked, so regressions in either the kernels or the
@@ -183,6 +185,96 @@ def test_field_backend_ablation(bench_scale, bench_json):
         assert times["gmpy2"] < times["python"], (
             f"gmpy2 field backend slower than stdlib at n={n}: "
             f"{times['gmpy2']:.3f}s vs {times['python']:.3f}s"
+        )
+
+
+def test_numpy_kernel_ablation(bench_scale, bench_json):
+    """Vectorized limb-array bucket accumulation vs the stdlib rounds.
+
+    Reproduces the exact bucket grid a signed-window MSM scatters (the
+    post-GLV shape: ``2n`` half-width scalars), then reduces it through
+    both implementations: ``_reduce_buckets`` with the shared-inversion
+    python adds, and ``_numpy_window_sums`` -- the gather + vectorized
+    :func:`~repro.field.limb.reduce_bucket_grid` rounds the numpy field
+    backend routes through (including its python handoff for narrow tail
+    rounds).  Results must be identical.
+
+    The honest gate: at the n=4096 headline size (reduced scale) the
+    numpy bucket accumulation must not lose to the stdlib python rounds.
+    The measured ratio is recorded either way, as is the end-to-end
+    ``msm_g1`` ratio (which carries scatter/conversion overheads both
+    paths share and is expected closer to parity; wide MSMs win bigger).
+    """
+    pytest.importorskip("numpy")
+    from repro.curves.msm import (
+        _batch_affine_add,
+        _numpy_window_sums,
+        _reduce_buckets,
+        _scatter_signed_idx,
+    )
+    from repro.field.limb import get_limb_context
+
+    n = _sizes(bench_scale)[-1]
+    pairs = 2 * n  # GLV splits every scalar into two half-width parts
+    rng = random.Random(23)
+    points, _ = _inputs(pairs)
+    scalars = [rng.randrange(1, 1 << 127) for _ in range(pairs)]
+    c = pippenger_window_size(pairs)
+    bids, pids, negs, windows = _scatter_signed_idx(scalars, c)
+    n_buckets = windows * ((1 << (c - 1)) + 1)
+
+    template: list = [[] for _ in range(n_buckets)]
+    for b, i, neg in zip(bids, pids, negs):
+        x, y = points[i]
+        template[b].append((x, P - y) if neg else (x, y))
+
+    def python_reduce():
+        # _reduce_buckets mutates; hand it a fresh shallow copy each run.
+        return _reduce_buckets([list(b) for b in template], _batch_affine_add)
+
+    ctx = get_limb_context(P)
+    xs = ctx.to_mont(ctx.to_limbs([p[0] for p in points]))
+    ys = ctx.to_mont(ctx.to_limbs([p[1] for p in points]))
+
+    def numpy_reduce():
+        return _numpy_window_sums(ctx, xs, ys, bids, pids, negs, n_buckets)
+
+    t_python, r_python = _best_of(python_reduce)
+    t_numpy, r_numpy = _best_of(numpy_reduce)
+    assert r_numpy == r_python, (
+        "numpy bucket accumulation disagrees with the python rounds"
+    )
+
+    full_scalars = [rng.randrange(R) for _ in range(n)]
+    prev = set_field_backend("python")
+    try:
+        t_msm_python, r_p = _best_of(
+            lambda: msm_g1(points[:n], full_scalars)
+        )
+        set_field_backend("numpy")
+        t_msm_numpy, r_n = _best_of(lambda: msm_g1(points[:n], full_scalars))
+    finally:
+        set_field_backend(prev)
+    assert jac_to_affine_many([r_p]) == jac_to_affine_many([r_n])
+
+    bench_json(
+        f"numpy-buckets-n{n}",
+        n=n,
+        pairs=pairs,
+        lanes=len(bids),
+        window=c,
+        python_bucket_seconds=t_python,
+        numpy_bucket_seconds=t_numpy,
+        numpy_vs_python_bucket_ratio=t_python / t_numpy,
+        python_msm_seconds=t_msm_python,
+        numpy_msm_seconds=t_msm_numpy,
+        numpy_vs_python_msm_ratio=t_msm_python / t_msm_numpy,
+    )
+    if n >= 4096:
+        assert t_numpy <= t_python, (
+            f"numpy bucket accumulation lost to the stdlib python rounds "
+            f"at n={n}: {t_numpy:.3f}s vs {t_python:.3f}s "
+            f"(ratio {t_python / t_numpy:.2f}x)"
         )
 
 

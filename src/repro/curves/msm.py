@@ -104,7 +104,16 @@ def pippenger_window_size(n: int, *, signed: bool = True) -> int:
     to the unsigned Jacobian path (see ``benchmarks/bench_msm_kernels.py``).
     ``signed=False`` keeps the PR-1 heuristic used by the unsigned
     reference path and the G2 MSM.
+
+    When a machine profile is loaded (``zkrownn tune``), its measured
+    per-size window overrides take precedence over these static
+    dev-box breakpoints; the tables below are the fallback.
     """
+    from ..tuning.profile import pippenger_window_override
+
+    override = pippenger_window_override(n, signed=signed)
+    if override is not None:
+        return override
     if signed:
         # Breakpoints measured on _signed_window_msm (see
         # bench_msm_kernels): best c was 5 at 32 pairs, 6 at 128, 7 at 512,
@@ -410,9 +419,23 @@ def _window_sums(
     single batched affine addition across windows.  Generic over the
     affine representation via ``batch_add``.
     """
+    sums = _reduce_buckets(grids, batch_add)
+    return _suffix_window_sums(sums, windows, c, batch_add)
+
+
+def _suffix_window_sums(
+    sums: List, windows: int, c: int, batch_add: BatchAffineAdd
+) -> List:
+    """Lockstep suffix sums over per-bucket totals (one point or None each).
+
+    Split out of :func:`_window_sums` so the numpy bucket path can feed
+    its vectorized grid reduction into the identical suffix stage: the
+    suffix steps are width-``windows`` batches (~13 lanes), far below
+    where vectorized kernels pay for their dispatch, so every backend
+    shares this python implementation.
+    """
     half = 1 << (c - 1)
     stride = half + 1
-    sums = _reduce_buckets(grids, batch_add)
     # Suffix-sum trick per window, all windows in lockstep: step b performs
     # `running += bucket[b]` as one batched affine addition of width
     # `windows`, and the running value after each step is recorded --
@@ -498,6 +521,126 @@ def _signed_window_msm_mont(
     return _positional_combine_g1(plain, c)
 
 
+#: Below this many split pairs the numpy bucket path falls back to the
+#: plain python kernel: vectorized rounds are dispatch-bound at narrow
+#: widths (the full-MSM crossover measured ~8k pairs, i.e. ~4k points,
+#: on the dev box), and results are byte-identical either way so routing
+#: by size is safe.
+NUMPY_MSM_MIN_PAIRS = 8192
+
+#: Once a bucket-reduction round narrows below this many additions the
+#: remaining rounds hand off to the shared-inversion python kernel --
+#: per-round crossover, distinct from the whole-MSM routing floor above.
+NUMPY_ROUND_MIN_PAIRS = 4096
+
+
+def _scatter_signed_idx(
+    scalars: Sequence[int], c: int, point_idx: Optional[Sequence[int]] = None
+) -> Tuple[List[int], List[int], List[int], int]:
+    """Signed-digit scatter emitting flat arrays instead of bucket lists.
+
+    Returns ``(bucket_ids, point_indices, negate_flags, windows)`` --
+    the same digits :func:`_scatter_signed` would produce, but as
+    parallel lists ready to become numpy index arrays: entry ``k`` says
+    point ``point_indices[k]`` (negated when ``negate_flags[k]``) lands
+    in flat bucket ``bucket_ids[k]``.  ``point_idx`` maps scalar
+    positions to point columns (identity when omitted).
+    """
+    half = 1 << (c - 1)
+    full = 1 << c
+    mask = full - 1
+    windows = max(s.bit_length() for s in scalars) // c + 2
+    stride = half + 1
+    bids: List[int] = []
+    pids: List[int] = []
+    negs: List[int] = []
+    ba, pa, na = bids.append, pids.append, negs.append
+    for i, s in enumerate(scalars):
+        col = i if point_idx is None else point_idx[i]
+        base = 0
+        while s:
+            d = s & mask
+            s >>= c
+            if d > half:
+                d -= full
+                s += 1
+            if d > 0:
+                ba(base + d)
+                pa(col)
+                na(0)
+            elif d:
+                ba(base - d)
+                pa(col)
+                na(1)
+            base += stride
+    return bids, pids, negs, windows
+
+
+def _numpy_window_sums(ctx, xs, ys, bids, pids, negs, n_buckets):
+    """Gather scattered digits into limb arrays and reduce every bucket.
+
+    ``xs, ys`` are the Montgomery-domain limb pool of the (finite) input
+    points; fancy indexing materializes one column per scattered digit,
+    negative digits negate ``y`` in-place on their slice, and the whole
+    grid collapses through :func:`~repro.field.limb.reduce_bucket_grid`.
+    Returns plain canonical bucket sums ready for the shared python
+    suffix stage.
+    """
+    import numpy as np
+
+    from ..field.limb import reduce_bucket_grid
+
+    bid_arr = np.asarray(bids, dtype=np.int64)
+    idx_arr = np.asarray(pids, dtype=np.int64)
+    x = xs[:, idx_arr]
+    y = ys[:, idx_arr]
+    neg_arr = np.asarray(negs, dtype=bool)
+    if neg_arr.any():
+        sel = np.flatnonzero(neg_arr)
+        y[:, sel] = ctx.negmod(y[:, sel])
+    # Late rounds narrow below the vectorization crossover; hand them to
+    # the shared-inversion python rounds (the int conversion happens at
+    # exit regardless, so the handoff costs nothing extra).
+    return reduce_bucket_grid(
+        ctx,
+        x,
+        y,
+        bid_arr,
+        n_buckets,
+        min_pairs=NUMPY_ROUND_MIN_PAIRS,
+        tail_reduce=lambda buckets: _reduce_buckets(
+            buckets, _batch_affine_add
+        ),
+    )
+
+
+def _signed_window_msm_numpy(
+    points: Sequence[Tuple[int, int]], scalars: Sequence[int], c: int
+) -> JacobianPoint:
+    """The signed-window MSM with vectorized limb-array bucket rounds.
+
+    Point coordinates convert once into Montgomery-domain ``(L, n)``
+    limb arrays; every bucket-reduction round then runs as a handful of
+    wide numpy kernel passes (:func:`~repro.field.limb.batch_affine_add_limbs`)
+    instead of ~6 CPython big-int multiplies per addition.  The
+    scatter/recoding and the narrow suffix stage stay on the shared
+    python code paths -- they are per-digit bookkeeping and ~13-lane
+    batches respectively, where vectorization cannot pay.  Results are
+    byte-identical to the other backends.
+    """
+    from ..field.limb import get_limb_context
+
+    ctx = get_limb_context(P)
+    xs = ctx.to_mont(ctx.to_limbs([p[0] for p in points]))
+    ys = ctx.to_mont(ctx.to_limbs([p[1] for p in points]))
+    bids, pids, negs, windows = _scatter_signed_idx(scalars, c)
+    stride = (1 << (c - 1)) + 1
+    sums = _numpy_window_sums(ctx, xs, ys, bids, pids, negs, windows * stride)
+    return _positional_combine_g1(
+        _suffix_window_sums(sums, windows, c, _batch_affine_add), c
+    )
+
+
 def _combine_windows(
     grids: List[List[Tuple[int, int]]], windows: int, c: int
 ) -> JacobianPoint:
@@ -569,6 +712,8 @@ def msm_g1(points: Sequence[AffinePoint], scalars: Sequence[int]) -> JacobianPoi
     ops = get_field_ops(P)
     if ops.montgomery_kernels:
         return _signed_window_msm_mont(split_points, split_scalars, c, ops)
+    if ops.numpy_kernels and len(split_points) >= NUMPY_MSM_MIN_PAIRS:
+        return _signed_window_msm_numpy(split_points, split_scalars, c)
     return _signed_window_msm(split_points, split_scalars, c)
 
 
@@ -618,6 +763,8 @@ def msm_g1_multi(
     half = 1 << (c - 1)
     stride = half + 1
     ops = get_field_ops(P)
+    if ops.numpy_kernels and len(splits) >= NUMPY_MSM_MIN_PAIRS:
+        return _msm_g1_multi_numpy(points_lists, splits, digit_lists, windows, c)
     mont = ops.montgomery_kernels
     if mont:
         to_m = ops.to_mont
@@ -655,6 +802,70 @@ def msm_g1_multi(
             results.append(_positional_combine_g1(plain, c))
         else:
             results.append(_combine_windows(grids, windows, c))
+    return results
+
+
+def _msm_g1_multi_numpy(
+    points_lists: Sequence[Sequence[AffinePoint]],
+    splits: Sequence[Tuple[int, bool, bool]],
+    digit_lists: Sequence[List[Tuple[int, int]]],
+    windows: int,
+    c: int,
+) -> List[JacobianPoint]:
+    """The shared-recoding multi-MSM with numpy limb bucket rounds.
+
+    The GLV splits and signed digits are already computed once by
+    :func:`msm_g1_multi`; this replays them per point set, building each
+    set's Montgomery limb pool and flat digit arrays, then reduces the
+    grid with the vectorized kernel.  ``None`` entries in a point set
+    drop that set's corresponding digits, exactly like the scalar paths.
+    """
+    from ..field.limb import get_limb_context
+
+    ctx = get_limb_context(P)
+    stride = (1 << (c - 1)) + 1
+    results: List[JacobianPoint] = []
+    for points in points_lists:
+        split_pts: List[Tuple[int, int]] = []
+        col_of_split: List[int] = []
+        for i, endo, negate in splits:
+            p = points[i]
+            if p is None:
+                col_of_split.append(-1)
+                continue
+            if endo:
+                p = glv_endomorphism(p)
+            if negate:
+                p = (p[0], P - p[1])
+            col_of_split.append(len(split_pts))
+            split_pts.append(p)
+        if not split_pts:
+            results.append(G1_INFINITY_JAC)
+            continue
+        xs = ctx.to_mont(ctx.to_limbs([p[0] for p in split_pts]))
+        ys = ctx.to_mont(ctx.to_limbs([p[1] for p in split_pts]))
+        bids: List[int] = []
+        pids: List[int] = []
+        negs: List[int] = []
+        ba, pa, na = bids.append, pids.append, negs.append
+        for col, digits in zip(col_of_split, digit_lists):
+            if col < 0:
+                continue
+            for w, d in digits:
+                if d > 0:
+                    ba(w * stride + d)
+                    pa(col)
+                    na(0)
+                else:
+                    ba(w * stride - d)
+                    pa(col)
+                    na(1)
+        sums = _numpy_window_sums(ctx, xs, ys, bids, pids, negs, windows * stride)
+        results.append(
+            _positional_combine_g1(
+                _suffix_window_sums(sums, windows, c, _batch_affine_add), c
+            )
+        )
     return results
 
 

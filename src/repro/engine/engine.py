@@ -143,9 +143,11 @@ class ProvingEngine:
 
     ``backend`` chooses where the prover's parallelizable kernels run: by
     default the environment is consulted (``ZKROWNN_BACKEND`` /
-    ``ZKROWNN_WORKERS``, falling back to the serial backend); pass a
-    :class:`~repro.parallel.backend.ComputeBackend` to pin it.  Proofs are
-    byte-identical across backends given equal seeds.
+    ``ZKROWNN_WORKERS``), then the tuned machine profile written by
+    ``zkrownn tune`` (:mod:`repro.tuning.profile`), falling back to the
+    serial backend; pass a :class:`~repro.parallel.backend.ComputeBackend`
+    to pin it.  Proofs are byte-identical across backends given equal
+    seeds.
     """
 
     def __init__(

@@ -14,12 +14,21 @@ one of the two BN254 primes.  This module makes that substrate swappable:
 * :class:`Gmpy2FieldOps` -- GMP-backed residues (``gmpy2.mpz``), gated
   behind ``importlib``: selecting it without gmpy2 installed is an error,
   and the ``auto`` backend falls back to ``python`` silently.
+* :class:`NumpyFieldOps` -- same element-level semantics as the stdlib
+  backend (plain ``int`` residues), but flags the MSM and NTT layers to
+  run their batch kernels over contiguous multi-limb ``uint64`` arrays
+  (:mod:`repro.field.limb`): whole Pippenger bucket rounds and NTT
+  butterfly stages advance as a few wide numpy passes instead of one
+  CPython big-int operation per element.  Gated behind ``importlib``
+  like gmpy2.
 
 Selection mirrors the compute-backend convention: the
 ``ZKROWNN_FIELD_BACKEND`` environment variable (``python`` | ``montgomery``
-| ``gmpy2`` | ``auto``), overridable per process via
-:func:`set_field_backend`.  The default is ``auto``: gmpy2 when importable,
-stdlib otherwise -- so the pure-Python path never needs a new dependency.
+| ``gmpy2`` | ``numpy`` | ``auto``), overridable per process via
+:func:`set_field_backend`.  The default is ``auto``: the machine
+profile's measured winner when one is loaded (``zkrownn tune``), else
+gmpy2 when importable, else stdlib -- so the pure-Python path never
+needs a new dependency.
 
 Design note (measured, CPython 3.11, x86-64): a Montgomery multiply in
 pure Python costs three big-int multiplications (``a*b``, ``lo*n'``,
@@ -54,8 +63,10 @@ __all__ = [
     "PythonFieldOps",
     "MontgomeryFieldOps",
     "Gmpy2FieldOps",
+    "NumpyFieldOps",
     "available_field_backends",
     "gmpy2_available",
+    "numpy_available",
     "resolve_field_backend",
     "active_field_backend",
     "set_field_backend",
@@ -82,6 +93,9 @@ class FieldOps:
     #: True when the MSM layer should route its batch-affine inner loops
     #: through the Montgomery-form kernels.
     montgomery_kernels = False
+    #: True when the MSM and NTT layers should route their batch kernels
+    #: through the vectorized limb arrays of :mod:`repro.field.limb`.
+    numpy_kernels = False
 
     def __init__(self, modulus: int):
         if modulus < 2:
@@ -291,10 +305,33 @@ class Gmpy2FieldOps(FieldOps):
         return self._gmpy2.invert(a, self.modulus_native)
 
 
+class NumpyFieldOps(PythonFieldOps):
+    """Stdlib-int residues whose batch kernels run on numpy limb arrays.
+
+    Element-level semantics (wrap/unwrap/mulmod/...) are identical to
+    :class:`PythonFieldOps` -- scalar chains in the tower, pairing and
+    setup code gain nothing from vectorization -- so proofs are
+    byte-identical by construction.  What changes is the batch layer:
+    ``numpy_kernels`` routes Pippenger bucket accumulation (``msm_g1``)
+    and NTT butterfly stages (``field.ntt``) through
+    :mod:`repro.field.limb`, which carries whole rounds as contiguous
+    ``(limbs, lanes)`` ``uint64`` arrays in Montgomery form.
+    """
+
+    name = "numpy"
+    numpy_kernels = True
+
+    def __init__(self, modulus: int):
+        if not numpy_available():
+            raise ImportError("NumpyFieldOps requires numpy")
+        super().__init__(modulus)
+
+
 _BACKEND_CLASSES = {
     "python": PythonFieldOps,
     "montgomery": MontgomeryFieldOps,
     "gmpy2": Gmpy2FieldOps,
+    "numpy": NumpyFieldOps,
 }
 
 
@@ -303,6 +340,8 @@ def available_field_backends() -> List[str]:
     names = ["python", "montgomery"]
     if gmpy2_available():
         names.append("gmpy2")
+    if numpy_available():
+        names.append("numpy")
     return names
 
 
@@ -310,26 +349,44 @@ def gmpy2_available() -> bool:
     return importlib.util.find_spec("gmpy2") is not None
 
 
+def numpy_available() -> bool:
+    return importlib.util.find_spec("numpy") is not None
+
+
+_IMPORT_GATES = {"gmpy2": gmpy2_available, "numpy": numpy_available}
+
+
 def resolve_field_backend(name: Optional[str] = None) -> str:
     """Resolve a backend name (or the environment/default) to a concrete one.
 
-    ``auto`` picks gmpy2 when importable and falls back to the stdlib
-    backend; naming ``gmpy2`` explicitly without the library installed is
-    an error rather than a silent downgrade.
+    ``auto`` consults the persisted machine profile first (``zkrownn
+    tune`` records the measured winner for this host), then falls back to
+    the static preference order: gmpy2 when importable, else stdlib.
+    Naming ``gmpy2``/``numpy`` explicitly without the library installed
+    is an error rather than a silent downgrade.
     """
     if name is None:
         name = os.environ.get(FIELD_BACKEND_ENV) or "auto"
     name = name.strip().lower()
     if name == "auto":
+        from ..tuning.profile import profile_field_backend
+
+        preferred = profile_field_backend()
+        if preferred is not None:
+            preferred = preferred.strip().lower()
+            gate = _IMPORT_GATES.get(preferred)
+            if preferred in _BACKEND_CLASSES and (gate is None or gate()):
+                return preferred
         return "gmpy2" if gmpy2_available() else "python"
     if name not in _BACKEND_CLASSES:
         raise ValueError(
             f"unknown field backend {name!r}: expected one of "
-            f"'python', 'montgomery', 'gmpy2', 'auto'"
+            f"'python', 'montgomery', 'gmpy2', 'numpy', 'auto'"
         )
-    if name == "gmpy2" and not gmpy2_available():
+    gate = _IMPORT_GATES.get(name)
+    if gate is not None and not gate():
         raise ValueError(
-            "field backend 'gmpy2' requested but gmpy2 is not importable; "
+            f"field backend {name!r} requested but {name} is not importable; "
             "install it with `pip install zkrownn-repro[fast]` or select "
             "'python'/'auto'"
         )
@@ -390,10 +447,16 @@ def reinit_field_backend_after_fork() -> None:
 
     Called by worker initializers in ``repro.parallel.workers``; also
     implied by the PID check on every lookup, so even untracked forks
-    never reuse a parent's gmpy2 state.
+    never reuse a parent's gmpy2 state.  The numpy backend's limb-context
+    registry is dropped alongside (its arrays are plain fork-safe data,
+    but it follows the same PID discipline so every backend has one
+    re-init story).
     """
     _STATE["pid"] = -1
     _ensure_fresh()
+    from .limb import reset_limb_contexts
+
+    reset_limb_contexts()
 
 
 def invmod(value, modulus: int):

@@ -382,18 +382,38 @@ class ProcessBackend(ComputeBackend):
 def get_backend(
     name: Optional[str] = None, workers_count: Optional[int] = None
 ) -> ComputeBackend:
-    """Build a backend by name, falling back to the environment.
+    """Build a backend by name, falling back to environment then profile.
 
-    ``name`` defaults to ``$ZKROWNN_BACKEND`` (then ``"serial"``);
-    ``workers_count`` defaults to ``$ZKROWNN_WORKERS`` (then CPU count).
+    Uniform knob precedence (see :mod:`repro.tuning.profile`): explicit
+    argument > environment variable > tuned machine profile > static
+    default.  ``name`` falls back ``$ZKROWNN_BACKEND`` -> profile
+    ``compute_backend`` -> ``"serial"``; ``workers_count`` falls back
+    ``$ZKROWNN_WORKERS`` -> profile ``workers`` -> CPU count; the
+    process backend's ``min_msm_chunk`` falls back profile -> 1024.
     """
-    name = (name or os.environ.get("ZKROWNN_BACKEND") or "serial").lower()
+    from ..tuning.profile import (
+        profile_compute_backend,
+        profile_min_msm_chunk,
+        profile_workers,
+    )
+
+    name = (
+        name
+        or os.environ.get("ZKROWNN_BACKEND")
+        or profile_compute_backend()
+        or "serial"
+    ).lower()
     if workers_count is None:
         env_workers = os.environ.get("ZKROWNN_WORKERS")
-        workers_count = int(env_workers) if env_workers else None
+        workers_count = (
+            int(env_workers) if env_workers else profile_workers()
+        )
     if name == "serial":
         return SerialBackend()
     if name == "process":
+        chunk = profile_min_msm_chunk()
+        if chunk is not None:
+            return ProcessBackend(workers_count, min_msm_chunk=chunk)
         return ProcessBackend(workers_count)
     raise ValueError(
         f"unknown backend {name!r}: expected 'serial' or 'process'"

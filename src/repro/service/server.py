@@ -114,7 +114,7 @@ class ProofService:
         *,
         engine: Optional[ProvingEngine] = None,
         scheduler: Optional[ProofScheduler] = None,
-        max_batch: int = 8,
+        max_batch: Optional[int] = None,
         scheduler_workers: int = 1,
         cache_dir: Optional[str] = None,
         max_queue_depth: Optional[int] = None,
@@ -126,6 +126,12 @@ class ProofService:
     ):
         self.registry = registry
         self.faults = faults if faults is not None else _faults.active_plan()
+        if max_batch is None:
+            # Explicit argument > tuned machine profile > static default
+            # (the same precedence every knob follows; see repro.tuning).
+            from ..tuning.profile import profile_max_batch
+
+            max_batch = profile_max_batch() or 8
         if engine is None:
             engine = ProvingEngine(
                 cache_dir=cache_dir or str(registry.root / "engine-cache"),

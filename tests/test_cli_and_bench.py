@@ -124,3 +124,144 @@ class TestTable1Plumbing:
             assert scale.wm_bits > 0
             assert scale.mlp_triggers >= 1
             assert scale.cnn_triggers >= 1
+
+
+# ------------------------------------------------------ tune / bench-report --
+
+
+def _write_bench(path, name, *, tests=None, entries=None, field=None,
+                 profile=None):
+    import json
+
+    payload = {
+        "benchmark": name,
+        "scale": "reduced",
+        "test_seconds": tests or {},
+        "entries": entries or {},
+        "field_backend": field,
+        "machine_profile": profile or {"loaded": False},
+    }
+    path.write_text(json.dumps(payload))
+    return payload
+
+
+class TestBenchReportCli:
+    def test_trend_table_and_metrics(self, tmp_path, capsys):
+        _write_bench(
+            tmp_path / "BENCH_msm_kernels.json",
+            "bench_msm_kernels",
+            tests={"test_fast": 0.5, "test_slow": 2.0},
+            entries={"numpy-buckets-n4096": {
+                "numpy_vs_python_bucket_ratio": 1.15, "note": "x"}},
+            field="numpy",
+            profile={"loaded": True, "created_at": "2026-08-08"},
+        )
+        _write_bench(
+            tmp_path / "BENCH_groth16.json",
+            "bench_groth16",
+            tests={"test_prove": 3.0},
+        )
+        assert main(["bench-report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Benchmark trend" in out
+        assert "bench_msm_kernels" in out and "bench_groth16" in out
+        assert "test_slow" in out  # slowest test surfaced
+        assert "numpy" in out  # field backend column
+        assert "# Key metrics" in out
+        assert "numpy-buckets-n4096.numpy_vs_python_bucket_ratio" in out
+        assert "1.15" in out
+
+    def test_baseline_delta_section(self, tmp_path, capsys):
+        before = tmp_path / "before"
+        after = tmp_path / "after"
+        before.mkdir()
+        after.mkdir()
+        _write_bench(before / "BENCH_x.json", "bench_x",
+                     tests={"test_a": 2.0})
+        _write_bench(after / "BENCH_x.json", "bench_x",
+                     tests={"test_a": 1.0})
+        assert main(
+            ["bench-report", str(after), "--baseline", str(before)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# Before/after vs baseline" in out
+        assert "-50.0%" in out
+
+    def test_corrupt_files_skipped_not_fatal(self, tmp_path, capsys):
+        (tmp_path / "BENCH_bad.json").write_text("{nope")
+        _write_bench(tmp_path / "BENCH_ok.json", "bench_ok",
+                     tests={"test_a": 1.0})
+        assert main(["bench-report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench_ok" in out
+        assert "# Skipped files" in out
+
+    def test_empty_directory_reports_nothing_found(self, tmp_path, capsys):
+        assert main(["bench-report", str(tmp_path)]) == 0
+        assert "no BENCH_*.json files found" in capsys.readouterr().out
+
+
+class _StubTuner:
+    """Drop-in for Tuner in CLI tests: canned result, no kernels."""
+
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+
+    def run(self):
+        from repro.tuning.profile import MachineProfile
+        from repro.tuning.tuner import TuningResult
+
+        profile = MachineProfile(
+            field_backend="python",
+            compute_backend="serial",
+            max_batch=2,
+            pippenger_windows={"signed": [[512, 7]]},
+            created_at="2026-08-08T00:00:00+00:00",
+        )
+        return TuningResult(
+            profile=profile, baseline_seconds=2.0, tuned_seconds=1.0
+        )
+
+
+class TestTuneCli:
+    @pytest.fixture(autouse=True)
+    def _stub_tuner(self, monkeypatch):
+        import repro.tuning.tuner as tuner_mod
+
+        monkeypatch.setattr(tuner_mod, "Tuner", _StubTuner)
+
+    def test_dry_run_prints_profile_without_writing(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        assert main(
+            ["tune", "--quick", "--dry-run", "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert not out_path.exists()
+        assert '"field_backend": "python"' in out
+        assert "2.000s default -> 1.000s tuned (2.00x)" in out
+
+    def test_writes_profile_and_bench_json(self, tmp_path, capsys):
+        import json
+
+        from repro.tuning.profile import load_profile
+
+        out_path = tmp_path / "profile.json"
+        bench_path = tmp_path / "BENCH_tune.json"
+        assert main(
+            [
+                "tune",
+                "--quick",
+                "--out",
+                str(out_path),
+                "--bench-json",
+                str(bench_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        profile = load_profile(str(out_path))
+        assert profile.field_backend == "python"
+        assert profile.max_batch == 2
+        assert profile.window_override(512) == 7
+        payload = json.loads(bench_path.read_text())
+        assert payload["benchmark"] == "bench_tune"
+        assert payload["speedup"] == 2.0

@@ -39,6 +39,7 @@ from repro.field.backend import (
     available_field_backends,
     get_field_ops,
     gmpy2_available,
+    numpy_available,
     reinit_field_backend_after_fork,
     resolve_field_backend,
     set_field_backend,
@@ -85,7 +86,7 @@ class TestSelection:
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown field backend"):
-            resolve_field_backend("numpy")
+            resolve_field_backend("cuda")
 
     def test_gmpy2_without_library_is_an_error_not_a_downgrade(self):
         if gmpy2_available():
@@ -307,6 +308,177 @@ class TestKernelParityAcrossBackends:
         assert (d_py.backend, d_mont.backend) == ("python", "montgomery")
         set_field_backend("python")
         assert get_domain(32) is d_py
+
+
+# ------------------------------------------------------------ numpy backend --
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+class TestNumpyBackend:
+    """Selection, fork semantics and kernel routing of the numpy backend.
+
+    The generic parity/byte-identity loops above already include numpy
+    via ``available_field_backends()``, but at their small sizes the
+    routing floors keep the vectorized kernels cold; these tests pin the
+    floors down so the limb paths demonstrably run and agree.
+    """
+
+    def test_selection_and_kernel_flags(self):
+        set_field_backend("numpy")
+        ops = get_field_ops(P)
+        assert ops.name == "numpy"
+        assert ops.numpy_kernels and not ops.montgomery_kernels
+        # Element-level semantics are the stdlib backend's: plain ints.
+        assert ops.wrap(P + 7) == 7
+        assert ops.mulmod(ops.wrap(3), ops.wrap(5)) == 15
+        assert "numpy" in available_field_backends()
+
+    def test_env_variable_selects_numpy(self, monkeypatch):
+        monkeypatch.setenv(FIELD_BACKEND_ENV, "numpy")
+        set_field_backend(None)
+        assert active_field_backend() == "numpy"
+
+    def test_numpy_without_library_is_an_error_not_a_downgrade(
+        self, monkeypatch
+    ):
+        import repro.field.backend as backend_mod
+
+        monkeypatch.setattr(backend_mod, "numpy_available", lambda: False)
+        monkeypatch.setitem(
+            backend_mod._IMPORT_GATES, "numpy", lambda: False
+        )
+        assert "numpy" not in available_field_backends()
+        with pytest.raises(ValueError, match="numpy is not importable"):
+            resolve_field_backend("numpy")
+
+    def test_reinit_after_fork_drops_limb_contexts(self):
+        from repro.field.limb import get_limb_context
+
+        set_field_backend("numpy")
+        ctx = get_limb_context(P)
+        assert get_limb_context(P) is ctx
+        reinit_field_backend_after_fork()
+        assert get_limb_context(P) is not ctx
+
+    def test_msm_vectorized_path_matches_python(self, monkeypatch):
+        import repro.curves.msm as msm_mod
+
+        points, scalars = _g1_inputs(48, seed=33)
+        points[2] = None
+        scalars[3] = 0
+        scalars[5] = R - 1
+        set_field_backend("python")
+        expected = jac_to_affine_many([msm_g1(points, scalars)])[0]
+
+        calls = []
+        real = msm_mod._signed_window_msm_numpy
+        monkeypatch.setattr(
+            msm_mod,
+            "_signed_window_msm_numpy",
+            lambda *a: calls.append(1) or real(*a),
+        )
+        monkeypatch.setattr(msm_mod, "NUMPY_MSM_MIN_PAIRS", 1)
+        set_field_backend("numpy")
+        got = jac_to_affine_many([msm_g1(points, scalars)])[0]
+        assert calls, "vectorized MSM path did not run"
+        assert got == expected
+
+    def test_msm_tail_handoff_matches_pure_vectorized(self, monkeypatch):
+        # Force the python-tail handoff on the very first bucket round
+        # (NUMPY_ROUND_MIN_PAIRS above any round width) and compare with
+        # the fully vectorized reduction.
+        import repro.curves.msm as msm_mod
+
+        points, scalars = _g1_inputs(64, seed=35)
+        set_field_backend("numpy")
+        monkeypatch.setattr(msm_mod, "NUMPY_MSM_MIN_PAIRS", 1)
+        monkeypatch.setattr(msm_mod, "NUMPY_ROUND_MIN_PAIRS", 0)
+        pure = jac_to_affine_many([msm_g1(points, scalars)])[0]
+        monkeypatch.setattr(msm_mod, "NUMPY_ROUND_MIN_PAIRS", 1 << 30)
+        handed_off = jac_to_affine_many([msm_g1(points, scalars)])[0]
+        assert handed_off == pure
+
+    def test_msm_multi_vectorized_path_matches_python(self, monkeypatch):
+        import repro.curves.msm as msm_mod
+
+        points, scalars = _g1_inputs(40, seed=37)
+        lists = [points, points[::-1]]
+        set_field_backend("python")
+        expected = [
+            None if a is None else (int(a[0]), int(a[1]))
+            for a in jac_to_affine_many(msm_g1_multi(lists, scalars))
+        ]
+
+        calls = []
+        real = msm_mod._msm_g1_multi_numpy
+        monkeypatch.setattr(
+            msm_mod,
+            "_msm_g1_multi_numpy",
+            lambda *a: calls.append(1) or real(*a),
+        )
+        monkeypatch.setattr(msm_mod, "NUMPY_MSM_MIN_PAIRS", 1)
+        set_field_backend("numpy")
+        got = [
+            None if a is None else (int(a[0]), int(a[1]))
+            for a in jac_to_affine_many(msm_g1_multi(lists, scalars))
+        ]
+        assert calls, "vectorized multi-MSM path did not run"
+        assert got == expected
+
+    def test_ntt_vectorized_path_matches_python(self, monkeypatch):
+        import importlib
+
+        nttmod = importlib.import_module("repro.field.ntt")
+        values = [random.Random(8).randrange(R) for _ in range(128)]
+        set_field_backend("python")
+        domain = get_domain(128)
+        expected = [int(v) for v in domain.fft(values)]
+
+        calls = []
+        real = nttmod._ntt_numpy
+        monkeypatch.setattr(
+            nttmod,
+            "_ntt_numpy",
+            lambda *a: calls.append(1) or real(*a),
+        )
+        monkeypatch.setattr(nttmod, "NUMPY_NTT_MIN_SIZE", 1)
+        set_field_backend("numpy")
+        d = get_domain(128)
+        assert d.backend == "numpy"
+        assert [int(v) for v in d.fft(values)] == expected
+        assert calls, "vectorized NTT path did not run"
+        assert [int(v) for v in d.ifft(d.fft(values))] == [
+            v % R for v in values
+        ]
+
+    def test_proofs_byte_identical_with_vectorized_kernels_forced(
+        self, monkeypatch
+    ):
+        # The generic byte-identity matrix runs numpy at sizes below the
+        # routing floors; here the floors drop to 1 so the limb MSM and
+        # NTT paths carry a real Groth16 prove end to end.
+        import importlib
+
+        import repro.curves.msm as msm_mod
+
+        from repro.engine import ProvingEngine
+
+        nttmod = importlib.import_module("repro.field.ntt")
+        set_field_backend("python")
+        engine = ProvingEngine()
+        compiled, synthesis = engine.synthesize("chain-16", _mul_chain(16))
+        reference = engine.prove(
+            compiled, synthesis, seed=5, setup_seed=6
+        ).to_bytes()
+
+        monkeypatch.setattr(msm_mod, "NUMPY_MSM_MIN_PAIRS", 1)
+        monkeypatch.setattr(nttmod, "NUMPY_NTT_MIN_SIZE", 1)
+        set_field_backend("numpy")
+        engine2 = ProvingEngine()
+        compiled2, synthesis2 = engine2.synthesize("chain-16", _mul_chain(16))
+        proof = engine2.prove(compiled2, synthesis2, seed=5, setup_seed=6)
+        assert proof.to_bytes() == reference
+        assert engine2.verify(compiled2, synthesis2.public_values, proof)
 
 
 class TestSignedG2MSM:

@@ -1,0 +1,307 @@
+"""Property tests for the numpy limb kernels against the int reference.
+
+Every vectorized routine in ``repro.field.limb`` has a scalar twin:
+``int`` arithmetic for the field ops, ``_batch_affine_add`` /
+``_reduce_buckets`` for the curve kernels.  These tests pin exact
+agreement on boundary values (0, 1, p-1, p-2, limb edges), random
+residues, and the structural edge cases the MSM layer depends on
+(doubling lanes, cancellation lanes, the ADD_TILE tiling split, and the
+python-tail handoff of ``reduce_bucket_grid``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+import repro.field.limb as limb
+from repro.curves.bn254 import P
+from repro.curves.bn254 import R as FR
+from repro.curves.g1 import G1Point
+from repro.curves.msm import _batch_affine_add, _reduce_buckets
+from repro.field.limb import (
+    LimbContext,
+    batch_affine_add_limbs,
+    get_limb_context,
+    reduce_bucket_grid,
+    reset_limb_contexts,
+)
+
+
+def _edge_values(p: int):
+    mask32 = (1 << 32) - 1
+    vals = {
+        0,
+        1,
+        2,
+        3,
+        p - 1,
+        p - 2,
+        (p - 1) // 2,
+        (p + 1) // 2,
+        mask32,
+        mask32 + 1,
+        (1 << 64) - 1,
+        (1 << 128) % p,
+        p >> 1,
+    }
+    return sorted(v % p for v in vals)
+
+
+def _rng():
+    return random.Random(20230711)
+
+
+@pytest.fixture(params=[P, FR], ids=["Fp", "Fr"])
+def ctx(request):
+    return get_limb_context(request.param)
+
+
+class TestLimbRepresentation:
+    def test_to_from_limbs_roundtrip(self, ctx):
+        rng = _rng()
+        vals = _edge_values(ctx.modulus) + [
+            rng.randrange(ctx.modulus) for _ in range(200)
+        ]
+        arr = ctx.to_limbs(vals)
+        assert arr.shape == (ctx.limbs, len(vals))
+        assert arr.dtype == np.uint64
+        assert ctx.from_limbs(arr) == vals
+
+    def test_limb_radix_is_2_32(self, ctx):
+        arr = ctx.to_limbs([ctx.modulus - 1])
+        assert int(arr.max()) < 1 << 32
+
+    def test_mont_roundtrip(self, ctx):
+        rng = _rng()
+        vals = _edge_values(ctx.modulus) + [
+            rng.randrange(ctx.modulus) for _ in range(100)
+        ]
+        arr = ctx.to_limbs(vals)
+        assert ctx.from_limbs(ctx.from_mont(ctx.to_mont(arr))) == vals
+
+    def test_is_zero_mask(self, ctx):
+        vals = [0, 1, 0, ctx.modulus - 1, 0]
+        mask = ctx.is_zero(ctx.to_limbs(vals))
+        assert mask.tolist() == [True, False, True, False, True]
+
+
+class TestLimbArithmetic:
+    def test_mont_mul_matches_int_reference(self, ctx):
+        p = ctx.modulus
+        rng = _rng()
+        edges = _edge_values(p)
+        a_vals = edges + [rng.randrange(p) for _ in range(150)]
+        b_vals = list(reversed(edges)) + [rng.randrange(p) for _ in range(150)]
+        a = ctx.to_mont(ctx.to_limbs(a_vals))
+        b = ctx.to_mont(ctx.to_limbs(b_vals))
+        got = ctx.from_limbs(ctx.from_mont(ctx.mont_mul(a, b)))
+        assert got == [x * y % p for x, y in zip(a_vals, b_vals)]
+
+    def test_redc_extremes(self, ctx):
+        # (p-1)^2 drives every column of the schoolbook product to its
+        # maximum and forces the final conditional subtract; the zero and
+        # one rows pin the degenerate ends of REDC's input range.
+        p = ctx.modulus
+        vals = [p - 1, p - 1, 0, 1, p - 2]
+        a = ctx.to_mont(ctx.to_limbs(vals))
+        sq = ctx.from_limbs(ctx.from_mont(ctx.mont_mul(a, a)))
+        assert sq == [v * v % p for v in vals]
+
+    def test_mont_mul_broadcasts_single_column(self, ctx):
+        p = ctx.modulus
+        rng = _rng()
+        vals = [rng.randrange(p) for _ in range(33)]
+        k = rng.randrange(1, p)
+        a = ctx.to_mont(ctx.to_limbs(vals))
+        kcol = ctx.to_mont(ctx.to_limbs([k]))
+        got = ctx.from_limbs(ctx.from_mont(ctx.mont_mul(a, kcol)))
+        assert got == [v * k % p for v in vals]
+
+    def test_addmod_submod_negmod(self, ctx):
+        p = ctx.modulus
+        rng = _rng()
+        edges = _edge_values(p)
+        a_vals = edges + [rng.randrange(p) for _ in range(150)]
+        b_vals = list(reversed(edges)) + [rng.randrange(p) for _ in range(150)]
+        # Force both reduction branches: a + b >= p and a < b.
+        a_vals += [p - 1, 1, 0]
+        b_vals += [p - 1, p - 1, 0]
+        a = ctx.to_limbs(a_vals)
+        b = ctx.to_limbs(b_vals)
+        assert ctx.from_limbs(ctx.addmod(a, b)) == [
+            (x + y) % p for x, y in zip(a_vals, b_vals)
+        ]
+        assert ctx.from_limbs(ctx.submod(a, b)) == [
+            (x - y) % p for x, y in zip(a_vals, b_vals)
+        ]
+        assert ctx.from_limbs(ctx.negmod(a)) == [-x % p for x in a_vals]
+
+    def test_batch_inv_tail_path(self, ctx):
+        # Width below INV_TAIL: the whole inversion runs through the
+        # sequential python Montgomery trick.
+        p = ctx.modulus
+        rng = _rng()
+        vals = [1, p - 1, 2] + [rng.randrange(1, p) for _ in range(5)]
+        a = ctx.to_mont(ctx.to_limbs(vals))
+        got = ctx.from_limbs(ctx.from_mont(ctx.batch_inv_mont(a)))
+        assert got == [pow(v, -1, p) for v in vals]
+
+    def test_batch_inv_tree_path(self, ctx):
+        # Odd width > INV_TAIL exercises the vectorized product tree,
+        # including the unpaired-lane carry at every level.
+        p = ctx.modulus
+        rng = _rng()
+        n = ctx.INV_TAIL * 2 + 3
+        vals = [rng.randrange(1, p) for _ in range(n)]
+        a = ctx.to_mont(ctx.to_limbs(vals))
+        got = ctx.from_limbs(ctx.from_mont(ctx.batch_inv_mont(a)))
+        assert got == [pow(v, -1, p) for v in vals]
+
+    def test_batch_inv_rejects_zero_lane(self, ctx):
+        a = ctx.to_mont(ctx.to_limbs([1, 0, 2]))
+        with pytest.raises(ZeroDivisionError):
+            ctx.batch_inv_mont(a)
+
+
+def _g1_points(n: int, seed: int = 5):
+    rng = random.Random(seed)
+    g = G1Point.generator()
+    return [(g * rng.randrange(1, FR)) for _ in range(n)]
+
+
+def _to_mont_coords(ctx, points):
+    xs = ctx.to_mont(ctx.to_limbs([pt.x for pt in points]))
+    ys = ctx.to_mont(ctx.to_limbs([pt.y for pt in points]))
+    return xs, ys
+
+
+class TestBatchAffineAdd:
+    def test_matches_scalar_kernel_with_mixed_lanes(self):
+        ctx = get_limb_context(P)
+        pts = _g1_points(24)
+        ps = [(pt.x, pt.y) for pt in pts[:12]]
+        qs = [(pt.x, pt.y) for pt in pts[12:]]
+        # Doubling lanes (equal points) and cancellation lanes (P, -P).
+        ps += [(pts[0].x, pts[0].y), (pts[1].x, pts[1].y)]
+        qs += [(pts[0].x, pts[0].y), (pts[1].x, P - pts[1].y)]
+        expected = _batch_affine_add(ps, qs)
+        x1 = ctx.to_mont(ctx.to_limbs([x for x, _ in ps]))
+        y1 = ctx.to_mont(ctx.to_limbs([y for _, y in ps]))
+        x2 = ctx.to_mont(ctx.to_limbs([x for x, _ in qs]))
+        y2 = ctx.to_mont(ctx.to_limbs([y for _, y in qs]))
+        x3, y3, inf = batch_affine_add_limbs(ctx, x1, y1, x2, y2)
+        xs = ctx.from_limbs(ctx.from_mont(x3))
+        ys = ctx.from_limbs(ctx.from_mont(y3))
+        got = [
+            None if inf[i] else (xs[i], ys[i]) for i in range(len(ps))
+        ]
+        assert got == expected
+
+    def test_tiling_split_matches_single_tile(self, monkeypatch):
+        # Shrink ADD_TILE so a modest batch spans several tiles with a
+        # ragged final tile; results must be identical to the untiled
+        # pass lane for lane.
+        ctx = get_limb_context(P)
+        pts = _g1_points(23, seed=9)
+        qts = _g1_points(23, seed=10)
+        x1, y1 = _to_mont_coords(ctx, pts)
+        x2, y2 = _to_mont_coords(ctx, qts)
+        rx, ry, rinf = batch_affine_add_limbs(ctx, x1, y1, x2, y2)
+        monkeypatch.setattr(limb, "ADD_TILE", 7)
+        tx, ty, tinf = batch_affine_add_limbs(ctx, x1, y1, x2, y2)
+        assert np.array_equal(rx, tx)
+        assert np.array_equal(ry, ty)
+        assert np.array_equal(rinf, tinf)
+
+
+class TestReduceBucketGrid:
+    def _scatter(self, n_points: int, n_buckets: int, seed: int = 11):
+        rng = random.Random(seed)
+        pts = _g1_points(n_points, seed=seed + 1)
+        entries = [(rng.randrange(n_buckets), (pt.x, pt.y)) for pt in pts]
+        # Structural edge cases: a duplicated point in one bucket
+        # (doubling), an inverse pair in another (cancels to None if
+        # alone), and one bucket left empty by construction.
+        x, y = pts[0].x, pts[0].y
+        entries += [(0, (x, y)), (0, (x, y))]
+        entries += [(1, (x, y)), (1, (x, P - y))]
+        entries = [(b, pt) for b, pt in entries if b != n_buckets - 1]
+        return entries
+
+    def _expected(self, entries, n_buckets):
+        buckets = [[] for _ in range(n_buckets)]
+        for b, pt in entries:
+            buckets[b].append(pt)
+        return _reduce_buckets(buckets, _batch_affine_add)
+
+    def test_matches_scalar_reduction(self):
+        ctx = get_limb_context(P)
+        entries = self._scatter(80, 7)
+        expected = self._expected(entries, 7)
+        xs = ctx.to_mont(ctx.to_limbs([pt[0] for _, pt in entries]))
+        ys = ctx.to_mont(ctx.to_limbs([pt[1] for _, pt in entries]))
+        bids = np.asarray([b for b, _ in entries], dtype=np.int64)
+        got = reduce_bucket_grid(ctx, xs, ys, bids, 7)
+        assert got == expected
+
+    def test_tail_reduce_handoff(self):
+        # With min_pairs above the first round's width the very first
+        # round hands off: tail_reduce must see every point, in canonical
+        # int form, and its return value is passed through verbatim.
+        ctx = get_limb_context(P)
+        entries = self._scatter(40, 5, seed=13)
+        expected = self._expected(entries, 5)
+        xs = ctx.to_mont(ctx.to_limbs([pt[0] for _, pt in entries]))
+        ys = ctx.to_mont(ctx.to_limbs([pt[1] for _, pt in entries]))
+        bids = np.asarray([b for b, _ in entries], dtype=np.int64)
+        seen = {}
+
+        def tail(buckets):
+            seen["total"] = sum(len(b) for b in buckets)
+            return _reduce_buckets(buckets, _batch_affine_add)
+
+        got = reduce_bucket_grid(
+            ctx, xs, ys, bids, 5, min_pairs=1 << 30, tail_reduce=tail
+        )
+        assert got == expected
+        assert seen["total"] == len(entries)
+
+    def test_tail_reduce_midway_matches_pure_vectorized(self):
+        # A moderate min_pairs lets a few vectorized rounds run before
+        # the scalar tail takes over; both routes must agree exactly.
+        ctx = get_limb_context(P)
+        entries = self._scatter(120, 6, seed=17)
+        xs = ctx.to_mont(ctx.to_limbs([pt[0] for _, pt in entries]))
+        ys = ctx.to_mont(ctx.to_limbs([pt[1] for _, pt in entries]))
+        bids = np.asarray([b for b, _ in entries], dtype=np.int64)
+        pure = reduce_bucket_grid(ctx, xs.copy(), ys.copy(), bids.copy(), 6)
+        mixed = reduce_bucket_grid(
+            ctx,
+            xs,
+            ys,
+            bids,
+            6,
+            min_pairs=16,
+            tail_reduce=lambda b: _reduce_buckets(b, _batch_affine_add),
+        )
+        assert mixed == pure
+
+
+class TestContextRegistry:
+    def test_context_is_cached_per_modulus(self):
+        assert get_limb_context(P) is get_limb_context(P)
+        assert get_limb_context(P) is not get_limb_context(FR)
+
+    def test_reset_drops_cached_contexts(self):
+        before = get_limb_context(P)
+        reset_limb_contexts()
+        after = get_limb_context(P)
+        assert after is not before
+
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ValueError):
+            LimbContext(1 << 8)
